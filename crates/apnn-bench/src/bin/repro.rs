@@ -1,0 +1,92 @@
+//! `repro` — regenerate every table and figure of the APNN-TC paper on the
+//! simulated Ampere substrate.
+//!
+//! ```text
+//! repro <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|table4|all>
+//! ```
+//!
+//! Figures 5/7 run on the RTX 3090 preset, 6/8 on the A100 preset, matching
+//! the paper's panels; everything else defaults to the RTX 3090 (the paper
+//! reports "similar trends" on both GPUs and focuses on the 3090, §6.1.2).
+
+use apnn_bench::experiments as exp;
+use apnn_sim::GpuSpec;
+
+fn table1() -> String {
+    use apnn_quant::data::SyntheticDataset;
+    use apnn_quant::train::table1_experiment;
+    let data = SyntheticDataset::generate(10, 96, 200, 100, 1.0, 2021);
+    // Narrow-and-deep minis: the regime where activation resolution is the
+    // bottleneck (tuned in examples/train_quantized.rs).
+    let archs: &[(&str, Vec<usize>)] = &[
+        ("AlexNet-mini", vec![64, 32]),
+        ("VGG-mini", vec![48, 24]),
+        ("ResNet-mini", vec![32, 32]),
+    ];
+    // Paper's ImageNet accuracies for reference.
+    let paper = [(46.1, 55.7, 57.0), (53.4, 68.8, 69.8), (51.2, 62.6, 69.6)];
+    let mut out = String::from(
+        "## Table1 accuracy on the synthetic dataset (substitution for ImageNet, see DESIGN.md)\n",
+    );
+    out.push_str(&format!(
+        "{:<14}{:>9}{:>9}{:>9}   paper(ImageNet): Binary/w1a2/Single\n",
+        "Network", "Binary", "w1a2", "Single"
+    ));
+    for ((name, hidden), (pb, pw, ps)) in archs.iter().zip(paper) {
+        let (b, w, f) = table1_experiment(&data, hidden.clone(), 5);
+        out.push_str(&format!(
+            "{name:<14}{:>8.1}%{:>8.1}%{:>8.1}%   {pb}/{pw}/{ps}\n",
+            b * 100.0,
+            w * 100.0,
+            f * 100.0
+        ));
+    }
+    out
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let g3090 = GpuSpec::rtx3090();
+    let a100 = GpuSpec::a100();
+
+    let run = |name: &str| -> Option<String> {
+        match name {
+            "fig5" => Some(exp::fig5(&g3090)),
+            "fig6" => Some(exp::fig5(&a100)),
+            "fig7" => Some(exp::fig7(&g3090)),
+            "fig8" => Some(exp::fig7(&a100)),
+            "fig9" => Some(exp::fig9(&g3090)),
+            "fig10" => Some(exp::fig10(&g3090)),
+            "fig11" => Some(exp::fig11(&g3090)),
+            "fig12" => Some(exp::fig12(&g3090)),
+            "table1" => Some(table1()),
+            "table2" => Some(exp::table2(&g3090)),
+            "table3" => Some(exp::table3(&g3090)),
+            "table4" => Some(exp::table4(&g3090)),
+            "fusion-ablation" => Some(exp::network_fusion_ablation(&g3090)),
+            "ablation-tiles" => Some(exp::ablation_tiles(&g3090)),
+            "ablation-layout" => Some(exp::ablation_layout(&g3090)),
+            "ablation-batching" => Some(exp::ablation_batching(&g3090)),
+            "turing" => Some(exp::turing(&g3090)),
+            _ => None,
+        }
+    };
+
+    if arg == "all" {
+        for name in [
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1",
+            "table2", "table3", "table4", "fusion-ablation", "ablation-tiles",
+            "ablation-layout", "ablation-batching", "turing",
+        ] {
+            println!("{}", run(name).unwrap());
+        }
+    } else if let Some(text) = run(&arg) {
+        println!("{text}");
+    } else {
+        eprintln!(
+            "unknown experiment '{arg}'. Options: fig5..fig12, table1..table4, \
+             fusion-ablation, ablation-tiles, ablation-layout, ablation-batching, turing, all"
+        );
+        std::process::exit(2);
+    }
+}

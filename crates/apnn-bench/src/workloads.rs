@@ -1,0 +1,112 @@
+//! Workload definitions mirroring the paper's evaluation section (§6).
+
+use apnn_bitpack::Encoding;
+use apnn_kernels::apconv::ConvDesc;
+use apnn_kernels::apmm::ApmmDesc;
+
+/// Matrix sizes swept by Figs. 5/6 (`K = N ∈ {128..1024}`) and channel
+/// counts swept by Figs. 7/8/10/11/12.
+pub const SWEEP_SIZES: [usize; 8] = [128, 256, 384, 512, 640, 768, 896, 1024];
+
+/// GEMM batch dimension (`B = 64`, "a popular batch size", §6.1.1).
+pub const GEMM_BATCH: usize = 64;
+
+/// The sub-int4 bit configurations of Fig. 5(a)/6(a)/7(a)/8(a).
+pub const LOW_BIT_CONFIGS: [(u32, u32); 4] = [(1, 2), (1, 3), (1, 4), (2, 2)];
+
+/// The >int4 bit configurations of Fig. 5(b)/6(b)/7(b)/8(b).
+pub const HIGH_BIT_CONFIGS: [(u32, u32); 4] = [(5, 1), (1, 8), (6, 2), (2, 8)];
+
+/// Encodings for a `wPaQ` kernel: 1-bit weights are ±1 (Case III), all
+/// multi-bit operands are unsigned codes.
+pub fn encodings(p: u32, q: u32) -> (Encoding, Encoding) {
+    let w = if p == 1 {
+        Encoding::PlusMinusOne
+    } else {
+        Encoding::ZeroOne
+    };
+    let x = if q == 1 && p == 1 {
+        Encoding::PlusMinusOne // w1a1 = fully binary, XOR path
+    } else {
+        Encoding::ZeroOne
+    };
+    (w, x)
+}
+
+/// The Fig. 5/6 GEMM workload: `B×K · K×N` with `B = 64`, `K = N = size`.
+pub fn fig5_gemm(size: usize, p: u32, q: u32) -> ApmmDesc {
+    let (w_enc, x_enc) = encodings(p, q);
+    ApmmDesc {
+        m: GEMM_BATCH,
+        n: size,
+        k: size,
+        w_bits: p,
+        x_bits: q,
+        w_enc,
+        x_enc,
+    }
+}
+
+/// The Fig. 7/8 convolution workload: input 16×16, filter 3, stride 1,
+/// batch 1, `C_in = C_out = channels` (§6.1.2).
+pub fn fig7_conv(channels: usize, p: u32, q: u32) -> ConvDesc {
+    let (w_enc, x_enc) = encodings(p, q);
+    ConvDesc {
+        batch: 1,
+        cin: channels,
+        h: 16,
+        w: 16,
+        cout: channels,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+        w_bits: p,
+        x_bits: q,
+        w_enc,
+        x_enc,
+    }
+}
+
+/// The Table 4 fully connected layer: `M = 64`, `K = N = 1024`.
+pub fn table4_fc(p: u32, q: u32) -> ApmmDesc {
+    fig5_gemm(1024, p, q)
+}
+
+/// Label for a bit configuration, matching the paper's legend.
+pub fn config_label(kind: &str, p: u32, q: u32) -> String {
+    format!("{kind}-w{p}a{q}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_workload_shapes() {
+        let d = fig5_gemm(512, 1, 2);
+        assert_eq!((d.m, d.n, d.k), (64, 512, 512));
+        assert_eq!(d.w_enc, Encoding::PlusMinusOne);
+        assert_eq!(d.x_enc, Encoding::ZeroOne);
+    }
+
+    #[test]
+    fn conv_workload_shapes() {
+        let d = fig7_conv(256, 2, 2);
+        assert_eq!(d.out_h(), 16);
+        assert_eq!((d.cin, d.cout), (256, 256));
+        assert_eq!(d.w_enc, Encoding::ZeroOne);
+    }
+
+    #[test]
+    fn binary_config_is_xor() {
+        let (w, x) = encodings(1, 1);
+        assert_eq!(w, Encoding::PlusMinusOne);
+        assert_eq!(x, Encoding::PlusMinusOne);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(config_label("APMM", 1, 2), "APMM-w1a2");
+    }
+}

@@ -1,0 +1,128 @@
+//! Emulation of warp-level `__ballot_sync` packing (paper §4.1(b)).
+//!
+//! On the GPU, the memory-efficient bit combination quantizes 32-bit reduced
+//! values held in registers down to `q`-bit codes, then uses `__ballot_sync`
+//! so the 32 threads of a warp cooperatively pack one bit per thread into a
+//! single 32-bit word — avoiding a round trip through shared memory. This
+//! module reproduces that routine on slices of 32 lane values so the packed
+//! output stream of a fused kernel is bit-identical to what the GPU kernel
+//! would store.
+
+/// Warp width used by the ballot emulation.
+pub const WARP_LANES: usize = 32;
+
+/// Pack one predicate per lane into a 32-bit ballot word
+/// (lane `i` → bit `i`), exactly like `__ballot_sync(0xffffffff, pred)`.
+#[inline]
+pub fn ballot(preds: &[bool; WARP_LANES]) -> u32 {
+    let mut word = 0u32;
+    for (lane, &p) in preds.iter().enumerate() {
+        word |= (p as u32) << lane;
+    }
+    word
+}
+
+/// Unpack a ballot word back into per-lane predicates.
+#[inline]
+pub fn unballot(word: u32) -> [bool; WARP_LANES] {
+    std::array::from_fn(|lane| (word >> lane) & 1 != 0)
+}
+
+/// Pack 32 `q`-bit codes (one per lane) into `q` ballot words, one per bit
+/// plane: output `s` holds bit `s` of every lane's code.
+///
+/// This is the element-wise routine + inter-thread communication of §4.1(b):
+/// each "thread" holds a quantized code in its register; `q` ballots produce
+/// the memory-aligned words that go straight to global memory.
+pub fn pack_codes(codes: &[u32; WARP_LANES], q: u32) -> Vec<u32> {
+    debug_assert!((1..=8).contains(&q));
+    (0..q)
+        .map(|s| {
+            let preds: [bool; WARP_LANES] =
+                std::array::from_fn(|lane| (codes[lane] >> s) & 1 != 0);
+            ballot(&preds)
+        })
+        .collect()
+}
+
+/// Inverse of [`pack_codes`].
+pub fn unpack_codes(words: &[u32]) -> [u32; WARP_LANES] {
+    let mut codes = [0u32; WARP_LANES];
+    for (s, &word) in words.iter().enumerate() {
+        for (lane, code) in codes.iter_mut().enumerate() {
+            *code |= ((word >> lane) & 1) << s;
+        }
+    }
+    codes
+}
+
+/// Pack an arbitrary-length stream of `q`-bit codes warp-by-warp, padding the
+/// final partial warp with zero codes. Returns `q` words per full-or-partial
+/// warp, grouped plane-major per warp (`[warp0: q words][warp1: q words]…`),
+/// mirroring the store pattern of the fused epilogue.
+pub fn pack_stream(codes: &[u32], q: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(codes.len().div_ceil(WARP_LANES) * q as usize);
+    for chunk in codes.chunks(WARP_LANES) {
+        let mut lanes = [0u32; WARP_LANES];
+        lanes[..chunk.len()].copy_from_slice(chunk);
+        out.extend(pack_codes(&lanes, q));
+    }
+    out
+}
+
+/// Inverse of [`pack_stream`]; `len` is the original (unpadded) code count.
+pub fn unpack_stream(words: &[u32], q: u32, len: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(len);
+    for warp_words in words.chunks(q as usize) {
+        let codes = unpack_codes(warp_words);
+        for &c in codes.iter() {
+            if out.len() == len {
+                return out;
+            }
+            out.push(c);
+        }
+    }
+    assert_eq!(out.len(), len, "packed stream shorter than requested length");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_maps_lane_to_bit() {
+        let mut preds = [false; WARP_LANES];
+        preds[0] = true;
+        preds[31] = true;
+        preds[7] = true;
+        let w = ballot(&preds);
+        assert_eq!(w, 1 | (1 << 7) | (1 << 31));
+        assert_eq!(unballot(w), preds);
+    }
+
+    #[test]
+    fn pack_unpack_codes_roundtrip() {
+        let codes: [u32; WARP_LANES] = std::array::from_fn(|i| (i as u32 * 5) % 8);
+        let words = pack_codes(&codes, 3);
+        assert_eq!(words.len(), 3);
+        assert_eq!(unpack_codes(&words), codes);
+    }
+
+    #[test]
+    fn pack_stream_handles_partial_warp() {
+        let codes: Vec<u32> = (0..50).map(|i| i % 4).collect();
+        let words = pack_stream(&codes, 2);
+        // 50 codes -> 2 warps -> 2*2 words
+        assert_eq!(words.len(), 4);
+        assert_eq!(unpack_stream(&words, 2, 50), codes);
+    }
+
+    #[test]
+    fn packed_density_is_q_bits_per_code() {
+        // 32 codes at q bits occupy exactly q u32 words = q*32 bits.
+        let codes: Vec<u32> = (0..32).map(|i| i % 2).collect();
+        let words = pack_stream(&codes, 1);
+        assert_eq!(words.len(), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Channel-major bit-packed activation tensors — the paper's **NPHWC**
+//! data organization (§4.2(a), Fig. 4).
+//!
+//! Two design choices from the paper:
+//! 1. A `P`-bit feature map is split into `P` one-bit feature maps, each
+//!    stored consecutively, so every plane is individually bit-addressable
+//!    and memory accesses stay aligned for any precision `P`.
+//! 2. All channels of one spatial location are stored consecutively
+//!    (channel-major). Convolutions read whole channel vectors per pixel,
+//!    which turns the `K×K` window walk into coalesced 128-bit reads.
+
+use crate::encoding::Encoding;
+use crate::tensor::Tensor4;
+use crate::word::{pad_to_bmma_k, WORD_BITS};
+
+/// A bit-packed 4-D activation tensor in NPHWC order:
+/// `[batch][plane][height][width][channel-bits]`.
+///
+/// The channel dimension is padded to a multiple of 128 bits and padding bits
+/// are always zero (same invariant as [`crate::BitMatrix`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitTensor4 {
+    n: usize,
+    bits: u32,
+    h: usize,
+    w: usize,
+    c: usize,
+    padded_c: usize,
+    words_per_pixel: usize,
+    encoding: Encoding,
+    data: Vec<u64>,
+}
+
+impl BitTensor4 {
+    /// Zeroed tensor of logical shape `(n, h, w, c)` with `bits` planes.
+    pub fn zeros(n: usize, h: usize, w: usize, c: usize, bits: u32, encoding: Encoding) -> Self {
+        assert!((1..=8).contains(&bits));
+        if encoding == Encoding::PlusMinusOne {
+            assert_eq!(bits, 1, "±1 encoding is one bit wide");
+        }
+        let padded_c = pad_to_bmma_k(c);
+        let words_per_pixel = padded_c / WORD_BITS;
+        BitTensor4 {
+            n,
+            bits,
+            h,
+            w,
+            c,
+            padded_c,
+            words_per_pixel,
+            encoding,
+            data: vec![0u64; n * bits as usize * h * w * words_per_pixel],
+        }
+    }
+
+    /// Pack a dense tensor of unsigned codes (`< 2^bits`) into NPHWC planes.
+    /// Accepts any input [`crate::Layout`].
+    pub fn from_tensor(codes: &Tensor4<u32>, bits: u32, encoding: Encoding) -> Self {
+        let (n, c, h, w) = codes.shape();
+        let mut t = Self::zeros(n, h, w, c, bits, encoding);
+        for in_ in 0..n {
+            for ih in 0..h {
+                for iw in 0..w {
+                    for ic in 0..c {
+                        t.set_code(in_, ih, iw, ic, codes.get(in_, ic, ih, iw));
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Logical shape `(n, h, w, c)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.h, self.w, self.c)
+    }
+
+    /// Number of bit planes `P`.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Operand encoding.
+    #[inline]
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Channel count after 128-bit padding.
+    #[inline]
+    pub fn padded_c(&self) -> usize {
+        self.padded_c
+    }
+
+    /// Packed words per (plane, pixel) channel vector.
+    #[inline]
+    pub fn words_per_pixel(&self) -> usize {
+        self.words_per_pixel
+    }
+
+    /// Total packed size in bytes (the global-memory footprint the paper's
+    /// minimal-traffic dataflow accounts for).
+    #[inline]
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    #[inline]
+    fn pixel_base(&self, n: usize, plane: u32, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && plane < self.bits && h < self.h && w < self.w);
+        (((n * self.bits as usize + plane as usize) * self.h + h) * self.w + w)
+            * self.words_per_pixel
+    }
+
+    /// The packed channel vector of plane `plane` at pixel `(n, h, w)`.
+    #[inline]
+    pub fn pixel_words(&self, n: usize, plane: u32, h: usize, w: usize) -> &[u64] {
+        let base = self.pixel_base(n, plane, h, w);
+        &self.data[base..base + self.words_per_pixel]
+    }
+
+    /// Mutable packed channel vector (kernel epilogues write through this).
+    #[inline]
+    pub fn pixel_words_mut(&mut self, n: usize, plane: u32, h: usize, w: usize) -> &mut [u64] {
+        let base = self.pixel_base(n, plane, h, w);
+        &mut self.data[base..base + self.words_per_pixel]
+    }
+
+    /// Read one bit of plane `plane` at `(n, h, w, c)`.
+    #[inline]
+    pub fn get_bit(&self, n: usize, plane: u32, h: usize, w: usize, c: usize) -> bool {
+        debug_assert!(c < self.c);
+        let words = self.pixel_words(n, plane, h, w);
+        (words[c / WORD_BITS] >> (c % WORD_BITS)) & 1 != 0
+    }
+
+    /// Write a full `bits`-wide code at `(n, h, w, c)` across all planes.
+    pub fn set_code(&mut self, n: usize, h: usize, w: usize, c: usize, code: u32) {
+        debug_assert!(c < self.c);
+        debug_assert!(self.bits == 32 || code < (1u32 << self.bits));
+        for plane in 0..self.bits {
+            let base = self.pixel_base(n, plane, h, w);
+            let word = &mut self.data[base + c / WORD_BITS];
+            let mask = 1u64 << (c % WORD_BITS);
+            if (code >> plane) & 1 != 0 {
+                *word |= mask;
+            } else {
+                *word &= !mask;
+            }
+        }
+    }
+
+    /// Read back the full code at `(n, h, w, c)`.
+    pub fn get_code(&self, n: usize, h: usize, w: usize, c: usize) -> u32 {
+        let mut code = 0u32;
+        for plane in 0..self.bits {
+            if self.get_bit(n, plane, h, w, c) {
+                code |= 1 << plane;
+            }
+        }
+        code
+    }
+
+    /// Unpack into a dense NHWC code tensor (inverse of [`from_tensor`]).
+    ///
+    /// [`from_tensor`]: BitTensor4::from_tensor
+    pub fn to_tensor(&self) -> Tensor4<u32> {
+        Tensor4::from_fn(
+            self.n,
+            self.c,
+            self.h,
+            self.w,
+            crate::tensor::Layout::Nhwc,
+            |n, c, h, w| self.get_code(n, h, w, c),
+        )
+    }
+
+    /// Verify the channel-padding invariant (test helper).
+    pub fn padding_is_zero(&self) -> bool {
+        for n in 0..self.n {
+            for p in 0..self.bits {
+                for h in 0..self.h {
+                    for w in 0..self.w {
+                        let words = self.pixel_words(n, p, h, w);
+                        for c in self.c..self.padded_c {
+                            if (words[c / WORD_BITS] >> (c % WORD_BITS)) & 1 != 0 {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Layout;
+
+    #[test]
+    fn shape_and_padding() {
+        let t = BitTensor4::zeros(2, 3, 3, 130, 2, Encoding::ZeroOne);
+        assert_eq!(t.shape(), (2, 3, 3, 130));
+        assert_eq!(t.padded_c(), 256);
+        assert_eq!(t.words_per_pixel(), 4);
+        assert!(t.padding_is_zero());
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        let mut t = BitTensor4::zeros(1, 2, 2, 5, 3, Encoding::ZeroOne);
+        t.set_code(0, 1, 1, 4, 0b101);
+        t.set_code(0, 0, 0, 0, 0b011);
+        assert_eq!(t.get_code(0, 1, 1, 4), 0b101);
+        assert_eq!(t.get_code(0, 0, 0, 0), 0b011);
+        assert_eq!(t.get_code(0, 0, 1, 2), 0);
+        // Overwrite clears old bits.
+        t.set_code(0, 1, 1, 4, 0b010);
+        assert_eq!(t.get_code(0, 1, 1, 4), 0b010);
+        assert!(t.padding_is_zero());
+    }
+
+    #[test]
+    fn from_tensor_roundtrip_nchw() {
+        let codes = Tensor4::<u32>::from_fn(2, 4, 3, 3, Layout::Nchw, |n, c, h, w| {
+            ((n + c + h + w) % 4) as u32
+        });
+        let packed = BitTensor4::from_tensor(&codes, 2, Encoding::ZeroOne);
+        let unpacked = packed.to_tensor();
+        for n in 0..2 {
+            for c in 0..4 {
+                for h in 0..3 {
+                    for w in 0..3 {
+                        assert_eq!(codes.get(n, c, h, w), unpacked.get(n, c, h, w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planes_are_contiguous_per_pixel() {
+        // Channel-major: the packed words of one (plane, pixel) pair hold all
+        // channels; neighbouring channels land in the same word.
+        let mut t = BitTensor4::zeros(1, 1, 1, 64, 1, Encoding::ZeroOne);
+        for c in 0..64 {
+            t.set_code(0, 0, 0, c, (c % 2) as u32);
+        }
+        let words = t.pixel_words(0, 0, 0, 0);
+        assert_eq!(words[0], 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(words[1], 0); // padding word
+    }
+
+    #[test]
+    fn packed_bytes_scale_with_bits() {
+        let t1 = BitTensor4::zeros(1, 8, 8, 128, 1, Encoding::ZeroOne);
+        let t2 = BitTensor4::zeros(1, 8, 8, 128, 2, Encoding::ZeroOne);
+        assert_eq!(t2.packed_bytes(), 2 * t1.packed_bytes());
+    }
+}

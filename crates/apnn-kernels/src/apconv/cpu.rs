@@ -1,0 +1,393 @@
+//! Functional multi-threaded CPU backend for APConv.
+//!
+//! Direct convolution over the channel-major packed layout: for every output
+//! pixel the `KH·KW` window taps are gathered as aligned channel vectors
+//! (the CPU analogue of the coalesced NPHWC reads of §4.2(a)), then every
+//! output channel reduces against its packed weight row with XOR/AND +
+//! popcount. Out-of-frame taps follow the input-aware padding strategies.
+
+use apnn_bitpack::word::{and_popcount, xor_popcount};
+use apnn_bitpack::{BitTensor4, Encoding};
+use apnn_sim::BmmaOp;
+use rayon::prelude::*;
+
+use super::padding::{correct_xor_window, fill_words, pad_fill, valid_row_popc, PadFill};
+use super::{ConvDesc, ConvOutput, ConvWeights, Pool2};
+use crate::fusion::Epilogue;
+use crate::select::{plan, EmulationCase};
+
+/// Gathered window for one output pixel: per activation plane, the
+/// concatenated tap words, plus the out-of-frame bookkeeping.
+struct Window {
+    /// `q` planes × (taps · words_per_tap) words.
+    planes: Vec<Vec<u64>>,
+    /// Indices of out-of-frame taps.
+    oob_taps: Vec<usize>,
+    /// Per-plane popcount of the gathered bits (the `J·X` window sum used by
+    /// Case III; pads are zero there so this equals the valid-bit sum).
+    plane_popc: Vec<i32>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gather_window(
+    desc: &ConvDesc,
+    input: &BitTensor4,
+    fill: PadFill,
+    fill_pattern: &[u64],
+    b: usize,
+    oy: usize,
+    ox: usize,
+    need_popc: bool,
+) -> Window {
+    let wpt = input.words_per_pixel();
+    let taps = desc.kh * desc.kw;
+    let q = desc.x_bits as usize;
+    let mut planes = vec![vec![0u64; taps * wpt]; q];
+    let mut oob_taps = Vec::new();
+    for ky in 0..desc.kh {
+        for kx in 0..desc.kw {
+            let tap = ky * desc.kw + kx;
+            let iy = (oy * desc.stride + ky) as isize - desc.pad as isize;
+            let ix = (ox * desc.stride + kx) as isize - desc.pad as isize;
+            let in_frame =
+                iy >= 0 && ix >= 0 && (iy as usize) < desc.h && (ix as usize) < desc.w;
+            if in_frame {
+                for (t, plane) in planes.iter_mut().enumerate() {
+                    plane[tap * wpt..(tap + 1) * wpt].copy_from_slice(input.pixel_words(
+                        b,
+                        t as u32,
+                        iy as usize,
+                        ix as usize,
+                    ));
+                }
+            } else {
+                oob_taps.push(tap);
+                if fill != PadFill::Zeros {
+                    for plane in planes.iter_mut() {
+                        plane[tap * wpt..(tap + 1) * wpt].copy_from_slice(fill_pattern);
+                    }
+                }
+            }
+        }
+    }
+    let plane_popc = if need_popc {
+        planes
+            .iter()
+            .map(|p| p.iter().map(|w| w.count_ones()).sum::<u32>() as i32)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Window {
+        planes,
+        oob_taps,
+        plane_popc,
+    }
+}
+
+/// Direct convolution returning NHWC i32 accumulators.
+pub fn conv_cpu(desc: &ConvDesc, weights: &ConvWeights, input: &BitTensor4) -> Vec<i32> {
+    let (n, h, w, c) = input.shape();
+    assert_eq!((n, h, w, c), (desc.batch, desc.h, desc.w, desc.cin));
+    assert_eq!(input.bits(), desc.x_bits);
+    assert_eq!(input.encoding(), desc.x_enc);
+    let (cout, taps, cin, _padded) = weights.dims();
+    assert_eq!(cout, desc.cout);
+    assert_eq!(taps, desc.kh * desc.kw);
+    assert_eq!(cin, desc.cin);
+
+    let eplan = plan(desc.w_enc, desc.x_enc);
+    let fill = pad_fill(desc.w_enc, desc.x_enc);
+    let fill_pattern = fill_words(fill, desc.cin, weights.words_per_tap());
+    let need_popc = eplan.case == EmulationCase::AndWeightTransformed;
+
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+    let p = desc.w_bits as usize;
+    let pixels = desc.batch * oh * ow;
+    let mut out = vec![0i32; pixels * cout];
+
+    out.par_chunks_mut(cout).enumerate().for_each(|(pix, chunk)| {
+        let b = pix / (oh * ow);
+        let oy = (pix / ow) % oh;
+        let ox = pix % ow;
+        let win = gather_window(desc, input, fill, &fill_pattern, b, oy, ox, need_popc);
+        let valid_taps = (taps - win.oob_taps.len()) as i32;
+        let oob_taps = win.oob_taps.len() as i32;
+
+        for (co, out_v) in chunk.iter_mut().enumerate() {
+            let mut acc = 0i32;
+            for s in 0..p {
+                let w_row = weights.planes().plane(s as u32).row_words(co);
+                let oob_w_popc: i32 = win
+                    .oob_taps
+                    .iter()
+                    .map(|&tap| weights.seg_popc(s as u32, co, tap))
+                    .sum();
+                for (t, x_words) in win.planes.iter().enumerate() {
+                    let popc = match eplan.op {
+                        BmmaOp::And => and_popcount(w_row, x_words),
+                        BmmaOp::Xor => xor_popcount(w_row, x_words),
+                    } as i32;
+                    let adj = match eplan.case {
+                        EmulationCase::AndUnsigned => popc,
+                        EmulationCase::XorSignedBinary => correct_xor_window(
+                            popc,
+                            desc.cin as i32,
+                            valid_taps,
+                            oob_w_popc,
+                            oob_taps,
+                        ),
+                        EmulationCase::AndWeightTransformed => {
+                            2 * popc - win.plane_popc[t]
+                        }
+                        EmulationCase::AndActivationTransformed => {
+                            2 * popc
+                                - valid_row_popc(weights.row_popc(s as u32, co), oob_w_popc)
+                        }
+                        // The XOR-only (Turing) derivations are supported at
+                        // the GEMM level (`apmm_cpu_with_plan`); the direct
+                        // convolution always plans for the target device via
+                        // `plan(..)`, which never emits them here.
+                        EmulationCase::XorDerivedUnsigned
+                        | EmulationCase::XorDerivedWeightTransformed
+                        | EmulationCase::XorDerivedActivationTransformed => {
+                            unreachable!("conv kernels use the Ampere plan")
+                        }
+                    };
+                    acc += adj << (s + t);
+                }
+            }
+            *out_v = acc;
+        }
+    });
+    out
+}
+
+/// Convolution with fused 2×2 pooling and element-wise epilogue (§5.2).
+pub fn conv_cpu_fused(
+    desc: &ConvDesc,
+    weights: &ConvWeights,
+    input: &BitTensor4,
+    pool: Option<Pool2>,
+    epi: &Epilogue,
+) -> ConvOutput {
+    let y = conv_cpu(desc, weights, input);
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+    let cout = desc.cout;
+
+    // Optional fused pooling on the i32 accumulators.
+    let (ph, pw, pooled) = match pool {
+        None => (oh, ow, y),
+        Some(kind) => {
+            let ph = oh / 2;
+            let pw = ow / 2;
+            let mut v = vec![0i32; desc.batch * ph * pw * cout];
+            for b in 0..desc.batch {
+                for py in 0..ph {
+                    for px in 0..pw {
+                        for co in 0..cout {
+                            let at = |dy: usize, dx: usize| {
+                                y[((b * oh + 2 * py + dy) * ow + 2 * px + dx) * cout + co]
+                            };
+                            let vv = match kind {
+                                Pool2::Max => at(0, 0).max(at(0, 1)).max(at(1, 0)).max(at(1, 1)),
+                                Pool2::Avg => {
+                                    (at(0, 0) + at(0, 1) + at(1, 0) + at(1, 1)).div_euclid(4)
+                                }
+                            };
+                            v[((b * ph + py) * pw + px) * cout + co] = vv;
+                        }
+                    }
+                }
+            }
+            (ph, pw, v)
+        }
+    };
+
+    match epi.output_bits() {
+        None => {
+            // Element-wise epilogue without quantization keeps i32.
+            let mut v = pooled;
+            if !epi.ops().is_empty() {
+                for (idx, e) in v.iter_mut().enumerate() {
+                    let co = idx % cout;
+                    *e = epi.apply(*e, co) as i32;
+                }
+            }
+            ConvOutput::Int32(v)
+        }
+        Some(bits) => {
+            let mut t = BitTensor4::zeros(desc.batch, ph, pw, cout, bits, Encoding::ZeroOne);
+            for b in 0..desc.batch {
+                for py in 0..ph {
+                    for px in 0..pw {
+                        for co in 0..cout {
+                            let acc = pooled[((b * ph + py) * pw + px) * cout + co];
+                            t.set_code(b, py, px, co, epi.apply_to_code(acc, co));
+                        }
+                    }
+                }
+            }
+            ConvOutput::Packed(t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::conv2d_i32;
+    use apnn_bitpack::{Layout, Tensor4};
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    /// Build packed input + decoded reference values.
+    fn make_input(desc: &ConvDesc, seed: &mut u64) -> (BitTensor4, Vec<i32>) {
+        let codes = Tensor4::<u32>::from_fn(
+            desc.batch,
+            desc.cin,
+            desc.h,
+            desc.w,
+            Layout::Nhwc,
+            |_, _, _, _| (lcg(seed) as u32) % (1 << desc.x_bits),
+        );
+        let packed = BitTensor4::from_tensor(&codes, desc.x_bits, desc.x_enc);
+        // Decoded NHWC values.
+        let mut vals = vec![0i32; desc.batch * desc.h * desc.w * desc.cin];
+        for b in 0..desc.batch {
+            for y in 0..desc.h {
+                for x in 0..desc.w {
+                    for c in 0..desc.cin {
+                        vals[((b * desc.h + y) * desc.w + x) * desc.cin + c] =
+                            desc.x_enc.code_value(codes.get(b, c, y, x), desc.x_bits);
+                    }
+                }
+            }
+        }
+        (packed, vals)
+    }
+
+    fn make_weights(desc: &ConvDesc, seed: &mut u64) -> (ConvWeights, Vec<i32>) {
+        let n = desc.cout * desc.kh * desc.kw * desc.cin;
+        let codes: Vec<u32> = (0..n)
+            .map(|_| (lcg(seed) as u32) % (1 << desc.w_bits))
+            .collect();
+        let w = ConvWeights::from_codes(desc, &codes);
+        let vals: Vec<i32> = codes
+            .iter()
+            .map(|&c| desc.w_enc.code_value(c, desc.w_bits))
+            .collect();
+        (w, vals)
+    }
+
+    fn check_against_reference(desc: &ConvDesc, seed: u64) {
+        let mut seed = seed;
+        let (input, x_vals) = make_input(desc, &mut seed);
+        let (weights, w_vals) = make_weights(desc, &mut seed);
+        let got = conv_cpu(desc, &weights, &input);
+        let want = conv2d_i32(
+            &x_vals,
+            &w_vals,
+            desc.batch,
+            desc.h,
+            desc.w,
+            desc.cin,
+            desc.cout,
+            desc.kh,
+            desc.kw,
+            desc.stride,
+            desc.pad,
+        );
+        assert_eq!(got, want, "desc {desc:?}");
+    }
+
+    #[test]
+    fn case1_unsigned_various_shapes() {
+        check_against_reference(&ConvDesc::unsigned(1, 3, 5, 4, 3, 1, 1, 1, 2), 1);
+        check_against_reference(&ConvDesc::unsigned(2, 7, 8, 5, 3, 1, 1, 2, 2), 2);
+        check_against_reference(&ConvDesc::unsigned(1, 130, 4, 3, 3, 1, 1, 1, 3), 3);
+        check_against_reference(&ConvDesc::unsigned(1, 4, 9, 2, 5, 2, 2, 2, 1), 4);
+        check_against_reference(&ConvDesc::unsigned(1, 3, 6, 2, 1, 1, 0, 3, 3), 5);
+    }
+
+    #[test]
+    fn case2_signed_binary_with_oob_padding() {
+        // ±1 weights and activations with pad=1 exercises the counter
+        // correction on every border pixel.
+        let mut desc = ConvDesc::unsigned(1, 5, 6, 4, 3, 1, 1, 1, 1);
+        desc.w_enc = Encoding::PlusMinusOne;
+        desc.x_enc = Encoding::PlusMinusOne;
+        check_against_reference(&desc, 7);
+        // Bigger pad → windows fully outside rows exist.
+        let mut desc = ConvDesc::unsigned(2, 3, 4, 3, 3, 1, 2, 1, 1);
+        desc.w_enc = Encoding::PlusMinusOne;
+        desc.x_enc = Encoding::PlusMinusOne;
+        check_against_reference(&desc, 8);
+    }
+
+    #[test]
+    fn case3_signed_weights_unsigned_activations() {
+        let mut desc = ConvDesc::unsigned(1, 6, 6, 4, 3, 1, 1, 1, 2);
+        desc.w_enc = Encoding::PlusMinusOne;
+        check_against_reference(&desc, 9);
+        let mut desc = ConvDesc::unsigned(2, 9, 5, 3, 3, 2, 1, 1, 4);
+        desc.w_enc = Encoding::PlusMinusOne;
+        check_against_reference(&desc, 10);
+    }
+
+    #[test]
+    fn case3_mirrored_unsigned_weights_signed_activations() {
+        let mut desc = ConvDesc::unsigned(1, 5, 5, 3, 3, 1, 1, 2, 1);
+        desc.x_enc = Encoding::PlusMinusOne;
+        check_against_reference(&desc, 11);
+    }
+
+    #[test]
+    fn fused_pool_and_quantize() {
+        let desc = ConvDesc::unsigned(1, 4, 8, 3, 3, 1, 1, 1, 2);
+        let mut seed = 13;
+        let (input, x_vals) = make_input(&desc, &mut seed);
+        let (weights, w_vals) = make_weights(&desc, &mut seed);
+        let epi = Epilogue::quantize(4.0, 0.0, 2);
+        let out = conv_cpu_fused(&desc, &weights, &input, Some(Pool2::Max), &epi);
+        let ConvOutput::Packed(packed) = out else {
+            panic!("expected packed")
+        };
+        let (n, ph, pw, c) = packed.shape();
+        assert_eq!((n, ph, pw, c), (1, 4, 4, 3));
+
+        // Oracle: reference conv → max pool → quantize.
+        let y = conv2d_i32(&x_vals, &w_vals, 1, 8, 8, 4, 3, 3, 3, 1, 1);
+        let (oh, ow) = (8, 8);
+        for py in 0..4 {
+            for px in 0..4 {
+                for co in 0..3 {
+                    let at = |dy: usize, dx: usize| {
+                        y[(((2 * py + dy) * ow) + 2 * px + dx) * 3 + co]
+                    };
+                    let m = at(0, 0).max(at(0, 1)).max(at(1, 0)).max(at(1, 1));
+                    assert_eq!(packed.get_code(0, py, px, co), epi.apply_to_code(m, co));
+                }
+            }
+        }
+        let _ = oh;
+    }
+
+    #[test]
+    fn avg_pool_floors_toward_neg_infinity() {
+        let desc = ConvDesc::unsigned(1, 1, 4, 1, 1, 1, 0, 1, 1);
+        let mut seed = 17;
+        let (input, _) = make_input(&desc, &mut seed);
+        let (weights, _) = make_weights(&desc, &mut seed);
+        let out = conv_cpu_fused(&desc, &weights, &input, Some(Pool2::Avg), &Epilogue::none());
+        let ConvOutput::Int32(v) = out else {
+            panic!("expected i32")
+        };
+        assert_eq!(v.len(), 4); // 2x2 pooled
+    }
+}

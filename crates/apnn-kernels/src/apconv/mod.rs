@@ -1,0 +1,258 @@
+//! Arbitrary-Precision Convolution — APConv (paper §4.2).
+//!
+//! APConv lowers a `p`-bit-weight × `q`-bit-activation convolution onto the
+//! same batched 1-bit tensor-core machinery as APMM via implicit GEMM:
+//! `M = C_out`, `N = batch·OH·OW`, `K = KH·KW·C_in` (each `(kh,kw)` tap's
+//! channel vector padded to the 128-bit fragment boundary).
+//!
+//! Two convolution-specific designs from the paper:
+//! * **Channel-major data organization** (§4.2(a), Fig. 4): activations are
+//!   [`apnn_bitpack::BitTensor4`] in NPHWC order, so each window tap reads
+//!   one aligned, coalesced channel vector — [`simmap`] exposes the NCHW
+//!   alternative to quantify the difference.
+//! * **Input-aware padding** (§4.2(b)): out-of-frame window taps must
+//!   contribute *zero*, which is nontrivial when bit 0 encodes −1; see
+//!   [`padding`] for the three strategies (including the border-counter
+//!   correction for ±1 features).
+
+pub mod cpu;
+pub mod im2row;
+pub mod padding;
+pub mod simmap;
+pub mod weights;
+
+use apnn_bitpack::word::pad_to_bmma_k;
+use apnn_bitpack::{BitTensor4, Encoding};
+use apnn_sim::{GpuSpec, KernelReport};
+
+use crate::apmm::{ApmmDesc, TileConfig};
+use crate::autotune::autotune;
+use crate::fusion::Epilogue;
+pub use weights::ConvWeights;
+
+/// Shape + precision of one convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvDesc {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub cin: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same both axes).
+    pub stride: usize,
+    /// Zero-padding (same both axes).
+    pub pad: usize,
+    /// Weight bits `p`.
+    pub w_bits: u32,
+    /// Activation bits `q`.
+    pub x_bits: u32,
+    /// Weight encoding.
+    pub w_enc: Encoding,
+    /// Activation encoding.
+    pub x_enc: Encoding,
+}
+
+impl ConvDesc {
+    /// Square-input convenience constructor with unsigned encodings.
+    #[allow(clippy::too_many_arguments)]
+    pub fn unsigned(
+        batch: usize,
+        cin: usize,
+        hw: usize,
+        cout: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        p: u32,
+        q: u32,
+    ) -> Self {
+        ConvDesc {
+            batch,
+            cin,
+            h: hw,
+            w: hw,
+            cout,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+            w_bits: p,
+            x_bits: q,
+            w_enc: Encoding::ZeroOne,
+            x_enc: Encoding::ZeroOne,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Channel vector width after 128-bit padding.
+    pub fn padded_c(&self) -> usize {
+        pad_to_bmma_k(self.cin)
+    }
+
+    /// Implicit-GEMM reduction width in bits (`KH·KW` fragment-aligned
+    /// channel segments).
+    pub fn k_bits(&self) -> usize {
+        self.kh * self.kw * self.padded_c()
+    }
+
+    /// Valid (logical) reduction length per fully-in-frame window.
+    pub fn k_valid(&self) -> usize {
+        self.kh * self.kw * self.cin
+    }
+
+    /// The implicit-GEMM description this convolution maps onto. `k` is the
+    /// padded bit width because the conv operands are materialized directly
+    /// at fragment granularity.
+    pub fn as_gemm(&self) -> ApmmDesc {
+        ApmmDesc {
+            m: self.cout,
+            n: self.batch * self.out_h() * self.out_w(),
+            k: self.k_bits(),
+            w_bits: self.w_bits,
+            x_bits: self.x_bits,
+            w_enc: self.w_enc,
+            x_enc: self.x_enc,
+        }
+    }
+
+    /// Total emulated 1-bit MACs (§3.1 cost analysis, conv form).
+    pub fn emulated_macs(&self) -> u64 {
+        self.w_bits as u64
+            * self.x_bits as u64
+            * self.cout as u64
+            * (self.batch * self.out_h() * self.out_w()) as u64
+            * self.k_bits() as u64
+    }
+}
+
+/// Output of a fused convolution.
+#[derive(Debug, Clone)]
+pub enum ConvOutput {
+    /// Raw NHWC i32 accumulators `(batch, oh, ow, cout)`.
+    Int32(Vec<i32>),
+    /// Quantized activations packed channel-major for the next layer.
+    Packed(BitTensor4),
+}
+
+/// Optional 2×2/stride-2 pooling fused between the accumulators and the
+/// quantizing epilogue (the Fig. 10 fusion workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool2 {
+    /// 2×2 max pooling.
+    Max,
+    /// 2×2 average pooling (integer mean, floor).
+    Avg,
+}
+
+/// An APConv kernel instance.
+#[derive(Debug, Clone)]
+pub struct ApConv {
+    /// Layer description.
+    pub desc: ConvDesc,
+    /// Block tiling over the batched implicit-GEMM space.
+    pub tile: TileConfig,
+}
+
+impl ApConv {
+    /// Create with an autotuned tile configuration.
+    pub fn new(desc: ConvDesc) -> Self {
+        let g = desc.as_gemm();
+        let tile = autotune(g.m, g.n, g.k, g.w_bits, g.x_bits);
+        ApConv { desc, tile }
+    }
+
+    /// Create with an explicit tile configuration.
+    pub fn with_tile(desc: ConvDesc, tile: TileConfig) -> Self {
+        ApConv { desc, tile }
+    }
+
+    /// Functional CPU convolution over packed operands. Returns NHWC i32.
+    pub fn execute(&self, weights: &ConvWeights, input: &BitTensor4) -> Vec<i32> {
+        cpu::conv_cpu(&self.desc, weights, input)
+    }
+
+    /// Functional CPU convolution with fused pooling + epilogue.
+    pub fn execute_fused(
+        &self,
+        weights: &ConvWeights,
+        input: &BitTensor4,
+        pool: Option<Pool2>,
+        epi: &Epilogue,
+    ) -> ConvOutput {
+        cpu::conv_cpu_fused(&self.desc, weights, input, pool, epi)
+    }
+
+    /// Simulated latency of the un-fused (i32-output) kernel.
+    pub fn simulate(&self, spec: &GpuSpec) -> KernelReport {
+        simmap::estimate(&self.desc, &self.tile, spec, None, None, simmap::ActLayout::Nphwc)
+    }
+
+    /// Simulated latency with fused pooling/epilogue.
+    pub fn simulate_fused(
+        &self,
+        spec: &GpuSpec,
+        pool: Option<Pool2>,
+        epi: &Epilogue,
+    ) -> KernelReport {
+        simmap::estimate(
+            &self.desc,
+            &self.tile,
+            spec,
+            pool,
+            Some(epi),
+            simmap::ActLayout::Nphwc,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dims() {
+        let d = ConvDesc::unsigned(1, 128, 16, 256, 3, 1, 1, 1, 2);
+        assert_eq!(d.out_h(), 16);
+        assert_eq!(d.out_w(), 16);
+        assert_eq!(d.padded_c(), 128);
+        assert_eq!(d.k_bits(), 9 * 128);
+        assert_eq!(d.k_valid(), 9 * 128);
+    }
+
+    #[test]
+    fn ragged_channels_pad_per_tap() {
+        let d = ConvDesc::unsigned(1, 3, 224, 64, 11, 4, 2, 1, 8);
+        assert_eq!(d.padded_c(), 128);
+        assert_eq!(d.k_bits(), 121 * 128);
+        assert_eq!(d.k_valid(), 121 * 3);
+        assert_eq!(d.out_h(), 55); // AlexNet conv1
+    }
+
+    #[test]
+    fn gemm_mapping() {
+        let d = ConvDesc::unsigned(8, 128, 16, 256, 3, 1, 1, 2, 2);
+        let g = d.as_gemm();
+        assert_eq!(g.m, 256);
+        assert_eq!(g.n, 8 * 16 * 16);
+        assert_eq!(g.k, 9 * 128);
+        assert_eq!(g.w_bits, 2);
+    }
+}

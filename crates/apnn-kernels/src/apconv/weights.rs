@@ -1,0 +1,209 @@
+//! Packed convolution weights in implicit-GEMM row layout.
+
+use apnn_bitpack::{BitMatrix, BitPlanes, Encoding};
+
+use super::ConvDesc;
+
+/// Convolution weights decomposed into bit planes and packed so that row
+/// `c_out` of each plane is the implicit-GEMM K vector: `KH·KW` channel
+/// segments, each padded to the 128-bit fragment boundary (matching the
+/// NPHWC activation layout, so window gathers and weight rows align
+/// word-for-word).
+#[derive(Debug, Clone)]
+pub struct ConvWeights {
+    planes: BitPlanes,
+    /// Per-plane, per-row, per-tap popcounts `w_seg_popc[s][cout][tap]` —
+    /// the correction table used by the input-aware padding (§4.2(b)) for
+    /// ±1 encodings.
+    seg_popc: Vec<Vec<Vec<i32>>>,
+    cout: usize,
+    taps: usize,
+    cin: usize,
+    padded_c: usize,
+}
+
+impl ConvWeights {
+    /// Pack weights given as unsigned codes in `(cout, kh, kw, cin)` order.
+    ///
+    /// For [`Encoding::PlusMinusOne`] the codes must be 0 (−1) / 1 (+1) and
+    /// `bits` must be 1.
+    pub fn from_codes(desc: &ConvDesc, codes: &[u32]) -> Self {
+        assert_eq!(codes.len(), desc.cout * desc.kh * desc.kw * desc.cin);
+        let padded_c = desc.padded_c();
+        let taps = desc.kh * desc.kw;
+        let k_bits = desc.k_bits();
+
+        // Build per-plane bit matrices with the segmented layout.
+        let mut plane_mats = Vec::with_capacity(desc.w_bits as usize);
+        for s in 0..desc.w_bits {
+            let mut m = BitMatrix::zeros(desc.cout, k_bits);
+            for co in 0..desc.cout {
+                for tap in 0..taps {
+                    for ci in 0..desc.cin {
+                        let code = codes[(co * taps + tap) * desc.cin + ci];
+                        if (code >> s) & 1 != 0 {
+                            m.set(co, tap * padded_c + ci, true);
+                        }
+                    }
+                }
+            }
+            plane_mats.push(m);
+        }
+
+        // Segment popcounts for the padding corrections.
+        let seg_popc = plane_mats
+            .iter()
+            .map(|m| {
+                (0..desc.cout)
+                    .map(|co| {
+                        (0..taps)
+                            .map(|tap| {
+                                let mut acc = 0i32;
+                                for ci in 0..desc.cin {
+                                    acc += m.get(co, tap * padded_c + ci) as i32;
+                                }
+                                acc
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Wrap the matrices in a BitPlanes by reconstructing codes in the
+        // segmented layout (keeps the BitPlanes invariants + encoding).
+        let mut seg_codes = vec![0u32; desc.cout * k_bits];
+        for (s, m) in plane_mats.iter().enumerate() {
+            for co in 0..desc.cout {
+                for bit in 0..k_bits {
+                    if m.get(co, bit) {
+                        seg_codes[co * k_bits + bit] |= 1 << s;
+                    }
+                }
+            }
+        }
+        let planes = BitPlanes::from_codes(&seg_codes, desc.cout, k_bits, desc.w_bits, desc.w_enc);
+
+        ConvWeights {
+            planes,
+            seg_popc,
+            cout: desc.cout,
+            taps,
+            cin: desc.cin,
+            padded_c,
+        }
+    }
+
+    /// Pack ±1 weights given as values in `(cout, kh, kw, cin)` order.
+    pub fn from_signed(desc: &ConvDesc, values: &[i32]) -> Self {
+        assert_eq!(desc.w_enc, Encoding::PlusMinusOne);
+        let codes: Vec<u32> = values
+            .iter()
+            .map(|&v| {
+                debug_assert!(v == -1 || v == 1);
+                (v > 0) as u32
+            })
+            .collect();
+        Self::from_codes(desc, &codes)
+    }
+
+    /// The packed planes (rows = cout, cols = segmented K bits).
+    #[inline]
+    pub fn planes(&self) -> &BitPlanes {
+        &self.planes
+    }
+
+    /// Popcount of plane `s`, output row `cout`, window tap `tap`.
+    #[inline]
+    pub fn seg_popc(&self, s: u32, cout: usize, tap: usize) -> i32 {
+        self.seg_popc[s as usize][cout][tap]
+    }
+
+    /// Total popcount of plane `s`, row `cout` (all taps).
+    pub fn row_popc(&self, s: u32, cout: usize) -> i32 {
+        self.seg_popc[s as usize][cout].iter().sum()
+    }
+
+    /// Words per channel segment (= `padded_c / 64`).
+    #[inline]
+    pub fn words_per_tap(&self) -> usize {
+        self.padded_c / 64
+    }
+
+    /// `(cout, taps, cin, padded_c)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.cout, self.taps, self.cin, self.padded_c)
+    }
+
+    /// Packed footprint in bytes (for dataflow accounting).
+    pub fn packed_bytes(&self) -> usize {
+        self.planes
+            .planes()
+            .iter()
+            .map(|p| p.rows() * p.words_per_row() * 8)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_desc() -> ConvDesc {
+        ConvDesc::unsigned(1, 3, 4, 2, 3, 1, 1, 2, 1)
+    }
+
+    #[test]
+    fn segmented_layout_roundtrip() {
+        let desc = small_desc();
+        let n = desc.cout * desc.kh * desc.kw * desc.cin;
+        let codes: Vec<u32> = (0..n).map(|i| (i % 4) as u32).collect();
+        let w = ConvWeights::from_codes(&desc, &codes);
+        let (cout, taps, cin, padded_c) = w.dims();
+        assert_eq!((cout, taps, cin, padded_c), (2, 9, 3, 128));
+        // Check each bit landed at tap*padded_c + ci.
+        for co in 0..cout {
+            for tap in 0..taps {
+                for ci in 0..cin {
+                    let code = codes[(co * taps + tap) * cin + ci];
+                    for s in 0..desc.w_bits {
+                        assert_eq!(
+                            w.planes().plane(s).get(co, tap * padded_c + ci),
+                            (code >> s) & 1 != 0
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seg_popc_counts_bits_per_tap() {
+        let desc = small_desc();
+        let n = desc.cout * desc.kh * desc.kw * desc.cin;
+        // All-ones codes: every tap popc = cin on plane 0 and 1 (code 3).
+        let codes = vec![3u32; n];
+        let w = ConvWeights::from_codes(&desc, &codes);
+        for co in 0..2 {
+            for tap in 0..9 {
+                assert_eq!(w.seg_popc(0, co, tap), 3);
+                assert_eq!(w.seg_popc(1, co, tap), 3);
+            }
+            assert_eq!(w.row_popc(0, co), 27);
+        }
+    }
+
+    #[test]
+    fn signed_weights_store_hat_bits() {
+        let mut desc = small_desc();
+        desc.w_bits = 1;
+        desc.w_enc = Encoding::PlusMinusOne;
+        let n = desc.cout * desc.kh * desc.kw * desc.cin;
+        let values: Vec<i32> = (0..n).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let w = ConvWeights::from_signed(&desc, &values);
+        // Stored bit is (v+1)/2 — exactly Ŵ of Case III.
+        assert!(w.planes().plane(0).get(0, 0));
+        assert!(!w.planes().plane(0).get(0, 1));
+        assert_eq!(w.planes().encoding(), Encoding::PlusMinusOne);
+    }
+}

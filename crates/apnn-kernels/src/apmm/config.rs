@@ -1,0 +1,103 @@
+//! Tile configuration for the APMM / APConv kernels.
+
+/// Block/warp tiling of the *batched* output space.
+///
+/// Following §4.1(a), the `p·q` one-bit plane products are virtually batched
+/// into one large BMMA over a `pM × qN` output space. A thread block owns a
+/// `bm × bn` tile of that space; with the interleaved batch mapping
+/// (batched row `r` ↦ actual row `r / p`, weight plane `r % p`; batched
+/// column `c` ↦ actual column `c / q`, activation plane `c % q`) a block
+/// co-locates **all** plane partials of its outputs, so the bit combination
+/// reduces entirely in shared memory — the semantic-aware workload
+/// allocation of §4.1(b).
+///
+/// Warp tiling follows the paper's empirical best (§4.3): 8 warps per block
+/// in a 4×2 arrangement, `wm = bm/4`, `wn = bn/2`, `wk = bk`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Block tile rows in the batched (`p·M`) space.
+    pub bm: usize,
+    /// Block tile columns in the batched (`q·N`) space.
+    pub bn: usize,
+    /// K-dimension tile in bits; fixed to 128 by default (§4.3.1 observes CI
+    /// is independent of `bk`, so the smallest fragment-aligned value frees
+    /// shared memory for larger `bm`/`bn`).
+    pub bk: usize,
+}
+
+impl TileConfig {
+    /// Warps per block (4 × 2 arrangement, §4.3).
+    pub const WARPS: u32 = 8;
+
+    /// The paper's default `bk`.
+    pub const DEFAULT_BK: usize = 128;
+
+    /// Construct with the default `bk = 128`.
+    pub fn new(bm: usize, bn: usize) -> Self {
+        TileConfig {
+            bm,
+            bn,
+            bk: Self::DEFAULT_BK,
+        }
+    }
+
+    /// Warp tile rows (`wm = bm / 4`).
+    #[inline]
+    pub fn wm(&self) -> usize {
+        (self.bm / 4).max(8)
+    }
+
+    /// Warp tile columns (`wn = bn / 2`).
+    #[inline]
+    pub fn wn(&self) -> usize {
+        (self.bn / 2).max(8)
+    }
+
+    /// Shared memory claimed per block: double-buffered weight + feature
+    /// tiles (bits → bytes) plus the i32 reduction staging buffer.
+    pub fn shmem_bytes(&self) -> usize {
+        let tiles = 2 * (self.bm * self.bk + self.bn * self.bk) / 8;
+        let reduce = self.bm * self.bn * 4 / 8; // staged in chunks of bm*bn/8
+        tiles + reduce
+    }
+
+    /// Blocks in the grid for a batched `pM × qN` output space.
+    pub fn grid_blocks(&self, batched_m: usize, batched_n: usize) -> usize {
+        batched_m.div_ceil(self.bm) * batched_n.div_ceil(self.bn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_tiles_follow_paper_split() {
+        let t = TileConfig::new(64, 64);
+        assert_eq!(t.wm(), 16);
+        assert_eq!(t.wn(), 32);
+        assert_eq!(t.bk, 128);
+    }
+
+    #[test]
+    fn warp_tiles_clamped_to_fragment() {
+        let t = TileConfig::new(16, 16);
+        assert_eq!(t.wm(), 8); // 16/4 = 4 < 8 clamps up
+        assert_eq!(t.wn(), 8);
+    }
+
+    #[test]
+    fn shmem_accounting() {
+        let t = TileConfig::new(64, 64);
+        // 2 * (64*128 + 64*128)/8 = 4096 bytes tiles + 2048 reduce.
+        assert_eq!(t.shmem_bytes(), 4096 + 2048);
+    }
+
+    #[test]
+    fn grid_rounds_up() {
+        let t = TileConfig::new(32, 64);
+        assert_eq!(t.grid_blocks(64, 128), 2 * 2);
+        assert_eq!(t.grid_blocks(65, 129), 3 * 3);
+        assert_eq!(t.grid_blocks(1, 1), 1);
+    }
+}

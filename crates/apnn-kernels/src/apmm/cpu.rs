@@ -1,0 +1,259 @@
+//! Functional multi-threaded CPU backend for APMM.
+//!
+//! This is the "real compute" path: bit-packed rows, XOR/AND + popcount
+//! inner loops (the CPU equivalent of the tensor-core `bmma` pipeline), and
+//! Rayon data parallelism over output rows. The Criterion benches measure
+//! this engine; its results are validated against the naive i32 oracle and
+//! against the fragment-level [`crate::emulate::ap_bit_mm`].
+
+use apnn_bitpack::word::{and_popcount, xor_popcount};
+use apnn_bitpack::BitPlanes;
+use apnn_sim::BmmaOp;
+use rayon::prelude::*;
+
+use super::ApmmDesc;
+use crate::select::{adjust_partial, EmulationCase, EmulationPlan};
+
+/// Which correction vectors a case consumes.
+pub(crate) fn correction_needs(case: EmulationCase) -> (bool, bool) {
+    use EmulationCase::*;
+    let needs_row = matches!(
+        case,
+        AndActivationTransformed | XorDerivedUnsigned | XorDerivedWeightTransformed
+    );
+    let needs_col = matches!(
+        case,
+        AndWeightTransformed | XorDerivedUnsigned | XorDerivedActivationTransformed
+    );
+    (needs_row, needs_col)
+}
+
+/// Compute the decoded `m×n` i32 product with the default (Ampere) plan.
+pub fn apmm_cpu(desc: &ApmmDesc, w: &BitPlanes, x: &BitPlanes) -> Vec<i32> {
+    apmm_cpu_with_plan(desc, w, x, desc.plan())
+}
+
+/// Compute with an explicit emulation plan — e.g.
+/// [`crate::select::plan_xor_only`] for Turing-class (XOR-only) targets.
+pub fn apmm_cpu_with_plan(
+    desc: &ApmmDesc,
+    w: &BitPlanes,
+    x: &BitPlanes,
+    eplan: EmulationPlan,
+) -> Vec<i32> {
+    let (m, n) = (desc.m, desc.n);
+    let (p, q) = (desc.w_bits, desc.x_bits);
+    let k_valid = desc.k as i32;
+    assert_eq!(
+        w.plane(0).padded_cols(),
+        x.plane(0).padded_cols(),
+        "operands must share padded K"
+    );
+
+    // Correction vectors (bit-plane sums).
+    let (needs_row, needs_col) = correction_needs(eplan.case);
+    let x_col_sums: Vec<Vec<i32>> = if needs_col {
+        (0..q).map(|t| x.plane(t).row_sums()).collect()
+    } else {
+        Vec::new()
+    };
+    let w_row_sums: Vec<Vec<i32>> = if needs_row {
+        (0..p).map(|s| w.plane(s).row_sums()).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut y = vec![0i32; m * n];
+    y.par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, row_out)| {
+            // Hoist this row's weight-plane slices out of the column loop.
+            let w_rows: Vec<&[u64]> = (0..p).map(|s| w.plane(s).row_words(i)).collect();
+            for (j, out) in row_out.iter_mut().enumerate() {
+                let mut acc = 0i32;
+                for (s, w_row) in w_rows.iter().enumerate() {
+                    for t in 0..q {
+                        let x_row = x.plane(t).row_words(j);
+                        let popc = match eplan.op {
+                            BmmaOp::And => and_popcount(w_row, x_row),
+                            BmmaOp::Xor => xor_popcount(w_row, x_row),
+                        } as i32;
+                        let adj = adjust_partial(
+                            eplan.case,
+                            popc,
+                            k_valid,
+                            if needs_row { w_row_sums[s][i] } else { 0 },
+                            if needs_col { x_col_sums[t as usize][j] } else { 0 },
+                        );
+                        acc += adj << (s as u32 + t);
+                    }
+                }
+                *out = acc;
+            }
+        });
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulate::decoded_reference;
+    use apnn_bitpack::Encoding;
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    fn rand_codes(len: usize, bits: u32, seed: &mut u64) -> Vec<u32> {
+        (0..len).map(|_| (lcg(seed) as u32) % (1 << bits)).collect()
+    }
+
+    fn rand_signs(len: usize, seed: &mut u64) -> Vec<i32> {
+        (0..len)
+            .map(|_| if lcg(seed) & 1 == 0 { -1 } else { 1 })
+            .collect()
+    }
+
+    #[test]
+    fn unsigned_matches_reference_various_shapes() {
+        let mut seed = 11;
+        for (m, n, k, p, q) in [
+            (1, 1, 1, 1, 1),
+            (8, 8, 128, 1, 2),
+            (33, 65, 200, 2, 2),
+            (64, 128, 512, 3, 5),
+            (5, 3, 1000, 8, 8),
+        ] {
+            let wc = rand_codes(m * k, p, &mut seed);
+            let xc = rand_codes(n * k, q, &mut seed);
+            let w = BitPlanes::from_codes(&wc, m, k, p, Encoding::ZeroOne);
+            let x = BitPlanes::from_codes(&xc, n, k, q, Encoding::ZeroOne);
+            let desc = ApmmDesc::unsigned(m, n, k, p, q);
+            assert_eq!(
+                apmm_cpu(&desc, &w, &x),
+                decoded_reference(&w, &x),
+                "shape {m}x{n}x{k} w{p}a{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_binary_matches_reference() {
+        let mut seed = 13;
+        let (m, n, k) = (24, 40, 300);
+        let w = BitPlanes::from_signed_binary(&rand_signs(m * k, &mut seed), m, k);
+        let x = BitPlanes::from_signed_binary(&rand_signs(n * k, &mut seed), n, k);
+        let desc = ApmmDesc::w1aq(m, n, k, 1, Encoding::PlusMinusOne);
+        assert_eq!(apmm_cpu(&desc, &w, &x), decoded_reference(&w, &x));
+    }
+
+    #[test]
+    fn w1aq_case3_matches_reference() {
+        let mut seed = 17;
+        for q in [2u32, 3, 4, 8] {
+            let (m, n, k) = (16, 20, 250);
+            let w = BitPlanes::from_signed_binary(&rand_signs(m * k, &mut seed), m, k);
+            let x = BitPlanes::from_codes(
+                &rand_codes(n * k, q, &mut seed),
+                n,
+                k,
+                q,
+                Encoding::ZeroOne,
+            );
+            let desc = ApmmDesc::w1aq(m, n, k, q, Encoding::ZeroOne);
+            assert_eq!(apmm_cpu(&desc, &w, &x), decoded_reference(&w, &x), "w1a{q}");
+        }
+    }
+
+    #[test]
+    fn mirrored_case3_matches_reference() {
+        let mut seed = 19;
+        let (m, n, k, p) = (12, 9, 130, 4);
+        let w = BitPlanes::from_codes(
+            &rand_codes(m * k, p, &mut seed),
+            m,
+            k,
+            p,
+            Encoding::ZeroOne,
+        );
+        let x = BitPlanes::from_signed_binary(&rand_signs(n * k, &mut seed), n, k);
+        let desc = ApmmDesc {
+            m,
+            n,
+            k,
+            w_bits: p,
+            x_bits: 1,
+            w_enc: Encoding::ZeroOne,
+            x_enc: Encoding::PlusMinusOne,
+        };
+        assert_eq!(apmm_cpu(&desc, &w, &x), decoded_reference(&w, &x));
+    }
+
+    #[test]
+    fn xor_only_plan_matches_ampere_plan_every_case() {
+        // Turing (XOR-only) plans must produce identical products.
+        use crate::select::plan_xor_only;
+        let mut seed = 29;
+        let cases = [
+            (Encoding::ZeroOne, Encoding::ZeroOne, 3u32, 2u32),
+            (Encoding::PlusMinusOne, Encoding::ZeroOne, 1, 4),
+            (Encoding::ZeroOne, Encoding::PlusMinusOne, 2, 1),
+            (Encoding::PlusMinusOne, Encoding::PlusMinusOne, 1, 1),
+        ];
+        for (w_enc, x_enc, p, q) in cases {
+            let (m, n, k) = (14, 22, 250);
+            let desc = ApmmDesc {
+                m,
+                n,
+                k,
+                w_bits: p,
+                x_bits: q,
+                w_enc,
+                x_enc,
+            };
+            let mk = |rows: usize, bits: u32, enc: Encoding, seed: &mut u64| {
+                if enc == Encoding::PlusMinusOne {
+                    BitPlanes::from_signed_binary(&rand_signs(rows * k, seed), rows, k)
+                } else {
+                    BitPlanes::from_codes(
+                        &rand_codes(rows * k, bits, seed),
+                        rows,
+                        k,
+                        bits,
+                        enc,
+                    )
+                }
+            };
+            let w = mk(m, p, w_enc, &mut seed);
+            let x = mk(n, q, x_enc, &mut seed);
+            let ampere = apmm_cpu(&desc, &w, &x);
+            let turing = apmm_cpu_with_plan(&desc, &w, &x, plan_xor_only(w_enc, x_enc));
+            assert_eq!(ampere, turing, "{w_enc:?}/{x_enc:?} w{p}a{q}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_fragment_template() {
+        let mut seed = 23;
+        let (m, n, k, p, q) = (17, 15, 260, 2, 3);
+        let w = BitPlanes::from_codes(
+            &rand_codes(m * k, p, &mut seed),
+            m,
+            k,
+            p,
+            Encoding::ZeroOne,
+        );
+        let x = BitPlanes::from_codes(
+            &rand_codes(n * k, q, &mut seed),
+            n,
+            k,
+            q,
+            Encoding::ZeroOne,
+        );
+        let desc = ApmmDesc::unsigned(m, n, k, p, q);
+        assert_eq!(apmm_cpu(&desc, &w, &x), crate::emulate::ap_bit_mm(&w, &x));
+    }
+}

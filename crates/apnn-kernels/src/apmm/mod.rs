@@ -1,0 +1,225 @@
+//! Arbitrary-Precision Matrix Multiplication — APMM (paper §4.1).
+//!
+//! `Y[m×n] = W[m×k] · Xᵀ[n×k]` where `W` carries `p`-bit and `X` `q`-bit
+//! codes under arbitrary encodings. The kernel emulates the product with
+//! `p·q` one-bit tensor-core passes, virtually batched into one large BMMA
+//! (§4.1(a)), and performs the shift-add bit combination fused in shared
+//! memory/registers (§4.1(b)).
+//!
+//! Three execution paths share one tiling:
+//! * [`Apmm::execute`] — functional multi-threaded CPU compute (bit-serial
+//!   words + popcount), the "real" engine measured by the Criterion benches.
+//! * [`Apmm::simulate`] — closed-form counter estimate priced by the
+//!   `apnn-sim` cost model (fast, any problem size).
+//! * [`simmap::run_functional`] — the tiled algorithm executed block-by-block
+//!   through the simulator with real `bmma` fragment math; used by tests to
+//!   prove the closed-form counters match the actual algorithm.
+
+pub mod combine;
+pub mod config;
+pub mod cpu;
+pub mod simmap;
+
+pub use config::TileConfig;
+
+use apnn_bitpack::{BitPlanes, Encoding};
+use apnn_sim::{GpuSpec, KernelReport};
+
+use crate::autotune::autotune;
+use crate::fusion::Epilogue;
+use crate::select::{plan, EmulationPlan};
+
+/// Shape + precision description of one APMM problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApmmDesc {
+    /// Output rows (weight rows).
+    pub m: usize,
+    /// Output columns (activation rows; `X` is stored N×K).
+    pub n: usize,
+    /// Reduction length.
+    pub k: usize,
+    /// Weight bits `p`.
+    pub w_bits: u32,
+    /// Activation bits `q`.
+    pub x_bits: u32,
+    /// Weight encoding.
+    pub w_enc: Encoding,
+    /// Activation encoding.
+    pub x_enc: Encoding,
+}
+
+impl ApmmDesc {
+    /// Both operands unsigned (`Case I`).
+    pub fn unsigned(m: usize, n: usize, k: usize, p: u32, q: u32) -> Self {
+        ApmmDesc {
+            m,
+            n,
+            k,
+            w_bits: p,
+            x_bits: q,
+            w_enc: Encoding::ZeroOne,
+            x_enc: Encoding::ZeroOne,
+        }
+    }
+
+    /// ±1 binary weights with unsigned `q`-bit activations — the `w1aq`
+    /// configuration the paper evaluates most (`Case III`, or `Case II` when
+    /// the activations are also ±1 one-bit).
+    pub fn w1aq(m: usize, n: usize, k: usize, q: u32, x_enc: Encoding) -> Self {
+        ApmmDesc {
+            m,
+            n,
+            k,
+            w_bits: 1,
+            x_bits: q,
+            w_enc: Encoding::PlusMinusOne,
+            x_enc,
+        }
+    }
+
+    /// Batched row extent `p·M` (§4.1(a)).
+    #[inline]
+    pub fn batched_m(&self) -> usize {
+        self.w_bits as usize * self.m
+    }
+
+    /// Batched column extent `q·N`.
+    #[inline]
+    pub fn batched_n(&self) -> usize {
+        self.x_bits as usize * self.n
+    }
+
+    /// The operator-selection plan for this problem (§3.2).
+    pub fn plan(&self) -> EmulationPlan {
+        plan(self.w_enc, self.x_enc)
+    }
+
+    /// K padded to the 128-bit fragment boundary.
+    pub fn k_padded(&self) -> usize {
+        apnn_bitpack::word::pad_to_bmma_k(self.k)
+    }
+
+    /// Total 1-bit tensor-core MACs the emulation performs
+    /// (`p·q · M·N·K_pad` — the §3.1 cost analysis).
+    pub fn emulated_macs(&self) -> u64 {
+        self.w_bits as u64
+            * self.x_bits as u64
+            * self.m as u64
+            * self.n as u64
+            * self.k_padded() as u64
+    }
+
+    /// Validate that operand planes match this description.
+    pub fn check_operands(&self, w: &BitPlanes, x: &BitPlanes) {
+        assert_eq!(w.rows(), self.m, "weight rows");
+        assert_eq!(w.cols(), self.k, "weight cols");
+        assert_eq!(w.bits(), self.w_bits, "weight bits");
+        assert_eq!(w.encoding(), self.w_enc, "weight encoding");
+        assert_eq!(x.rows(), self.n, "activation rows");
+        assert_eq!(x.cols(), self.k, "activation cols");
+        assert_eq!(x.bits(), self.x_bits, "activation bits");
+        assert_eq!(x.encoding(), self.x_enc, "activation encoding");
+    }
+}
+
+/// Output of a fused APMM.
+#[derive(Debug, Clone)]
+pub enum FusedOutput {
+    /// Raw 32-bit accumulators (output layer of a network).
+    Int32(Vec<i32>),
+    /// Quantized codes packed for the next layer, stored **transposed**
+    /// (rows = n = batch, cols = m = features) so the consumer can use it as
+    /// its activation operand directly — the minimal-traffic dataflow of
+    /// §5.1.
+    Packed(BitPlanes),
+}
+
+/// An APMM kernel instance: problem description + tile configuration.
+#[derive(Debug, Clone)]
+pub struct Apmm {
+    /// Problem description.
+    pub desc: ApmmDesc,
+    /// Block tiling (autotuned unless overridden).
+    pub tile: TileConfig,
+}
+
+impl Apmm {
+    /// Create with an autotuned tile configuration (§4.3.2).
+    pub fn new(desc: ApmmDesc) -> Self {
+        let tile = autotune(desc.m, desc.n, desc.k, desc.w_bits, desc.x_bits);
+        Apmm { desc, tile }
+    }
+
+    /// Create with an explicit tile configuration.
+    pub fn with_tile(desc: ApmmDesc, tile: TileConfig) -> Self {
+        Apmm { desc, tile }
+    }
+
+    /// Functional CPU execution: returns the row-major `m×n` i32 product of
+    /// the decoded operands.
+    pub fn execute(&self, w: &BitPlanes, x: &BitPlanes) -> Vec<i32> {
+        self.desc.check_operands(w, x);
+        cpu::apmm_cpu(&self.desc, w, x)
+    }
+
+    /// Functional CPU execution with a fused epilogue. When the epilogue
+    /// ends in quantization the result is packed (transposed) for the next
+    /// layer; otherwise the (epilogue-transformed, rounded) i32 accumulators
+    /// are returned.
+    pub fn execute_fused(&self, w: &BitPlanes, x: &BitPlanes, epi: &Epilogue) -> FusedOutput {
+        let mut y = self.execute(w, x);
+        match epi.output_bits() {
+            Some(bits) => FusedOutput::Packed(combine::quantize_pack_transposed(
+                &y, self.desc.m, self.desc.n, epi, bits,
+            )),
+            None => {
+                if !epi.ops().is_empty() {
+                    for (idx, v) in y.iter_mut().enumerate() {
+                        let channel = idx / self.desc.n;
+                        *v = epi.apply(*v, channel) as i32;
+                    }
+                }
+                FusedOutput::Int32(y)
+            }
+        }
+    }
+
+    /// Simulated-GPU latency report for the un-fused (i32 output) kernel.
+    pub fn simulate(&self, spec: &GpuSpec) -> KernelReport {
+        simmap::estimate(&self.desc, &self.tile, spec, None)
+    }
+
+    /// Simulated-GPU latency report with a fused epilogue.
+    pub fn simulate_fused(&self, spec: &GpuSpec, epi: &Epilogue) -> KernelReport {
+        simmap::estimate(&self.desc, &self.tile, spec, Some(epi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desc_helpers() {
+        let d = ApmmDesc::unsigned(64, 256, 500, 2, 3);
+        assert_eq!(d.batched_m(), 128);
+        assert_eq!(d.batched_n(), 768);
+        assert_eq!(d.k_padded(), 512);
+        assert_eq!(d.emulated_macs(), 6 * 64 * 256 * 512);
+    }
+
+    #[test]
+    fn new_autotunes() {
+        let a = Apmm::new(ApmmDesc::unsigned(4096, 4096, 1024, 2, 2));
+        assert_eq!((a.tile.bm, a.tile.bn), (128, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight rows")]
+    fn operand_validation() {
+        let d = ApmmDesc::unsigned(4, 4, 16, 1, 1);
+        let w = BitPlanes::from_codes(&[0; 3 * 16], 3, 16, 1, Encoding::ZeroOne);
+        let x = BitPlanes::from_codes(&vec![0; 4 * 16], 4, 16, 1, Encoding::ZeroOne);
+        d.check_operands(&w, &x);
+    }
+}

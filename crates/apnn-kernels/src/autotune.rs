@@ -1,0 +1,139 @@
+//! Performance model + tile-size autotuner (paper §4.3).
+//!
+//! Two antagonistic quantities drive the search:
+//!
+//! * **TLP** (Eq. 3) — `pM·qN / (bm·bn)`, the number of thread blocks. More
+//!   blocks ⇒ better SM utilization, especially for the small GEMMs typical
+//!   of NN layers.
+//! * **CI** (Eq. 4) — `2·bm·bn / (bm + bn)`, tensor-core MACs per bit of
+//!   global traffic for one block tile. Larger tiles ⇒ more data reuse.
+//!
+//! The heuristic (§4.3.2): enumerate `bm, bn ∈ {16, 32, 64, 128}`, order by
+//! TLP, and take the highest-CI configuration whose TLP is still above the
+//! threshold `T = 64`; if nothing clears the threshold, fall back to the
+//! maximum-TLP configuration.
+
+use crate::apmm::TileConfig;
+
+/// Candidate block-tile edge sizes (§4.3.2).
+pub const TILE_CANDIDATES: [usize; 4] = [16, 32, 64, 128];
+
+/// TLP threshold `T` (§4.3.2, set empirically by the paper).
+pub const TLP_THRESHOLD: f64 = 64.0;
+
+/// Thread-level parallelism of a tiling (Eq. 3): the grid size over the
+/// batched `pM × qN` output space.
+pub fn thread_level_parallelism(
+    m: usize,
+    n: usize,
+    p: u32,
+    q: u32,
+    bm: usize,
+    bn: usize,
+) -> f64 {
+    (p as f64 * m as f64) * (q as f64 * n as f64) / (bm as f64 * bn as f64)
+}
+
+/// Compute intensity of a block tile (Eq. 4): `2·bm·bn / (bm + bn)`.
+pub fn compute_intensity(bm: usize, bn: usize) -> f64 {
+    2.0 * bm as f64 * bn as f64 / (bm + bn) as f64
+}
+
+/// Pick a tile configuration for an `M×N×K` problem at `p×q` bits.
+///
+/// `k` only enters through `bk`, which stays fixed at 128 (§4.3.1: CI is
+/// independent of `bk`; a small `bk` leaves shared memory for `bm`, `bn`).
+pub fn autotune(m: usize, n: usize, _k: usize, p: u32, q: u32) -> TileConfig {
+    let mut candidates: Vec<(usize, usize, f64, f64)> = Vec::with_capacity(16);
+    for &bm in &TILE_CANDIDATES {
+        for &bn in &TILE_CANDIDATES {
+            let tlp = thread_level_parallelism(m, n, p, q, bm, bn);
+            let ci = compute_intensity(bm, bn);
+            candidates.push((bm, bn, tlp, ci));
+        }
+    }
+    // Priority queue by TLP (descending) — realized as a sort for clarity.
+    candidates.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap()
+            .then(b.3.partial_cmp(&a.3).unwrap())
+    });
+
+    let above: Vec<_> = candidates
+        .iter()
+        .filter(|c| c.2 >= TLP_THRESHOLD)
+        .collect();
+    let chosen = if above.is_empty() {
+        // Nothing clears the threshold: stick with the max-TLP combination.
+        candidates[0]
+    } else {
+        // Pop through the queue, keeping the best-CI combination that still
+        // satisfies TLP ≥ T (ties broken toward higher TLP by sort order).
+        **above
+            .iter()
+            .max_by(|a, b| a.3.partial_cmp(&b.3).unwrap())
+            .unwrap()
+    };
+    TileConfig::new(chosen.0, chosen.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlp_formula_matches_eq3() {
+        // p=1, M=64, q=2, N=1024, bm=32, bn=64 -> 64*2048/2048 = 64.
+        let tlp = thread_level_parallelism(64, 1024, 1, 2, 32, 64);
+        assert_eq!(tlp, 64.0);
+    }
+
+    #[test]
+    fn ci_formula_matches_eq4() {
+        assert_eq!(compute_intensity(64, 64), 64.0);
+        assert!((compute_intensity(32, 64) - 2.0 * 32.0 * 64.0 / 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_monotone_in_tile_size() {
+        assert!(compute_intensity(32, 32) > compute_intensity(16, 16));
+        assert!(compute_intensity(128, 128) > compute_intensity(64, 64));
+    }
+
+    #[test]
+    fn large_matrices_get_large_tiles() {
+        // Huge batched space: every candidate clears T, so max-CI (128×128)
+        // wins.
+        let t = autotune(4096, 4096, 1024, 2, 2);
+        assert_eq!((t.bm, t.bn), (128, 128));
+    }
+
+    #[test]
+    fn small_matrices_get_small_tiles() {
+        // Tiny problem: nothing reaches TLP=64, fall back to max TLP (16×16).
+        let t = autotune(16, 16, 128, 1, 1);
+        assert_eq!((t.bm, t.bn), (16, 16));
+    }
+
+    #[test]
+    fn paper_fc_example_balances_tlp_and_ci() {
+        // The Table 4 workload: M=64 (batch), N=K=1024, w1a2.
+        // TLP>=64 candidates peak at CI for (bm,bn)=(32,64) or (64,32).
+        let t = autotune(64, 1024, 1024, 1, 2);
+        let tlp = thread_level_parallelism(64, 1024, 1, 2, t.bm, t.bn);
+        assert!(tlp >= TLP_THRESHOLD);
+        assert_eq!(t.bm * t.bn, 2048, "chose {:?}", (t.bm, t.bn));
+    }
+
+    #[test]
+    fn batching_raises_tlp_and_unlocks_bigger_tiles() {
+        // Same M,N but more planes => more batched parallelism => the tuner
+        // can afford larger tiles (this is the point of §4.1(a)).
+        let t_small = autotune(64, 256, 512, 1, 1);
+        let t_large = autotune(64, 256, 512, 8, 8);
+        assert!(
+            t_large.bm * t_large.bn >= t_small.bm * t_small.bn,
+            "{t_small:?} vs {t_large:?}"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Functional CPU baseline kernels.
+//!
+//! Real, multithreaded implementations of the dense int8 and fp32 GEMMs that
+//! the paper's whole-network baselines run. Used by the Criterion benches
+//! (wall-clock comparison against the bit-serial APMM engine) and as the
+//! float oracle of the NN test-suite.
+
+use rayon::prelude::*;
+
+/// `Y[m×n] = A[m×k] · Bᵀ[n×k]` over int8 operands, i32 accumulation — the
+/// cublas-int8-style product (B stored N×K like every kernel here).
+pub fn gemm_i8(a: &[i8], b: &[i8], m: usize, n: usize, k: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    let mut y = vec![0i32; m * n];
+    y.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, out) in row.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for kk in 0..k {
+                acc += arow[kk] as i32 * brow[kk] as i32;
+            }
+            *out = acc;
+        }
+    });
+    y
+}
+
+/// `Y[m×n] = A[m×k] · Bᵀ[n×k]` over f32.
+pub fn gemm_f32(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    let mut y = vec![0f32; m * n];
+    y.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, out) in row.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0f32;
+            for kk in 0..k {
+                acc += arow[kk] * brow[kk];
+            }
+            *out = acc;
+        }
+    });
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i8_gemm_matches_reference() {
+        let (m, n, k) = (3, 4, 5);
+        let a: Vec<i8> = (0..m * k).map(|i| (i as i8) - 7).collect();
+        let b: Vec<i8> = (0..n * k).map(|i| (i as i8) - 9).collect();
+        let got = gemm_i8(&a, &b, m, n, k);
+        let a32: Vec<i32> = a.iter().map(|&v| v as i32).collect();
+        let b32: Vec<i32> = b.iter().map(|&v| v as i32).collect();
+        assert_eq!(got, crate::reference::gemm_i32(&a32, &b32, m, n, k));
+    }
+
+    #[test]
+    fn f32_gemm_identity() {
+        // 2x2 identity times arbitrary B.
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, 5.0, 7.0, 11.0];
+        let y = gemm_f32(&a, &b, 2, 2, 2);
+        assert_eq!(y, vec![3.0, 7.0, 5.0, 11.0]);
+    }
+
+    #[test]
+    fn i8_saturating_ranges_accumulate_in_i32() {
+        // 127*127 * k fits i32 for k up to ~100k.
+        let k = 1000;
+        let a = vec![127i8; k];
+        let b = vec![127i8; k];
+        let y = gemm_i8(&a, &b, 1, 1, k);
+        assert_eq!(y[0], 127 * 127 * k as i32);
+    }
+}

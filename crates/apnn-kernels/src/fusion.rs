@@ -1,0 +1,265 @@
+//! Fusable element-wise epilogues (paper §5.2).
+//!
+//! Quantization, batch normalization, and ReLU are all element-wise over the
+//! i32 accumulators a GEMM/conv produces, so the paper fuses them into the
+//! producing kernel: the values are transformed while still in registers and
+//! only the final (possibly `q`-bit packed) result touches global memory.
+//! The fused composition for a BN + ReLU + quantize chain is
+//! `⌊max(bn(x) − z, 0) / s⌋` — reproduced verbatim by [`Epilogue::apply`].
+
+/// One element-wise operation applied to a kernel's i32 accumulator.
+#[derive(Debug, Clone)]
+pub enum EpilogueOp {
+    /// Batch normalization (Eq. 5): `(x − E[x]) / √(Var[x] + ε) · γ + β`,
+    /// with per-output-channel statistics and learned parameters.
+    BatchNorm {
+        /// Learned scale γ per channel.
+        gamma: Vec<f32>,
+        /// Learned shift β per channel.
+        beta: Vec<f32>,
+        /// Running mean per channel.
+        mean: Vec<f32>,
+        /// Running variance per channel.
+        var: Vec<f32>,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// Per-channel affine transform `x·mul + add[channel]` — the
+    /// dequantization-scale + bias fold used when lowering trained
+    /// floating-point models onto the integer engine.
+    Affine {
+        /// Uniform multiplier (e.g. `s_w · s_x`).
+        mul: f32,
+        /// Per-channel additive term (bias).
+        add: Vec<f32>,
+    },
+    /// `max(x, 0)`.
+    Relu,
+    /// Affine quantization to `bits`-wide unsigned codes:
+    /// `⌊(x − z) / s⌋` clamped to `[0, 2^bits − 1]` (§5.2).
+    Quantize {
+        /// Scale `s` (must be > 0).
+        scale: f32,
+        /// Zero point `z`.
+        zero_point: f32,
+        /// Output code width.
+        bits: u32,
+    },
+}
+
+impl EpilogueOp {
+    /// `(cuda_int_ops, cuda_flops)` cost of this op per element — fed to the
+    /// simulator's CUDA-core counters.
+    pub fn cost_per_element(&self) -> (u64, u64) {
+        match self {
+            EpilogueOp::BatchNorm { .. } => (0, 4), // sub, mul(rsqrt·γ folded), mul, add
+            EpilogueOp::Affine { .. } => (0, 2),    // mul, add
+            EpilogueOp::Relu => (1, 0),
+            EpilogueOp::Quantize { .. } => (2, 2), // sub+mul, floor+clamp
+        }
+    }
+}
+
+/// An ordered chain of epilogue ops fused into a kernel.
+#[derive(Debug, Clone, Default)]
+pub struct Epilogue {
+    ops: Vec<EpilogueOp>,
+}
+
+impl Epilogue {
+    /// Empty epilogue: the kernel stores raw i32 accumulators.
+    pub fn none() -> Self {
+        Epilogue { ops: Vec::new() }
+    }
+
+    /// Append an op (builder style).
+    pub fn then(mut self, op: EpilogueOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The fused ops in application order.
+    pub fn ops(&self) -> &[EpilogueOp] {
+        &self.ops
+    }
+
+    /// `Some(bits)` when the chain ends in quantization — the producing
+    /// kernel then emits packed `bits`-wide codes instead of i32.
+    pub fn output_bits(&self) -> Option<u32> {
+        match self.ops.last() {
+            Some(EpilogueOp::Quantize { bits, .. }) => Some(*bits),
+            _ => None,
+        }
+    }
+
+    /// Apply the chain to accumulator `acc` of output channel `channel`.
+    ///
+    /// Returns the final value: for quantizing chains this is the unsigned
+    /// code (as f32, exactly representable); otherwise the transformed value.
+    pub fn apply(&self, acc: i32, channel: usize) -> f32 {
+        let mut v = acc as f32;
+        for op in &self.ops {
+            v = match op {
+                EpilogueOp::BatchNorm {
+                    gamma,
+                    beta,
+                    mean,
+                    var,
+                    eps,
+                } => (v - mean[channel]) / (var[channel] + eps).sqrt() * gamma[channel]
+                    + beta[channel],
+                EpilogueOp::Affine { mul, add } => v * mul + add[channel],
+                EpilogueOp::Relu => v.max(0.0),
+                EpilogueOp::Quantize {
+                    scale,
+                    zero_point,
+                    bits,
+                } => {
+                    debug_assert!(*scale > 0.0);
+                    let q = ((v - zero_point) / scale).floor();
+                    q.clamp(0.0, ((1u32 << bits) - 1) as f32)
+                }
+            };
+        }
+        v
+    }
+
+    /// Apply and return the quantized code. Panics if the chain does not end
+    /// in [`EpilogueOp::Quantize`].
+    pub fn apply_to_code(&self, acc: i32, channel: usize) -> u32 {
+        assert!(
+            self.output_bits().is_some(),
+            "epilogue does not end in quantization"
+        );
+        self.apply(acc, channel) as u32
+    }
+
+    /// Total `(cuda_int_ops, cuda_flops)` per element.
+    pub fn cost_per_element(&self) -> (u64, u64) {
+        self.ops
+            .iter()
+            .map(EpilogueOp::cost_per_element)
+            .fold((0, 0), |(ai, af), (bi, bf)| (ai + bi, af + bf))
+    }
+
+    /// Convenience: BN + ReLU + quantize — the canonical intermediate-layer
+    /// chain of §5.2.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bn_relu_quant(
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        mean: Vec<f32>,
+        var: Vec<f32>,
+        eps: f32,
+        scale: f32,
+        zero_point: f32,
+        bits: u32,
+    ) -> Self {
+        Epilogue::none()
+            .then(EpilogueOp::BatchNorm {
+                gamma,
+                beta,
+                mean,
+                var,
+                eps,
+            })
+            .then(EpilogueOp::Relu)
+            .then(EpilogueOp::Quantize {
+                scale,
+                zero_point,
+                bits,
+            })
+    }
+
+    /// Convenience: bare quantization.
+    pub fn quantize(scale: f32, zero_point: f32, bits: u32) -> Self {
+        Epilogue::none().then(EpilogueOp::Quantize {
+            scale,
+            zero_point,
+            bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_epilogue_is_identity() {
+        let e = Epilogue::none();
+        assert_eq!(e.apply(-42, 0), -42.0);
+        assert_eq!(e.output_bits(), None);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let e = Epilogue::none().then(EpilogueOp::Relu);
+        assert_eq!(e.apply(-5, 0), 0.0);
+        assert_eq!(e.apply(7, 0), 7.0);
+    }
+
+    #[test]
+    fn quantize_floors_and_clamps() {
+        let e = Epilogue::quantize(2.0, 1.0, 2);
+        // (7-1)/2 = 3 -> code 3 (max for 2 bits).
+        assert_eq!(e.apply_to_code(7, 0), 3);
+        // (20-1)/2 = 9.5 -> clamp to 3.
+        assert_eq!(e.apply_to_code(20, 0), 3);
+        // Below zero-point clamps to 0.
+        assert_eq!(e.apply_to_code(-10, 0), 0);
+        assert_eq!(e.output_bits(), Some(2));
+    }
+
+    #[test]
+    fn fused_formula_matches_paper() {
+        // ⌊max(bn(x) − z, 0)/s⌋ with bn(x) = (x−mean)/√(var+eps)·γ + β.
+        let (gamma, beta, mean, var, eps) = (2.0f32, 1.0f32, 10.0f32, 4.0f32, 0.0f32);
+        let (scale, z, bits) = (3.0f32, 0.5f32, 4u32);
+        let e = Epilogue::bn_relu_quant(
+            vec![gamma],
+            vec![beta],
+            vec![mean],
+            vec![var],
+            eps,
+            scale,
+            z,
+            bits,
+        );
+        let x = 16i32;
+        let bn = (x as f32 - mean) / (var + eps).sqrt() * gamma + beta; // 7.0
+        let expected = ((bn - z).max(0.0) / scale).floor(); // ⌊6.5/3⌋ = 2
+        assert_eq!(e.apply(x, 0), expected);
+        assert_eq!(e.apply_to_code(x, 0), 2);
+    }
+
+    #[test]
+    fn per_channel_bn() {
+        let e = Epilogue::none().then(EpilogueOp::BatchNorm {
+            gamma: vec![1.0, 2.0],
+            beta: vec![0.0, 0.0],
+            mean: vec![0.0, 0.0],
+            var: vec![1.0, 1.0],
+            eps: 0.0,
+        });
+        assert_eq!(e.apply(3, 0), 3.0);
+        assert_eq!(e.apply(3, 1), 6.0);
+    }
+
+    #[test]
+    fn cost_accumulates() {
+        let e = Epilogue::bn_relu_quant(
+            vec![1.0],
+            vec![0.0],
+            vec![0.0],
+            vec![1.0],
+            1e-5,
+            1.0,
+            0.0,
+            2,
+        );
+        let (ints, flops) = e.cost_per_element();
+        assert_eq!(ints, 3);
+        assert_eq!(flops, 6);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # apnn-kernels
+//!
+//! The core contribution of APNN-TC (SC'21), reimplemented in Rust on top of
+//! the `apnn-sim` tensor-core substrate:
+//!
+//! * [`select`] — data-adaptive operator selection (§3.2): picks `XOR` or
+//!   `AND` and the linear-transform correction for the three input-encoding
+//!   cases.
+//! * [`emulate`] — the AP-Bit operation template (§3.1): arbitrary `p×q`-bit
+//!   products from `p·q` one-bit `bmma` calls plus shift-add combination.
+//! * [`apmm`] — arbitrary-precision matrix multiplication (§4.1) with
+//!   batch-based double caching and memory-efficient bit combination;
+//!   functional multi-threaded CPU execution plus simulated-GPU latency.
+//! * [`apconv`] — arbitrary-precision convolution (§4.2) with channel-major
+//!   NPHWC data organization and input-aware padding.
+//! * [`mod@autotune`] — the TLP/CI performance model and tile-size search
+//!   heuristic (§4.3).
+//! * [`fusion`] — fusable epilogues (BN / ReLU / pool / quantize, §5.2).
+//! * [`baselines`] — cutlass/cublas-like fixed-tile kernels at int1, int4,
+//!   int8, fp16 and fp32, used by every speedup figure in the paper.
+//! * [`mod@reference`] — naive i32 oracles used throughout the test suite.
+
+pub mod apconv;
+pub mod apmm;
+pub mod autotune;
+pub mod baselines;
+pub mod emulate;
+pub mod fusion;
+pub mod reference;
+pub mod select;
+
+pub use apconv::{ApConv, ConvDesc};
+pub use apmm::{Apmm, ApmmDesc, TileConfig};
+pub use autotune::{autotune, compute_intensity, thread_level_parallelism};
+pub use emulate::ap_bit_mm;
+pub use fusion::{Epilogue, EpilogueOp};
+pub use select::{plan, EmulationCase, EmulationPlan};

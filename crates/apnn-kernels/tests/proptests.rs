@@ -1,0 +1,125 @@
+//! Property-based tests for the kernel layer: autotuner contract, estimator
+//! invariants, epilogue safety.
+
+use apnn_kernels::apmm::{simmap, Apmm, ApmmDesc, TileConfig};
+use apnn_kernels::autotune::{
+    autotune, compute_intensity, thread_level_parallelism, TILE_CANDIDATES, TLP_THRESHOLD,
+};
+use apnn_kernels::fusion::Epilogue;
+use apnn_sim::GpuSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The §4.3.2 contract: the chosen tile is a candidate pair; if any
+    /// candidate clears the TLP threshold, the chosen one clears it too and
+    /// has the maximum CI among those that do; otherwise the chosen one has
+    /// maximum TLP.
+    #[test]
+    fn autotune_respects_its_specification(
+        m in 1usize..5000, n in 1usize..5000, p in 1u32..=8, q in 1u32..=8,
+    ) {
+        let t = autotune(m, n, 128, p, q);
+        prop_assert!(TILE_CANDIDATES.contains(&t.bm));
+        prop_assert!(TILE_CANDIDATES.contains(&t.bn));
+
+        let tlp_of = |bm, bn| thread_level_parallelism(m, n, p, q, bm, bn);
+        let any_above = TILE_CANDIDATES.iter().any(|&bm| {
+            TILE_CANDIDATES.iter().any(|&bn| tlp_of(bm, bn) >= TLP_THRESHOLD)
+        });
+        if any_above {
+            prop_assert!(tlp_of(t.bm, t.bn) >= TLP_THRESHOLD);
+            for &bm in &TILE_CANDIDATES {
+                for &bn in &TILE_CANDIDATES {
+                    if tlp_of(bm, bn) >= TLP_THRESHOLD {
+                        prop_assert!(
+                            compute_intensity(t.bm, t.bn) >= compute_intensity(bm, bn),
+                            "chosen ({},{}) has lower CI than ({bm},{bn})", t.bm, t.bn
+                        );
+                    }
+                }
+            }
+        } else {
+            for &bm in &TILE_CANDIDATES {
+                for &bn in &TILE_CANDIDATES {
+                    prop_assert!(tlp_of(t.bm, t.bn) >= tlp_of(bm, bn));
+                }
+            }
+        }
+    }
+
+    /// Estimator structural invariants: MAC count matches the closed form,
+    /// packed stores never exceed i32 stores, latency positive.
+    #[test]
+    fn estimator_invariants(
+        m in 1usize..600, n in 1usize..600, k in 1usize..2000,
+        p in 1u32..=4, q in 1u32..=4,
+        out_bits in 1u32..=8,
+    ) {
+        let spec = GpuSpec::rtx3090();
+        let desc = ApmmDesc::unsigned(m, n, k, p, q);
+        let apmm = Apmm::new(desc);
+        let plain = simmap::estimate(&desc, &apmm.tile, &spec, None);
+
+        // MACs: grid × ksteps × fragment count × 8192.
+        let grid = apmm.tile.grid_blocks(desc.batched_m(), desc.batched_n()) as u64;
+        let ksteps = (desc.k_padded() / apmm.tile.bk) as u64;
+        let frags = ((apmm.tile.bm / 8) * (apmm.tile.bn / 8) * (apmm.tile.bk / 128)) as u64;
+        prop_assert_eq!(plain.counters.tc_macs, grid * ksteps * frags * 8192);
+
+        // Emulated MACs never below the logical p·q·M·N·K_pad (padding only
+        // adds work).
+        prop_assert!(plain.counters.tc_macs >= desc.emulated_macs());
+
+        // Fused packed output strictly reduces store traffic.
+        let epi = Epilogue::quantize(4.0, 0.0, out_bits);
+        let fused = simmap::estimate(&desc, &apmm.tile, &spec, Some(&epi));
+        prop_assert!(fused.counters.global_store_bytes <= plain.counters.global_store_bytes);
+        prop_assert!(plain.time_s() > 0.0 && fused.time_s() > 0.0);
+    }
+
+    /// The epilogue never emits codes outside the declared width, for any
+    /// accumulator value including extremes.
+    #[test]
+    fn epilogue_codes_always_in_range(
+        acc in any::<i32>(),
+        scale in 0.001f32..1000.0,
+        zp in -1000.0f32..1000.0,
+        bits in 1u32..=8,
+    ) {
+        let epi = Epilogue::quantize(scale, zp, bits);
+        let code = epi.apply_to_code(acc, 0);
+        prop_assert!(code < (1u32 << bits));
+    }
+
+    /// Bigger tiles never lower the CI model, and the TLP model is exactly
+    /// inversely proportional to tile area.
+    #[test]
+    fn performance_model_algebra(
+        m in 1usize..4096, n in 1usize..4096, p in 1u32..=8, q in 1u32..=8,
+        bm in prop_oneof![Just(16usize), Just(32), Just(64)],
+        bn in prop_oneof![Just(16usize), Just(32), Just(64)],
+    ) {
+        prop_assert!(compute_intensity(2 * bm, bn) >= compute_intensity(bm, bn));
+        let t1 = thread_level_parallelism(m, n, p, q, bm, bn);
+        let t2 = thread_level_parallelism(m, n, p, q, 2 * bm, bn);
+        prop_assert!((t1 / t2 - 2.0).abs() < 1e-9);
+    }
+
+    /// Latency estimates are monotone in every problem dimension.
+    #[test]
+    fn estimates_monotone_in_shape(
+        m in 8usize..256, n in 8usize..256, k in 128usize..1024,
+    ) {
+        let spec = GpuSpec::rtx3090();
+        let tile = TileConfig::new(32, 32);
+        let t = |m, n, k| {
+            simmap::estimate(&ApmmDesc::unsigned(m, n, k, 2, 2), &tile, &spec, None).time_s()
+        };
+        let base = t(m, n, k);
+        prop_assert!(t(4 * m, n, k) >= base);
+        prop_assert!(t(m, 4 * n, k) >= base);
+        prop_assert!(t(m, n, 4 * k) >= base);
+    }
+}

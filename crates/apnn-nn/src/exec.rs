@@ -1,0 +1,485 @@
+//! Simulator-backed network execution: per-stage latency and traffic.
+//!
+//! Walks the fused stage list and prices every stage on the `apnn-sim` cost
+//! model: main stages go through the APMM/APConv estimators (emulated
+//! schemes) or the cutlass/cublas-like baselines; element-wise stages go
+//! through the generic element-wise kernel. The result is the per-layer
+//! breakdown behind Fig. 9 and the whole-network latency/throughput numbers
+//! of Tables 2 & 3.
+
+use apnn_kernels::apconv::simmap::{estimate_with_efficiency as conv_estimate, ActLayout};
+use apnn_kernels::apconv::{ConvDesc, Pool2};
+use apnn_kernels::apmm::simmap::{estimate_with_efficiency as apmm_estimate, APMM_TC_EFFICIENCY};
+use apnn_kernels::apmm::{ApmmDesc, TileConfig};
+use apnn_kernels::autotune::autotune;
+use apnn_kernels::baselines::conv::{conv_report, ConvShape};
+use apnn_kernels::baselines::gemm::gemm_report;
+use apnn_kernels::baselines::BNN_KERNEL_EFFICIENCY;
+use apnn_kernels::fusion::{Epilogue, EpilogueOp};
+use apnn_sim::GpuSpec;
+
+use crate::fuse::{fuse_network, EwKind, FusedTail, MainOp, Stage};
+use crate::net::Network;
+use crate::precision::NetPrecision;
+
+/// Per-stage simulation result.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage name (layer name or element-wise kind).
+    pub name: String,
+    /// Simulated latency (s).
+    pub time_s: f64,
+    /// Tensor-core stage?
+    pub is_main: bool,
+    /// Tensor-core MACs.
+    pub macs: u64,
+    /// Global-memory traffic (loads + stores, L2 level).
+    pub global_bytes: u64,
+    /// Which roofline term bounded this stage.
+    pub bound: apnn_sim::cost::Bound,
+}
+
+/// Whole-network simulation result.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Model name.
+    pub model: String,
+    /// Precision-scheme label.
+    pub scheme: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Per-stage reports in execution order.
+    pub stages: Vec<StageReport>,
+    /// End-to-end simulated latency (s).
+    pub total_s: f64,
+}
+
+impl NetworkReport {
+    /// Latency in milliseconds (the paper's Table 2/3 unit).
+    pub fn latency_ms(&self) -> f64 {
+        self.total_s * 1e3
+    }
+
+    /// Images per second at this batch size.
+    pub fn throughput_fps(&self) -> f64 {
+        self.batch as f64 / self.total_s
+    }
+
+    /// Fraction of total time spent in the first main stage (Fig. 9's
+    /// headline quantity).
+    pub fn first_main_share(&self) -> f64 {
+        self.stages
+            .iter()
+            .find(|s| s.is_main)
+            .map(|s| s.time_s / self.total_s)
+            .unwrap_or(0.0)
+    }
+
+    /// Total global-memory traffic (bytes).
+    pub fn traffic_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.global_bytes).sum()
+    }
+
+    /// Latency share per main stage, in execution order.
+    pub fn main_shares(&self) -> Vec<(String, f64)> {
+        self.stages
+            .iter()
+            .filter(|s| s.is_main)
+            .map(|s| (s.name.clone(), s.time_s / self.total_s))
+            .collect()
+    }
+}
+
+/// Build a cost-shaped epilogue from a fused tail (parameter values don't
+/// affect pricing, only the op mix does).
+fn tail_epilogue(tail: &FusedTail, channels: usize, out_bits: u32) -> Epilogue {
+    let mut epi = Epilogue::none();
+    if tail.bn {
+        epi = epi.then(EpilogueOp::BatchNorm {
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            mean: vec![0.0; channels],
+            var: vec![1.0; channels],
+            eps: 1e-5,
+        });
+    }
+    if tail.relu {
+        epi = epi.then(EpilogueOp::Relu);
+    }
+    if tail.quantize {
+        epi = epi.then(EpilogueOp::Quantize {
+            scale: 1.0,
+            zero_point: 0.0,
+            bits: out_bits,
+        });
+    }
+    epi
+}
+
+/// Simulate one network at one precision scheme.
+pub fn simulate(
+    net: &Network,
+    precision: NetPrecision,
+    spec: &GpuSpec,
+    batch: usize,
+) -> NetworkReport {
+    let fuse = matches!(precision, NetPrecision::Apnn { .. });
+    simulate_with(net, precision, spec, batch, fuse)
+}
+
+/// [`simulate`] with an explicit fusion flag (the Fig. 10 network-level
+/// ablation).
+pub fn simulate_with(
+    net: &Network,
+    precision: NetPrecision,
+    spec: &GpuSpec,
+    batch: usize,
+    fuse: bool,
+) -> NetworkReport {
+    let stages = fuse_network(net, fuse);
+    let mut reports = Vec::with_capacity(stages.len() + 1);
+
+    if precision.is_emulated() {
+        // §5.1 input layer: quantize + pack the 8-bit RGB image into planes.
+        let elems = (net.input_c * net.input_h * net.input_w * batch) as u64;
+        let r = apnn_kernels::apconv::simmap::elementwise_kernel(
+            spec,
+            elems,     // 1 byte per u8 element in
+            elems,     // 8 packed planes out = 1 byte per element
+            elems * 8, // shift/mask/ballot per plane
+            0,
+        );
+        reports.push(StageReport {
+            name: "input-pack".into(),
+            time_s: r.time_s(),
+            is_main: false,
+            macs: 0,
+            global_bytes: r.counters.global_bytes(),
+            bound: r.cost.bound,
+        });
+    }
+
+    for stage in &stages {
+        let rep = match stage {
+            Stage::Main {
+                name,
+                op,
+                main_index,
+                tail,
+                out_elements,
+                ..
+            } => {
+                let first = *main_index == 0;
+                price_main(
+                    net, precision, spec, batch, name, op, first, tail, *out_elements,
+                )
+            }
+            Stage::Elementwise {
+                name,
+                kind,
+                in_elements,
+                out_elements,
+                ..
+            } => price_elementwise(
+                precision,
+                spec,
+                batch,
+                name,
+                *kind,
+                *in_elements,
+                *out_elements,
+            ),
+        };
+        reports.push(rep);
+    }
+
+    let total_s = reports.iter().map(|s| s.time_s).sum();
+    NetworkReport {
+        model: net.name.clone(),
+        scheme: precision.label(),
+        batch,
+        stages: reports,
+        total_s,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn price_main(
+    net: &Network,
+    precision: NetPrecision,
+    spec: &GpuSpec,
+    batch: usize,
+    name: &str,
+    op: &MainOp,
+    first: bool,
+    tail: &FusedTail,
+    _out_elements: usize,
+) -> StageReport {
+    let last = false; // the zoo never quantizes after the last layer; tail drives it
+    let _ = last;
+    let channels = op.out_channels();
+
+    if let Some(kind) = precision.baseline_kind() {
+        // Library baseline: un-fused kernel at uniform precision.
+        let r = match *op {
+            MainOp::Conv {
+                cin,
+                h,
+                w,
+                cout,
+                k,
+                stride,
+                pad,
+            } => {
+                assert_eq!(h, w, "baseline conv shapes are square");
+                conv_report(
+                    kind,
+                    &ConvShape {
+                        batch,
+                        cin,
+                        hw: h,
+                        cout,
+                        k,
+                        stride,
+                        pad,
+                    },
+                    spec,
+                )
+            }
+            MainOp::Linear {
+                in_features,
+                out_features,
+            } => gemm_report(kind, batch, out_features, in_features, spec),
+        };
+        return StageReport {
+            name: name.to_string(),
+            time_s: r.time_s(),
+            is_main: true,
+            macs: r.counters.tc_macs,
+            global_bytes: r.counters.global_bytes(),
+            bound: r.cost.bound,
+        };
+    }
+
+    // Emulated schemes.
+    let w_bits = precision.weight_bits();
+    let x_bits = precision.activation_bits(first);
+    let w_enc = precision.weight_encoding();
+    let x_enc = precision.activation_encoding(first);
+    let out_bits = precision.activation_bits(false);
+    let epi = tail_epilogue(tail, channels, out_bits);
+    let epi_opt = if epi.ops().is_empty() { None } else { Some(&epi) };
+    let (tile, efficiency) = match precision {
+        NetPrecision::Bnn => (TileConfig::new(32, 32), BNN_KERNEL_EFFICIENCY),
+        _ => (TileConfig::new(0, 0), APMM_TC_EFFICIENCY), // tile set below
+    };
+
+    let r = match *op {
+        MainOp::Conv {
+            cin,
+            h,
+            w,
+            cout,
+            k,
+            stride,
+            pad,
+        } => {
+            let desc = ConvDesc {
+                batch,
+                cin,
+                h,
+                w,
+                cout,
+                kh: k,
+                kw: k,
+                stride,
+                pad,
+                w_bits,
+                x_bits,
+                w_enc,
+                x_enc,
+            };
+            let g = desc.as_gemm();
+            let tile = if tile.bm == 0 {
+                autotune(g.m, g.n, g.k, g.w_bits, g.x_bits)
+            } else {
+                tile
+            };
+            let pool = if tail.pool2 { Some(Pool2::Max) } else { None };
+            conv_estimate(&desc, &tile, spec, pool, epi_opt, ActLayout::Nphwc, efficiency)
+        }
+        MainOp::Linear {
+            in_features,
+            out_features,
+        } => {
+            let desc = ApmmDesc {
+                m: out_features,
+                n: batch,
+                k: in_features,
+                w_bits,
+                x_bits,
+                w_enc,
+                x_enc,
+            };
+            let tile = if tile.bm == 0 {
+                autotune(desc.m, desc.n, desc.k, w_bits, x_bits)
+            } else {
+                tile
+            };
+            apmm_estimate(&desc, &tile, spec, epi_opt, efficiency)
+        }
+    };
+    let _ = net;
+    StageReport {
+        name: name.to_string(),
+        time_s: r.time_s(),
+        is_main: true,
+        macs: r.counters.tc_macs,
+        global_bytes: r.counters.global_bytes(),
+        bound: r.cost.bound,
+    }
+}
+
+fn price_elementwise(
+    precision: NetPrecision,
+    spec: &GpuSpec,
+    batch: usize,
+    name: &str,
+    kind: EwKind,
+    in_elements: usize,
+    out_elements: usize,
+) -> StageReport {
+    let n_in = (in_elements * batch) as u64;
+    let n_out = (out_elements * batch) as u64;
+    // Activation element width flowing between un-fused kernels.
+    let elem_bytes = match precision {
+        NetPrecision::Fp32 => 4,
+        NetPrecision::Fp16 => 2,
+        NetPrecision::Int8 => 1,
+        // Un-fused emulated pipelines move i32 accumulators (§5.1's waste).
+        NetPrecision::Bnn | NetPrecision::Apnn { .. } => 4,
+    } as u64;
+    let q_bits = precision.activation_bits(false) as u64;
+
+    let (load, store, int_ops, flops) = match kind {
+        EwKind::Pool { k, quantize, .. } => {
+            let window = (k * k) as u64;
+            let store = if quantize {
+                (n_out * q_bits).div_ceil(8)
+            } else {
+                n_out * elem_bytes
+            };
+            (n_in * elem_bytes, store, n_out * window, 0)
+        }
+        EwKind::GlobalAvgPool => (n_in * elem_bytes, n_out * elem_bytes, n_in, 0),
+        EwKind::BatchNorm => (n_in * elem_bytes, n_out * elem_bytes, 0, 4 * n_in),
+        EwKind::Relu => (n_in * elem_bytes, n_out * elem_bytes, n_in, 0),
+        EwKind::Quantize => (
+            n_in * elem_bytes,
+            (n_out * q_bits).div_ceil(8),
+            4 * n_in,
+            0,
+        ),
+        EwKind::ResidualAdd => (2 * n_in * elem_bytes, n_out * elem_bytes, n_in, 0),
+        EwKind::InputPack => (n_in, n_out, 8 * n_in, 0),
+    };
+    let r = apnn_kernels::apconv::simmap::elementwise_kernel(spec, load, store, int_ops, flops);
+    StageReport {
+        name: name.to_string(),
+        time_s: r.time_s(),
+        is_main: false,
+        macs: 0,
+        global_bytes: r.counters.global_bytes(),
+        bound: r.cost.bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerSpec as L;
+
+    fn small_net() -> Network {
+        Network::new("small", 3, 32, 32)
+            .push(L::conv("conv1", 64, 3, 1, 1))
+            .push(L::BatchNorm)
+            .push(L::Relu)
+            .push(L::MaxPool { k: 2, stride: 2 })
+            .push(L::QuantizeActs)
+            .push(L::conv("conv2", 128, 3, 1, 1))
+            .push(L::BatchNorm)
+            .push(L::Relu)
+            .push(L::QuantizeActs)
+            .push(L::Flatten)
+            .push(L::linear("fc", 10))
+    }
+
+    #[test]
+    fn apnn_beats_fp32_and_int8() {
+        let spec = GpuSpec::rtx3090();
+        let net = small_net();
+        let apnn = simulate(&net, NetPrecision::w1a2(), &spec, 8);
+        let fp32 = simulate(&net, NetPrecision::Fp32, &spec, 8);
+        let int8 = simulate(&net, NetPrecision::Int8, &spec, 8);
+        assert!(apnn.total_s < fp32.total_s, "{} vs {}", apnn.total_s, fp32.total_s);
+        assert!(apnn.total_s < int8.total_s);
+    }
+
+    #[test]
+    fn fused_beats_unfused() {
+        let spec = GpuSpec::rtx3090();
+        let net = small_net();
+        let fused = simulate_with(&net, NetPrecision::w1a2(), &spec, 8, true);
+        let unfused = simulate_with(&net, NetPrecision::w1a2(), &spec, 8, false);
+        assert!(fused.total_s < unfused.total_s);
+        assert!(fused.stages.len() < unfused.stages.len());
+    }
+
+    #[test]
+    fn throughput_math() {
+        let spec = GpuSpec::rtx3090();
+        let r = simulate(&small_net(), NetPrecision::w1a2(), &spec, 128);
+        assert!((r.throughput_fps() - 128.0 / r.total_s).abs() < 1e-9);
+        assert!(r.latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn first_main_share_is_a_fraction() {
+        let spec = GpuSpec::rtx3090();
+        let r = simulate(&small_net(), NetPrecision::w1a2(), &spec, 8);
+        let share = r.first_main_share();
+        assert!(share > 0.0 && share < 1.0);
+        let shares = r.main_shares();
+        assert_eq!(shares.len(), 3);
+    }
+
+    #[test]
+    fn packed_dataflow_moves_less_traffic_than_int8_pipeline() {
+        // §5.1: inter-layer activations at 2 bits vs 8/32 bits.
+        let spec = GpuSpec::rtx3090();
+        let net = small_net();
+        let apnn = simulate(&net, NetPrecision::w1a2(), &spec, 8);
+        let fp32 = simulate(&net, NetPrecision::Fp32, &spec, 8);
+        assert!(apnn.traffic_bytes() < fp32.traffic_bytes());
+    }
+
+    #[test]
+    fn stage_bounds_are_reported() {
+        let spec = GpuSpec::rtx3090();
+        let r = simulate(&small_net(), NetPrecision::w1a2(), &spec, 8);
+        // Every stage carries a bound; the heavy conv stages are not
+        // overhead-bound at batch 8.
+        let conv1 = r.stages.iter().find(|s| s.name == "conv1").unwrap();
+        assert!(!matches!(conv1.bound, apnn_sim::cost::Bound::Overhead));
+    }
+
+    #[test]
+    fn bnn_uses_unfused_small_tile_kernels() {
+        let spec = GpuSpec::rtx3090();
+        let net = small_net();
+        let bnn = simulate(&net, NetPrecision::Bnn, &spec, 8);
+        let apnn = simulate(&net, NetPrecision::w1a2(), &spec, 8);
+        // More stages (un-fused) than the fused APNN pipeline.
+        assert!(bnn.stages.len() > apnn.stages.len());
+    }
+}

@@ -1,0 +1,284 @@
+//! Functional end-to-end quantized inference on the CPU engine.
+//!
+//! [`QuantNet`] chains fused conv/linear stages over *packed* activations —
+//! the minimal-traffic dataflow of §5.1 made concrete: every intermediate
+//! tensor is a `q`-bit [`BitTensor4`] / [`BitPlanes`], quantization happens
+//! inside the producing stage's epilogue, and only the final logits are
+//! 32-bit. Intended for small/medium networks (tests, examples, and
+//! cross-checking the `apnn-quant` trained models); the ImageNet-scale zoo
+//! is evaluated through the simulator instead.
+
+use apnn_bitpack::{BitPlanes, BitTensor4};
+use apnn_kernels::apconv::{ApConv, ConvOutput, ConvWeights, Pool2};
+use apnn_kernels::apmm::{Apmm, FusedOutput};
+use apnn_kernels::fusion::Epilogue;
+
+/// One fused stage of a functional quantized network.
+#[derive(Debug, Clone)]
+pub enum QuantStage {
+    /// Convolution (+ optional fused 2×2 pool) with epilogue.
+    Conv {
+        /// The kernel instance (shape + tile).
+        conv: ApConv,
+        /// Packed weights.
+        weights: ConvWeights,
+        /// Fused 2×2 pooling.
+        pool: Option<Pool2>,
+        /// Fused element-wise tail. Must end in quantization for every stage
+        /// except the last.
+        epi: Epilogue,
+    },
+    /// Fully connected layer with epilogue.
+    Linear {
+        /// The kernel instance.
+        apmm: Apmm,
+        /// Packed weights (rows = out_features, cols = in_features).
+        weights: BitPlanes,
+        /// Fused element-wise tail.
+        epi: Epilogue,
+    },
+}
+
+/// A functional quantized network over packed activations.
+#[derive(Debug, Clone, Default)]
+pub struct QuantNet {
+    /// Stages in execution order. Conv stages must precede linear stages
+    /// (a single flatten happens at the transition).
+    pub stages: Vec<QuantStage>,
+}
+
+/// Activation value flowing between stages.
+enum Act {
+    Map(BitTensor4),
+    Vec(BitPlanes),
+    Logits(Vec<i32>, usize, usize), // (row-major m×n = features×batch)
+}
+
+impl QuantNet {
+    /// Append a stage.
+    pub fn push(&mut self, stage: QuantStage) {
+        self.stages.push(stage);
+    }
+
+    /// Run inference on a packed input feature map.
+    ///
+    /// Returns logits as `batch × classes`, row-major.
+    pub fn infer(&self, input: &BitTensor4) -> Vec<i32> {
+        self.infer_act(Act::Map(input.clone()))
+    }
+
+    /// Run inference on packed feature *vectors* (all-linear networks):
+    /// `input` rows = batch, cols = features.
+    pub fn infer_vec(&self, input: &BitPlanes) -> Vec<i32> {
+        self.infer_act(Act::Vec(input.clone()))
+    }
+
+    fn infer_act(&self, input: Act) -> Vec<i32> {
+        assert!(!self.stages.is_empty(), "empty network");
+        let mut act = input;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let last = i + 1 == self.stages.len();
+            act = match (act, stage) {
+                (Act::Map(map), QuantStage::Conv { conv, weights, pool, epi }) => {
+                    match conv.execute_fused(weights, &map, *pool, epi) {
+                        ConvOutput::Packed(next) => Act::Map(next),
+                        ConvOutput::Int32(_) => {
+                            panic!("conv stage {i} must quantize (only the last linear may emit i32)")
+                        }
+                    }
+                }
+                (Act::Map(map), QuantStage::Linear { apmm, weights, epi }) => {
+                    let flat = flatten_map(&map);
+                    run_linear(apmm, weights, &flat, epi, last, i)
+                }
+                (Act::Vec(v), QuantStage::Linear { apmm, weights, epi }) => {
+                    run_linear(apmm, weights, &v, epi, last, i)
+                }
+                (Act::Vec(_), QuantStage::Conv { .. }) => {
+                    panic!("conv stage {i} after flatten")
+                }
+                (Act::Logits(..), _) => panic!("stage {i} follows the output layer"),
+            };
+        }
+        match act {
+            Act::Logits(y, m, n) => {
+                // y is features×batch; transpose to batch×classes.
+                let mut out = vec![0i32; m * n];
+                for f in 0..m {
+                    for b in 0..n {
+                        out[b * m + f] = y[f * n + b];
+                    }
+                }
+                out
+            }
+            _ => panic!("network did not end in an i32 linear output layer"),
+        }
+    }
+
+    /// Output classes (from the last linear stage).
+    pub fn num_classes(&self) -> usize {
+        match self.stages.last() {
+            Some(QuantStage::Linear { apmm, .. }) => apmm.desc.m,
+            _ => panic!("network must end with a linear stage"),
+        }
+    }
+}
+
+fn run_linear(
+    apmm: &Apmm,
+    weights: &BitPlanes,
+    acts: &BitPlanes,
+    epi: &Epilogue,
+    last: bool,
+    i: usize,
+) -> Act {
+    if last {
+        assert!(
+            epi.output_bits().is_none(),
+            "output layer must not quantize (§5.1)"
+        );
+        let y = apmm.execute(weights, acts);
+        Act::Logits(y, apmm.desc.m, apmm.desc.n)
+    } else {
+        match apmm.execute_fused(weights, acts, epi) {
+            FusedOutput::Packed(next) => Act::Vec(next),
+            FusedOutput::Int32(_) => panic!("hidden linear stage {i} must quantize"),
+        }
+    }
+}
+
+/// Flatten a packed NHWC map into per-image feature rows, ordered `(h,w,c)`
+/// — the layout linear weights are packed against.
+pub fn flatten_map(map: &BitTensor4) -> BitPlanes {
+    let (n, h, w, c) = map.shape();
+    let features = h * w * c;
+    let mut codes = vec![0u32; n * features];
+    for b in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..c {
+                    codes[b * features + (y * w + x) * c + ch] = map.get_code(b, y, x, ch);
+                }
+            }
+        }
+    }
+    BitPlanes::from_codes(&codes, n, features, map.bits(), map.encoding())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apnn_kernels::apconv::ConvDesc;
+    use apnn_kernels::apmm::ApmmDesc;
+    use apnn_kernels::reference::{conv2d_i32, gemm_i32};
+    use apnn_bitpack::{Encoding, Layout, Tensor4};
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    /// Two-stage net: conv(w1a2, fused quant) → linear(i32 out), verified
+    /// end-to-end against the naive oracles.
+    #[test]
+    fn tiny_net_matches_oracle_composition() {
+        let mut seed = 31;
+        let (batch, cin, hw) = (2, 4, 6);
+        let cout = 5;
+        let classes = 3;
+
+        // Input: 2-bit codes.
+        let codes = Tensor4::<u32>::from_fn(batch, cin, hw, hw, Layout::Nhwc, |_, _, _, _| {
+            (lcg(&mut seed) as u32) % 4
+        });
+        let input = BitTensor4::from_tensor(&codes, 2, Encoding::ZeroOne);
+
+        // Conv stage.
+        let cdesc = ConvDesc::unsigned(batch, cin, hw, cout, 3, 1, 1, 1, 2);
+        let wn = cout * 9 * cin;
+        let wcodes: Vec<u32> = (0..wn).map(|_| (lcg(&mut seed) as u32) % 2).collect();
+        let cweights = ConvWeights::from_codes(&cdesc, &wcodes);
+        let epi = Epilogue::quantize(3.0, 0.0, 2);
+
+        // Linear stage (consumes hw*hw*cout 2-bit features).
+        let feats = hw * hw * cout;
+        let ldesc = ApmmDesc::unsigned(classes, batch, feats, 1, 2);
+        let lcodes: Vec<u32> = (0..classes * feats).map(|_| (lcg(&mut seed) as u32) % 2).collect();
+        let lweights = BitPlanes::from_codes(&lcodes, classes, feats, 1, Encoding::ZeroOne);
+
+        let mut net = QuantNet::default();
+        net.push(QuantStage::Conv {
+            conv: ApConv::new(cdesc),
+            weights: cweights,
+            pool: None,
+            epi: epi.clone(),
+        });
+        net.push(QuantStage::Linear {
+            apmm: Apmm::new(ldesc),
+            weights: lweights.clone(),
+            epi: Epilogue::none(),
+        });
+        let logits = net.infer(&input);
+        assert_eq!(logits.len(), batch * classes);
+        assert_eq!(net.num_classes(), classes);
+
+        // Oracle composition: reference conv → quantize → reference gemm.
+        let x_vals: Vec<i32> = {
+            let mut v = vec![0i32; batch * hw * hw * cin];
+            for b in 0..batch {
+                for y in 0..hw {
+                    for x in 0..hw {
+                        for c in 0..cin {
+                            v[((b * hw + y) * hw + x) * cin + c] = codes.get(b, c, y, x) as i32;
+                        }
+                    }
+                }
+            }
+            v
+        };
+        let w_vals: Vec<i32> = wcodes.iter().map(|&c| c as i32).collect();
+        let conv_out = conv2d_i32(&x_vals, &w_vals, batch, hw, hw, cin, cout, 3, 3, 1, 1);
+        // Quantize per channel (co).
+        let mut feat_codes = vec![0i32; batch * feats];
+        for b in 0..batch {
+            for y in 0..hw {
+                for x in 0..hw {
+                    for co in 0..cout {
+                        let acc = conv_out[((b * hw + y) * hw + x) * cout + co];
+                        let code = epi.apply_to_code(acc, co) as i32;
+                        feat_codes[b * feats + (y * hw + x) * cout + co] = code;
+                    }
+                }
+            }
+        }
+        let lw_vals: Vec<i32> = lcodes.iter().map(|&c| c as i32).collect();
+        let want = gemm_i32(&lw_vals, &feat_codes, classes, batch, feats);
+        // want is classes×batch; logits are batch×classes.
+        for b in 0..batch {
+            for cl in 0..classes {
+                assert_eq!(logits[b * classes + cl], want[cl * batch + b]);
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_orders_hwc() {
+        let codes = Tensor4::<u32>::from_fn(1, 2, 2, 2, Layout::Nhwc, |_, c, h, w| {
+            (c + 2 * (w + 2 * h)) as u32 % 4
+        });
+        let map = BitTensor4::from_tensor(&codes, 2, Encoding::ZeroOne);
+        let flat = flatten_map(&map);
+        assert_eq!(flat.rows(), 1);
+        assert_eq!(flat.cols(), 8);
+        let got = flat.reconstruct_codes();
+        for h in 0..2 {
+            for w in 0..2 {
+                for c in 0..2 {
+                    assert_eq!(got[(h * 2 + w) * 2 + c], codes.get(0, c, h, w));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Semantic-aware kernel fusion pass (paper §5.2).
+//!
+//! Groups each main (conv/linear) layer with the element-wise layers that
+//! follow it — BatchNorm, ReLU, fusable 2×2 pooling, activation
+//! quantization — into a single execution stage, so the fused kernel applies
+//! the whole chain in registers and stores only the final (packed) result.
+//! Non-fusable pools (e.g. AlexNet's 3×3/2) stay as element-wise stages but
+//! still absorb a following quantization so the packed §5.1 dataflow holds.
+
+use crate::layer::{LayerSpec, ShapeCursor};
+use crate::net::Network;
+
+/// The tensor-core op at the heart of a fused stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MainOp {
+    /// Convolution with resolved input shape.
+    Conv {
+        /// Input channels.
+        cin: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Output channels.
+        cout: usize,
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Fully connected with resolved input width.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+impl MainOp {
+    /// Output elements per image (before any fused pooling).
+    pub fn out_elements(&self) -> usize {
+        match *self {
+            MainOp::Conv {
+                h,
+                w,
+                cout,
+                k,
+                stride,
+                pad,
+                ..
+            } => {
+                let oh = (h + 2 * pad - k) / stride + 1;
+                let ow = (w + 2 * pad - k) / stride + 1;
+                cout * oh * ow
+            }
+            MainOp::Linear { out_features, .. } => out_features,
+        }
+    }
+
+    /// Output channels/features (the epilogue channel dimension).
+    pub fn out_channels(&self) -> usize {
+        match *self {
+            MainOp::Conv { cout, .. } => cout,
+            MainOp::Linear { out_features, .. } => out_features,
+        }
+    }
+}
+
+/// Element-wise work that did not fuse into a main stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EwKind {
+    /// Pooling `k×k`/`stride`; `quantize` = absorbed a following
+    /// QuantizeActs (writes packed codes instead of i32).
+    Pool {
+        /// Window.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Max (true) or average (false).
+        max: bool,
+        /// Fused quantizing store.
+        quantize: bool,
+    },
+    /// Global average pool.
+    GlobalAvgPool,
+    /// Batch normalization.
+    BatchNorm,
+    /// ReLU.
+    Relu,
+    /// Standalone activation quantization (i32 in, packed out).
+    Quantize,
+    /// Residual skip add.
+    ResidualAdd,
+    /// Pack the 8-bit input image into bit planes (emulated schemes only).
+    InputPack,
+}
+
+/// Epilogue shape fused into a main stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedTail {
+    /// Batch norm fused.
+    pub bn: bool,
+    /// ReLU fused.
+    pub relu: bool,
+    /// 2×2/2 max pooling fused.
+    pub pool2: bool,
+    /// Quantizing store fused.
+    pub quantize: bool,
+}
+
+/// One execution stage after fusion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// A tensor-core kernel (+ fused tail).
+    Main {
+        /// Display name (from the conv/linear layer).
+        name: String,
+        /// The op with resolved shapes.
+        op: MainOp,
+        /// Position among main layers (0 = first, consumes 8-bit input).
+        main_index: usize,
+        /// Fused element-wise tail.
+        tail: FusedTail,
+        /// Elements per image *entering* the stage.
+        in_elements: usize,
+        /// Elements per image *leaving* the stage (after fused pool).
+        out_elements: usize,
+    },
+    /// An element-wise kernel.
+    Elementwise {
+        /// Display name.
+        name: String,
+        /// Kind.
+        kind: EwKind,
+        /// Elements per image in.
+        in_elements: usize,
+        /// Elements per image out.
+        out_elements: usize,
+        /// Channel count at this point (BN parameter dimension).
+        channels: usize,
+    },
+}
+
+impl Stage {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Stage::Main { name, .. } | Stage::Elementwise { name, .. } => name,
+        }
+    }
+
+    /// Is this a main (tensor-core) stage?
+    pub fn is_main(&self) -> bool {
+        matches!(self, Stage::Main { .. })
+    }
+}
+
+fn channels_of(shape: ShapeCursor) -> usize {
+    match shape {
+        ShapeCursor::Map { c, .. } => c,
+        ShapeCursor::Vector { features } => features,
+    }
+}
+
+/// Run the fusion pass.
+///
+/// `fuse = true` applies the §5.2 grouping; `fuse = false` leaves every
+/// layer as its own stage (the BNN baseline and the Fig. 10 "w/o fusion"
+/// configuration).
+pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
+    let shapes = net.shapes();
+    let mut stages = Vec::new();
+    let mut main_index = 0usize;
+    let mut i = 0usize;
+
+    while i < net.layers.len() {
+        let layer = &net.layers[i];
+        let in_shape = shapes[i];
+        match layer {
+            LayerSpec::Conv { name, cout, k, stride, pad } => {
+                let ShapeCursor::Map { c, h, w } = in_shape else {
+                    panic!("conv on vector input")
+                };
+                let op = MainOp::Conv {
+                    cin: c,
+                    h,
+                    w,
+                    cout: *cout,
+                    k: *k,
+                    stride: *stride,
+                    pad: *pad,
+                };
+                let (tail, consumed) = if fuse {
+                    absorb_tail(&net.layers[i + 1..], true)
+                } else {
+                    (FusedTail::default(), 0)
+                };
+                let mut out_elements = op.out_elements();
+                if tail.pool2 {
+                    out_elements /= 4;
+                }
+                stages.push(Stage::Main {
+                    name: name.clone(),
+                    op,
+                    main_index,
+                    tail,
+                    in_elements: in_shape.elements(),
+                    out_elements,
+                });
+                main_index += 1;
+                i += 1 + consumed;
+            }
+            LayerSpec::Linear { name, out_features } => {
+                let ShapeCursor::Vector { features } = in_shape else {
+                    panic!("linear on map input")
+                };
+                let op = MainOp::Linear {
+                    in_features: features,
+                    out_features: *out_features,
+                };
+                let (tail, consumed) = if fuse {
+                    // Pooling never follows a linear layer in our zoo.
+                    absorb_tail(&net.layers[i + 1..], false)
+                } else {
+                    (FusedTail::default(), 0)
+                };
+                stages.push(Stage::Main {
+                    name: name.clone(),
+                    op,
+                    main_index,
+                    tail,
+                    in_elements: features,
+                    out_elements: *out_features,
+                });
+                main_index += 1;
+                i += 1 + consumed;
+            }
+            LayerSpec::Flatten => {
+                i += 1; // free
+            }
+            other => {
+                let out_shape = shapes[i + 1];
+                let kind = match other {
+                    LayerSpec::MaxPool { k, stride } | LayerSpec::AvgPool { k, stride } => {
+                        // A pool stage can still absorb a following quantize
+                        // (packed store) when fusion is on.
+                        let quantize = fuse
+                            && matches!(net.layers.get(i + 1), Some(LayerSpec::QuantizeActs));
+                        if quantize {
+                            i += 1;
+                        }
+                        EwKind::Pool {
+                            k: *k,
+                            stride: *stride,
+                            max: matches!(other, LayerSpec::MaxPool { .. }),
+                            quantize,
+                        }
+                    }
+                    LayerSpec::GlobalAvgPool => EwKind::GlobalAvgPool,
+                    LayerSpec::BatchNorm => EwKind::BatchNorm,
+                    LayerSpec::Relu => EwKind::Relu,
+                    LayerSpec::QuantizeActs => EwKind::Quantize,
+                    LayerSpec::ResidualAdd => EwKind::ResidualAdd,
+                    _ => unreachable!(),
+                };
+                stages.push(Stage::Elementwise {
+                    name: other.name(),
+                    kind,
+                    in_elements: in_shape.elements(),
+                    out_elements: out_shape.elements(),
+                    channels: channels_of(out_shape),
+                });
+                i += 1;
+            }
+        }
+    }
+    stages
+}
+
+/// Absorb a BN/ReLU/(2×2 pool)/Quantize tail; returns the tail and how many
+/// layers it consumed.
+fn absorb_tail(rest: &[LayerSpec], allow_pool: bool) -> (FusedTail, usize) {
+    let mut tail = FusedTail::default();
+    let mut consumed = 0usize;
+    for l in rest {
+        match l {
+            LayerSpec::BatchNorm if !tail.pool2 && !tail.quantize => tail.bn = true,
+            LayerSpec::Relu if !tail.quantize => tail.relu = true,
+            LayerSpec::MaxPool { k: 2, stride: 2 } if allow_pool && !tail.quantize => {
+                tail.pool2 = true
+            }
+            LayerSpec::QuantizeActs => {
+                tail.quantize = true;
+                consumed += 1;
+                break;
+            }
+            _ => break,
+        }
+        consumed += 1;
+    }
+    (tail, consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerSpec as L;
+
+    fn vggish() -> Network {
+        Network::new("t", 3, 8, 8)
+            .push(L::conv("c1", 16, 3, 1, 1))
+            .push(L::BatchNorm)
+            .push(L::Relu)
+            .push(L::MaxPool { k: 2, stride: 2 })
+            .push(L::QuantizeActs)
+            .push(L::conv("c2", 32, 3, 1, 1))
+            .push(L::Relu)
+            .push(L::QuantizeActs)
+            .push(L::Flatten)
+            .push(L::linear("fc", 10))
+    }
+
+    #[test]
+    fn fused_stages_collapse_tails() {
+        let stages = fuse_network(&vggish(), true);
+        // c1(+bn+relu+pool+quant), c2(+relu+quant), fc → 3 stages.
+        assert_eq!(stages.len(), 3);
+        let Stage::Main { tail, out_elements, .. } = &stages[0] else {
+            panic!()
+        };
+        assert!(tail.bn && tail.relu && tail.pool2 && tail.quantize);
+        assert_eq!(*out_elements, 16 * 4 * 4);
+        let Stage::Main { tail, .. } = &stages[1] else { panic!() };
+        assert!(!tail.bn && tail.relu && !tail.pool2 && tail.quantize);
+        assert!(stages[2].is_main());
+    }
+
+    #[test]
+    fn unfused_keeps_every_layer() {
+        let stages = fuse_network(&vggish(), false);
+        // conv, bn, relu, pool, quant, conv, relu, quant, fc (flatten free).
+        assert_eq!(stages.len(), 9);
+        assert_eq!(stages.iter().filter(|s| s.is_main()).count(), 3);
+    }
+
+    #[test]
+    fn big_pool_stays_elementwise_but_absorbs_quantize() {
+        let net = Network::new("t", 3, 31, 31)
+            .push(L::conv("c1", 8, 3, 1, 1))
+            .push(L::Relu)
+            .push(L::MaxPool { k: 3, stride: 2 })
+            .push(L::QuantizeActs);
+        let stages = fuse_network(&net, true);
+        assert_eq!(stages.len(), 2);
+        let Stage::Elementwise { kind, .. } = &stages[1] else {
+            panic!()
+        };
+        assert_eq!(
+            *kind,
+            EwKind::Pool {
+                k: 3,
+                stride: 2,
+                max: true,
+                quantize: true
+            }
+        );
+    }
+
+    #[test]
+    fn main_indices_count_only_main_layers() {
+        let stages = fuse_network(&vggish(), true);
+        let idx: Vec<usize> = stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Main { main_index, .. } => Some(*main_index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+}

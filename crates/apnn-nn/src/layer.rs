@@ -1,0 +1,204 @@
+//! Layer IR: shape-level layer specifications.
+//!
+//! A network is a sequence of [`LayerSpec`]s; parameter shapes (input
+//! channels, spatial dims) are inferred by walking the sequence from the
+//! network's input shape, so specs stay concise in the model zoo.
+
+/// One layer of a sequential network (shape level — weights live elsewhere).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSpec {
+    /// 2-D convolution to `cout` channels with a square `k×k` kernel.
+    Conv {
+        /// Display name (used in per-layer breakdowns, Fig. 9).
+        name: String,
+        /// Output channels.
+        cout: usize,
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Fully connected layer to `out_features`.
+    Linear {
+        /// Display name.
+        name: String,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Max pooling `k×k` / `stride`.
+    MaxPool {
+        /// Window.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Average pooling `k×k` / `stride`.
+    AvgPool {
+        /// Window.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling to 1×1.
+    GlobalAvgPool,
+    /// Batch normalization over channels.
+    BatchNorm,
+    /// ReLU.
+    Relu,
+    /// Re-quantize activations to the precision plan's `a`-bits before the
+    /// next main layer (the §5.1 dataflow inserts these automatically when
+    /// building networks, and the fusion pass folds them into the producer).
+    QuantizeActs,
+    /// Reshape NHWC feature map into a feature vector (free).
+    Flatten,
+    /// Residual skip-connection add (ResNet) — costed as an element-wise
+    /// kernel reading two maps and writing one.
+    ResidualAdd,
+}
+
+impl LayerSpec {
+    /// Convenience conv constructor.
+    pub fn conv(name: &str, cout: usize, k: usize, stride: usize, pad: usize) -> Self {
+        LayerSpec::Conv {
+            name: name.to_string(),
+            cout,
+            k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Convenience linear constructor.
+    pub fn linear(name: &str, out_features: usize) -> Self {
+        LayerSpec::Linear {
+            name: name.to_string(),
+            out_features,
+        }
+    }
+
+    /// Is this a main (tensor-core) op?
+    pub fn is_main(&self) -> bool {
+        matches!(self, LayerSpec::Conv { .. } | LayerSpec::Linear { .. })
+    }
+
+    /// Display name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            LayerSpec::Conv { name, .. } | LayerSpec::Linear { name, .. } => name.clone(),
+            LayerSpec::MaxPool { .. } => "maxpool".into(),
+            LayerSpec::AvgPool { .. } => "avgpool".into(),
+            LayerSpec::GlobalAvgPool => "gap".into(),
+            LayerSpec::BatchNorm => "bn".into(),
+            LayerSpec::Relu => "relu".into(),
+            LayerSpec::QuantizeActs => "quant".into(),
+            LayerSpec::Flatten => "flatten".into(),
+            LayerSpec::ResidualAdd => "residual".into(),
+        }
+    }
+}
+
+/// A shape cursor walked through the layer sequence: either a feature map or
+/// a flat feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeCursor {
+    /// `(channels, height, width)` feature map (per image).
+    Map {
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+    /// Flat feature vector (per image).
+    Vector {
+        /// Features.
+        features: usize,
+    },
+}
+
+impl ShapeCursor {
+    /// Elements per image.
+    pub fn elements(&self) -> usize {
+        match *self {
+            ShapeCursor::Map { c, h, w } => c * h * w,
+            ShapeCursor::Vector { features } => features,
+        }
+    }
+
+    /// Advance the cursor through one layer; panics on shape mismatches
+    /// (e.g. `Linear` on an un-flattened map).
+    pub fn advance(&self, layer: &LayerSpec) -> ShapeCursor {
+        match (*self, layer) {
+            (ShapeCursor::Map { h, w, .. }, LayerSpec::Conv { cout, k, stride, pad, .. }) => {
+                let oh = (h + 2 * pad - k) / stride + 1;
+                let ow = (w + 2 * pad - k) / stride + 1;
+                ShapeCursor::Map { c: *cout, h: oh, w: ow }
+            }
+            (ShapeCursor::Map { c, h, w }, LayerSpec::MaxPool { k, stride })
+            | (ShapeCursor::Map { c, h, w }, LayerSpec::AvgPool { k, stride }) => {
+                ShapeCursor::Map {
+                    c,
+                    h: (h - k) / stride + 1,
+                    w: (w - k) / stride + 1,
+                }
+            }
+            (ShapeCursor::Map { c, .. }, LayerSpec::GlobalAvgPool) => {
+                ShapeCursor::Map { c, h: 1, w: 1 }
+            }
+            (ShapeCursor::Map { c, h, w }, LayerSpec::Flatten) => ShapeCursor::Vector {
+                features: c * h * w,
+            },
+            (ShapeCursor::Vector { .. }, LayerSpec::Linear { out_features, .. }) => {
+                ShapeCursor::Vector {
+                    features: *out_features,
+                }
+            }
+            (s, LayerSpec::BatchNorm)
+            | (s, LayerSpec::Relu)
+            | (s, LayerSpec::QuantizeActs)
+            | (s, LayerSpec::ResidualAdd) => s,
+            (s, l) => panic!("layer {l:?} cannot follow shape {s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_math() {
+        let s = ShapeCursor::Map { c: 3, h: 224, w: 224 };
+        let s = s.advance(&LayerSpec::conv("conv1", 64, 11, 4, 2));
+        assert_eq!(s, ShapeCursor::Map { c: 64, h: 55, w: 55 });
+        let s = s.advance(&LayerSpec::MaxPool { k: 3, stride: 2 });
+        assert_eq!(s, ShapeCursor::Map { c: 64, h: 27, w: 27 });
+    }
+
+    #[test]
+    fn flatten_then_linear() {
+        let s = ShapeCursor::Map { c: 256, h: 6, w: 6 };
+        let s = s.advance(&LayerSpec::Flatten);
+        assert_eq!(s, ShapeCursor::Vector { features: 9216 });
+        let s = s.advance(&LayerSpec::linear("fc6", 4096));
+        assert_eq!(s, ShapeCursor::Vector { features: 4096 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn linear_requires_flatten() {
+        let s = ShapeCursor::Map { c: 4, h: 2, w: 2 };
+        let _ = s.advance(&LayerSpec::linear("fc", 10));
+    }
+
+    #[test]
+    fn elementwise_keeps_shape() {
+        let s = ShapeCursor::Map { c: 8, h: 4, w: 4 };
+        assert_eq!(s.advance(&LayerSpec::Relu), s);
+        assert_eq!(s.advance(&LayerSpec::BatchNorm), s);
+        assert_eq!(s.advance(&LayerSpec::QuantizeActs), s);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # apnn-nn
+//!
+//! The network-level half of APNN-TC (paper §5): a layer IR, the
+//! minimal-traffic dataflow that keeps inter-layer activations packed at
+//! `q` bits (§5.1), the semantic-aware kernel-fusion pass (§5.2), a
+//! simulator-backed executor producing per-layer latency breakdowns, and a
+//! functional engine for end-to-end quantized inference on the CPU.
+//!
+//! The model zoo ([`models`]) provides the three networks the paper
+//! evaluates — AlexNet, VGG-Variant and ResNet-18 at ImageNet shapes — each
+//! instantiable at fp32 / fp16 / int8 / BNN / arbitrary `wPaQ` precision
+//! ([`NetPrecision`]).
+
+pub mod exec;
+pub mod functional;
+pub mod fuse;
+pub mod layer;
+pub mod models;
+pub mod net;
+pub mod precision;
+
+pub use exec::{simulate, simulate_with, NetworkReport, StageReport};
+pub use functional::{QuantNet, QuantStage};
+pub use fuse::{fuse_network, MainOp, Stage};
+pub use layer::LayerSpec;
+pub use net::Network;
+pub use precision::NetPrecision;

@@ -1,0 +1,67 @@
+//! AlexNet (Krizhevsky et al., the single-tower variant) at 224×224×3.
+
+use crate::layer::LayerSpec as L;
+use crate::net::Network;
+
+/// AlexNet for ImageNet: 5 conv + 3 FC layers, ~0.7 GMACs per image.
+///
+/// The first conv (11×11/4 on 224²) has by far the largest input feature
+/// map — the layer Fig. 9 shows dominating APNN latency (80.4%).
+pub fn alexnet() -> Network {
+    Network::new("AlexNet", 3, 224, 224)
+        .push(L::conv("conv1", 64, 11, 4, 2)) // 55×55
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::MaxPool { k: 3, stride: 2 }) // 27×27
+        .push(L::QuantizeActs)
+        .push(L::conv("conv2", 192, 5, 1, 2))
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::MaxPool { k: 3, stride: 2 }) // 13×13
+        .push(L::QuantizeActs)
+        .push(L::conv("conv3", 384, 3, 1, 1))
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+        .push(L::conv("conv4", 256, 3, 1, 1))
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+        .push(L::conv("conv5", 256, 3, 1, 1))
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::MaxPool { k: 3, stride: 2 }) // 6×6
+        .push(L::QuantizeActs)
+        .push(L::Flatten) // 9216
+        .push(L::linear("fc6", 4096))
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+        .push(L::linear("fc7", 4096))
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+        .push(L::linear("fc8", 1000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ShapeCursor;
+
+    #[test]
+    fn feature_map_walk() {
+        let net = alexnet();
+        let shapes = net.shapes();
+        // After conv1: 55×55×64; after pool1: 27×27×64; flatten: 9216.
+        assert_eq!(shapes[1], ShapeCursor::Map { c: 64, h: 55, w: 55 });
+        assert_eq!(shapes[4], ShapeCursor::Map { c: 64, h: 27, w: 27 });
+        let flat = shapes
+            .iter()
+            .find(|s| matches!(s, ShapeCursor::Vector { features: 9216 }));
+        assert!(flat.is_some());
+    }
+
+    #[test]
+    fn eight_main_layers() {
+        assert_eq!(alexnet().num_main_layers(), 8);
+    }
+}

@@ -1,0 +1,45 @@
+//! Model zoo: the three ImageNet networks of the paper's evaluation
+//! (Table 1/2: AlexNet, VGG-Variant, ResNet-18), expressed in the layer IR
+//! with the §5.1 dataflow conventions — a `QuantizeActs` after every hidden
+//! main layer (folded into the producer by the fusion pass) and raw i32
+//! logits at the output.
+
+mod alexnet;
+mod resnet18;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use resnet18::resnet18;
+pub use vgg::vgg_variant;
+
+use crate::net::Network;
+
+/// All three evaluation models, in the paper's Table 1/2 order.
+pub fn all_models() -> Vec<Network> {
+    vec![alexnet(), vgg_variant(), resnet18()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_and_classify_1000() {
+        for m in all_models() {
+            assert_eq!(m.output_features(), 1000, "{}", m.name);
+            assert_eq!((m.input_c, m.input_h, m.input_w), (3, 224, 224));
+        }
+    }
+
+    #[test]
+    fn mac_counts_are_in_published_ballparks() {
+        // Forward-pass MACs per image: AlexNet ≈ 0.7 G, VGG-ish ≈ 7–16 G,
+        // ResNet-18 ≈ 1.8 G.
+        let a = alexnet().macs_per_image() as f64 / 1e9;
+        assert!((0.5..1.2).contains(&a), "alexnet {a} GMACs");
+        let v = vgg_variant().macs_per_image() as f64 / 1e9;
+        assert!((6.0..17.0).contains(&v), "vgg {v} GMACs");
+        let r = resnet18().macs_per_image() as f64 / 1e9;
+        assert!((1.5..2.2).contains(&r), "resnet18 {r} GMACs");
+    }
+}

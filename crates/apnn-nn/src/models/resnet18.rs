@@ -1,0 +1,70 @@
+//! ResNet-18 (He et al.) at 224×224×3, sequentialized.
+//!
+//! Residual topology is expressed in the sequential IR with explicit
+//! `ResidualAdd` cost markers; downsample (1×1 stride-2) convolutions appear
+//! as their own main layers. This preserves per-layer shapes and MACs, which
+//! is all the latency model consumes.
+
+use crate::layer::LayerSpec as L;
+use crate::net::Network;
+
+fn basic_block(mut net: Network, name: &str, cout: usize, stride: usize, downsample: bool) -> Network {
+    net = net
+        .push(L::conv(&format!("{name}a"), cout, 3, stride, 1))
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+        .push(L::conv(&format!("{name}b"), cout, 3, 1, 1))
+        .push(L::BatchNorm);
+    if downsample {
+        // 1×1/stride projection on the skip path.
+        net = net.push(L::conv(&format!("{name}ds"), cout, 1, 1, 0));
+    }
+    net.push(L::ResidualAdd)
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+}
+
+/// ResNet-18 for ImageNet: 17 conv + 1 FC main layers (plus 3 downsample
+/// projections), ~1.8 GMACs per image.
+pub fn resnet18() -> Network {
+    let mut net = Network::new("ResNet-18", 3, 224, 224)
+        .push(L::conv("conv1", 64, 7, 2, 3)) // 112
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::MaxPool { k: 3, stride: 2 }) // 56 (floor((112-3)/2)+1 = 55; see note)
+        .push(L::QuantizeActs);
+
+    net = basic_block(net, "layer1.0", 64, 1, false);
+    net = basic_block(net, "layer1.1", 64, 1, false);
+    net = basic_block(net, "layer2.0", 128, 2, true);
+    net = basic_block(net, "layer2.1", 128, 1, false);
+    net = basic_block(net, "layer3.0", 256, 2, true);
+    net = basic_block(net, "layer3.1", 256, 1, false);
+    net = basic_block(net, "layer4.0", 512, 2, true);
+    net = basic_block(net, "layer4.1", 512, 1, false);
+
+    net.push(L::GlobalAvgPool)
+        .push(L::Flatten)
+        .push(L::linear("fc", 1000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ShapeCursor;
+
+    #[test]
+    fn main_layer_count() {
+        // 1 stem + 16 block convs + 3 downsample + 1 fc = 21.
+        assert_eq!(resnet18().num_main_layers(), 21);
+    }
+
+    #[test]
+    fn stage_widths() {
+        let net = resnet18();
+        let shapes = net.shapes();
+        assert!(shapes.iter().any(|s| matches!(s, ShapeCursor::Map { c: 512, .. })));
+        assert_eq!(net.output_features(), 1000);
+    }
+}

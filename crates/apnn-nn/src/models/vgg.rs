@@ -1,0 +1,61 @@
+//! VGG-Variant at 224×224×3.
+//!
+//! The paper cites Cai et al. [2] for its "VGG-Variant" — a VGG-style stack
+//! trimmed for quantized training. We use a VGG-11-shaped variant (8 conv +
+//! 3 FC, 2×2 pooling) which lands in the published MAC range and keeps all
+//! pools fusable.
+
+use crate::layer::LayerSpec as L;
+use crate::net::Network;
+
+fn conv_block(net: Network, name: &str, cout: usize, pool: bool) -> Network {
+    let mut net = net
+        .push(L::conv(name, cout, 3, 1, 1))
+        .push(L::BatchNorm)
+        .push(L::Relu);
+    if pool {
+        net = net.push(L::MaxPool { k: 2, stride: 2 });
+    }
+    net.push(L::QuantizeActs)
+}
+
+/// VGG-Variant for ImageNet: 8 conv + 3 FC layers, ~7.6 GMACs per image.
+pub fn vgg_variant() -> Network {
+    let mut net = Network::new("VGG-Variant", 3, 224, 224);
+    net = conv_block(net, "conv1", 64, true); // 112
+    net = conv_block(net, "conv2", 128, true); // 56
+    net = conv_block(net, "conv3_1", 256, false);
+    net = conv_block(net, "conv3_2", 256, true); // 28
+    net = conv_block(net, "conv4_1", 512, false);
+    net = conv_block(net, "conv4_2", 512, true); // 14
+    net = conv_block(net, "conv5_1", 512, false);
+    net = conv_block(net, "conv5_2", 512, true); // 7
+    net.push(L::Flatten) // 25088
+        .push(L::linear("fc6", 4096))
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+        .push(L::linear("fc7", 4096))
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+        .push(L::linear("fc8", 1000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ShapeCursor;
+
+    #[test]
+    fn eleven_main_layers() {
+        assert_eq!(vgg_variant().num_main_layers(), 11);
+    }
+
+    #[test]
+    fn final_map_is_7x7x512() {
+        let net = vgg_variant();
+        let shapes = net.shapes();
+        let found = shapes.contains(&ShapeCursor::Map { c: 512, h: 7, w: 7 });
+        assert!(found);
+        assert!(shapes.contains(&ShapeCursor::Vector { features: 25088 }));
+    }
+}

@@ -1,0 +1,157 @@
+//! Network precision configurations (the schemes of Tables 2 & 3).
+
+use apnn_bitpack::Encoding;
+use apnn_kernels::baselines::BaselineKind;
+
+/// A whole-network precision scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetPrecision {
+    /// CUTLASS single-precision on CUDA cores.
+    Fp32,
+    /// CUTLASS half-precision on tensor cores.
+    Fp16,
+    /// CUTLASS int8 on tensor cores.
+    Int8,
+    /// Binarized network in the style of the paper's BNN baseline
+    /// (BSTC/TCBNN): 1-bit ±1 weights and activations, small fixed tiles,
+    /// no cross-plane batching, un-fused element-wise layers.
+    Bnn,
+    /// APNN-TC arbitrary precision: `w`-bit weights, `a`-bit activations,
+    /// batched emulation + semantic-aware fusion.
+    Apnn {
+        /// Weight bits.
+        w: u32,
+        /// Activation bits.
+        a: u32,
+    },
+}
+
+impl NetPrecision {
+    /// The `wPaQ` configurations used throughout the evaluation.
+    pub fn w1a2() -> Self {
+        NetPrecision::Apnn { w: 1, a: 2 }
+    }
+
+    /// Does this scheme run on the APNN emulation machinery?
+    pub fn is_emulated(self) -> bool {
+        matches!(self, NetPrecision::Bnn | NetPrecision::Apnn { .. })
+    }
+
+    /// Library kernel family for the non-emulated schemes.
+    pub fn baseline_kind(self) -> Option<BaselineKind> {
+        match self {
+            NetPrecision::Fp32 => Some(BaselineKind::CutlassFp32),
+            NetPrecision::Fp16 => Some(BaselineKind::CutlassFp16),
+            NetPrecision::Int8 => Some(BaselineKind::CutlassInt8),
+            _ => None,
+        }
+    }
+
+    /// Weight bits of a main layer.
+    pub fn weight_bits(self) -> u32 {
+        match self {
+            NetPrecision::Fp32 => 32,
+            NetPrecision::Fp16 => 16,
+            NetPrecision::Int8 => 8,
+            NetPrecision::Bnn => 1,
+            NetPrecision::Apnn { w, .. } => w,
+        }
+    }
+
+    /// Activation bits of an *intermediate* main layer. The first main layer
+    /// always consumes the 8-bit quantized RGB input (§5.1).
+    pub fn activation_bits(self, first_layer: bool) -> u32 {
+        match self {
+            NetPrecision::Fp32 => 32,
+            NetPrecision::Fp16 => 16,
+            NetPrecision::Int8 => 8,
+            NetPrecision::Bnn => {
+                if first_layer {
+                    8
+                } else {
+                    1
+                }
+            }
+            NetPrecision::Apnn { a, .. } => {
+                if first_layer {
+                    8
+                } else {
+                    a
+                }
+            }
+        }
+    }
+
+    /// Weight encoding for emulated schemes: 1-bit weights are ±1 (Case II /
+    /// III), multi-bit weights are unsigned codes.
+    pub fn weight_encoding(self) -> Encoding {
+        if self.is_emulated() && self.weight_bits() == 1 {
+            Encoding::PlusMinusOne
+        } else {
+            Encoding::ZeroOne
+        }
+    }
+
+    /// Activation encoding: BNN intermediate activations are ±1; everything
+    /// else is unsigned.
+    pub fn activation_encoding(self, first_layer: bool) -> Encoding {
+        if matches!(self, NetPrecision::Bnn) && !first_layer {
+            Encoding::PlusMinusOne
+        } else {
+            Encoding::ZeroOne
+        }
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> String {
+        match self {
+            NetPrecision::Fp32 => "CUTLASS-Single".into(),
+            NetPrecision::Fp16 => "CUTLASS-Half-TC".into(),
+            NetPrecision::Int8 => "CUTLASS-INT8-TC".into(),
+            NetPrecision::Bnn => "BNN".into(),
+            NetPrecision::Apnn { w, a } => format!("APNN-w{w}a{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_layer_is_8bit_for_emulated() {
+        assert_eq!(NetPrecision::w1a2().activation_bits(true), 8);
+        assert_eq!(NetPrecision::w1a2().activation_bits(false), 2);
+        assert_eq!(NetPrecision::Bnn.activation_bits(true), 8);
+        assert_eq!(NetPrecision::Bnn.activation_bits(false), 1);
+    }
+
+    #[test]
+    fn encodings() {
+        assert_eq!(NetPrecision::w1a2().weight_encoding(), Encoding::PlusMinusOne);
+        assert_eq!(
+            NetPrecision::Apnn { w: 2, a: 2 }.weight_encoding(),
+            Encoding::ZeroOne
+        );
+        assert_eq!(
+            NetPrecision::Bnn.activation_encoding(false),
+            Encoding::PlusMinusOne
+        );
+        assert_eq!(
+            NetPrecision::Bnn.activation_encoding(true),
+            Encoding::ZeroOne
+        );
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(NetPrecision::w1a2().label(), "APNN-w1a2");
+        assert_eq!(NetPrecision::Fp32.label(), "CUTLASS-Single");
+    }
+
+    #[test]
+    fn baseline_kinds() {
+        assert!(NetPrecision::Fp16.baseline_kind().is_some());
+        assert!(NetPrecision::w1a2().baseline_kind().is_none());
+    }
+}

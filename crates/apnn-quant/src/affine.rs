@@ -1,0 +1,111 @@
+//! Affine (scale / zero-point) quantization — the paper's §5.2 quantize op:
+//! `y = ⌊(x − z)/s⌋`, clamped to the code range.
+
+/// An affine quantizer to `bits`-wide unsigned codes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineQuant {
+    /// Scale `s` (> 0).
+    pub scale: f32,
+    /// Zero point `z`.
+    pub zero_point: f32,
+    /// Code width.
+    pub bits: u32,
+}
+
+impl AffineQuant {
+    /// Largest representable code.
+    pub fn max_code(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Fit a quantizer to a data range `[lo, hi]` so the codes span it.
+    pub fn fit_range(lo: f32, hi: f32, bits: u32) -> Self {
+        assert!((1..=8).contains(&bits));
+        let hi = hi.max(lo + f32::EPSILON);
+        let levels = ((1u32 << bits) - 1) as f32;
+        AffineQuant {
+            scale: (hi - lo) / levels,
+            zero_point: lo,
+            bits,
+        }
+    }
+
+    /// Fit to the min/max of a sample.
+    pub fn fit_minmax(data: &[f32], bits: u32) -> Self {
+        let lo = data.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        Self::fit_range(lo.min(0.0), hi, bits)
+    }
+
+    /// Quantize one value to a code.
+    #[inline]
+    pub fn quantize(&self, x: f32) -> u32 {
+        let q = ((x - self.zero_point) / self.scale).floor();
+        q.clamp(0.0, self.max_code() as f32) as u32
+    }
+
+    /// Dequantize a code back to (the floor of) its value bucket's origin.
+    #[inline]
+    pub fn dequantize(&self, code: u32) -> f32 {
+        code as f32 * self.scale + self.zero_point
+    }
+
+    /// Fake-quantize (quantize → dequantize), the QAT forward transform.
+    #[inline]
+    pub fn fake(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Quantize a slice into codes.
+    pub fn quantize_all(&self, xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_range_spans_codes() {
+        let q = AffineQuant::fit_range(0.0, 3.0, 2);
+        assert_eq!(q.max_code(), 3);
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.quantize(2.999), 2);
+        assert_eq!(q.quantize(3.0), 3);
+        assert_eq!(q.quantize(100.0), 3); // clamps
+        assert_eq!(q.quantize(-5.0), 0);
+    }
+
+    #[test]
+    fn floor_semantics_match_paper() {
+        let q = AffineQuant {
+            scale: 2.0,
+            zero_point: 1.0,
+            bits: 4,
+        };
+        // ⌊(7−1)/2⌋ = 3.
+        assert_eq!(q.quantize(7.0), 3);
+        assert_eq!(q.quantize(7.99), 3);
+        assert_eq!(q.quantize(8.0), 3); // ⌊7/2⌋ = 3 (floor, not round)
+        assert_eq!(q.quantize(9.0), 4);
+    }
+
+    #[test]
+    fn fake_is_idempotent() {
+        let q = AffineQuant::fit_range(-1.0, 1.0, 3);
+        for x in [-1.0f32, -0.3, 0.0, 0.7, 1.0] {
+            let f = q.fake(x);
+            assert_eq!(q.fake(f), f);
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_scale() {
+        let q = AffineQuant::fit_range(0.0, 10.0, 4);
+        for i in 0..100 {
+            let x = i as f32 / 10.0;
+            assert!((q.fake(x) - x).abs() <= q.scale + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! A manual-backprop MLP classifier with straight-through-estimator
+//! quantization-aware training (QAT).
+//!
+//! Forward pass under [`QuantScheme::Quantized`]:
+//! * weights of every hidden layer are fake-quantized (1-bit: scaled sign,
+//!   the XNOR/DoReFa rule; multi-bit: DoReFa);
+//! * hidden activations are clipped to `[0, 1]` and fake-quantized to
+//!   `a` bits (DoReFa activation rule);
+//! * the classifier layer optionally stays float (standard LQ-Nets/DoReFa
+//!   practice, and what keeps Table 1's w1a2 close to float).
+//!
+//! Backward uses the straight-through estimator: quantizers pass gradients
+//! where the pre-activation lies inside the clip range.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dorefa;
+
+/// Precision scheme for QAT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantScheme {
+    /// Full-precision training (the Table 1 "Single" column).
+    Float,
+    /// `w`-bit weights / `a`-bit activations with STE.
+    Quantized {
+        /// Weight bits.
+        w_bits: u32,
+        /// Activation bits.
+        a_bits: u32,
+        /// Quantize the final classifier layer too (required for lowering
+        /// onto the integer engine; off for best accuracy).
+        quantize_output: bool,
+    },
+}
+
+impl QuantScheme {
+    /// The Table 1 "Binary" column: 1-bit weights, ±1 sign activations (the
+    /// 1-bit member of the symmetric hard-tanh activation family).
+    pub fn binary() -> Self {
+        QuantScheme::Quantized {
+            w_bits: 1,
+            a_bits: 1,
+            quantize_output: false,
+        }
+    }
+
+    /// w1a2 (the paper's flagship configuration).
+    pub fn w1a2() -> Self {
+        QuantScheme::Quantized {
+            w_bits: 1,
+            a_bits: 2,
+            quantize_output: false,
+        }
+    }
+}
+
+/// One dense layer.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weights, row-major `out × in`.
+    pub w: Vec<f32>,
+    /// Bias, `out`.
+    pub b: Vec<f32>,
+    /// Input width.
+    pub fan_in: usize,
+    /// Output width.
+    pub fan_out: usize,
+}
+
+/// The MLP.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Layers, last one is the classifier.
+    pub layers: Vec<Dense>,
+    /// Precision scheme.
+    pub scheme: QuantScheme,
+}
+
+/// Per-layer forward cache for backprop.
+struct Cache {
+    /// Layer inputs (post-quant activations of the previous layer).
+    inputs: Vec<Vec<f32>>,
+    /// Pre-activations.
+    zs: Vec<Vec<f32>>,
+    /// Effective (fake-quantized) weights per layer.
+    w_eff: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// He-initialized MLP: `dims = [in, h1, …, out]`.
+    pub fn new(dims: &[usize], scheme: QuantScheme, seed: u64) -> Self {
+        assert!(dims.len() >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|wd| {
+                let (fan_in, fan_out) = (wd[0], wd[1]);
+                let std = (2.0 / fan_in as f32).sqrt();
+                Dense {
+                    w: (0..fan_in * fan_out)
+                        .map(|_| {
+                            let g: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
+                            g * 1.732 * std
+                        })
+                        .collect(),
+                    b: vec![0.0; fan_out],
+                    fan_in,
+                    fan_out,
+                }
+            })
+            .collect();
+        Mlp { layers, scheme }
+    }
+
+    fn effective_weights(&self, li: usize) -> Vec<f32> {
+        let last = li + 1 == self.layers.len();
+        match self.scheme {
+            QuantScheme::Float => self.layers[li].w.clone(),
+            QuantScheme::Quantized {
+                w_bits,
+                quantize_output,
+                ..
+            } => {
+                if last && !quantize_output {
+                    self.layers[li].w.clone()
+                } else {
+                    dorefa::quantize_weights(&self.layers[li].w, w_bits)
+                }
+            }
+        }
+    }
+
+    fn activation_bits(&self) -> Option<u32> {
+        match self.scheme {
+            QuantScheme::Float => None,
+            QuantScheme::Quantized { a_bits, .. } => Some(a_bits),
+        }
+    }
+
+    /// Forward pass for one input; returns logits.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let (logits, _) = self.forward_cached(x);
+        logits
+    }
+
+    fn forward_cached(&self, x: &[f32]) -> (Vec<f32>, Cache) {
+        let mut cache = Cache {
+            inputs: Vec::with_capacity(self.layers.len()),
+            zs: Vec::with_capacity(self.layers.len()),
+            w_eff: Vec::with_capacity(self.layers.len()),
+        };
+        let mut a = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let w_eff = self.effective_weights(li);
+            let mut z = layer.b.clone();
+            for o in 0..layer.fan_out {
+                let row = &w_eff[o * layer.fan_in..(o + 1) * layer.fan_in];
+                let mut acc = 0.0f32;
+                for (wi, ai) in row.iter().zip(a.iter()) {
+                    acc += wi * ai;
+                }
+                z[o] += acc;
+            }
+            cache.inputs.push(a.clone());
+            cache.zs.push(z.clone());
+            cache.w_eff.push(w_eff);
+            let last = li + 1 == self.layers.len();
+            if last {
+                return (z, cache);
+            }
+            // Hidden activation: hard-tanh, fake-quantized to the symmetric
+            // a-bit grid under QAT (1 bit ⇒ the BNN sign activation).
+            a = z
+                .iter()
+                .map(|&v| {
+                    let c = v.clamp(-1.0, 1.0);
+                    match self.activation_bits() {
+                        None => c,
+                        Some(bits) => dorefa::quantize_symmetric(c, bits).0,
+                    }
+                })
+                .collect();
+        }
+        unreachable!()
+    }
+
+    /// One SGD step on a minibatch; returns the mean cross-entropy loss.
+    pub fn train_batch(
+        &mut self,
+        xs: &[&[f32]],
+        ys: &[usize],
+        lr: f32,
+        grads: &mut Grads,
+    ) -> f32 {
+        grads.zero(self);
+        let mut loss = 0.0f32;
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let (logits, cache) = self.forward_cached(x);
+            loss += self.backward(&logits, y, &cache, grads);
+        }
+        let scale = lr / xs.len() as f32;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (w, g) in layer.w.iter_mut().zip(&grads.w[li]) {
+                *w -= scale * g;
+            }
+            for (b, g) in layer.b.iter_mut().zip(&grads.b[li]) {
+                *b -= scale * g;
+            }
+        }
+        loss / xs.len() as f32
+    }
+
+    /// Backprop one sample into `grads`; returns the CE loss.
+    #[allow(clippy::needless_range_loop)] // o indexes outputs across three buffers
+    fn backward(&self, logits: &[f32], y: usize, cache: &Cache, grads: &mut Grads) -> f32 {
+        // Softmax + CE.
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+        let loss = -(probs[y].max(1e-12)).ln();
+
+        // dL/dz for the output layer.
+        let mut dz: Vec<f32> = probs;
+        dz[y] -= 1.0;
+
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let input = &cache.inputs[li];
+            // Accumulate weight/bias grads (STE: grads flow to the latent
+            // float weights as if w_eff were identity in w).
+            for o in 0..layer.fan_out {
+                grads.b[li][o] += dz[o];
+                let grow = &mut grads.w[li][o * layer.fan_in..(o + 1) * layer.fan_in];
+                for (g, a) in grow.iter_mut().zip(input.iter()) {
+                    *g += dz[o] * a;
+                }
+            }
+            if li == 0 {
+                break;
+            }
+            // Propagate: dL/da_prev = Wᵀ dz, then through the clip/quant STE
+            // (pass where the *pre-activation* was inside (0,1)).
+            let w_eff = &cache.w_eff[li];
+            let prev = &self.layers[li - 1];
+            let mut da = vec![0.0f32; prev.fan_out];
+            for o in 0..layer.fan_out {
+                let row = &w_eff[o * layer.fan_in..(o + 1) * layer.fan_in];
+                for (i, wv) in row.iter().enumerate() {
+                    da[i] += wv * dz[o];
+                }
+            }
+            let zprev = &cache.zs[li - 1];
+            // Hard-tanh STE: gradients pass where |z| ≤ 1.
+            dz = da
+                .iter()
+                .zip(zprev.iter())
+                .map(|(&g, &z)| if z.abs() <= 1.0 { g } else { 0.0 })
+                .collect();
+        }
+        loss
+    }
+
+    /// Classification accuracy over `(xs, ys)` rows of width `dim`.
+    pub fn accuracy(&self, xs: &[f32], ys: &[usize], dim: usize) -> f32 {
+        let mut correct = 0usize;
+        for (i, &y) in ys.iter().enumerate() {
+            let logits = self.forward(&xs[i * dim..(i + 1) * dim]);
+            let pred = argmax(&logits);
+            if pred == y {
+                correct += 1;
+            }
+        }
+        correct as f32 / ys.len().max(1) as f32
+    }
+}
+
+/// Index of the maximum element.
+pub fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Gradient buffers matching an [`Mlp`].
+#[derive(Debug, Default)]
+pub struct Grads {
+    w: Vec<Vec<f32>>,
+    b: Vec<Vec<f32>>,
+}
+
+impl Grads {
+    /// Allocate for a network.
+    pub fn for_mlp(mlp: &Mlp) -> Self {
+        Grads {
+            w: mlp.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            b: mlp.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    fn zero(&mut self, mlp: &Mlp) {
+        if self.w.len() != mlp.layers.len() {
+            *self = Self::for_mlp(mlp);
+            return;
+        }
+        for g in self.w.iter_mut().chain(self.b.iter_mut()) {
+            g.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mlp = Mlp::new(&[8, 16, 4], QuantScheme::Float, 1);
+        let x = vec![0.5f32; 8];
+        let logits = mlp.forward(&x);
+        assert_eq!(logits.len(), 4);
+    }
+
+    #[test]
+    fn float_learns_xor_like_separation() {
+        // Two blobs per class along different dims — learnable quickly.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..64 {
+            let c = i % 2;
+            let base = if c == 0 { 0.2 } else { 0.8 };
+            xs.push(vec![base + 0.05 * ((i / 2) % 3) as f32, 1.0 - base]);
+            ys.push(c);
+        }
+        let mut mlp = Mlp::new(&[2, 16, 2], QuantScheme::Float, 3);
+        let mut grads = Grads::for_mlp(&mlp);
+        let flat: Vec<f32> = xs.iter().flatten().cloned().collect();
+        for _ in 0..200 {
+            let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+            mlp.train_batch(&refs, &ys, 0.5, &mut grads);
+        }
+        assert!(mlp.accuracy(&flat, &ys, 2) > 0.95);
+    }
+
+    #[test]
+    fn loss_decreases_under_training() {
+        let xs: Vec<Vec<f32>> = (0..32)
+            .map(|i| vec![(i % 4) as f32 / 4.0, (i % 8) as f32 / 8.0, 0.5])
+            .collect();
+        let ys: Vec<usize> = (0..32).map(|i| i % 4).collect();
+        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let mut mlp = Mlp::new(&[3, 32, 4], QuantScheme::Float, 5);
+        let mut grads = Grads::for_mlp(&mlp);
+        let first = mlp.train_batch(&refs, &ys, 0.3, &mut grads);
+        let mut last = first;
+        for _ in 0..100 {
+            last = mlp.train_batch(&refs, &ys, 0.3, &mut grads);
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn quantized_forward_uses_discrete_weights() {
+        let mlp = Mlp::new(&[4, 8, 2], QuantScheme::w1a2(), 7);
+        let w_eff = mlp.effective_weights(0);
+        // 1-bit effective weights take exactly two values ±scale.
+        let mut distinct: Vec<f32> = w_eff.to_vec();
+        distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        distinct.dedup();
+        assert_eq!(distinct.len(), 2);
+        assert!((distinct[0] + distinct[1]).abs() < 1e-6);
+        // Classifier stays float (more than 2 distinct values almost surely).
+        let w_last = mlp.effective_weights(1);
+        let mut d2: Vec<f32> = w_last.to_vec();
+        d2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d2.dedup();
+        assert!(d2.len() > 2);
+    }
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[2.0]), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! LQ-Nets-style Quantization-Error-Minimization (QEM) basis learning.
+//!
+//! The paper follows LQ-Nets \[46\]: a `p`-bit weight is represented as
+//! `w ≈ Σ_s v_s · b_s` with `b_s ∈ {−1, +1}` and a learned basis
+//! `v ∈ R^p`. QEM alternates (1) encoding each weight to its nearest
+//! representable level and (2) re-fitting the basis in closed form
+//! (ordinary least squares on the ±1 design matrix).
+
+/// Learned `p`-bit QEM quantizer: basis + the 2^p representable levels.
+#[derive(Debug, Clone)]
+pub struct QemQuantizer {
+    /// Basis vector `v` (length `p`).
+    pub basis: Vec<f32>,
+    /// Bits `p`.
+    pub bits: u32,
+}
+
+impl QemQuantizer {
+    /// All `2^p` representable levels, with their sign patterns
+    /// (bit s of the index = 1 ⇒ `b_s = +1`).
+    pub fn levels(&self) -> Vec<f32> {
+        let p = self.bits;
+        (0..(1u32 << p))
+            .map(|code| {
+                (0..p)
+                    .map(|s| {
+                        let sign = if (code >> s) & 1 == 1 { 1.0 } else { -1.0 };
+                        sign * self.basis[s as usize]
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Encode a value to the index of its nearest level.
+    pub fn encode(&self, x: f32) -> u32 {
+        let levels = self.levels();
+        let mut best = 0u32;
+        let mut best_d = f32::INFINITY;
+        for (i, &l) in levels.iter().enumerate() {
+            let d = (x - l).abs();
+            if d < best_d {
+                best_d = d;
+                best = i as u32;
+            }
+        }
+        best
+    }
+
+    /// Fake-quantize to the nearest level.
+    pub fn fake(&self, x: f32) -> f32 {
+        self.levels()[self.encode(x) as usize]
+    }
+
+    /// Fit a `p`-bit QEM quantizer to `weights` by alternating optimization.
+    pub fn fit(weights: &[f32], bits: u32, iters: usize) -> Self {
+        assert!((1..=4).contains(&bits), "QEM basis supported for 1..=4 bits");
+        let p = bits as usize;
+        // Init: power-of-two decaying basis scaled by mean |w| (the LQ-Nets
+        // initialization).
+        let mean_abs = weights.iter().map(|w| w.abs()).sum::<f32>() / weights.len().max(1) as f32;
+        let mut q = QemQuantizer {
+            basis: (0..p)
+                .map(|s| mean_abs * (1 << s) as f32 / (1 << (p - 1)) as f32)
+                .collect(),
+            bits,
+        };
+        for _ in 0..iters {
+            // (1) Encode all weights with the current basis.
+            let levels = q.levels();
+            let codes: Vec<u32> = weights
+                .iter()
+                .map(|&w| {
+                    let mut best = 0u32;
+                    let mut bd = f32::INFINITY;
+                    for (i, &l) in levels.iter().enumerate() {
+                        let d = (w - l).abs();
+                        if d < bd {
+                            bd = d;
+                            best = i as u32;
+                        }
+                    }
+                    best
+                })
+                .collect();
+            // (2) Closed-form basis refit: solve (BᵀB) v = Bᵀ w.
+            let mut btb = vec![0f64; p * p];
+            let mut btw = vec![0f64; p];
+            for (&w, &code) in weights.iter().zip(&codes) {
+                let b: Vec<f64> = (0..p)
+                    .map(|s| if (code >> s) & 1 == 1 { 1.0 } else { -1.0 })
+                    .collect();
+                for i in 0..p {
+                    btw[i] += b[i] * w as f64;
+                    for j in 0..p {
+                        btb[i * p + j] += b[i] * b[j];
+                    }
+                }
+            }
+            if let Some(v) = solve_spd(&btb, &btw, p) {
+                // Keep the basis positive and sorted for a canonical form.
+                let mut v: Vec<f32> = v.iter().map(|&x| x.abs() as f32).collect();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                if v.iter().all(|x| x.is_finite() && *x > 0.0) {
+                    q.basis = v;
+                }
+            }
+        }
+        q
+    }
+
+    /// Mean squared quantization error on a sample.
+    pub fn mse(&self, weights: &[f32]) -> f32 {
+        let levels = self.levels();
+        weights
+            .iter()
+            .map(|&w| {
+                let e = levels
+                    .iter()
+                    .map(|&l| (w - l) * (w - l))
+                    .fold(f32::INFINITY, f32::min);
+                e
+            })
+            .sum::<f32>()
+            / weights.len().max(1) as f32
+    }
+}
+
+/// Gaussian elimination for the tiny (≤4×4) SPD normal equations.
+fn solve_spd(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if m[r * n + col].abs() > m[piv * n + col].abs() {
+                piv = r;
+            }
+        }
+        if m[piv * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for c in 0..n {
+                m.swap(col * n + c, piv * n + c);
+            }
+            rhs.swap(col, piv);
+        }
+        let d = m[col * n + col];
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let f = m[r * n + col] / d;
+            for c in 0..n {
+                m[r * n + c] -= f * m[col * n + c];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    Some((0..n).map(|i| rhs[i] / m[i * n + i]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_sample(n: usize, seed: u64) -> Vec<f32> {
+        // Box-Muller-ish via sum of uniforms (CLT), deterministic.
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                let mut acc = 0.0f32;
+                for _ in 0..12 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    acc += ((s >> 33) as f32) / (u32::MAX >> 1) as f32;
+                }
+                acc - 6.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_bit_recovers_mean_abs() {
+        // For p=1 the OLS solution is exactly mean(|w|) (XNOR-Net scaling).
+        let w = gaussian_sample(4096, 3);
+        let q = QemQuantizer::fit(&w, 1, 5);
+        let mean_abs = w.iter().map(|x| x.abs()).sum::<f32>() / w.len() as f32;
+        assert!((q.basis[0] - mean_abs).abs() / mean_abs < 0.02, "{:?}", q.basis);
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let w = gaussian_sample(4096, 7);
+        let e1 = QemQuantizer::fit(&w, 1, 8).mse(&w);
+        let e2 = QemQuantizer::fit(&w, 2, 8).mse(&w);
+        let e3 = QemQuantizer::fit(&w, 3, 8).mse(&w);
+        assert!(e2 < e1, "e1={e1} e2={e2}");
+        assert!(e3 < e2, "e2={e2} e3={e3}");
+    }
+
+    #[test]
+    fn iterations_do_not_increase_error() {
+        let w = gaussian_sample(2048, 11);
+        let early = QemQuantizer::fit(&w, 2, 1).mse(&w);
+        let late = QemQuantizer::fit(&w, 2, 10).mse(&w);
+        assert!(late <= early * 1.001, "early={early} late={late}");
+    }
+
+    #[test]
+    fn levels_count_and_symmetry() {
+        let q = QemQuantizer {
+            basis: vec![0.5, 1.0],
+            bits: 2,
+        };
+        let mut levels = q.levels();
+        levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(levels, vec![-1.5, -0.5, 0.5, 1.5]);
+    }
+
+    #[test]
+    fn encode_picks_nearest() {
+        let q = QemQuantizer {
+            basis: vec![1.0],
+            bits: 1,
+        };
+        assert_eq!(q.fake(0.3), 1.0);
+        assert_eq!(q.fake(-0.3), -1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Compact binary model artifacts for exported networks.
+//!
+//! A deployed APNN model is tiny — ±1 weights pack to one bit each, plus a
+//! scale and a bias vector per layer. This module defines the `APNN1` wire
+//! format so models trained with [`mod@crate::train`] and lowered with
+//! [`crate::export`] can be saved and shipped:
+//!
+//! ```text
+//! magic "APNN"  version u16  a_bits u8  input_bits u8
+//! dim u32  classes u32  n_layers u32
+//! per layer:
+//!   fan_in u32  fan_out u32  s_w f32
+//!   bias_folded f32 × fan_out
+//!   signs, bit-packed row-major (bit 1 ⇒ +1), padded to a byte
+//! ```
+//!
+//! All integers little-endian.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::export::{ExportedLayer, ExportedNet};
+
+/// Wire-format magic.
+pub const MAGIC: &[u8; 4] = b"APNN";
+/// Current wire-format version.
+pub const VERSION: u16 = 1;
+
+/// Serialization / deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelFormatError {
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Buffer ended before the declared contents.
+    Truncated,
+    /// A declared dimension was inconsistent.
+    BadShape(&'static str),
+}
+
+impl std::fmt::Display for ModelFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelFormatError::BadMagic => write!(f, "not an APNN model (bad magic)"),
+            ModelFormatError::BadVersion(v) => write!(f, "unsupported model version {v}"),
+            ModelFormatError::Truncated => write!(f, "model buffer truncated"),
+            ModelFormatError::BadShape(what) => write!(f, "inconsistent model shape: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelFormatError {}
+
+impl ExportedNet {
+    /// Serialize to the `APNN1` binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u8(self.a_bits as u8);
+        buf.put_u8(self.input_bits as u8);
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u32_le(self.classes as u32);
+        buf.put_u32_le(self.layers.len() as u32);
+        for l in &self.layers {
+            buf.put_u32_le(l.fan_in as u32);
+            buf.put_u32_le(l.fan_out as u32);
+            buf.put_f32_le(l.s_w);
+            for &b in &l.bias_folded {
+                buf.put_f32_le(b);
+            }
+            // Bit-pack the signs.
+            let mut byte = 0u8;
+            for (i, &s) in l.signs.iter().enumerate() {
+                if s > 0 {
+                    byte |= 1 << (i % 8);
+                }
+                if i % 8 == 7 {
+                    buf.put_u8(byte);
+                    byte = 0;
+                }
+            }
+            if l.signs.len() % 8 != 0 {
+                buf.put_u8(byte);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from the `APNN1` binary format.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, ModelFormatError> {
+        use ModelFormatError::*;
+        if data.remaining() < 6 {
+            return Err(Truncated);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(BadMagic);
+        }
+        let version = data.get_u16_le();
+        if version != VERSION {
+            return Err(BadVersion(version));
+        }
+        if data.remaining() < 2 + 12 {
+            return Err(Truncated);
+        }
+        let a_bits = data.get_u8() as u32;
+        let input_bits = data.get_u8() as u32;
+        if !(1..=8).contains(&a_bits) || !(1..=8).contains(&input_bits) {
+            return Err(BadShape("bit widths must be 1..=8"));
+        }
+        let dim = data.get_u32_le() as usize;
+        let classes = data.get_u32_le() as usize;
+        let n_layers = data.get_u32_le() as usize;
+        if n_layers == 0 {
+            return Err(BadShape("zero layers"));
+        }
+
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut expect_in = dim;
+        for li in 0..n_layers {
+            if data.remaining() < 12 {
+                return Err(Truncated);
+            }
+            let fan_in = data.get_u32_le() as usize;
+            let fan_out = data.get_u32_le() as usize;
+            let s_w = data.get_f32_le();
+            if fan_in != expect_in {
+                return Err(BadShape("layer fan_in does not chain"));
+            }
+            if li + 1 == n_layers && fan_out != classes {
+                return Err(BadShape("classifier width != classes"));
+            }
+            if data.remaining() < 4 * fan_out {
+                return Err(Truncated);
+            }
+            let bias_folded: Vec<f32> = (0..fan_out).map(|_| data.get_f32_le()).collect();
+            let n_signs = fan_in * fan_out;
+            let n_bytes = n_signs.div_ceil(8);
+            if data.remaining() < n_bytes {
+                return Err(Truncated);
+            }
+            let mut signs = Vec::with_capacity(n_signs);
+            let mut consumed = 0usize;
+            while consumed < n_signs {
+                let byte = data.get_u8();
+                for bit in 0..8 {
+                    if consumed == n_signs {
+                        break;
+                    }
+                    signs.push(if (byte >> bit) & 1 == 1 { 1 } else { -1 });
+                    consumed += 1;
+                }
+            }
+            expect_in = fan_out;
+            layers.push(ExportedLayer {
+                signs,
+                s_w,
+                bias_folded,
+                fan_in,
+                fan_out,
+            });
+        }
+        Ok(ExportedNet {
+            layers,
+            a_bits,
+            input_bits,
+            dim,
+            classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticDataset;
+    use crate::mlp::QuantScheme;
+    use crate::train::{train, TrainConfig};
+
+    fn trained() -> (SyntheticDataset, ExportedNet) {
+        let data = SyntheticDataset::generate(4, 20, 30, 20, 0.35, 3);
+        let mut cfg = TrainConfig::new(
+            vec![24],
+            QuantScheme::Quantized {
+                w_bits: 1,
+                a_bits: 2,
+                quantize_output: true,
+            },
+        );
+        cfg.epochs = 8;
+        let r = train(&data, &cfg);
+        (data, crate::export::export_mlp(&r.mlp))
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_exactly() {
+        let (data, net) = trained();
+        let bytes = net.to_bytes();
+        let restored = ExportedNet::from_bytes(&bytes).unwrap();
+        let batch = data.test_len();
+        assert_eq!(
+            net.predict(&data.test_x, batch),
+            restored.predict(&data.test_x, batch)
+        );
+    }
+
+    #[test]
+    fn artifact_is_compact() {
+        let (_, net) = trained();
+        let bytes = net.to_bytes();
+        // ±1 weights pack to 1 bit: 20*24 + 24*4 = 576 weights = 72 bytes,
+        // plus biases (28 f32) and headers — well under a float model.
+        let float_size = (20 * 24 + 24 * 4 + 28) * 4;
+        assert!(bytes.len() < float_size / 2, "{} bytes", bytes.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            ExportedNet::from_bytes(b"NOPE\x01\x00rest"),
+            Err(ModelFormatError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let (_, net) = trained();
+        let bytes = net.to_bytes();
+        // Every strict prefix must fail cleanly (no panic).
+        for cut in [0, 3, 6, 10, 20, bytes.len() - 1] {
+            let r = ExportedNet::from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (_, net) = trained();
+        let mut raw = net.to_bytes().to_vec();
+        raw[4] = 99;
+        assert_eq!(
+            ExportedNet::from_bytes(&raw),
+            Err(ModelFormatError::BadVersion(99))
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! QAT training loop + the Table 1 accuracy experiment driver.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::SyntheticDataset;
+use crate::mlp::{Grads, Mlp, QuantScheme};
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Hidden-layer widths.
+    pub hidden: Vec<usize>,
+    /// Precision scheme.
+    pub scheme: QuantScheme,
+    /// Epochs.
+    pub epochs: usize,
+    /// Learning rate (linearly decayed to 10%).
+    pub lr: f32,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Reasonable defaults for the synthetic Table 1 experiment.
+    pub fn new(hidden: Vec<usize>, scheme: QuantScheme) -> Self {
+        TrainConfig {
+            hidden,
+            scheme,
+            epochs: 30,
+            lr: 0.3,
+            batch: 32,
+            seed: 17,
+        }
+    }
+}
+
+/// Result of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Train-set accuracy.
+    pub train_acc: f32,
+    /// Test-set accuracy.
+    pub test_acc: f32,
+    /// The trained model.
+    pub mlp: Mlp,
+}
+
+/// Train an MLP on the dataset under the configured scheme.
+pub fn train(data: &SyntheticDataset, cfg: &TrainConfig) -> TrainResult {
+    let mut dims = vec![data.dim];
+    dims.extend_from_slice(&cfg.hidden);
+    dims.push(data.num_classes);
+
+    let mut mlp = Mlp::new(&dims, cfg.scheme, cfg.seed);
+    let mut grads = Grads::for_mlp(&mlp);
+    let mut order: Vec<usize> = (0..data.train_len()).collect();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED);
+
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let lr = cfg.lr * (1.0 - 0.9 * epoch as f32 / cfg.epochs.max(1) as f32);
+        for chunk in order.chunks(cfg.batch) {
+            let xs: Vec<&[f32]> = chunk.iter().map(|&i| data.train_sample(i).0).collect();
+            let ys: Vec<usize> = chunk.iter().map(|&i| data.train_sample(i).1).collect();
+            mlp.train_batch(&xs, &ys, lr, &mut grads);
+        }
+    }
+
+    TrainResult {
+        train_acc: mlp.accuracy(&data.train_x, &data.train_y, data.dim),
+        test_acc: mlp.accuracy(&data.test_x, &data.test_y, data.dim),
+        mlp,
+    }
+}
+
+/// The Table 1 experiment: train the same architecture at float / w1a2 /
+/// binary and return `(binary, w1a2, float)` test accuracies.
+pub fn table1_experiment(data: &SyntheticDataset, hidden: Vec<usize>, seed: u64) -> (f32, f32, f32) {
+    let run = |scheme| {
+        let mut cfg = TrainConfig::new(hidden.clone(), scheme);
+        cfg.seed = seed;
+        train(data, &cfg).test_acc
+    };
+    let float = run(QuantScheme::Float);
+    let w1a2 = run(QuantScheme::w1a2());
+    let binary = run(QuantScheme::binary());
+    (binary, w1a2, float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::generate(6, 48, 60, 30, 0.45, 11)
+    }
+
+    #[test]
+    fn float_training_beats_chance() {
+        let data = dataset();
+        let mut cfg = TrainConfig::new(vec![64], QuantScheme::Float);
+        cfg.epochs = 15;
+        let r = train(&data, &cfg);
+        assert!(
+            r.test_acc > 2.0 / data.num_classes as f32,
+            "test acc {}",
+            r.test_acc
+        );
+        assert!(r.train_acc >= r.test_acc * 0.8);
+    }
+
+    #[test]
+    fn quantized_training_still_learns() {
+        let data = dataset();
+        let mut cfg = TrainConfig::new(vec![64], QuantScheme::w1a2());
+        cfg.epochs = 15;
+        let r = train(&data, &cfg);
+        assert!(r.test_acc > 1.5 / data.num_classes as f32, "{}", r.test_acc);
+    }
+
+    #[test]
+    #[ignore = "slow: full Table-1 ordering; run with --ignored (release mode advised)"]
+    fn table1_ordering_holds() {
+        let data = SyntheticDataset::generate(10, 96, 200, 100, 1.0, 2021);
+        let mut cfg = TrainConfig::new(vec![64, 32], QuantScheme::Float);
+        cfg.epochs = 40;
+        cfg.seed = 5;
+        let float = train(&data, &cfg).test_acc;
+        cfg.scheme = QuantScheme::w1a2();
+        let w1a2 = train(&data, &cfg).test_acc;
+        cfg.scheme = QuantScheme::binary();
+        let binary = train(&data, &cfg).test_acc;
+        assert!(float >= w1a2 - 0.03, "float {float} vs w1a2 {w1a2}");
+        assert!(w1a2 > binary, "w1a2 {w1a2} vs binary {binary}");
+    }
+}

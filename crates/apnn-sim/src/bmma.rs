@@ -1,0 +1,123 @@
+//! The functional 1-bit tensor-core primitive.
+//!
+//! Turing introduced `bmma.8x8x128` with XOR; Ampere added AND (§2.3 of the
+//! paper). The primitive multiplies an 8×128 bit matrix A with a 128×8 bit
+//! matrix B (stored column-major as 8 rows of 128 bits) and accumulates
+//! `popc(op(a_row, b_col))` into an 8×8 `i32` fragment `C`.
+
+use apnn_bitpack::word::{and_popcount, xor_popcount};
+
+/// Rows of the A fragment / output.
+pub const BMMA_M: usize = 8;
+/// Columns of the B fragment / output.
+pub const BMMA_N: usize = 8;
+/// Inner (bit) dimension of one bmma instruction.
+pub const BMMA_K: usize = 128;
+/// `u64` words per 128-bit fragment row.
+pub const WORDS_PER_ROW: usize = BMMA_K / 64;
+
+/// Boolean op applied lane-wise before the popcount accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BmmaOp {
+    /// `popc(a ^ b)` — Turing+; used for `{−1,+1}` encodings (Case II).
+    Xor,
+    /// `popc(a & b)` — Ampere+; used for `{0,1}` encodings (Cases I & III).
+    And,
+}
+
+/// One `bmma.8x8x128` instruction: `C[i][j] += popc(op(A[i], B[j]))`.
+///
+/// * `a`: 8 rows × 2 words (row-major, 16 words total).
+/// * `b`: 8 *columns* of the logical B, each packed as 2 words (16 words) —
+///   i.e. B is supplied transposed, matching how the WMMA API consumes the
+///   `col_major` B fragment.
+/// * `c`: 8×8 accumulator fragment, row-major.
+pub fn bmma_8x8x128(a: &[u64], b: &[u64], c: &mut [i32; BMMA_M * BMMA_N], op: BmmaOp) {
+    debug_assert_eq!(a.len(), BMMA_M * WORDS_PER_ROW);
+    debug_assert_eq!(b.len(), BMMA_N * WORDS_PER_ROW);
+    for i in 0..BMMA_M {
+        let arow = &a[i * WORDS_PER_ROW..(i + 1) * WORDS_PER_ROW];
+        for j in 0..BMMA_N {
+            let bcol = &b[j * WORDS_PER_ROW..(j + 1) * WORDS_PER_ROW];
+            let pop = match op {
+                BmmaOp::Xor => xor_popcount(arow, bcol),
+                BmmaOp::And => and_popcount(arow, bcol),
+            };
+            c[i * BMMA_N + j] += pop as i32;
+        }
+    }
+}
+
+/// MAC count performed by a single bmma instruction (8·8·128).
+pub const MACS_PER_BMMA: u64 = (BMMA_M * BMMA_N * BMMA_K) as u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bit(words: &[u64], idx: usize) -> u32 {
+        ((words[idx / 64] >> (idx % 64)) & 1) as u32
+    }
+
+    #[test]
+    fn and_matches_scalar() {
+        // Deterministic pseudo-random fragments.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let a: Vec<u64> = (0..16).map(|_| next()).collect();
+        let b: Vec<u64> = (0..16).map(|_| next()).collect();
+        let mut c = [0i32; 64];
+        bmma_8x8x128(&a, &b, &mut c, BmmaOp::And);
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut acc = 0;
+                for k in 0..128 {
+                    acc += bit(&a[i * 2..i * 2 + 2], k) & bit(&b[j * 2..j * 2 + 2], k);
+                }
+                assert_eq!(c[i * 8 + j], acc as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_matches_scalar() {
+        let a: Vec<u64> = (0..16)
+            .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let b: Vec<u64> = (0..16).map(|i| !(i as u64) ^ 0xA5A5).collect();
+        let mut c = [0i32; 64];
+        bmma_8x8x128(&a, &b, &mut c, BmmaOp::Xor);
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut acc = 0;
+                for k in 0..128 {
+                    acc += bit(&a[i * 2..i * 2 + 2], k) ^ bit(&b[j * 2..j * 2 + 2], k);
+                }
+                assert_eq!(c[i * 8 + j], acc as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = [u64::MAX; 16];
+        let b = [u64::MAX; 16];
+        let mut c = [5i32; 64];
+        bmma_8x8x128(&a, &b, &mut c, BmmaOp::And);
+        // AND of all-ones: popc = 128, plus the pre-existing 5.
+        assert!(c.iter().all(|&v| v == 133));
+        // XOR of identical all-ones rows is zero — accumulate again.
+        bmma_8x8x128(&a, &b, &mut c, BmmaOp::Xor);
+        assert!(c.iter().all(|&v| v == 133));
+    }
+
+    #[test]
+    fn macs_constant() {
+        assert_eq!(MACS_PER_BMMA, 8192);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # apnn-sim
+//!
+//! A functional + cost-model simulator of Ampere GPU tensor cores.
+//!
+//! The APNN-TC paper (SC'21) runs on RTX 3090 / A100 hardware; this
+//! environment has neither a GPU nor Rust bindings exposing the b1 `bmma`
+//! tensor-core path, so the hardware is substituted by this crate (see
+//! `DESIGN.md` §2 for the substitution argument). Two halves:
+//!
+//! * **Functional**: [`bmma::bmma_8x8x128`] reproduces the Turing/Ampere
+//!   1-bit WMMA semantics bit-exactly — XOR or AND of 128-bit row fragments,
+//!   popcount, accumulate into an 8×8 `i32` fragment.
+//! * **Cost model**: kernels written against [`block::BlockCtx`] record
+//!   global/shared-memory traffic, bmma instruction counts, and CUDA-core
+//!   epilogue work. [`launch::launch`] folds those counters through an
+//!   occupancy + roofline model ([`cost`]) calibrated to published GA102 and
+//!   GA100 whitepaper figures, producing a [`launch::KernelReport`] with a
+//!   simulated latency.
+//!
+//! The cost model is deliberately simple and fully documented: latency =
+//! launch overhead + max(tensor-core time, DRAM time, shared-memory time,
+//! CUDA-core time), with a latency-hiding efficiency driven by resident
+//! warps — the same TLP/CI trade-off the paper's §4.3 performance model
+//! reasons about.
+
+pub mod block;
+pub mod bmma;
+pub mod cost;
+pub mod counters;
+pub mod launch;
+pub mod spec;
+
+pub use block::{BlockCtx, Coalescing};
+pub use bmma::{bmma_8x8x128, BmmaOp, BMMA_K, BMMA_M, BMMA_N};
+pub use cost::CostBreakdown;
+pub use counters::Counters;
+pub use launch::{launch, KernelConfig, KernelReport, Occupancy};
+pub use spec::{GpuSpec, Precision};

@@ -1,0 +1,40 @@
+//! Watch the §4.3 autotuner work: TLP (Eq. 3), CI (Eq. 4) and the chosen
+//! block tiles across matrix sizes and bit widths.
+//!
+//! Run with: `cargo run --release --example autotune_explorer`
+
+use apnn_tc::kernels::autotune::{
+    autotune, compute_intensity, thread_level_parallelism, TILE_CANDIDATES, TLP_THRESHOLD,
+};
+
+fn main() {
+    println!("tile candidates: {TILE_CANDIDATES:?}, TLP threshold T = {TLP_THRESHOLD}");
+    println!(
+        "\n{:<28}{:>10}{:>10}{:>12}{:>10}",
+        "workload (MxNxK, wPaQ)", "bm", "bn", "TLP", "CI"
+    );
+    for (m, n, k, p, q) in [
+        (64usize, 128usize, 128usize, 1u32, 2u32), // tiny FC
+        (64, 512, 512, 1, 2),
+        (64, 1024, 1024, 1, 2),  // Table 4
+        (64, 1024, 1024, 2, 8),  // heavy emulation
+        (256, 256, 1152, 1, 2),  // the Fig. 7 conv as implicit GEMM
+        (4096, 4096, 4096, 1, 1),
+        (4096, 4096, 4096, 4, 4),
+    ] {
+        let t = autotune(m, n, k, p, q);
+        let tlp = thread_level_parallelism(m, n, p, q, t.bm, t.bn);
+        let ci = compute_intensity(t.bm, t.bn);
+        println!(
+            "{:<28}{:>10}{:>10}{:>12.1}{:>10.1}",
+            format!("{m}x{n}x{k} w{p}a{q}"),
+            t.bm,
+            t.bn,
+            tlp,
+            ci
+        );
+    }
+    println!("\nreading: small NN-sized problems pick small tiles (TLP first);");
+    println!("virtual batching (large p·q) and large matrices unlock the");
+    println!("high-CI 128x128 tiles — exactly the §4.1(a) batching argument.");
+}

@@ -1,0 +1,39 @@
+//! The arbitrary-precision design space: sweep every `wPaQ` combination the
+//! emulation supports (p, q ∈ 1..=8) and print the simulated latency
+//! landscape — the precision/performance tradeoff the paper's introduction
+//! motivates (quantized networks want w1a2, w2a3, …, not just int4/int8).
+//!
+//! Run with: `cargo run --release --example mixed_precision_sweep`
+
+use apnn_tc::kernels::baselines::gemm::gemm_report;
+use apnn_tc::kernels::baselines::BaselineKind;
+use apnn_tc::kernels::{Apmm, ApmmDesc};
+use apnn_tc::prelude::*;
+
+fn main() {
+    let spec = GpuSpec::rtx3090();
+    let (m, n, k) = (64, 1024, 1024); // the Table 4 FC workload
+
+    println!("simulated APMM latency (us) on {}, M={m} N={n} K={k}:", spec.name);
+    print!("{:>6}", "p\\q");
+    for q in 1..=8u32 {
+        print!("{q:>8}");
+    }
+    println!();
+    for p in 1..=8u32 {
+        print!("{p:>6}");
+        for q in 1..=8u32 {
+            let desc = ApmmDesc::unsigned(m, n, k, p, q);
+            let t = Apmm::new(desc).simulate(&spec).time_us();
+            print!("{t:>8.2}");
+        }
+        println!();
+    }
+
+    let int4 = gemm_report(BaselineKind::CutlassInt4, m, n, k, &spec).time_us();
+    let int8 = gemm_report(BaselineKind::CublasInt8, m, n, k, &spec).time_us();
+    let int1 = gemm_report(BaselineKind::CutlassInt1, m, n, k, &spec).time_us();
+    println!("\nlibrary baselines: cutlass-int1 {int1:.2} us, cutlass-int4 {int4:.2} us, cublas-int8 {int8:.2} us");
+    println!("reading: every configuration left of its library crossover is precision");
+    println!("the hardware does not support natively but the emulation makes profitable.");
+}

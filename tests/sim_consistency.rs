@@ -1,0 +1,109 @@
+//! Cross-crate integration: the closed-form latency estimators must match
+//! the block-by-block functional execution of the same kernels, and the
+//! cost model must preserve the paper's qualitative orderings.
+
+use apnn_tc::bitpack::{BitPlanes, Encoding};
+use apnn_tc::kernels::apmm::simmap::{estimate, run_functional};
+use apnn_tc::kernels::apmm::{ApmmDesc, FusedOutput, TileConfig};
+use apnn_tc::kernels::fusion::Epilogue;
+use apnn_tc::sim::GpuSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn operands(desc: &ApmmDesc, seed: u64) -> (BitPlanes, BitPlanes) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let wc: Vec<u32> = (0..desc.m * desc.k)
+        .map(|_| rng.gen_range(0..(1u32 << desc.w_bits)))
+        .collect();
+    let xc: Vec<u32> = (0..desc.n * desc.k)
+        .map(|_| rng.gen_range(0..(1u32 << desc.x_bits)))
+        .collect();
+    (
+        BitPlanes::from_codes(&wc, desc.m, desc.k, desc.w_bits, Encoding::ZeroOne),
+        BitPlanes::from_codes(&xc, desc.n, desc.k, desc.x_bits, Encoding::ZeroOne),
+    )
+}
+
+#[test]
+fn estimator_equals_functional_execution_across_configs() {
+    let spec = GpuSpec::rtx3090();
+    // (desc, tile) pairs with p | bm and q | bn, including ragged edges.
+    let cases = [
+        (ApmmDesc::unsigned(40, 72, 300, 2, 2), TileConfig::new(16, 32)),
+        (ApmmDesc::unsigned(64, 64, 128, 1, 1), TileConfig::new(32, 32)),
+        (ApmmDesc::unsigned(17, 50, 520, 4, 2), TileConfig::new(16, 64)),
+        (ApmmDesc::unsigned(8, 8, 128, 8, 8), TileConfig::new(64, 64)),
+    ];
+    for (desc, tile) in cases {
+        let (w, x) = operands(&desc, 7);
+        let (_, functional) = run_functional(&desc, &tile, &spec, &w, &x, None);
+        let est = estimate(&desc, &tile, &spec, None);
+        assert_eq!(
+            functional.counters, est.counters,
+            "counters diverge for {desc:?} tile {tile:?}"
+        );
+        assert_eq!(functional.cost.total_s, est.cost.total_s);
+    }
+}
+
+#[test]
+fn estimator_equals_functional_with_fused_quantize() {
+    let spec = GpuSpec::a100();
+    let desc = ApmmDesc::unsigned(24, 48, 260, 2, 4);
+    let tile = TileConfig::new(16, 32);
+    let (w, x) = operands(&desc, 11);
+    let epi = Epilogue::quantize(16.0, 0.0, 4);
+    let (out, functional) = run_functional(&desc, &tile, &spec, &w, &x, Some(&epi));
+    let est = estimate(&desc, &tile, &spec, Some(&epi));
+    assert_eq!(functional.counters, est.counters);
+    let FusedOutput::Packed(p) = out else {
+        panic!("expected packed")
+    };
+    assert_eq!(p.rows(), desc.n);
+    assert_eq!(p.cols(), desc.m);
+}
+
+#[test]
+fn batching_improves_small_matrix_latency() {
+    // §4.1(a): emulating w2a2 (4 plane-pairs batched into one launch) on a
+    // small GEMM should cost much less than 4 separate w1a1 launches.
+    let spec = GpuSpec::rtx3090();
+    let one_plane = apnn_tc::kernels::Apmm::new(ApmmDesc::unsigned(64, 256, 256, 1, 1))
+        .simulate(&spec)
+        .time_s();
+    let batched = apnn_tc::kernels::Apmm::new(ApmmDesc::unsigned(64, 256, 256, 2, 2))
+        .simulate(&spec)
+        .time_s();
+    assert!(
+        batched < 4.0 * one_plane * 0.75,
+        "batched {batched} vs 4x single {one_plane}"
+    );
+}
+
+#[test]
+fn emulation_cost_scales_with_plane_count_at_saturation() {
+    // §3.1 cost analysis: at large sizes the kernel is compute-bound and
+    // latency grows ~linearly in p·q.
+    let spec = GpuSpec::rtx3090();
+    let t = |p, q| {
+        apnn_tc::kernels::Apmm::new(ApmmDesc::unsigned(4096, 4096, 4096, p, q))
+            .simulate(&spec)
+            .cost
+            .tensor_s
+    };
+    let t11 = t(1, 1);
+    let t22 = t(2, 2);
+    let t44 = t(4, 4);
+    assert!((t22 / t11 - 4.0).abs() < 0.4, "t22/t11 = {}", t22 / t11);
+    assert!((t44 / t22 - 4.0).abs() < 0.4, "t44/t22 = {}", t44 / t22);
+}
+
+#[test]
+fn gpu_presets_order_as_expected() {
+    // The A100 should beat the RTX 3090 on the same big workload (more SMs,
+    // higher TC rate, more bandwidth).
+    let desc = ApmmDesc::unsigned(4096, 4096, 4096, 2, 2);
+    let t3090 = apnn_tc::kernels::Apmm::new(desc).simulate(&GpuSpec::rtx3090());
+    let ta100 = apnn_tc::kernels::Apmm::new(desc).simulate(&GpuSpec::a100());
+    assert!(ta100.time_s() < t3090.time_s());
+}
