@@ -11,7 +11,12 @@ use std::time::Duration;
 
 /// The unfused pipeline: conv to i32, then pooling pass, then quantize pass
 /// — each a separate traversal (the "w/o fusion" configuration).
-fn unfused(conv: &ApConv, w: &apnn_kernels::apconv::ConvWeights, x: &apnn_bitpack::BitTensor4, epi: &Epilogue) -> u64 {
+fn unfused(
+    conv: &ApConv,
+    w: &apnn_kernels::apconv::ConvWeights,
+    x: &apnn_bitpack::BitTensor4,
+    epi: &Epilogue,
+) -> u64 {
     let y = conv.execute(w, x);
     let (oh, ow) = (conv.desc.out_h(), conv.desc.out_w());
     let cout = conv.desc.cout;

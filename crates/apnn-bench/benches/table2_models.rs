@@ -8,8 +8,9 @@ use apnn_bitpack::Encoding;
 use apnn_kernels::apconv::{ApConv, ConvDesc, Pool2};
 use apnn_kernels::apmm::{Apmm, ApmmDesc};
 use apnn_kernels::fusion::Epilogue;
+use apnn_nn::compile::CompileOptions;
 use apnn_nn::functional::{QuantNet, QuantStage};
-use apnn_nn::models::all_models;
+use apnn_nn::models::{all_models, vgg_variant_tiny};
 use apnn_nn::{simulate, NetPrecision};
 use apnn_sim::GpuSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -86,6 +87,15 @@ fn bench(c: &mut Criterion) {
     let (net, input) = cifar_net(4);
     group.bench_function("cifar_w1a2_infer_cpu_batch4", |b| {
         b.iter(|| net.infer(&input))
+    });
+
+    // The unified path: a zoo model lowered once into a CompiledNet, served
+    // repeatedly — the per-iteration cost is pure execution (weights packed
+    // and tiles tuned at compile time, outside the loop).
+    let plan =
+        vgg_variant_tiny().compile(NetPrecision::w1a2(), &CompileOptions::functional(4, 2021));
+    group.bench_function("zoo_tiny_vgg_compiled_infer_batch4", |b| {
+        b.iter(|| plan.infer(&input))
     });
 
     let spec = GpuSpec::rtx3090();

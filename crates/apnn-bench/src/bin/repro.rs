@@ -74,9 +74,23 @@ fn main() {
 
     if arg == "all" {
         for name in [
-            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1",
-            "table2", "table3", "table4", "fusion-ablation", "ablation-tiles",
-            "ablation-layout", "ablation-batching", "turing",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fusion-ablation",
+            "ablation-tiles",
+            "ablation-layout",
+            "ablation-batching",
+            "turing",
         ] {
             println!("{}", run(name).unwrap());
         }

@@ -13,9 +13,9 @@ use apnn_kernels::baselines::conv::{conv_report, ConvShape};
 use apnn_kernels::baselines::gemm::gemm_report;
 use apnn_kernels::baselines::BaselineKind;
 use apnn_kernels::fusion::Epilogue;
-use apnn_sim::{launch, Counters, GpuSpec};
 use apnn_nn::models::{alexnet, resnet18, vgg_variant};
 use apnn_nn::{simulate, simulate_with, NetPrecision};
+use apnn_sim::{launch, Counters, GpuSpec};
 
 use crate::workloads::*;
 use crate::{format_series, geomean, max};
@@ -39,8 +39,18 @@ pub fn fig5(spec: &GpuSpec) -> String {
     let mut out = String::new();
 
     for (panel, configs, base_kind, base_label) in [
-        ("a", LOW_BIT_CONFIGS, BaselineKind::CutlassInt4, "cutlass-gemm-int4"),
-        ("b", HIGH_BIT_CONFIGS, BaselineKind::CublasInt8, "cublas-gemm-int8"),
+        (
+            "a",
+            LOW_BIT_CONFIGS,
+            BaselineKind::CutlassInt4,
+            "cutlass-gemm-int4",
+        ),
+        (
+            "b",
+            HIGH_BIT_CONFIGS,
+            BaselineKind::CublasInt8,
+            "cublas-gemm-int8",
+        ),
     ] {
         let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
         for (p, q) in configs {
@@ -71,7 +81,10 @@ pub fn fig5(spec: &GpuSpec) -> String {
             .flat_map(|r| r.1.iter().cloned())
             .collect();
         out.push_str(&format_series(
-            &format!("Fig5({panel}) APMM speedup over {base_label} on {}", spec.name),
+            &format!(
+                "Fig5({panel}) APMM speedup over {base_label} on {}",
+                spec.name
+            ),
             &xs,
             &rows,
             "x",
@@ -80,7 +93,11 @@ pub fn fig5(spec: &GpuSpec) -> String {
             "max speedup {:.2}x, geomean {:.2}x  (paper: up to {} on RTX3090)\n\n",
             max(&all),
             geomean(&all),
-            if panel == "a" { "2.35x (w1a2 over int4)" } else { "3.0x (w5a1 over int8)" }
+            if panel == "a" {
+                "2.35x (w1a2 over int4)"
+            } else {
+                "3.0x (w5a1 over int8)"
+            }
         ));
     }
     out
@@ -91,8 +108,18 @@ pub fn fig7(spec: &GpuSpec) -> String {
     let xs = SWEEP_SIZES.to_vec();
     let mut out = String::new();
     for (panel, configs, base_kind, base_label) in [
-        ("a", LOW_BIT_CONFIGS, BaselineKind::CutlassInt4, "cutlass-conv-int4"),
-        ("b", HIGH_BIT_CONFIGS, BaselineKind::CutlassInt8, "cutlass-conv-int8"),
+        (
+            "a",
+            LOW_BIT_CONFIGS,
+            BaselineKind::CutlassInt4,
+            "cutlass-conv-int4",
+        ),
+        (
+            "b",
+            HIGH_BIT_CONFIGS,
+            BaselineKind::CutlassInt8,
+            "cutlass-conv-int8",
+        ),
     ] {
         let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
         for (p, q) in configs {
@@ -124,7 +151,10 @@ pub fn fig7(spec: &GpuSpec) -> String {
             .flat_map(|r| r.1.iter().cloned())
             .collect();
         out.push_str(&format_series(
-            &format!("Fig7({panel}) APConv speedup over {base_label} on {}", spec.name),
+            &format!(
+                "Fig7({panel}) APConv speedup over {base_label} on {}",
+                spec.name
+            ),
             &xs,
             &rows,
             "x",
@@ -133,7 +163,11 @@ pub fn fig7(spec: &GpuSpec) -> String {
             "max speedup {:.2}x, geomean {:.2}x  (paper: up to {})\n\n",
             max(&all),
             geomean(&all),
-            if panel == "a" { "3.78x over conv-int4" } else { "3.08x over conv-int8" }
+            if panel == "a" {
+                "3.78x over conv-int4"
+            } else {
+                "3.08x over conv-int8"
+            }
         ));
     }
     out
@@ -166,9 +200,7 @@ pub fn fig10(spec: &GpuSpec) -> String {
     for &c in &xs {
         let desc = fig7_conv(c, 1, 2);
         let conv = ApConv::new(desc);
-        let fused = conv
-            .simulate_fused(spec, Some(Pool2::Max), &epi)
-            .time_s();
+        let fused = conv.simulate_fused(spec, Some(Pool2::Max), &epi).time_s();
         let unfused = unfused_pipeline(&desc, &conv.tile, spec, Pool2::Max, &epi);
         fused_row.push(fused * 1e6);
         unfused_row.push(unfused * 1e6);
@@ -205,7 +237,12 @@ pub fn fig11(spec: &GpuSpec) -> String {
         let g = desc.as_gemm();
         let tile = autotune(g.m, g.n, g.k, g.w_bits, g.x_bits);
         let base = apnn_kernels::apconv::simmap::estimate(
-            &desc, &tile, spec, None, None, ActLayout::Nphwc,
+            &desc,
+            &tile,
+            spec,
+            None,
+            None,
+            ActLayout::Nphwc,
         );
         let cfg = apnn_kernels::apconv::simmap::kernel_config(&desc, &tile);
         let grid = tile.grid_blocks(g.batched_m(), g.batched_n()) as u64;
@@ -224,7 +261,10 @@ pub fn fig11(spec: &GpuSpec) -> String {
         decomp.push(100.0 * price(decompose_ops) / base.cost.tensor_s);
     }
     let mut out = format_series(
-        &format!("Fig11 emulation overheads relative to TC compute on {}", spec.name),
+        &format!(
+            "Fig11 emulation overheads relative to TC compute on {}",
+            spec.name
+        ),
         &xs,
         &[
             ("+bit combination".to_string(), comb.clone()),

@@ -8,7 +8,9 @@ use rand::{Rng, SeedableRng};
 /// Random unsigned `bits`-wide code planes of shape `rows × cols`.
 pub fn random_planes(rows: usize, cols: usize, bits: u32, seed: u64) -> BitPlanes {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let codes: Vec<u32> = (0..rows * cols).map(|_| rng.gen_range(0..(1u32 << bits))).collect();
+    let codes: Vec<u32> = (0..rows * cols)
+        .map(|_| rng.gen_range(0..(1u32 << bits)))
+        .collect();
     BitPlanes::from_codes(&codes, rows, cols, bits, Encoding::ZeroOne)
 }
 
@@ -40,12 +42,15 @@ pub fn conv_operands(desc: &ConvDesc, seed: u64) -> (ConvWeights, BitTensor4) {
     let n = desc.cout * desc.kh * desc.kw * desc.cin;
     let weights = match desc.w_enc {
         Encoding::PlusMinusOne => {
-            let vals: Vec<i32> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+            let vals: Vec<i32> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+                .collect();
             ConvWeights::from_signed(desc, &vals)
         }
         Encoding::ZeroOne => {
-            let codes: Vec<u32> =
-                (0..n).map(|_| rng.gen_range(0..(1u32 << desc.w_bits))).collect();
+            let codes: Vec<u32> = (0..n)
+                .map(|_| rng.gen_range(0..(1u32 << desc.w_bits)))
+                .collect();
             ConvWeights::from_codes(desc, &codes)
         }
     };
@@ -64,13 +69,17 @@ pub fn conv_operands(desc: &ConvDesc, seed: u64) -> (ConvWeights, BitTensor4) {
 /// Random i8 matrix (row-major `rows × cols`).
 pub fn random_i8(rows: usize, cols: usize, seed: u64) -> Vec<i8> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..rows * cols).map(|_| rng.gen_range(-127i8..=127)).collect()
+    (0..rows * cols)
+        .map(|_| rng.gen_range(-127i8..=127))
+        .collect()
 }
 
 /// Random f32 matrix (row-major `rows × cols`).
 pub fn random_f32(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    (0..rows * cols)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect()
 }
 
 #[cfg(test)]

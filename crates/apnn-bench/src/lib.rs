@@ -14,12 +14,7 @@ pub mod workloads;
 use std::fmt::Write as _;
 
 /// Render a labeled series table: one row per label, one column per x.
-pub fn format_series(
-    title: &str,
-    xs: &[usize],
-    rows: &[(String, Vec<f64>)],
-    unit: &str,
-) -> String {
+pub fn format_series(title: &str, xs: &[usize], rows: &[(String, Vec<f64>)], unit: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## {title} ({unit})");
     let _ = write!(out, "{:<22}", "");

@@ -38,8 +38,7 @@ pub fn pack_codes(codes: &[u32; WARP_LANES], q: u32) -> Vec<u32> {
     debug_assert!((1..=8).contains(&q));
     (0..q)
         .map(|s| {
-            let preds: [bool; WARP_LANES] =
-                std::array::from_fn(|lane| (codes[lane] >> s) & 1 != 0);
+            let preds: [bool; WARP_LANES] = std::array::from_fn(|lane| (codes[lane] >> s) & 1 != 0);
             ballot(&preds)
         })
         .collect()
@@ -82,7 +81,11 @@ pub fn unpack_stream(words: &[u32], q: u32, len: usize) -> Vec<u32> {
             out.push(c);
         }
     }
-    assert_eq!(out.len(), len, "packed stream shorter than requested length");
+    assert_eq!(
+        out.len(),
+        len,
+        "packed stream shorter than requested length"
+    );
     out
 }
 

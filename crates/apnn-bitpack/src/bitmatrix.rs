@@ -1,8 +1,6 @@
 //! Row-major bit-packed matrices padded to tensor-core fragment width.
 
-use crate::word::{
-    and_popcount, low_mask, pad_to_bmma_k, xor_popcount, WORD_BITS,
-};
+use crate::word::{and_popcount, low_mask, pad_to_bmma_k, xor_popcount, WORD_BITS};
 
 /// A dense binary matrix stored row-major with bit-packed rows.
 ///
@@ -179,7 +177,9 @@ impl BitMatrix {
     /// Per-row popcounts — the `W·J` correction vector (row sums) used when
     /// the *activation* operand carries the ±1 encoding.
     pub fn row_sums(&self) -> Vec<i32> {
-        (0..self.rows).map(|r| self.row_popcount(r) as i32).collect()
+        (0..self.rows)
+            .map(|r| self.row_popcount(r) as i32)
+            .collect()
     }
 
     /// Copy `src`'s logical contents into a new matrix with at least
@@ -294,7 +294,7 @@ mod tests {
     fn and_xor_row_popcounts() {
         let a = BitMatrix::from_fn(2, 10, |_, c| c % 2 == 0); // 5 bits set
         let b = BitMatrix::from_fn(2, 10, |_, c| c < 5); // bits 0..5
-        // AND: even cols below 5 -> {0,2,4} = 3
+                                                         // AND: even cols below 5 -> {0,2,4} = 3
         assert_eq!(a.and_popcount_rows(0, &b, 1), 3);
         // XOR: {1,3, 6,8} ... even>=5: {6,8}; odd<5: {1,3} => 4
         assert_eq!(a.xor_popcount_rows(0, &b, 0), 4);

@@ -107,6 +107,25 @@ impl BitTensor4 {
         self.data.len() * 8
     }
 
+    /// Copy images `[start, start + len)` into a new tensor. The NPHWC
+    /// layout is batch-major, so this is one contiguous memcpy — the batch
+    /// sharding primitive behind `infer_batched` serving.
+    pub fn batch_slice(&self, start: usize, len: usize) -> BitTensor4 {
+        assert!(start + len <= self.n, "batch slice out of range");
+        let stride = self.bits as usize * self.h * self.w * self.words_per_pixel;
+        BitTensor4 {
+            n: len,
+            bits: self.bits,
+            h: self.h,
+            w: self.w,
+            c: self.c,
+            padded_c: self.padded_c,
+            words_per_pixel: self.words_per_pixel,
+            encoding: self.encoding,
+            data: self.data[start * stride..(start + len) * stride].to_vec(),
+        }
+    }
+
     #[inline]
     fn pixel_base(&self, n: usize, plane: u32, h: usize, w: usize) -> usize {
         debug_assert!(n < self.n && plane < self.bits && h < self.h && w < self.w);

@@ -62,14 +62,7 @@ impl<T: Copy + Default> Tensor4<T> {
     }
 
     /// Wrap an existing buffer (length must be `n*c*h*w`).
-    pub fn from_vec(
-        n: usize,
-        c: usize,
-        h: usize,
-        w: usize,
-        layout: Layout,
-        data: Vec<T>,
-    ) -> Self {
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, layout: Layout, data: Vec<T>) -> Self {
         assert_eq!(data.len(), n * c * h * w, "buffer length mismatch");
         Tensor4 {
             n,

@@ -157,9 +157,6 @@ mod tests {
         let a = [0xDEAD_BEEF_0123_4567u64];
         let b = [0x0F0F_F0F0_AAAA_5555u64];
         let n = 64;
-        assert_eq!(
-            xnor_popcount(&a, &b, n),
-            n as u32 - xor_popcount(&a, &b)
-        );
+        assert_eq!(xnor_popcount(&a, &b, n), n as u32 - xor_popcount(&a, &b));
     }
 }

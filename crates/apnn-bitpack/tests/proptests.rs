@@ -7,7 +7,10 @@ use apnn_bitpack::{BitMatrix, BitPlanes, BitTensor4, Encoding, Layout, Tensor4};
 use proptest::prelude::*;
 
 /// Strategy: a code matrix with shape and bit width.
-fn code_matrix(max_dim: usize, max_bits: u32) -> impl Strategy<Value = (Vec<u32>, usize, usize, u32)> {
+fn code_matrix(
+    max_dim: usize,
+    max_bits: u32,
+) -> impl Strategy<Value = (Vec<u32>, usize, usize, u32)> {
     (1..=max_dim, 1..=max_dim, 1..=max_bits).prop_flat_map(|(r, c, b)| {
         proptest::collection::vec(0u32..(1 << b), r * c).prop_map(move |v| (v, r, c, b))
     })

@@ -49,8 +49,7 @@ fn gather_window(
             let tap = ky * desc.kw + kx;
             let iy = (oy * desc.stride + ky) as isize - desc.pad as isize;
             let ix = (ox * desc.stride + kx) as isize - desc.pad as isize;
-            let in_frame =
-                iy >= 0 && ix >= 0 && (iy as usize) < desc.h && (ix as usize) < desc.w;
+            let in_frame = iy >= 0 && ix >= 0 && (iy as usize) < desc.h && (ix as usize) < desc.w;
             if in_frame {
                 for (t, plane) in planes.iter_mut().enumerate() {
                     plane[tap * wpt..(tap + 1) * wpt].copy_from_slice(input.pixel_words(
@@ -85,10 +84,48 @@ fn gather_window(
     }
 }
 
+/// Per-call-invariant execution state for a convolution: the emulation plan
+/// and the materialized padding pattern. Compiled plans build this once;
+/// the ad-hoc [`conv_cpu`] entry point rebuilds it per call.
+#[derive(Debug, Clone)]
+pub struct ConvExecPlan {
+    pub(crate) eplan: crate::select::EmulationPlan,
+    pub(crate) fill: PadFill,
+    pub(crate) fill_pattern: Vec<u64>,
+}
+
+impl ConvExecPlan {
+    /// Resolve the plan + padding strategy for a layer.
+    pub fn new(desc: &ConvDesc, weights: &ConvWeights) -> Self {
+        let eplan = plan(desc.w_enc, desc.x_enc);
+        let fill = pad_fill(desc.w_enc, desc.x_enc);
+        let fill_pattern = fill_words(fill, desc.cin, weights.words_per_tap());
+        ConvExecPlan {
+            eplan,
+            fill,
+            fill_pattern,
+        }
+    }
+}
+
 /// Direct convolution returning NHWC i32 accumulators.
 pub fn conv_cpu(desc: &ConvDesc, weights: &ConvWeights, input: &BitTensor4) -> Vec<i32> {
+    let (n, ..) = input.shape();
+    assert_eq!(n, desc.batch, "batch mismatch");
+    conv_exec(desc, weights, input, &ConvExecPlan::new(desc, weights))
+}
+
+/// Shared core: convolve `input` (whose batch may be ≤ `desc.batch` when a
+/// compiled plan serves a partial shard) with prepared invariants.
+pub(crate) fn conv_exec(
+    desc: &ConvDesc,
+    weights: &ConvWeights,
+    input: &BitTensor4,
+    eplan_state: &ConvExecPlan,
+) -> Vec<i32> {
     let (n, h, w, c) = input.shape();
-    assert_eq!((n, h, w, c), (desc.batch, desc.h, desc.w, desc.cin));
+    assert!(n <= desc.batch, "input batch exceeds plan batch");
+    assert_eq!((h, w, c), (desc.h, desc.w, desc.cin));
     assert_eq!(input.bits(), desc.x_bits);
     assert_eq!(input.encoding(), desc.x_enc);
     let (cout, taps, cin, _padded) = weights.dims();
@@ -96,70 +133,73 @@ pub fn conv_cpu(desc: &ConvDesc, weights: &ConvWeights, input: &BitTensor4) -> V
     assert_eq!(taps, desc.kh * desc.kw);
     assert_eq!(cin, desc.cin);
 
-    let eplan = plan(desc.w_enc, desc.x_enc);
-    let fill = pad_fill(desc.w_enc, desc.x_enc);
-    let fill_pattern = fill_words(fill, desc.cin, weights.words_per_tap());
+    let ConvExecPlan {
+        eplan,
+        fill,
+        fill_pattern,
+    } = eplan_state;
+    let (eplan, fill) = (*eplan, *fill);
     let need_popc = eplan.case == EmulationCase::AndWeightTransformed;
 
     let (oh, ow) = (desc.out_h(), desc.out_w());
     let p = desc.w_bits as usize;
-    let pixels = desc.batch * oh * ow;
+    let pixels = n * oh * ow;
     let mut out = vec![0i32; pixels * cout];
 
-    out.par_chunks_mut(cout).enumerate().for_each(|(pix, chunk)| {
-        let b = pix / (oh * ow);
-        let oy = (pix / ow) % oh;
-        let ox = pix % ow;
-        let win = gather_window(desc, input, fill, &fill_pattern, b, oy, ox, need_popc);
-        let valid_taps = (taps - win.oob_taps.len()) as i32;
-        let oob_taps = win.oob_taps.len() as i32;
+    out.par_chunks_mut(cout)
+        .enumerate()
+        .for_each(|(pix, chunk)| {
+            let b = pix / (oh * ow);
+            let oy = (pix / ow) % oh;
+            let ox = pix % ow;
+            let win = gather_window(desc, input, fill, fill_pattern, b, oy, ox, need_popc);
+            let valid_taps = (taps - win.oob_taps.len()) as i32;
+            let oob_taps = win.oob_taps.len() as i32;
 
-        for (co, out_v) in chunk.iter_mut().enumerate() {
-            let mut acc = 0i32;
-            for s in 0..p {
-                let w_row = weights.planes().plane(s as u32).row_words(co);
-                let oob_w_popc: i32 = win
-                    .oob_taps
-                    .iter()
-                    .map(|&tap| weights.seg_popc(s as u32, co, tap))
-                    .sum();
-                for (t, x_words) in win.planes.iter().enumerate() {
-                    let popc = match eplan.op {
-                        BmmaOp::And => and_popcount(w_row, x_words),
-                        BmmaOp::Xor => xor_popcount(w_row, x_words),
-                    } as i32;
-                    let adj = match eplan.case {
-                        EmulationCase::AndUnsigned => popc,
-                        EmulationCase::XorSignedBinary => correct_xor_window(
-                            popc,
-                            desc.cin as i32,
-                            valid_taps,
-                            oob_w_popc,
-                            oob_taps,
-                        ),
-                        EmulationCase::AndWeightTransformed => {
-                            2 * popc - win.plane_popc[t]
-                        }
-                        EmulationCase::AndActivationTransformed => {
-                            2 * popc
-                                - valid_row_popc(weights.row_popc(s as u32, co), oob_w_popc)
-                        }
-                        // The XOR-only (Turing) derivations are supported at
-                        // the GEMM level (`apmm_cpu_with_plan`); the direct
-                        // convolution always plans for the target device via
-                        // `plan(..)`, which never emits them here.
-                        EmulationCase::XorDerivedUnsigned
-                        | EmulationCase::XorDerivedWeightTransformed
-                        | EmulationCase::XorDerivedActivationTransformed => {
-                            unreachable!("conv kernels use the Ampere plan")
-                        }
-                    };
-                    acc += adj << (s + t);
+            for (co, out_v) in chunk.iter_mut().enumerate() {
+                let mut acc = 0i32;
+                for s in 0..p {
+                    let w_row = weights.planes().plane(s as u32).row_words(co);
+                    let oob_w_popc: i32 = win
+                        .oob_taps
+                        .iter()
+                        .map(|&tap| weights.seg_popc(s as u32, co, tap))
+                        .sum();
+                    for (t, x_words) in win.planes.iter().enumerate() {
+                        let popc = match eplan.op {
+                            BmmaOp::And => and_popcount(w_row, x_words),
+                            BmmaOp::Xor => xor_popcount(w_row, x_words),
+                        } as i32;
+                        let adj = match eplan.case {
+                            EmulationCase::AndUnsigned => popc,
+                            EmulationCase::XorSignedBinary => correct_xor_window(
+                                popc,
+                                desc.cin as i32,
+                                valid_taps,
+                                oob_w_popc,
+                                oob_taps,
+                            ),
+                            EmulationCase::AndWeightTransformed => 2 * popc - win.plane_popc[t],
+                            EmulationCase::AndActivationTransformed => {
+                                2 * popc
+                                    - valid_row_popc(weights.row_popc(s as u32, co), oob_w_popc)
+                            }
+                            // The XOR-only (Turing) derivations are supported at
+                            // the GEMM level (`apmm_cpu_with_plan`); the direct
+                            // convolution always plans for the target device via
+                            // `plan(..)`, which never emits them here.
+                            EmulationCase::XorDerivedUnsigned
+                            | EmulationCase::XorDerivedWeightTransformed
+                            | EmulationCase::XorDerivedActivationTransformed => {
+                                unreachable!("conv kernels use the Ampere plan")
+                            }
+                        };
+                        acc += adj << (s + t);
+                    }
                 }
+                *out_v = acc;
             }
-            *out_v = acc;
-        }
-    });
+        });
     out
 }
 
@@ -171,37 +211,60 @@ pub fn conv_cpu_fused(
     pool: Option<Pool2>,
     epi: &Epilogue,
 ) -> ConvOutput {
-    let y = conv_cpu(desc, weights, input);
+    let state = ConvExecPlan::new(desc, weights);
+    conv_exec_fused(desc, weights, input, &state, pool, epi)
+}
+
+/// Fused 2×2/stride-2 pooling over NHWC i32 accumulators — the shared
+/// implementation behind the fused kernels and compile-time calibration.
+pub fn pool2_i32(
+    y: &[i32],
+    batch: usize,
+    oh: usize,
+    ow: usize,
+    cout: usize,
+    kind: Pool2,
+) -> Vec<i32> {
+    let ph = oh / 2;
+    let pw = ow / 2;
+    let mut v = vec![0i32; batch * ph * pw * cout];
+    for b in 0..batch {
+        for py in 0..ph {
+            for px in 0..pw {
+                for co in 0..cout {
+                    let at = |dy: usize, dx: usize| {
+                        y[((b * oh + 2 * py + dy) * ow + 2 * px + dx) * cout + co]
+                    };
+                    let vv = match kind {
+                        Pool2::Max => at(0, 0).max(at(0, 1)).max(at(1, 0)).max(at(1, 1)),
+                        Pool2::Avg => (at(0, 0) + at(0, 1) + at(1, 0) + at(1, 1)).div_euclid(4),
+                    };
+                    v[((b * ph + py) * pw + px) * cout + co] = vv;
+                }
+            }
+        }
+    }
+    v
+}
+
+/// [`conv_exec`] + fused pooling/epilogue over the actual input batch.
+pub(crate) fn conv_exec_fused(
+    desc: &ConvDesc,
+    weights: &ConvWeights,
+    input: &BitTensor4,
+    eplan_state: &ConvExecPlan,
+    pool: Option<Pool2>,
+    epi: &Epilogue,
+) -> ConvOutput {
+    let y = conv_exec(desc, weights, input, eplan_state);
+    let batch = input.shape().0;
     let (oh, ow) = (desc.out_h(), desc.out_w());
     let cout = desc.cout;
 
     // Optional fused pooling on the i32 accumulators.
     let (ph, pw, pooled) = match pool {
         None => (oh, ow, y),
-        Some(kind) => {
-            let ph = oh / 2;
-            let pw = ow / 2;
-            let mut v = vec![0i32; desc.batch * ph * pw * cout];
-            for b in 0..desc.batch {
-                for py in 0..ph {
-                    for px in 0..pw {
-                        for co in 0..cout {
-                            let at = |dy: usize, dx: usize| {
-                                y[((b * oh + 2 * py + dy) * ow + 2 * px + dx) * cout + co]
-                            };
-                            let vv = match kind {
-                                Pool2::Max => at(0, 0).max(at(0, 1)).max(at(1, 0)).max(at(1, 1)),
-                                Pool2::Avg => {
-                                    (at(0, 0) + at(0, 1) + at(1, 0) + at(1, 1)).div_euclid(4)
-                                }
-                            };
-                            v[((b * ph + py) * pw + px) * cout + co] = vv;
-                        }
-                    }
-                }
-            }
-            (ph, pw, v)
-        }
+        Some(kind) => (oh / 2, ow / 2, pool2_i32(&y, batch, oh, ow, cout, kind)),
     };
 
     match epi.output_bits() {
@@ -217,8 +280,8 @@ pub fn conv_cpu_fused(
             ConvOutput::Int32(v)
         }
         Some(bits) => {
-            let mut t = BitTensor4::zeros(desc.batch, ph, pw, cout, bits, Encoding::ZeroOne);
-            for b in 0..desc.batch {
+            let mut t = BitTensor4::zeros(batch, ph, pw, cout, bits, Encoding::ZeroOne);
+            for b in 0..batch {
                 for py in 0..ph {
                     for px in 0..pw {
                         for co in 0..cout {
@@ -367,9 +430,8 @@ mod tests {
         for py in 0..4 {
             for px in 0..4 {
                 for co in 0..3 {
-                    let at = |dy: usize, dx: usize| {
-                        y[(((2 * py + dy) * ow) + 2 * px + dx) * 3 + co]
-                    };
+                    let at =
+                        |dy: usize, dx: usize| y[(((2 * py + dy) * ow) + 2 * px + dx) * 3 + co];
                     let m = at(0, 0).max(at(0, 1)).max(at(1, 0)).max(at(1, 1));
                     assert_eq!(packed.get_code(0, py, px, co), epi.apply_to_code(m, co));
                 }

@@ -200,9 +200,35 @@ impl ApConv {
         cpu::conv_cpu_fused(&self.desc, weights, input, pool, epi)
     }
 
+    /// Hoist every per-call invariant out of the serving loop: take
+    /// ownership of the packed weights and materialize the emulation plan +
+    /// input-aware padding pattern (§4.2(b)). The result executes repeatedly
+    /// without re-packing or re-planning, and accepts partial batches.
+    pub fn prepare(&self, weights: ConvWeights) -> PreparedConv {
+        let (cout, taps, cin, _) = weights.dims();
+        assert_eq!(cout, self.desc.cout, "weight cout");
+        assert_eq!(taps, self.desc.kh * self.desc.kw, "weight taps");
+        assert_eq!(cin, self.desc.cin, "weight cin");
+        crate::stats::count_weight_prepare();
+        let exec_plan = cpu::ConvExecPlan::new(&self.desc, &weights);
+        PreparedConv {
+            desc: self.desc,
+            tile: self.tile,
+            weights,
+            exec_plan,
+        }
+    }
+
     /// Simulated latency of the un-fused (i32-output) kernel.
     pub fn simulate(&self, spec: &GpuSpec) -> KernelReport {
-        simmap::estimate(&self.desc, &self.tile, spec, None, None, simmap::ActLayout::Nphwc)
+        simmap::estimate(
+            &self.desc,
+            &self.tile,
+            spec,
+            None,
+            None,
+            simmap::ActLayout::Nphwc,
+        )
     }
 
     /// Simulated latency with fused pooling/epilogue.
@@ -220,6 +246,40 @@ impl ApConv {
             Some(epi),
             simmap::ActLayout::Nphwc,
         )
+    }
+}
+
+/// An APConv kernel compiled for serving: packed weights + emulation plan +
+/// padding pattern, all materialized once at compile time.
+#[derive(Debug, Clone)]
+pub struct PreparedConv {
+    /// Layer description (`batch` is the *compiled* batch; calls may shard).
+    pub desc: ConvDesc,
+    /// Block tiling chosen at compile time.
+    pub tile: TileConfig,
+    weights: ConvWeights,
+    exec_plan: cpu::ConvExecPlan,
+}
+
+impl PreparedConv {
+    /// The packed weight operand.
+    pub fn weights(&self) -> &ConvWeights {
+        &self.weights
+    }
+
+    /// NHWC i32 accumulators for an input shard (batch ≤ compiled batch).
+    pub fn execute(&self, input: &BitTensor4) -> Vec<i32> {
+        cpu::conv_exec(&self.desc, &self.weights, input, &self.exec_plan)
+    }
+
+    /// Fused pooling + epilogue execution for an input shard.
+    pub fn execute_fused(
+        &self,
+        input: &BitTensor4,
+        pool: Option<Pool2>,
+        epi: &Epilogue,
+    ) -> ConvOutput {
+        cpu::conv_exec_fused(&self.desc, &self.weights, input, &self.exec_plan, pool, epi)
     }
 }
 
@@ -244,6 +304,34 @@ mod tests {
         assert_eq!(d.k_bits(), 121 * 128);
         assert_eq!(d.k_valid(), 121 * 3);
         assert_eq!(d.out_h(), 55); // AlexNet conv1
+    }
+
+    #[test]
+    fn prepared_conv_matches_adhoc_and_serves_partial_batches() {
+        use apnn_bitpack::{Layout, Tensor4};
+        let desc = ConvDesc::unsigned(4, 5, 6, 3, 3, 1, 1, 1, 2);
+        let mut seed = 3u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let codes = Tensor4::<u32>::from_fn(4, 5, 6, 6, Layout::Nhwc, |_, _, _, _| next() % 4);
+        let input = BitTensor4::from_tensor(&codes, 2, Encoding::ZeroOne);
+        let wcodes: Vec<u32> = (0..3 * 9 * 5).map(|_| next() % 2).collect();
+        let weights = ConvWeights::from_codes(&desc, &wcodes);
+
+        let conv = ApConv::new(desc);
+        let adhoc = conv.execute(&weights, &input);
+        let prepared = conv.prepare(weights);
+        assert_eq!(prepared.execute(&input), adhoc);
+
+        // First image alone — the plan serves a partial shard unchanged.
+        let one = input.batch_slice(0, 1);
+        let got = prepared.execute(&one);
+        let per_image = desc.out_h() * desc.out_w() * desc.cout;
+        assert_eq!(got, adhoc[..per_image].to_vec());
     }
 
     #[test]

@@ -87,30 +87,25 @@ pub fn estimate_with_efficiency(
     // pixel once per tap (`KH·KW×`), but the kernel stages windows in shared
     // memory, so the block only fetches each unique input pixel ≈ once
     // (unique inputs per output ≈ stride², doubled for halo slack).
-    let halo_reuse =
-        ((2 * desc.stride * desc.stride) as f64 / (desc.kh * desc.kw) as f64).min(1.0);
+    let halo_reuse = ((2 * desc.stride * desc.stride) as f64 / (desc.kh * desc.kw) as f64).min(1.0);
     // Un-coalesced (NCHW) reads drag whole 32-byte sectors through the
     // entire memory hierarchy, so the waste factor amplifies L2 traffic too.
     let layout_waste = match layout.pattern() {
         Coalescing::Coalesced => 1.0,
         Coalescing::Strided { waste } => waste,
     };
-    let x_block_bytes =
-        ((k_steps * x_tile_bytes) as f64 * halo_reuse * layout_waste).ceil() as u64;
+    let x_block_bytes = ((k_steps * x_tile_bytes) as f64 * halo_reuse * layout_waste).ceil() as u64;
 
     c.global_load_bytes = grid * (k_steps * w_tile_bytes + x_block_bytes);
     // DRAM sees first-touch traffic only: the weight planes once (one block
     // column) and the packed input tensor once — everything else hits L2.
     // Weights are contiguous rows (coalesced); activations follow `layout`.
     c.global_sectors = (grid_m * k_steps * w_tile_bytes).div_ceil(32);
-    let x_footprint = (desc.batch * desc.h * desc.w * desc.padded_c()) as u64
-        * desc.x_bits as u64
-        / 8;
+    let x_footprint =
+        (desc.batch * desc.h * desc.w * desc.padded_c()) as u64 * desc.x_bits as u64 / 8;
     c.global_sectors += match layout.pattern() {
         Coalescing::Coalesced => x_footprint.div_ceil(32),
-        Coalescing::Strided { waste } => {
-            ((x_footprint.div_ceil(32)) as f64 * waste).ceil() as u64
-        }
+        Coalescing::Strided { waste } => ((x_footprint.div_ceil(32)) as f64 * waste).ceil() as u64,
     };
     c.syncs = grid * k_steps;
     let sh_write = w_tile_bytes + x_tile_bytes;
@@ -173,7 +168,7 @@ pub fn measured_input_amplification(desc: &ConvDesc, tile: &TileConfig) -> f64 {
     for bj in 0..grid_n {
         stamp += 1;
         let lo = bj * tile.bn / q;
-        let hi = (((bj + 1) * tile.bn).min(g.batched_n()) + q - 1) / q;
+        let hi = ((bj + 1) * tile.bn).min(g.batched_n()).div_ceil(q);
         for pix in lo..hi.min(g.n) {
             let within = pix % (oh * ow);
             let (oy, ox) = (within / ow, within % ow);
@@ -331,15 +326,18 @@ mod tests {
         // The closed-form halo_reuse approximation must agree with the
         // measured unique-pixel amplification within a small factor across
         // the evaluation workloads.
-        for (c, k, stride, pad) in [(128usize, 3usize, 1usize, 1usize), (256, 3, 1, 1), (128, 5, 2, 2)] {
+        for (c, k, stride, pad) in [
+            (128usize, 3usize, 1usize, 1usize),
+            (256, 3, 1, 1),
+            (128, 5, 2, 2),
+        ] {
             let desc = ConvDesc::unsigned(1, c, 16, c, k, stride, pad, 1, 2);
             let conv = crate::apconv::ApConv::new(desc);
             let measured = measured_input_amplification(&desc, &conv.tile);
             // The model's amplification (per block column): naive kh·kw
             // reads scaled by halo_reuse, per output pixel.
             let halo = ((2 * stride * stride) as f64 / (k * k) as f64).min(1.0);
-            let outputs_per_input =
-                (desc.out_h() * desc.out_w()) as f64 / (desc.h * desc.w) as f64;
+            let outputs_per_input = (desc.out_h() * desc.out_w()) as f64 / (desc.h * desc.w) as f64;
             let modeled = (k * k) as f64 * halo * outputs_per_input;
             let ratio = measured / modeled;
             assert!(

@@ -26,7 +26,11 @@ pub fn quantize_pack_transposed(
     bits: u32,
 ) -> BitPlanes {
     assert_eq!(y.len(), m * n);
-    assert_eq!(epi.output_bits(), Some(bits), "epilogue must end in quantize");
+    assert_eq!(
+        epi.output_bits(),
+        Some(bits),
+        "epilogue must end in quantize"
+    );
     // Codes of the transposed output: row j (batch), col i (feature).
     let mut codes = vec![0u32; n * m];
     for i in 0..m {

@@ -28,6 +28,18 @@ pub(crate) fn correction_needs(case: EmulationCase) -> (bool, bool) {
     (needs_row, needs_col)
 }
 
+/// Compute the per-plane weight-row sums a case's correction consumes (the
+/// `W·J` vectors of §3.2). Returns an empty vec when the plan needs none —
+/// this is the weight-side precomputation hoisted into compiled plans.
+pub fn weight_row_sums(w: &BitPlanes, eplan: EmulationPlan) -> Vec<Vec<i32>> {
+    let (needs_row, _) = correction_needs(eplan.case);
+    if needs_row {
+        (0..w.bits()).map(|s| w.plane(s).row_sums()).collect()
+    } else {
+        Vec::new()
+    }
+}
+
 /// Compute the decoded `m×n` i32 product with the default (Ampere) plan.
 pub fn apmm_cpu(desc: &ApmmDesc, w: &BitPlanes, x: &BitPlanes) -> Vec<i32> {
     apmm_cpu_with_plan(desc, w, x, desc.plan())
@@ -41,8 +53,28 @@ pub fn apmm_cpu_with_plan(
     x: &BitPlanes,
     eplan: EmulationPlan,
 ) -> Vec<i32> {
-    let (m, n) = (desc.m, desc.n);
-    let (p, q) = (desc.w_bits, desc.x_bits);
+    // The ad-hoc path promises a full `m×n` product; only the prepared
+    // (compiled-plan) path may serve partial batch shards.
+    assert_eq!(x.rows(), desc.n, "activation rows");
+    apmm_exec(desc, w, x, eplan, None)
+}
+
+/// Shared core: multiply packed `w` (rows = output features) against packed
+/// `x` (rows = batch; may carry *fewer* rows than `desc.n` when a compiled
+/// plan serves a partial shard). `w_row_sums_pre` supplies precomputed
+/// weight corrections from a prepared kernel; `None` computes them on the
+/// fly (the ad-hoc path).
+pub(crate) fn apmm_exec(
+    desc: &ApmmDesc,
+    w: &BitPlanes,
+    x: &BitPlanes,
+    eplan: EmulationPlan,
+    w_row_sums_pre: Option<&[Vec<i32>]>,
+) -> Vec<i32> {
+    let m = desc.m;
+    let n = x.rows();
+    assert!(n <= desc.n, "activation batch exceeds plan batch");
+    let (p, q) = (desc.w_bits as usize, desc.x_bits as usize);
     let k_valid = desc.k as i32;
     assert_eq!(
         w.plane(0).padded_cols(),
@@ -50,30 +82,49 @@ pub fn apmm_cpu_with_plan(
         "operands must share padded K"
     );
 
-    // Correction vectors (bit-plane sums).
+    // Correction vectors (bit-plane sums). The weight side is loop-invariant
+    // across calls and comes precomputed from prepared kernels; the
+    // activation side depends on this call's operand.
     let (needs_row, needs_col) = correction_needs(eplan.case);
     let x_col_sums: Vec<Vec<i32>> = if needs_col {
-        (0..q).map(|t| x.plane(t).row_sums()).collect()
+        (0..q).map(|t| x.plane(t as u32).row_sums()).collect()
     } else {
         Vec::new()
     };
-    let w_row_sums: Vec<Vec<i32>> = if needs_row {
-        (0..p).map(|s| w.plane(s).row_sums()).collect()
-    } else {
-        Vec::new()
+    let w_row_sums_local;
+    let w_row_sums: &[Vec<i32>] = match w_row_sums_pre {
+        Some(pre) => pre,
+        None => {
+            w_row_sums_local = if needs_row {
+                (0..p).map(|s| w.plane(s as u32).row_sums()).collect()
+            } else {
+                Vec::new()
+            };
+            &w_row_sums_local
+        }
     };
 
+    // Pre-resolve every activation row's packed words per plane once, so the
+    // innermost loop indexes a flat table instead of chasing
+    // `x.plane(t).row_words(j)` per (j, t) pair.
+    let x_rows: Vec<Vec<&[u64]>> = (0..q)
+        .map(|t| {
+            let plane = x.plane(t as u32);
+            (0..n).map(|j| plane.row_words(j)).collect()
+        })
+        .collect();
+
     let mut y = vec![0i32; m * n];
-    y.par_chunks_mut(n)
+    y.par_chunks_mut(n.max(1))
         .enumerate()
         .for_each(|(i, row_out)| {
             // Hoist this row's weight-plane slices out of the column loop.
-            let w_rows: Vec<&[u64]> = (0..p).map(|s| w.plane(s).row_words(i)).collect();
+            let w_rows: Vec<&[u64]> = (0..p).map(|s| w.plane(s as u32).row_words(i)).collect();
             for (j, out) in row_out.iter_mut().enumerate() {
                 let mut acc = 0i32;
                 for (s, w_row) in w_rows.iter().enumerate() {
-                    for t in 0..q {
-                        let x_row = x.plane(t).row_words(j);
+                    for (t, x_plane_rows) in x_rows.iter().enumerate() {
+                        let x_row = x_plane_rows[j];
                         let popc = match eplan.op {
                             BmmaOp::And => and_popcount(w_row, x_row),
                             BmmaOp::Xor => xor_popcount(w_row, x_row),
@@ -83,9 +134,9 @@ pub fn apmm_cpu_with_plan(
                             popc,
                             k_valid,
                             if needs_row { w_row_sums[s][i] } else { 0 },
-                            if needs_col { x_col_sums[t as usize][j] } else { 0 },
+                            if needs_col { x_col_sums[t][j] } else { 0 },
                         );
-                        acc += adj << (s as u32 + t);
+                        acc += adj << (s + t);
                     }
                 }
                 *out = acc;
@@ -156,13 +207,8 @@ mod tests {
         for q in [2u32, 3, 4, 8] {
             let (m, n, k) = (16, 20, 250);
             let w = BitPlanes::from_signed_binary(&rand_signs(m * k, &mut seed), m, k);
-            let x = BitPlanes::from_codes(
-                &rand_codes(n * k, q, &mut seed),
-                n,
-                k,
-                q,
-                Encoding::ZeroOne,
-            );
+            let x =
+                BitPlanes::from_codes(&rand_codes(n * k, q, &mut seed), n, k, q, Encoding::ZeroOne);
             let desc = ApmmDesc::w1aq(m, n, k, q, Encoding::ZeroOne);
             assert_eq!(apmm_cpu(&desc, &w, &x), decoded_reference(&w, &x), "w1a{q}");
         }
@@ -172,13 +218,7 @@ mod tests {
     fn mirrored_case3_matches_reference() {
         let mut seed = 19;
         let (m, n, k, p) = (12, 9, 130, 4);
-        let w = BitPlanes::from_codes(
-            &rand_codes(m * k, p, &mut seed),
-            m,
-            k,
-            p,
-            Encoding::ZeroOne,
-        );
+        let w = BitPlanes::from_codes(&rand_codes(m * k, p, &mut seed), m, k, p, Encoding::ZeroOne);
         let x = BitPlanes::from_signed_binary(&rand_signs(n * k, &mut seed), n, k);
         let desc = ApmmDesc {
             m,
@@ -218,13 +258,7 @@ mod tests {
                 if enc == Encoding::PlusMinusOne {
                     BitPlanes::from_signed_binary(&rand_signs(rows * k, seed), rows, k)
                 } else {
-                    BitPlanes::from_codes(
-                        &rand_codes(rows * k, bits, seed),
-                        rows,
-                        k,
-                        bits,
-                        enc,
-                    )
+                    BitPlanes::from_codes(&rand_codes(rows * k, bits, seed), rows, k, bits, enc)
                 }
             };
             let w = mk(m, p, w_enc, &mut seed);
@@ -239,20 +273,8 @@ mod tests {
     fn agrees_with_fragment_template() {
         let mut seed = 23;
         let (m, n, k, p, q) = (17, 15, 260, 2, 3);
-        let w = BitPlanes::from_codes(
-            &rand_codes(m * k, p, &mut seed),
-            m,
-            k,
-            p,
-            Encoding::ZeroOne,
-        );
-        let x = BitPlanes::from_codes(
-            &rand_codes(n * k, q, &mut seed),
-            n,
-            k,
-            q,
-            Encoding::ZeroOne,
-        );
+        let w = BitPlanes::from_codes(&rand_codes(m * k, p, &mut seed), m, k, p, Encoding::ZeroOne);
+        let x = BitPlanes::from_codes(&rand_codes(n * k, q, &mut seed), n, k, q, Encoding::ZeroOne);
         let desc = ApmmDesc::unsigned(m, n, k, p, q);
         assert_eq!(apmm_cpu(&desc, &w, &x), crate::emulate::ap_bit_mm(&w, &x));
     }

@@ -167,20 +167,28 @@ impl Apmm {
     /// layer; otherwise the (epilogue-transformed, rounded) i32 accumulators
     /// are returned.
     pub fn execute_fused(&self, w: &BitPlanes, x: &BitPlanes, epi: &Epilogue) -> FusedOutput {
-        let mut y = self.execute(w, x);
-        match epi.output_bits() {
-            Some(bits) => FusedOutput::Packed(combine::quantize_pack_transposed(
-                &y, self.desc.m, self.desc.n, epi, bits,
-            )),
-            None => {
-                if !epi.ops().is_empty() {
-                    for (idx, v) in y.iter_mut().enumerate() {
-                        let channel = idx / self.desc.n;
-                        *v = epi.apply(*v, channel) as i32;
-                    }
-                }
-                FusedOutput::Int32(y)
-            }
+        let y = self.execute(w, x);
+        finish_fused(y, self.desc.m, self.desc.n, epi)
+    }
+
+    /// Hoist every per-call invariant out of the serving loop: take
+    /// ownership of the packed weights, fix the emulation plan, and
+    /// precompute the weight-side correction vectors (§3.2's `W·J` sums).
+    /// The result executes repeatedly without re-packing or re-planning.
+    pub fn prepare(&self, weights: BitPlanes) -> PreparedApmm {
+        assert_eq!(weights.rows(), self.desc.m, "weight rows");
+        assert_eq!(weights.cols(), self.desc.k, "weight cols");
+        assert_eq!(weights.bits(), self.desc.w_bits, "weight bits");
+        assert_eq!(weights.encoding(), self.desc.w_enc, "weight encoding");
+        crate::stats::count_weight_prepare();
+        let plan = self.desc.plan();
+        let w_row_sums = cpu::weight_row_sums(&weights, plan);
+        PreparedApmm {
+            desc: self.desc,
+            tile: self.tile,
+            plan,
+            weights,
+            w_row_sums,
         }
     }
 
@@ -192,6 +200,75 @@ impl Apmm {
     /// Simulated-GPU latency report with a fused epilogue.
     pub fn simulate_fused(&self, spec: &GpuSpec, epi: &Epilogue) -> KernelReport {
         simmap::estimate(&self.desc, &self.tile, spec, Some(epi))
+    }
+}
+
+/// An APMM kernel compiled for serving: packed weights + emulation plan +
+/// correction vectors, all materialized once (§4.1 batched emulation with
+/// the per-call setup hoisted out of the hot loop).
+#[derive(Debug, Clone)]
+pub struct PreparedApmm {
+    /// Problem description (`n` is the *compiled* batch; calls may shard).
+    pub desc: ApmmDesc,
+    /// Block tiling chosen at compile time.
+    pub tile: TileConfig,
+    /// Operator-selection plan fixed at compile time.
+    pub plan: crate::select::EmulationPlan,
+    weights: BitPlanes,
+    w_row_sums: Vec<Vec<i32>>,
+}
+
+impl PreparedApmm {
+    /// The packed weight operand.
+    pub fn weights(&self) -> &BitPlanes {
+        &self.weights
+    }
+
+    /// Validate an activation operand shard (rows may be ≤ the compiled
+    /// batch; everything else must match).
+    fn check_acts(&self, x: &BitPlanes) {
+        assert!(x.rows() <= self.desc.n, "activation rows exceed plan batch");
+        assert_eq!(x.cols(), self.desc.k, "activation cols");
+        assert_eq!(x.bits(), self.desc.x_bits, "activation bits");
+        assert_eq!(x.encoding(), self.desc.x_enc, "activation encoding");
+    }
+
+    /// Row-major `m × x.rows()` i32 product, reusing every precomputed
+    /// artifact.
+    pub fn execute(&self, x: &BitPlanes) -> Vec<i32> {
+        self.check_acts(x);
+        cpu::apmm_exec(
+            &self.desc,
+            &self.weights,
+            x,
+            self.plan,
+            Some(&self.w_row_sums),
+        )
+    }
+
+    /// [`PreparedApmm::execute`] with a fused epilogue (packed output when
+    /// the chain quantizes).
+    pub fn execute_fused(&self, x: &BitPlanes, epi: &Epilogue) -> FusedOutput {
+        let y = self.execute(x);
+        finish_fused(y, self.desc.m, x.rows(), epi)
+    }
+}
+
+/// Apply a fused epilogue to raw `m×n` accumulators: packed (transposed)
+/// output when the chain quantizes, epilogue-transformed i32 otherwise.
+/// Single implementation shared by the ad-hoc and prepared paths.
+fn finish_fused(mut y: Vec<i32>, m: usize, n: usize, epi: &Epilogue) -> FusedOutput {
+    match epi.output_bits() {
+        Some(bits) => FusedOutput::Packed(combine::quantize_pack_transposed(&y, m, n, epi, bits)),
+        None => {
+            if !epi.ops().is_empty() {
+                for (idx, v) in y.iter_mut().enumerate() {
+                    let channel = idx / n.max(1);
+                    *v = epi.apply(*v, channel) as i32;
+                }
+            }
+            FusedOutput::Int32(y)
+        }
     }
 }
 
@@ -212,6 +289,39 @@ mod tests {
     fn new_autotunes() {
         let a = Apmm::new(ApmmDesc::unsigned(4096, 4096, 1024, 2, 2));
         assert_eq!((a.tile.bm, a.tile.bn), (128, 128));
+    }
+
+    #[test]
+    fn prepared_matches_adhoc_and_serves_partial_batches() {
+        let mut seed = 91u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let desc = ApmmDesc::w1aq(9, 8, 150, 2, Encoding::ZeroOne);
+        let wv: Vec<i32> = (0..desc.m * desc.k)
+            .map(|_| if next() % 2 == 0 { -1 } else { 1 })
+            .collect();
+        let w = BitPlanes::from_signed_binary(&wv, desc.m, desc.k);
+        let xc: Vec<u32> = (0..desc.n * desc.k).map(|_| next() % 4).collect();
+        let x = BitPlanes::from_codes(&xc, desc.n, desc.k, 2, Encoding::ZeroOne);
+
+        let apmm = Apmm::new(desc);
+        let adhoc = apmm.execute(&w, &x);
+        let prepared = apmm.prepare(w);
+        assert_eq!(prepared.execute(&x), adhoc);
+
+        // A partial shard (smaller batch) reuses the same prepared weights.
+        let half: Vec<u32> = xc[..desc.n / 2 * desc.k].to_vec();
+        let x_half = BitPlanes::from_codes(&half, desc.n / 2, desc.k, 2, Encoding::ZeroOne);
+        let got = prepared.execute(&x_half);
+        for i in 0..desc.m {
+            for j in 0..desc.n / 2 {
+                assert_eq!(got[i * (desc.n / 2) + j], adhoc[i * desc.n + j]);
+            }
+        }
     }
 
     #[test]

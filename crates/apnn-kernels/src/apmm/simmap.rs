@@ -113,8 +113,8 @@ pub fn estimate_with_efficiency(
     c.global_load_bytes = grid * k_steps * (wb + xb);
     // DRAM sees each operand tile once (first-touch by the first block
     // row/column); the remaining (grid-1)/grid of tile loads hit L2.
-    c.global_sectors = (grid_m as u64 * k_steps * wb).div_ceil(32)
-        + (grid_n as u64 * k_steps * xb).div_ceil(32);
+    c.global_sectors =
+        (grid_m as u64 * k_steps * wb).div_ceil(32) + (grid_n as u64 * k_steps * xb).div_ceil(32);
     c.shmem_bytes = grid * k_steps * (sw + sr);
     c.syncs = grid * k_steps;
 
@@ -269,7 +269,12 @@ pub fn run_functional(
                             dst.fill(0);
                         }
                     }
-                    bmma_8x8x128(&a_frag, &b_frag, &mut c_frags[fi * frag_cols + fj], eplan.op);
+                    bmma_8x8x128(
+                        &a_frag,
+                        &b_frag,
+                        &mut c_frags[fi * frag_cols + fj],
+                        eplan.op,
+                    );
                 }
             }
             ctx.bmma((frags_per_block * (tile.bk / BMMA_K)) as u64);
@@ -364,8 +369,7 @@ pub fn overheads(desc: &ApmmDesc, tile: &TileConfig, spec: &GpuSpec) -> Emulatio
 
     let grid = tile.grid_blocks(desc.batched_m(), desc.batched_n()) as u64;
     let combine_ops = grid * (tile.bm * tile.bn) as u64;
-    let decompose_ops =
-        DECOMPOSE_OPS_PER_ELEM * desc.x_bits as u64 * (desc.n * desc.k) as u64;
+    let decompose_ops = DECOMPOSE_OPS_PER_ELEM * desc.x_bits as u64 * (desc.n * desc.k) as u64;
 
     let price_cuda = |ops: u64| {
         let c = Counters {
@@ -453,8 +457,7 @@ mod tests {
         };
         // CPU path: full product then quantize+pack.
         let y = apmm_cpu(&desc, &w, &x);
-        let expected =
-            crate::apmm::combine::quantize_pack_transposed(&y, desc.m, desc.n, &epi, 2);
+        let expected = crate::apmm::combine::quantize_pack_transposed(&y, desc.m, desc.n, &epi, 2);
         assert_eq!(packed.reconstruct_codes(), expected.reconstruct_codes());
         // Counter equivalence with the closed form.
         let est = estimate(&desc, &tile, &spec, Some(&epi));
@@ -466,7 +469,12 @@ mod tests {
         let spec = GpuSpec::rtx3090();
         let tile = TileConfig::new(64, 64);
         let small = estimate(&ApmmDesc::unsigned(256, 256, 256, 1, 1), &tile, &spec, None);
-        let big = estimate(&ApmmDesc::unsigned(1024, 1024, 1024, 1, 1), &tile, &spec, None);
+        let big = estimate(
+            &ApmmDesc::unsigned(1024, 1024, 1024, 1, 1),
+            &tile,
+            &spec,
+            None,
+        );
         assert!(big.counters.tc_macs > 30 * small.counters.tc_macs);
         assert!(big.time_s() > small.time_s());
     }

@@ -23,14 +23,7 @@ pub const TLP_THRESHOLD: f64 = 64.0;
 
 /// Thread-level parallelism of a tiling (Eq. 3): the grid size over the
 /// batched `pM × qN` output space.
-pub fn thread_level_parallelism(
-    m: usize,
-    n: usize,
-    p: u32,
-    q: u32,
-    bm: usize,
-    bn: usize,
-) -> f64 {
+pub fn thread_level_parallelism(m: usize, n: usize, p: u32, q: u32, bm: usize, bn: usize) -> f64 {
     (p as f64 * m as f64) * (q as f64 * n as f64) / (bm as f64 * bn as f64)
 }
 
@@ -44,6 +37,7 @@ pub fn compute_intensity(bm: usize, bn: usize) -> f64 {
 /// `k` only enters through `bk`, which stays fixed at 128 (§4.3.1: CI is
 /// independent of `bk`; a small `bk` leaves shared memory for `bm`, `bn`).
 pub fn autotune(m: usize, n: usize, _k: usize, p: u32, q: u32) -> TileConfig {
+    crate::stats::count_autotune();
     let mut candidates: Vec<(usize, usize, f64, f64)> = Vec::with_capacity(16);
     for &bm in &TILE_CANDIDATES {
         for &bn in &TILE_CANDIDATES {
@@ -59,10 +53,7 @@ pub fn autotune(m: usize, n: usize, _k: usize, p: u32, q: u32) -> TileConfig {
             .then(b.3.partial_cmp(&a.3).unwrap())
     });
 
-    let above: Vec<_> = candidates
-        .iter()
-        .filter(|c| c.2 >= TLP_THRESHOLD)
-        .collect();
+    let above: Vec<_> = candidates.iter().filter(|c| c.2 >= TLP_THRESHOLD).collect();
     let chosen = if above.is_empty() {
         // Nothing clears the threshold: stick with the max-TLP combination.
         candidates[0]

@@ -33,7 +33,13 @@ pub fn kernel_config(kind: BaselineKind, m: usize, n: usize) -> KernelConfig {
 /// `64×1024×1024` and produces the paper's large-size crossover against the
 /// high-bit emulations (§6.1.1, Fig. 5b).
 #[allow(clippy::field_reassign_with_default)] // counters accumulate in dependency order
-pub fn gemm_report(kind: BaselineKind, m: usize, n: usize, k: usize, spec: &GpuSpec) -> KernelReport {
+pub fn gemm_report(
+    kind: BaselineKind,
+    m: usize,
+    n: usize,
+    k: usize,
+    spec: &GpuSpec,
+) -> KernelReport {
     let mut cfg = kernel_config(kind, m, n);
     let (tm, tn) = kind.tile();
     let kt = kind.k_tile();

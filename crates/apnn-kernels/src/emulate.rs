@@ -47,9 +47,7 @@ pub fn ap_bit_mm(w: &BitPlanes, x: &BitPlanes) -> Vec<i32> {
     assert_eq!(x.plane(0).padded_cols(), w.plane(0).padded_cols());
 
     // Correction vectors (bit sums per plane).
-    let w_row_sums: Vec<Vec<i32>> = (0..w.bits())
-        .map(|s| w.plane(s).row_sums())
-        .collect();
+    let w_row_sums: Vec<Vec<i32>> = (0..w.bits()).map(|s| w.plane(s).row_sums()).collect();
     let x_col_sums: Vec<Vec<i32>> = (0..x.bits())
         .map(|t| x.plane(t).row_sums()) // x rows are logical columns
         .collect();
@@ -110,8 +108,7 @@ pub fn ap_scalar_dot(w_vals: &[i32], x_vals: &[i32]) -> i32 {
 /// `p×q` bits — the §3.1 cost-analysis quantity (`p·q` passes over the
 /// fragment grid).
 pub fn bmma_count(m: usize, n: usize, k_padded: usize, p: u32, q: u32) -> u64 {
-    let frags =
-        m.div_ceil(BMMA_M) as u64 * n.div_ceil(BMMA_N) as u64 * (k_padded / BMMA_K) as u64;
+    let frags = m.div_ceil(BMMA_M) as u64 * n.div_ceil(BMMA_N) as u64 * (k_padded / BMMA_K) as u64;
     frags * p as u64 * q as u64
 }
 
@@ -147,7 +144,11 @@ mod tests {
             let xc = random_codes(n * k, q, &mut seed);
             let w = BitPlanes::from_codes(&wc, m, k, p, Encoding::ZeroOne);
             let x = BitPlanes::from_codes(&xc, n, k, q, Encoding::ZeroOne);
-            assert_eq!(ap_bit_mm(&w, &x), decoded_reference(&w, &x), "m{m} n{n} k{k}");
+            assert_eq!(
+                ap_bit_mm(&w, &x),
+                decoded_reference(&w, &x),
+                "m{m} n{n} k{k}"
+            );
         }
     }
 
@@ -155,11 +156,19 @@ mod tests {
     fn case2_signed_binary_matches_reference() {
         let mut seed = 7;
         for (m, n, k) in [(8, 8, 128), (12, 20, 77), (3, 3, 500)] {
-            let wv: Vec<i32> = (0..m * k).map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 }).collect();
-            let xv: Vec<i32> = (0..n * k).map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 }).collect();
+            let wv: Vec<i32> = (0..m * k)
+                .map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 })
+                .collect();
+            let xv: Vec<i32> = (0..n * k)
+                .map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 })
+                .collect();
             let w = BitPlanes::from_signed_binary(&wv, m, k);
             let x = BitPlanes::from_signed_binary(&xv, n, k);
-            assert_eq!(ap_bit_mm(&w, &x), decoded_reference(&w, &x), "m{m} n{n} k{k}");
+            assert_eq!(
+                ap_bit_mm(&w, &x),
+                decoded_reference(&w, &x),
+                "m{m} n{n} k{k}"
+            );
         }
     }
 
@@ -171,7 +180,9 @@ mod tests {
             .zip([2u32, 3, 8])
             .map(|((m, n, k), q)| (m, n, k, q))
         {
-            let wv: Vec<i32> = (0..m * k).map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 }).collect();
+            let wv: Vec<i32> = (0..m * k)
+                .map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 })
+                .collect();
             let xc = random_codes(n * k, q, &mut seed);
             let w = BitPlanes::from_signed_binary(&wv, m, k);
             let x = BitPlanes::from_codes(&xc, n, k, q, Encoding::ZeroOne);
@@ -184,7 +195,9 @@ mod tests {
         let mut seed = 1234;
         let (m, n, k, p) = (9, 7, 150, 3);
         let wc = random_codes(m * k, p, &mut seed);
-        let xv: Vec<i32> = (0..n * k).map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 }).collect();
+        let xv: Vec<i32> = (0..n * k)
+            .map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 })
+            .collect();
         let w = BitPlanes::from_codes(&wc, m, k, p, Encoding::ZeroOne);
         let x = BitPlanes::from_signed_binary(&xv, n, k);
         assert_eq!(ap_bit_mm(&w, &x), decoded_reference(&w, &x));

@@ -106,8 +106,10 @@ impl Epilogue {
                     mean,
                     var,
                     eps,
-                } => (v - mean[channel]) / (var[channel] + eps).sqrt() * gamma[channel]
-                    + beta[channel],
+                } => {
+                    (v - mean[channel]) / (var[channel] + eps).sqrt() * gamma[channel]
+                        + beta[channel]
+                }
                 EpilogueOp::Affine { mul, add } => v * mul + add[channel],
                 EpilogueOp::Relu => v.max(0.0),
                 EpilogueOp::Quantize {

@@ -30,9 +30,10 @@ pub mod emulate;
 pub mod fusion;
 pub mod reference;
 pub mod select;
+pub mod stats;
 
-pub use apconv::{ApConv, ConvDesc};
-pub use apmm::{Apmm, ApmmDesc, TileConfig};
+pub use apconv::{ApConv, ConvDesc, PreparedConv};
+pub use apmm::{Apmm, ApmmDesc, PreparedApmm, TileConfig};
 pub use autotune::{autotune, compute_intensity, thread_level_parallelism};
 pub use emulate::ap_bit_mm;
 pub use fusion::{Epilogue, EpilogueOp};

@@ -173,7 +173,10 @@ mod tests {
         assert_eq!(adjust_partial(EmulationCase::AndUnsigned, 1, 2, 0, 0), 1);
         // Case II: W = [-1,1], X = [1,1] -> map -1 to 0, popc(XOR([0,1],[1,1]))
         // = popc([1,0]) = 1, y = 2 - 2*1 = 0.
-        assert_eq!(adjust_partial(EmulationCase::XorSignedBinary, 1, 2, 0, 0), 0);
+        assert_eq!(
+            adjust_partial(EmulationCase::XorSignedBinary, 1, 2, 0, 0),
+            0
+        );
         // Case III: W = [-1,1], X = [1,0]. Ŵ = [0,1]; popc(AND([0,1],[1,0]))
         // = 0; J·X = 1; y = 2*0 - 1 = -1. And indeed W·X = -1.
         assert_eq!(
@@ -251,17 +254,10 @@ mod tests {
                 let y = adjust_partial(EmulationCase::XorSignedBinary, wb ^ xb, 1, 0, 0);
                 assert_eq!(y, wv * xv);
                 // Case III: w signed, x unsigned.
-                let y =
-                    adjust_partial(EmulationCase::AndWeightTransformed, wb & xb, 1, 0, xb);
+                let y = adjust_partial(EmulationCase::AndWeightTransformed, wb & xb, 1, 0, xb);
                 assert_eq!(y, wv * xb);
                 // Case III mirrored.
-                let y = adjust_partial(
-                    EmulationCase::AndActivationTransformed,
-                    wb & xb,
-                    1,
-                    wb,
-                    0,
-                );
+                let y = adjust_partial(EmulationCase::AndActivationTransformed, wb & xb, 1, wb, 0);
                 assert_eq!(y, wb * xv);
             }
         }

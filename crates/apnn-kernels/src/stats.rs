@@ -1,0 +1,47 @@
+//! Process-wide counters for compile-time vs. serve-time work.
+//!
+//! The compiled-plan execution model (see `apnn-nn`'s `compile` module)
+//! promises that expensive per-layer preparation — tile autotuning, weight
+//! packing, correction-vector precomputation — happens once at compile time
+//! and never in the `infer()` hot loop. These counters make that promise
+//! testable: snapshot them after compilation, run inference, and assert
+//! they did not move.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static AUTOTUNE_CALLS: AtomicU64 = AtomicU64::new(0);
+static WEIGHT_PREPARES: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`crate::autotune::autotune`] invocations in this process.
+pub fn autotune_calls() -> u64 {
+    AUTOTUNE_CALLS.load(Ordering::Relaxed)
+}
+
+/// Total prepared-kernel constructions (weight packing + correction
+/// precomputation) in this process.
+pub fn weight_prepares() -> u64 {
+    WEIGHT_PREPARES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_autotune() {
+    AUTOTUNE_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_weight_prepare() {
+    WEIGHT_PREPARES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone() {
+        let a0 = autotune_calls();
+        count_autotune();
+        assert!(autotune_calls() > a0);
+        let w0 = weight_prepares();
+        count_weight_prepare();
+        assert!(weight_prepares() > w0);
+    }
+}

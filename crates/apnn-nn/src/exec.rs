@@ -1,11 +1,17 @@
 //! Simulator-backed network execution: per-stage latency and traffic.
 //!
-//! Walks the fused stage list and prices every stage on the `apnn-sim` cost
-//! model: main stages go through the APMM/APConv estimators (emulated
-//! schemes) or the cutlass/cublas-like baselines; element-wise stages go
-//! through the generic element-wise kernel. The result is the per-layer
-//! breakdown behind Fig. 9 and the whole-network latency/throughput numbers
-//! of Tables 2 & 3.
+//! [`simulate`] lowers the network through the compilation layer
+//! ([`crate::compile::CompiledNet`]) and prices the resulting plan on the
+//! `apnn-sim` cost model via [`crate::compile::SimEngine`]: main stages go
+//! through the APMM/APConv estimators (emulated schemes) or the
+//! cutlass/cublas-like baselines; element-wise stages go through the
+//! generic element-wise kernel. The result is the per-layer breakdown
+//! behind Fig. 9 and the whole-network latency/throughput numbers of
+//! Tables 2 & 3.
+//!
+//! The pre-refactor direct-dispatch executor is preserved in [`legacy`] as
+//! the pricing oracle: integration tests assert the compiled plan prices
+//! bit-identically to it.
 
 use apnn_kernels::apconv::simmap::{estimate_with_efficiency as conv_estimate, ActLayout};
 use apnn_kernels::apconv::{ConvDesc, Pool2};
@@ -92,7 +98,7 @@ impl NetworkReport {
 
 /// Build a cost-shaped epilogue from a fused tail (parameter values don't
 /// affect pricing, only the op mix does).
-fn tail_epilogue(tail: &FusedTail, channels: usize, out_bits: u32) -> Epilogue {
+pub(crate) fn tail_epilogue(tail: &FusedTail, channels: usize, out_bits: u32) -> Epilogue {
     let mut epi = Epilogue::none();
     if tail.bn {
         epi = epi.then(EpilogueOp::BatchNorm {
@@ -128,7 +134,8 @@ pub fn simulate(
 }
 
 /// [`simulate`] with an explicit fusion flag (the Fig. 10 network-level
-/// ablation).
+/// ablation). Compiles the network into a [`crate::compile::CompiledNet`]
+/// (simulation-only materialization) and prices the plan.
 pub fn simulate_with(
     net: &Network,
     precision: NetPrecision,
@@ -136,70 +143,120 @@ pub fn simulate_with(
     batch: usize,
     fuse: bool,
 ) -> NetworkReport {
-    let stages = fuse_network(net, fuse);
-    let mut reports = Vec::with_capacity(stages.len() + 1);
-
-    if precision.is_emulated() {
-        // §5.1 input layer: quantize + pack the 8-bit RGB image into planes.
-        let elems = (net.input_c * net.input_h * net.input_w * batch) as u64;
-        let r = apnn_kernels::apconv::simmap::elementwise_kernel(
-            spec,
-            elems,     // 1 byte per u8 element in
-            elems,     // 8 packed planes out = 1 byte per element
-            elems * 8, // shift/mask/ballot per plane
-            0,
-        );
-        reports.push(StageReport {
-            name: "input-pack".into(),
-            time_s: r.time_s(),
-            is_main: false,
-            macs: 0,
-            global_bytes: r.counters.global_bytes(),
-            bound: r.cost.bound,
-        });
-    }
-
-    for stage in &stages {
-        let rep = match stage {
-            Stage::Main {
-                name,
-                op,
-                main_index,
-                tail,
-                out_elements,
-                ..
-            } => {
-                let first = *main_index == 0;
-                price_main(
-                    net, precision, spec, batch, name, op, first, tail, *out_elements,
-                )
-            }
-            Stage::Elementwise {
-                name,
-                kind,
-                in_elements,
-                out_elements,
-                ..
-            } => price_elementwise(
-                precision,
-                spec,
-                batch,
-                name,
-                *kind,
-                *in_elements,
-                *out_elements,
-            ),
-        };
-        reports.push(rep);
-    }
-
-    let total_s = reports.iter().map(|s| s.time_s).sum();
-    NetworkReport {
-        model: net.name.clone(),
-        scheme: precision.label(),
+    let opts = crate::compile::CompileOptions {
         batch,
-        stages: reports,
-        total_s,
+        fuse,
+        materialize: crate::compile::Materialize::SimOnly,
+    };
+    crate::compile::CompiledNet::compile(net, precision, &opts).report(spec)
+}
+
+/// Price the §5.1 input layer: quantize + pack the 8-bit RGB image.
+pub(crate) fn price_input_pack(spec: &GpuSpec, elems: u64) -> StageReport {
+    let r = apnn_kernels::apconv::simmap::elementwise_kernel(
+        spec,
+        elems,     // 1 byte per u8 element in
+        elems,     // 8 packed planes out = 1 byte per element
+        elems * 8, // shift/mask/ballot per plane
+        0,
+    );
+    StageReport {
+        name: "input-pack".into(),
+        time_s: r.time_s(),
+        is_main: false,
+        macs: 0,
+        global_bytes: r.counters.global_bytes(),
+        bound: r.cost.bound,
+    }
+}
+
+/// The pre-refactor direct-dispatch simulator, preserved verbatim as the
+/// pricing oracle for the compiled-plan path. Every stage is re-fused,
+/// re-autotuned and re-priced on each call — exactly what compilation
+/// hoists out — so tests can assert `compile(..).report(..)` produces
+/// bit-identical numbers.
+pub mod legacy {
+    use super::*;
+
+    /// Pre-refactor [`super::simulate`].
+    pub fn simulate(
+        net: &Network,
+        precision: NetPrecision,
+        spec: &GpuSpec,
+        batch: usize,
+    ) -> NetworkReport {
+        let fuse = matches!(precision, NetPrecision::Apnn { .. });
+        simulate_with(net, precision, spec, batch, fuse)
+    }
+
+    /// Pre-refactor [`super::simulate_with`]: walks the fused stage list and
+    /// prices each stage ad hoc.
+    pub fn simulate_with(
+        net: &Network,
+        precision: NetPrecision,
+        spec: &GpuSpec,
+        batch: usize,
+        fuse: bool,
+    ) -> NetworkReport {
+        let stages = fuse_network(net, fuse);
+        let mut reports = Vec::with_capacity(stages.len() + 1);
+
+        if precision.is_emulated() {
+            // §5.1 input layer: quantize + pack the 8-bit RGB image.
+            let elems = (net.input_c * net.input_h * net.input_w * batch) as u64;
+            reports.push(price_input_pack(spec, elems));
+        }
+
+        for stage in &stages {
+            let rep = match stage {
+                Stage::Main {
+                    name,
+                    op,
+                    main_index,
+                    tail,
+                    out_elements,
+                    ..
+                } => {
+                    let first = *main_index == 0;
+                    price_main(
+                        net,
+                        precision,
+                        spec,
+                        batch,
+                        name,
+                        op,
+                        first,
+                        tail,
+                        *out_elements,
+                    )
+                }
+                Stage::Elementwise {
+                    name,
+                    kind,
+                    in_elements,
+                    out_elements,
+                    ..
+                } => price_elementwise(
+                    precision,
+                    spec,
+                    batch,
+                    name,
+                    *kind,
+                    *in_elements,
+                    *out_elements,
+                ),
+            };
+            reports.push(rep);
+        }
+
+        let total_s = reports.iter().map(|s| s.time_s).sum();
+        NetworkReport {
+            model: net.name.clone(),
+            scheme: precision.label(),
+            batch,
+            stages: reports,
+            total_s,
+        }
     }
 }
 
@@ -268,7 +325,11 @@ fn price_main(
     let x_enc = precision.activation_encoding(first);
     let out_bits = precision.activation_bits(false);
     let epi = tail_epilogue(tail, channels, out_bits);
-    let epi_opt = if epi.ops().is_empty() { None } else { Some(&epi) };
+    let epi_opt = if epi.ops().is_empty() {
+        None
+    } else {
+        Some(&epi)
+    };
     let (tile, efficiency) = match precision {
         NetPrecision::Bnn => (TileConfig::new(32, 32), BNN_KERNEL_EFFICIENCY),
         _ => (TileConfig::new(0, 0), APMM_TC_EFFICIENCY), // tile set below
@@ -306,7 +367,15 @@ fn price_main(
                 tile
             };
             let pool = if tail.pool2 { Some(Pool2::Max) } else { None };
-            conv_estimate(&desc, &tile, spec, pool, epi_opt, ActLayout::Nphwc, efficiency)
+            conv_estimate(
+                &desc,
+                &tile,
+                spec,
+                pool,
+                epi_opt,
+                ActLayout::Nphwc,
+                efficiency,
+            )
         }
         MainOp::Linear {
             in_features,
@@ -340,7 +409,7 @@ fn price_main(
     }
 }
 
-fn price_elementwise(
+pub(crate) fn price_elementwise(
     precision: NetPrecision,
     spec: &GpuSpec,
     batch: usize,
@@ -374,12 +443,7 @@ fn price_elementwise(
         EwKind::GlobalAvgPool => (n_in * elem_bytes, n_out * elem_bytes, n_in, 0),
         EwKind::BatchNorm => (n_in * elem_bytes, n_out * elem_bytes, 0, 4 * n_in),
         EwKind::Relu => (n_in * elem_bytes, n_out * elem_bytes, n_in, 0),
-        EwKind::Quantize => (
-            n_in * elem_bytes,
-            (n_out * q_bits).div_ceil(8),
-            4 * n_in,
-            0,
-        ),
+        EwKind::Quantize => (n_in * elem_bytes, (n_out * q_bits).div_ceil(8), 4 * n_in, 0),
         EwKind::ResidualAdd => (2 * n_in * elem_bytes, n_out * elem_bytes, n_in, 0),
         EwKind::InputPack => (n_in, n_out, 8 * n_in, 0),
     };
@@ -421,7 +485,12 @@ mod tests {
         let apnn = simulate(&net, NetPrecision::w1a2(), &spec, 8);
         let fp32 = simulate(&net, NetPrecision::Fp32, &spec, 8);
         let int8 = simulate(&net, NetPrecision::Int8, &spec, 8);
-        assert!(apnn.total_s < fp32.total_s, "{} vs {}", apnn.total_s, fp32.total_s);
+        assert!(
+            apnn.total_s < fp32.total_s,
+            "{} vs {}",
+            apnn.total_s,
+            fp32.total_s
+        );
         assert!(apnn.total_s < int8.total_s);
     }
 

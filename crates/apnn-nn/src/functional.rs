@@ -1,17 +1,27 @@
-//! Functional end-to-end quantized inference on the CPU engine.
+//! Hand-built functional networks, as a front-end to the compiled engine.
 //!
-//! [`QuantNet`] chains fused conv/linear stages over *packed* activations —
-//! the minimal-traffic dataflow of §5.1 made concrete: every intermediate
-//! tensor is a `q`-bit [`BitTensor4`] / [`BitPlanes`], quantization happens
-//! inside the producing stage's epilogue, and only the final logits are
-//! 32-bit. Intended for small/medium networks (tests, examples, and
-//! cross-checking the `apnn-quant` trained models); the ImageNet-scale zoo
-//! is evaluated through the simulator instead.
+//! [`QuantNet`] keeps the original stage-by-stage construction API — push
+//! fused conv/linear stages with explicit kernels, packed weights and
+//! epilogues — but no longer owns an execution loop: every pushed
+//! [`QuantStage`] is *prepared* immediately (weights handed to the kernel
+//! layer, emulation plan and corrections materialized) and appended to a
+//! [`CompiledNet`], so `QuantNet` inference is exactly
+//! [`crate::compile::CpuEngine`] running a compiled plan. The §5.1
+//! minimal-traffic dataflow (packed `q`-bit activations between stages,
+//! i32 only at the logits) is enforced by that engine.
+//!
+//! Use [`QuantNet::into_plan`] to extract the underlying [`CompiledNet`]
+//! for batched serving or simulator pricing.
 
 use apnn_bitpack::{BitPlanes, BitTensor4};
-use apnn_kernels::apconv::{ApConv, ConvOutput, ConvWeights, Pool2};
-use apnn_kernels::apmm::{Apmm, FusedOutput};
+use apnn_kernels::apconv::{ApConv, ConvWeights, Pool2};
+use apnn_kernels::apmm::Apmm;
 use apnn_kernels::fusion::Epilogue;
+
+use crate::compile::{CompiledNet, MainKernel, MainStage, PlanStage};
+use crate::fuse::MainOp;
+
+pub use crate::compile::flatten_map;
 
 /// One fused stage of a functional quantized network.
 #[derive(Debug, Clone)]
@@ -39,139 +49,134 @@ pub enum QuantStage {
     },
 }
 
-/// A functional quantized network over packed activations.
-#[derive(Debug, Clone, Default)]
+/// A functional quantized network over packed activations, backed by a
+/// compiled plan.
+#[derive(Debug, Clone)]
 pub struct QuantNet {
-    /// Stages in execution order. Conv stages must precede linear stages
-    /// (a single flatten happens at the transition).
-    pub stages: Vec<QuantStage>,
+    plan: CompiledNet,
 }
 
-/// Activation value flowing between stages.
-enum Act {
-    Map(BitTensor4),
-    Vec(BitPlanes),
-    Logits(Vec<i32>, usize, usize), // (row-major m×n = features×batch)
+impl Default for QuantNet {
+    fn default() -> Self {
+        QuantNet {
+            plan: CompiledNet::empty("quantnet", "hand-built"),
+        }
+    }
 }
 
 impl QuantNet {
-    /// Append a stage.
+    /// Append a stage, preparing its kernel (weight packing, emulation-plan
+    /// and correction precomputation happen here, once).
     pub fn push(&mut self, stage: QuantStage) {
-        self.stages.push(stage);
+        let idx = self.plan.stages().len();
+        let compiled = match stage {
+            QuantStage::Conv {
+                conv,
+                weights,
+                pool,
+                epi,
+            } => {
+                let desc = conv.desc;
+                let tile = conv.tile;
+                let prepared = conv.prepare(weights);
+                MainStage {
+                    name: format!("stage{idx}"),
+                    op: MainOp::Conv {
+                        cin: desc.cin,
+                        h: desc.h,
+                        w: desc.w,
+                        cout: desc.cout,
+                        k: desc.kh,
+                        stride: desc.stride,
+                        pad: desc.pad,
+                    },
+                    pool,
+                    epi,
+                    kernel: MainKernel::Conv {
+                        desc,
+                        tile,
+                        prepared: Some(prepared),
+                    },
+                    init: None,
+                }
+            }
+            QuantStage::Linear { apmm, weights, epi } => {
+                let desc = apmm.desc;
+                let tile = apmm.tile;
+                let prepared = apmm.prepare(weights);
+                MainStage {
+                    name: format!("stage{idx}"),
+                    op: MainOp::Linear {
+                        in_features: desc.k,
+                        out_features: desc.m,
+                    },
+                    pool: None,
+                    epi,
+                    kernel: MainKernel::Linear {
+                        desc,
+                        tile,
+                        prepared: Some(prepared),
+                    },
+                    init: None,
+                }
+            }
+        };
+        self.plan.push_stage(PlanStage::Main(compiled));
+    }
+
+    /// Number of stages pushed so far.
+    pub fn len(&self) -> usize {
+        self.plan.stages().len()
+    }
+
+    /// Is the network empty?
+    pub fn is_empty(&self) -> bool {
+        self.plan.stages().is_empty()
     }
 
     /// Run inference on a packed input feature map.
     ///
     /// Returns logits as `batch × classes`, row-major.
     pub fn infer(&self, input: &BitTensor4) -> Vec<i32> {
-        self.infer_act(Act::Map(input.clone()))
+        self.plan.infer(input)
     }
 
     /// Run inference on packed feature *vectors* (all-linear networks):
     /// `input` rows = batch, cols = features.
     pub fn infer_vec(&self, input: &BitPlanes) -> Vec<i32> {
-        self.infer_act(Act::Vec(input.clone()))
-    }
-
-    fn infer_act(&self, input: Act) -> Vec<i32> {
-        assert!(!self.stages.is_empty(), "empty network");
-        let mut act = input;
-        for (i, stage) in self.stages.iter().enumerate() {
-            let last = i + 1 == self.stages.len();
-            act = match (act, stage) {
-                (Act::Map(map), QuantStage::Conv { conv, weights, pool, epi }) => {
-                    match conv.execute_fused(weights, &map, *pool, epi) {
-                        ConvOutput::Packed(next) => Act::Map(next),
-                        ConvOutput::Int32(_) => {
-                            panic!("conv stage {i} must quantize (only the last linear may emit i32)")
-                        }
-                    }
-                }
-                (Act::Map(map), QuantStage::Linear { apmm, weights, epi }) => {
-                    let flat = flatten_map(&map);
-                    run_linear(apmm, weights, &flat, epi, last, i)
-                }
-                (Act::Vec(v), QuantStage::Linear { apmm, weights, epi }) => {
-                    run_linear(apmm, weights, &v, epi, last, i)
-                }
-                (Act::Vec(_), QuantStage::Conv { .. }) => {
-                    panic!("conv stage {i} after flatten")
-                }
-                (Act::Logits(..), _) => panic!("stage {i} follows the output layer"),
-            };
-        }
-        match act {
-            Act::Logits(y, m, n) => {
-                // y is features×batch; transpose to batch×classes.
-                let mut out = vec![0i32; m * n];
-                for f in 0..m {
-                    for b in 0..n {
-                        out[b * m + f] = y[f * n + b];
-                    }
-                }
-                out
-            }
-            _ => panic!("network did not end in an i32 linear output layer"),
-        }
+        self.plan.infer_vec(input)
     }
 
     /// Output classes (from the last linear stage).
     pub fn num_classes(&self) -> usize {
-        match self.stages.last() {
-            Some(QuantStage::Linear { apmm, .. }) => apmm.desc.m,
+        match self.plan.main_stages().last() {
+            Some(MainStage {
+                kernel: MainKernel::Linear { desc, .. },
+                ..
+            }) => desc.m,
             _ => panic!("network must end with a linear stage"),
         }
     }
-}
 
-fn run_linear(
-    apmm: &Apmm,
-    weights: &BitPlanes,
-    acts: &BitPlanes,
-    epi: &Epilogue,
-    last: bool,
-    i: usize,
-) -> Act {
-    if last {
-        assert!(
-            epi.output_bits().is_none(),
-            "output layer must not quantize (§5.1)"
-        );
-        let y = apmm.execute(weights, acts);
-        Act::Logits(y, apmm.desc.m, apmm.desc.n)
-    } else {
-        match apmm.execute_fused(weights, acts, epi) {
-            FusedOutput::Packed(next) => Act::Vec(next),
-            FusedOutput::Int32(_) => panic!("hidden linear stage {i} must quantize"),
-        }
+    /// Borrow the underlying compiled plan.
+    pub fn plan(&self) -> &CompiledNet {
+        &self.plan
     }
-}
 
-/// Flatten a packed NHWC map into per-image feature rows, ordered `(h,w,c)`
-/// — the layout linear weights are packed against.
-pub fn flatten_map(map: &BitTensor4) -> BitPlanes {
-    let (n, h, w, c) = map.shape();
-    let features = h * w * c;
-    let mut codes = vec![0u32; n * features];
-    for b in 0..n {
-        for y in 0..h {
-            for x in 0..w {
-                for ch in 0..c {
-                    codes[b * features + (y * w + x) * c + ch] = map.get_code(b, y, x, ch);
-                }
-            }
-        }
+    /// Extract the compiled plan (for `infer_batched`, simulator pricing,
+    /// …).
+    pub fn into_plan(self) -> CompiledNet {
+        self.plan
     }
-    BitPlanes::from_codes(&codes, n, features, map.bits(), map.encoding())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apnn_bitpack::{Encoding, Layout, Tensor4};
     use apnn_kernels::apconv::ConvDesc;
     use apnn_kernels::apmm::ApmmDesc;
     use apnn_kernels::reference::{conv2d_i32, gemm_i32};
-    use apnn_bitpack::{Encoding, Layout, Tensor4};
 
     fn lcg(seed: &mut u64) -> u64 {
         *seed = seed
@@ -205,7 +210,9 @@ mod tests {
         // Linear stage (consumes hw*hw*cout 2-bit features).
         let feats = hw * hw * cout;
         let ldesc = ApmmDesc::unsigned(classes, batch, feats, 1, 2);
-        let lcodes: Vec<u32> = (0..classes * feats).map(|_| (lcg(&mut seed) as u32) % 2).collect();
+        let lcodes: Vec<u32> = (0..classes * feats)
+            .map(|_| (lcg(&mut seed) as u32) % 2)
+            .collect();
         let lweights = BitPlanes::from_codes(&lcodes, classes, feats, 1, Encoding::ZeroOne);
 
         let mut net = QuantNet::default();
@@ -280,5 +287,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pushed_stages_are_prepared_and_deterministic() {
+        // The counters are process-wide and other tests in this binary run
+        // concurrently, so only monotonicity is asserted here; the exact
+        // "no re-prepare during inference" contract is covered by the
+        // serialized integration test in `tests/compiled_plan.rs`.
+        let before = apnn_kernels::stats::weight_prepares();
+        let mut seed = 5;
+        let desc = ApmmDesc::unsigned(3, 2, 10, 1, 2);
+        let codes: Vec<u32> = (0..30).map(|_| (lcg(&mut seed) as u32) % 2).collect();
+        let w = BitPlanes::from_codes(&codes, 3, 10, 1, Encoding::ZeroOne);
+        let mut net = QuantNet::default();
+        net.push(QuantStage::Linear {
+            apmm: Apmm::new(desc),
+            weights: w,
+            epi: Epilogue::none(),
+        });
+        assert!(apnn_kernels::stats::weight_prepares() > before);
+
+        let xc: Vec<u32> = (0..20).map(|_| (lcg(&mut seed) as u32) % 4).collect();
+        let x = BitPlanes::from_codes(&xc, 2, 10, 2, Encoding::ZeroOne);
+        assert_eq!(net.infer_vec(&x), net.infer_vec(&x));
     }
 }

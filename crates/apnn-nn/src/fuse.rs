@@ -180,7 +180,13 @@ pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
         let layer = &net.layers[i];
         let in_shape = shapes[i];
         match layer {
-            LayerSpec::Conv { name, cout, k, stride, pad } => {
+            LayerSpec::Conv {
+                name,
+                cout,
+                k,
+                stride,
+                pad,
+            } => {
                 let ShapeCursor::Map { c, h, w } = in_shape else {
                     panic!("conv on vector input")
                 };
@@ -247,8 +253,8 @@ pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
                     LayerSpec::MaxPool { k, stride } | LayerSpec::AvgPool { k, stride } => {
                         // A pool stage can still absorb a following quantize
                         // (packed store) when fusion is on.
-                        let quantize = fuse
-                            && matches!(net.layers.get(i + 1), Some(LayerSpec::QuantizeActs));
+                        let quantize =
+                            fuse && matches!(net.layers.get(i + 1), Some(LayerSpec::QuantizeActs));
                         if quantize {
                             i += 1;
                         }
@@ -328,12 +334,17 @@ mod tests {
         let stages = fuse_network(&vggish(), true);
         // c1(+bn+relu+pool+quant), c2(+relu+quant), fc → 3 stages.
         assert_eq!(stages.len(), 3);
-        let Stage::Main { tail, out_elements, .. } = &stages[0] else {
+        let Stage::Main {
+            tail, out_elements, ..
+        } = &stages[0]
+        else {
             panic!()
         };
         assert!(tail.bn && tail.relu && tail.pool2 && tail.quantize);
         assert_eq!(*out_elements, 16 * 4 * 4);
-        let Stage::Main { tail, .. } = &stages[1] else { panic!() };
+        let Stage::Main { tail, .. } = &stages[1] else {
+            panic!()
+        };
         assert!(!tail.bn && tail.relu && !tail.pool2 && tail.quantize);
         assert!(stages[2].is_main());
     }

@@ -132,10 +132,23 @@ impl ShapeCursor {
     /// (e.g. `Linear` on an un-flattened map).
     pub fn advance(&self, layer: &LayerSpec) -> ShapeCursor {
         match (*self, layer) {
-            (ShapeCursor::Map { h, w, .. }, LayerSpec::Conv { cout, k, stride, pad, .. }) => {
+            (
+                ShapeCursor::Map { h, w, .. },
+                LayerSpec::Conv {
+                    cout,
+                    k,
+                    stride,
+                    pad,
+                    ..
+                },
+            ) => {
                 let oh = (h + 2 * pad - k) / stride + 1;
                 let ow = (w + 2 * pad - k) / stride + 1;
-                ShapeCursor::Map { c: *cout, h: oh, w: ow }
+                ShapeCursor::Map {
+                    c: *cout,
+                    h: oh,
+                    w: ow,
+                }
             }
             (ShapeCursor::Map { c, h, w }, LayerSpec::MaxPool { k, stride })
             | (ShapeCursor::Map { c, h, w }, LayerSpec::AvgPool { k, stride }) => {
@@ -171,11 +184,29 @@ mod tests {
 
     #[test]
     fn conv_shape_math() {
-        let s = ShapeCursor::Map { c: 3, h: 224, w: 224 };
+        let s = ShapeCursor::Map {
+            c: 3,
+            h: 224,
+            w: 224,
+        };
         let s = s.advance(&LayerSpec::conv("conv1", 64, 11, 4, 2));
-        assert_eq!(s, ShapeCursor::Map { c: 64, h: 55, w: 55 });
+        assert_eq!(
+            s,
+            ShapeCursor::Map {
+                c: 64,
+                h: 55,
+                w: 55
+            }
+        );
         let s = s.advance(&LayerSpec::MaxPool { k: 3, stride: 2 });
-        assert_eq!(s, ShapeCursor::Map { c: 64, h: 27, w: 27 });
+        assert_eq!(
+            s,
+            ShapeCursor::Map {
+                c: 64,
+                h: 27,
+                w: 27
+            }
+        );
     }
 
     #[test]

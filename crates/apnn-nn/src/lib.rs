@@ -12,7 +12,14 @@
 //! evaluates — AlexNet, VGG-Variant and ResNet-18 at ImageNet shapes — each
 //! instantiable at fp32 / fp16 / int8 / BNN / arbitrary `wPaQ` precision
 //! ([`NetPrecision`]).
+//!
+//! Since the compilation-layer refactor, both halves run the *same*
+//! executable plan: [`compile::CompiledNet`] lowers a network once
+//! (fusion, tile autotuning, weight packing, correction vectors) and the
+//! [`compile::Engine`] implementations — [`compile::SimEngine`] and
+//! [`compile::CpuEngine`] — either price it or actually run it.
 
+pub mod compile;
 pub mod exec;
 pub mod functional;
 pub mod fuse;
@@ -21,6 +28,9 @@ pub mod models;
 pub mod net;
 pub mod precision;
 
+pub use compile::{
+    ActInput, CompileOptions, CompiledNet, CpuEngine, Engine, Materialize, SimEngine,
+};
 pub use exec::{simulate, simulate_with, NetworkReport, StageReport};
 pub use functional::{QuantNet, QuantStage};
 pub use fuse::{fuse_network, MainOp, Stage};

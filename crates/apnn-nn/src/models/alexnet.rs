@@ -52,8 +52,22 @@ mod tests {
         let net = alexnet();
         let shapes = net.shapes();
         // After conv1: 55×55×64; after pool1: 27×27×64; flatten: 9216.
-        assert_eq!(shapes[1], ShapeCursor::Map { c: 64, h: 55, w: 55 });
-        assert_eq!(shapes[4], ShapeCursor::Map { c: 64, h: 27, w: 27 });
+        assert_eq!(
+            shapes[1],
+            ShapeCursor::Map {
+                c: 64,
+                h: 55,
+                w: 55
+            }
+        );
+        assert_eq!(
+            shapes[4],
+            ShapeCursor::Map {
+                c: 64,
+                h: 27,
+                w: 27
+            }
+        );
         let flat = shapes
             .iter()
             .find(|s| matches!(s, ShapeCursor::Vector { features: 9216 }));

@@ -10,7 +10,7 @@ mod vgg;
 
 pub use alexnet::alexnet;
 pub use resnet18::resnet18;
-pub use vgg::vgg_variant;
+pub use vgg::{vgg_variant, vgg_variant_tiny};
 
 use crate::net::Network;
 

@@ -8,7 +8,13 @@
 use crate::layer::LayerSpec as L;
 use crate::net::Network;
 
-fn basic_block(mut net: Network, name: &str, cout: usize, stride: usize, downsample: bool) -> Network {
+fn basic_block(
+    mut net: Network,
+    name: &str,
+    cout: usize,
+    stride: usize,
+    downsample: bool,
+) -> Network {
     net = net
         .push(L::conv(&format!("{name}a"), cout, 3, stride, 1))
         .push(L::BatchNorm)
@@ -20,9 +26,7 @@ fn basic_block(mut net: Network, name: &str, cout: usize, stride: usize, downsam
         // 1×1/stride projection on the skip path.
         net = net.push(L::conv(&format!("{name}ds"), cout, 1, 1, 0));
     }
-    net.push(L::ResidualAdd)
-        .push(L::Relu)
-        .push(L::QuantizeActs)
+    net.push(L::ResidualAdd).push(L::Relu).push(L::QuantizeActs)
 }
 
 /// ResNet-18 for ImageNet: 17 conv + 1 FC main layers (plus 3 downsample
@@ -64,7 +68,9 @@ mod tests {
     fn stage_widths() {
         let net = resnet18();
         let shapes = net.shapes();
-        assert!(shapes.iter().any(|s| matches!(s, ShapeCursor::Map { c: 512, .. })));
+        assert!(shapes
+            .iter()
+            .any(|s| matches!(s, ShapeCursor::Map { c: 512, .. })));
         assert_eq!(net.output_features(), 1000);
     }
 }

@@ -19,6 +19,22 @@ fn conv_block(net: Network, name: &str, cout: usize, pool: bool) -> Network {
     net.push(L::QuantizeActs)
 }
 
+/// VGG-Variant scaled to CIFAR shapes (3×32×32, 10 classes): the same
+/// block structure — every pool fusable, quantize after every hidden main
+/// layer — at a size the functional CPU engine runs in milliseconds. This
+/// is the zoo entry the compiled-plan end-to-end tests execute for real.
+pub fn vgg_variant_tiny() -> Network {
+    let mut net = Network::new("VGG-Variant-Tiny", 3, 32, 32);
+    net = conv_block(net, "conv1", 16, true); // 16
+    net = conv_block(net, "conv2", 32, true); // 8
+    net = conv_block(net, "conv3", 64, true); // 4
+    net.push(L::Flatten) // 1024
+        .push(L::linear("fc4", 128))
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+        .push(L::linear("fc5", 10))
+}
+
 /// VGG-Variant for ImageNet: 8 conv + 3 FC layers, ~7.6 GMACs per image.
 pub fn vgg_variant() -> Network {
     let mut net = Network::new("VGG-Variant", 3, 224, 224);

@@ -1,6 +1,8 @@
 //! Sequential network container.
 
+use crate::compile::{CompileOptions, CompiledNet};
 use crate::layer::{LayerSpec, ShapeCursor};
+use crate::precision::NetPrecision;
 
 /// A sequential network: input shape + ordered layers.
 #[derive(Debug, Clone)]
@@ -84,6 +86,12 @@ impl Network {
     /// Number of main (conv/linear) layers.
     pub fn num_main_layers(&self) -> usize {
         self.layers.iter().filter(|l| l.is_main()).count()
+    }
+
+    /// Lower this network into an executable plan (see
+    /// [`crate::compile::CompiledNet`]).
+    pub fn compile(&self, precision: NetPrecision, opts: &CompileOptions) -> CompiledNet {
+        CompiledNet::compile(self, precision, opts)
     }
 }
 

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn encodings() {
-        assert_eq!(NetPrecision::w1a2().weight_encoding(), Encoding::PlusMinusOne);
+        assert_eq!(
+            NetPrecision::w1a2().weight_encoding(),
+            Encoding::PlusMinusOne
+        );
         assert_eq!(
             NetPrecision::Apnn { w: 2, a: 2 }.weight_encoding(),
             Encoding::ZeroOne

@@ -102,12 +102,18 @@ impl SyntheticDataset {
 
     /// One training sample.
     pub fn train_sample(&self, i: usize) -> (&[f32], usize) {
-        (&self.train_x[i * self.dim..(i + 1) * self.dim], self.train_y[i])
+        (
+            &self.train_x[i * self.dim..(i + 1) * self.dim],
+            self.train_y[i],
+        )
     }
 
     /// One test sample.
     pub fn test_sample(&self, i: usize) -> (&[f32], usize) {
-        (&self.test_x[i * self.dim..(i + 1) * self.dim], self.test_y[i])
+        (
+            &self.test_x[i * self.dim..(i + 1) * self.dim],
+            self.test_y[i],
+        )
     }
 }
 

@@ -106,7 +106,11 @@ pub fn export_mlp(mlp: &Mlp) -> ExportedNet {
 impl ExportedNet {
     /// Code levels of layer `li`'s *input* operand (`2^bits − 1`).
     fn in_levels(&self, li: usize) -> f32 {
-        let bits = if li == 0 { self.input_bits } else { self.a_bits };
+        let bits = if li == 0 {
+            self.input_bits
+        } else {
+            self.a_bits
+        };
         ((1u32 << bits) - 1) as f32
     }
 
@@ -128,13 +132,25 @@ impl ExportedNet {
             .collect()
     }
 
+    /// Lower the trained model straight into a [`CompiledNet`] executable
+    /// plan for a given batch size — weights packed, emulation plans and
+    /// correction vectors materialized once, ready for repeated
+    /// `infer_vec` / `infer_batched` serving.
+    pub fn build_compiled(&self, batch: usize) -> apnn_nn::CompiledNet {
+        self.build_qnet(batch).into_plan()
+    }
+
     /// Build the packed engine network for a given batch size.
     pub fn build_qnet(&self, batch: usize) -> QuantNet {
         let mut net = QuantNet::default();
         let n_layers = self.layers.len();
         for (li, l) in self.layers.iter().enumerate() {
             let weights = BitPlanes::from_signed_binary(&l.signs, l.fan_out, l.fan_in);
-            let x_bits = if li == 0 { self.input_bits } else { self.a_bits };
+            let x_bits = if li == 0 {
+                self.input_bits
+            } else {
+                self.a_bits
+            };
             let desc = ApmmDesc {
                 m: l.fan_out,
                 n: batch,
@@ -171,14 +187,30 @@ impl ExportedNet {
         net
     }
 
-    /// Integer logits for a batch of raw inputs (row-major `batch × dim`),
-    /// before the final affine.
-    pub fn logits_int(&self, xs: &[f32], batch: usize) -> Vec<i32> {
+    /// Integer logits through an already-compiled plan (from
+    /// [`Self::build_compiled`]) — the serving path: lower once, call this
+    /// per request batch with no weight re-packing.
+    pub fn logits_int_with(
+        &self,
+        plan: &apnn_nn::CompiledNet,
+        xs: &[f32],
+        batch: usize,
+    ) -> Vec<i32> {
         assert_eq!(xs.len(), batch * self.dim);
         let codes: Vec<u32> = self.quantize_input(xs);
         let input =
             BitPlanes::from_codes(&codes, batch, self.dim, self.input_bits, Encoding::ZeroOne);
-        self.build_qnet(batch).infer_vec(&input)
+        plan.infer_vec(&input)
+    }
+
+    /// Integer logits for a batch of raw inputs (row-major `batch × dim`),
+    /// before the final affine.
+    ///
+    /// One-shot convenience: this lowers the model on every call. For
+    /// serving loops, [`Self::build_compiled`] once and use
+    /// [`Self::logits_int_with`].
+    pub fn logits_int(&self, xs: &[f32], batch: usize) -> Vec<i32> {
+        self.logits_int_with(&self.build_compiled(batch), xs, batch)
     }
 
     /// Predicted classes for a batch of raw inputs.

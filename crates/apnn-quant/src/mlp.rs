@@ -186,13 +186,7 @@ impl Mlp {
     }
 
     /// One SGD step on a minibatch; returns the mean cross-entropy loss.
-    pub fn train_batch(
-        &mut self,
-        xs: &[&[f32]],
-        ys: &[usize],
-        lr: f32,
-        grads: &mut Grads,
-    ) -> f32 {
+    pub fn train_batch(&mut self, xs: &[&[f32]], ys: &[usize], lr: f32, grads: &mut Grads) -> f32 {
         grads.zero(self);
         let mut loss = 0.0f32;
         for (x, &y) in xs.iter().zip(ys.iter()) {

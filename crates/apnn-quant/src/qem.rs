@@ -54,7 +54,10 @@ impl QemQuantizer {
 
     /// Fit a `p`-bit QEM quantizer to `weights` by alternating optimization.
     pub fn fit(weights: &[f32], bits: u32, iters: usize) -> Self {
-        assert!((1..=4).contains(&bits), "QEM basis supported for 1..=4 bits");
+        assert!(
+            (1..=4).contains(&bits),
+            "QEM basis supported for 1..=4 bits"
+        );
         let p = bits as usize;
         // Init: power-of-two decaying basis scaled by mean |w| (the LQ-Nets
         // initialization).
@@ -173,7 +176,9 @@ mod tests {
             .map(|_| {
                 let mut acc = 0.0f32;
                 for _ in 0..12 {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     acc += ((s >> 33) as f32) / (u32::MAX >> 1) as f32;
                 }
                 acc - 6.0
@@ -187,7 +192,11 @@ mod tests {
         let w = gaussian_sample(4096, 3);
         let q = QemQuantizer::fit(&w, 1, 5);
         let mean_abs = w.iter().map(|x| x.abs()).sum::<f32>() / w.len() as f32;
-        assert!((q.basis[0] - mean_abs).abs() / mean_abs < 0.02, "{:?}", q.basis);
+        assert!(
+            (q.basis[0] - mean_abs).abs() / mean_abs < 0.02,
+            "{:?}",
+            q.basis
+        );
     }
 
     #[test]

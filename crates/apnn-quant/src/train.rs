@@ -79,7 +79,11 @@ pub fn train(data: &SyntheticDataset, cfg: &TrainConfig) -> TrainResult {
 
 /// The Table 1 experiment: train the same architecture at float / w1a2 /
 /// binary and return `(binary, w1a2, float)` test accuracies.
-pub fn table1_experiment(data: &SyntheticDataset, hidden: Vec<usize>, seed: u64) -> (f32, f32, f32) {
+pub fn table1_experiment(
+    data: &SyntheticDataset,
+    hidden: Vec<usize>,
+    seed: u64,
+) -> (f32, f32, f32) {
     let run = |scheme| {
         let mut cfg = TrainConfig::new(hidden.clone(), scheme);
         cfg.seed = seed;

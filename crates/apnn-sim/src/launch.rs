@@ -78,9 +78,7 @@ pub fn occupancy_for(spec: &GpuSpec, cfg: &KernelConfig) -> Occupancy {
 
     let grid = cfg.grid_blocks.max(1) as u32;
     // Blocks spread across SMs before stacking on one SM.
-    let resident = grid
-        .div_ceil(spec.num_sms)
-        .min(blocks_per_sm);
+    let resident = grid.div_ceil(spec.num_sms).min(blocks_per_sm);
     let active_warps = resident * cfg.warps_per_block;
     let concurrent = spec.num_sms * blocks_per_sm;
     let waves = grid.div_ceil(concurrent);

@@ -231,10 +231,7 @@ mod tests {
         let int8_tops = 2.0 * g.peak_mac_rate(Precision::Int8) / 1e12;
         assert!((int8_tops - 284.0).abs() < 10.0, "got {int8_tops}");
         // INT1 is 8x INT8.
-        assert_eq!(
-            g.tc_int1_mac_per_cycle_sm,
-            8.0 * g.tc_int8_mac_per_cycle_sm
-        );
+        assert_eq!(g.tc_int1_mac_per_cycle_sm, 8.0 * g.tc_int8_mac_per_cycle_sm);
     }
 
     #[test]

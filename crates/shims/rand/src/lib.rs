@@ -1,0 +1,249 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Implements the subset of the rand 0.8 API the APNN-TC workspace uses —
+//! `SmallRng::seed_from_u64`, `Rng::gen::<bool>()`, `Rng::gen_range` over
+//! integer/float ranges, and `SliceRandom::shuffle` — on top of a
+//! dependency-free splitmix64/xoshiro256** generator. All draws are
+//! deterministic per seed, which is what every caller in this repo relies
+//! on (reproducible datasets, weights, and benches).
+
+/// Core source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit draw.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (the only construction path used here).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Values drawable with [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges samplable with [`Rng::gen_range`]. The element type `T` is a
+/// trait parameter (not an associated type) so it can be inferred from the
+/// call site's expected output, matching rand 0.8's inference behavior.
+pub trait SampleRange<T> {
+    /// Draw uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let unit = <$t as Standard>::draw(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// The user-facing generator trait.
+pub trait Rng: RngCore + Sized {
+    /// Draw a value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draw uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as Standard>::draw(self) < p
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+/// Small fast generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256** — matching rand's `SmallRng` role (fast, not crypto).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in s.iter_mut() {
+                *slot = splitmix64(&mut sm);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the repo never needs a cryptographic generator.
+    pub type StdRng = SmallRng;
+}
+
+/// Sequence helpers (`SliceRandom`).
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling à la rand 0.8.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+        /// Uniformly pick one element.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-127i8..=127);
+            assert!((-127..=127).contains(&v));
+            let f = rng.gen_range(-0.5f32..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let u = rng.gen_range(0usize..17);
+            assert!(u < 17);
+        }
+    }
+
+    #[test]
+    fn bools_are_mixed_and_shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let heads = (0..1000).filter(|_| rng.gen::<bool>()).count();
+        assert!((300..700).contains(&heads), "{heads}");
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted);
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! The vendored registry is unavailable in this build environment, so this
+//! workspace ships a minimal, dependency-free implementation of the rayon
+//! API surface the APNN-TC codebase actually uses:
+//!
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)` — the kernel inner
+//!   loops (APMM rows, APConv pixels, baseline GEMM rows);
+//! * [`current_num_threads`] — pool sizing for batch sharding.
+//!
+//! Parallelism is real: chunks are distributed round-robin over
+//! `std::thread::scope` workers, one per available core. Semantics match
+//! rayon for the supported calls (each chunk is visited exactly once, with
+//! its index; panics propagate).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the shim pool will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The subset of `rayon::prelude` this workspace imports.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Lazily-built parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+/// [`ParChunksMut`] with chunk indices attached.
+pub struct EnumerateParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T> ParChunksMut<'a, T> {
+    /// Attach the chunk index, matching `rayon`'s `enumerate()`.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut {
+            slice: self.slice,
+            chunk: self.chunk,
+        }
+    }
+
+    /// Visit every chunk (without indices) in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        T: Send,
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+impl<'a, T> EnumerateParChunksMut<'a, T> {
+    /// Visit every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        T: Send,
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk).enumerate().collect();
+        run_indexed(chunks, &f);
+    }
+}
+
+thread_local! {
+    /// Set inside a worker thread of this pool. Nested parallel calls run
+    /// inline instead of spawning cores² OS threads — real rayon gets this
+    /// for free from its shared work-stealing pool.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Distribute `items` round-robin over scoped worker threads.
+fn run_indexed<T, F>(items: Vec<(usize, &mut [T])>, f: &F)
+where
+    T: Send,
+    F: Fn((usize, &mut [T])) + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 || IN_POOL.get() {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (pos, item) in items.into_iter().enumerate() {
+        buckets[pos % workers].push(item);
+    }
+    std::thread::scope(|s| {
+        for bucket in buckets {
+            s.spawn(move || {
+                IN_POOL.set(true);
+                for item in bucket {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel mutable chunking over slices — the `rayon::prelude` entry point.
+pub trait ParallelSliceMut<T> {
+    /// Split into chunks of `chunk` elements (last may be shorter), visited
+    /// in parallel.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be nonzero");
+        ParChunksMut { slice: self, chunk }
+    }
+}
+
+impl<T> ParallelSliceMut<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        self.as_mut_slice().par_chunks_mut(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_visited_exactly_once_with_indices() {
+        let mut v = vec![0u32; 1037];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for e in chunk.iter_mut() {
+                *e += i as u32 + 1;
+            }
+        });
+        for (pos, e) in v.iter().enumerate() {
+            assert_eq!(*e, (pos / 10) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn small_slices_run_inline() {
+        let mut v = vec![1i32; 3];
+        v.par_chunks_mut(8)
+            .for_each(|c| c.iter_mut().for_each(|e| *e = 2));
+        assert_eq!(v, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inner_level_inline() {
+        // Outer par over 8 chunks, each running an inner par over its 64
+        // elements: every element must still be visited exactly once, with
+        // the inner level inlined on the worker thread (no cores² spawns).
+        let mut v = vec![0u32; 8 * 64];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            chunk.par_chunks_mut(4).enumerate().for_each(|(j, inner)| {
+                for e in inner.iter_mut() {
+                    *e += (i * 100 + j) as u32 + 1;
+                }
+            });
+        });
+        for (pos, e) in v.iter().enumerate() {
+            let (i, j) = (pos / 64, (pos % 64) / 4);
+            assert_eq!(*e, (i * 100 + j) as u32 + 1, "element {pos}");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on simulator structs to
+//! mark them wire-ready, but no serializer backend (serde_json, bincode, …)
+//! is compiled anywhere, so marker traits plus no-op derives are sufficient
+//! to keep the code building in this offline environment.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

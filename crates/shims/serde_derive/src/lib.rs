@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace only *tags* types as serializable (no serializer backend is
+//! compiled anywhere), so empty expansions keep every `#[derive(Serialize,
+//! Deserialize)]` compiling without the real proc-macro stack.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

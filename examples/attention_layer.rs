@@ -32,7 +32,10 @@ fn main() {
         let w: Vec<i32> = (0..d_head * d_model)
             .map(|_| if r.gen::<bool>() { 1 } else { -1 })
             .collect();
-        (Apmm::new(proj_desc), BitPlanes::from_signed_binary(&w, d_head, d_model))
+        (
+            Apmm::new(proj_desc),
+            BitPlanes::from_signed_binary(&w, d_head, d_model),
+        )
     };
     let (q_mm, wq) = proj(1);
     let (k_mm, wk) = proj(2);
@@ -62,7 +65,10 @@ fn main() {
     // Softmax over a row, just to show the full story end to end.
     let row = &scores[..seq];
     let max = *row.iter().max().unwrap() as f32;
-    let exps: Vec<f32> = row.iter().map(|&s| ((s as f32 - max) / 64.0).exp()).collect();
+    let exps: Vec<f32> = row
+        .iter()
+        .map(|&s| ((s as f32 - max) / 64.0).exp())
+        .collect();
     let z: f32 = exps.iter().sum();
     println!(
         "softmax(row 0): top weight {:.3} at position {}",

@@ -16,9 +16,9 @@ fn main() {
     for (m, n, k, p, q) in [
         (64usize, 128usize, 128usize, 1u32, 2u32), // tiny FC
         (64, 512, 512, 1, 2),
-        (64, 1024, 1024, 1, 2),  // Table 4
-        (64, 1024, 1024, 2, 8),  // heavy emulation
-        (256, 256, 1152, 1, 2),  // the Fig. 7 conv as implicit GEMM
+        (64, 1024, 1024, 1, 2), // Table 4
+        (64, 1024, 1024, 2, 8), // heavy emulation
+        (256, 256, 1152, 1, 2), // the Fig. 7 conv as implicit GEMM
         (4096, 4096, 4096, 1, 1),
         (4096, 4096, 4096, 4, 4),
     ] {

@@ -58,7 +58,14 @@ fn main() {
 
     // Simulated savings (Fig. 10).
     let spec = GpuSpec::rtx3090();
-    let f = estimate(&desc, &conv.tile, &spec, Some(Pool2::Max), Some(&epi), ActLayout::Nphwc);
+    let f = estimate(
+        &desc,
+        &conv.tile,
+        &spec,
+        Some(Pool2::Max),
+        Some(&epi),
+        ActLayout::Nphwc,
+    );
     let u = unfused_pipeline(&desc, &conv.tile, &spec, Pool2::Max, &epi);
     println!(
         "simulated {}: fused {:.2} us vs unfused {:.2} us -> {:.2}x (paper Fig. 10: 1.77x avg)",

@@ -1,109 +1,55 @@
-//! End-to-end image inference on the packed engine + per-layer latency
-//! breakdown of the ImageNet zoo on the simulated GPU.
+//! End-to-end image inference through the compiled execution plan + the
+//! per-layer latency breakdown of the ImageNet zoo on the simulated GPU.
 //!
-//! Part 1 runs a CIFAR-scale w1a2 CNN *functionally* (real bit-serial
-//! compute, packed activations between layers — the §5.1 dataflow).
-//! Part 2 prints the Fig. 9-style per-layer breakdown for VGG-Variant at
-//! ImageNet scale using the latency model.
+//! Part 1 compiles a zoo model (VGG-Variant-Tiny, w1a2) once —
+//! fusion, tile autotuning, weight packing, correction vectors and
+//! quantization-range calibration all happen here — then serves a batch of
+//! requests through `infer_batched` (real bit-serial compute, packed §5.1
+//! activations between layers, sharded over the Rayon pool).
+//!
+//! Part 2 prices the *same kind of plan* on the latency model: the Fig.
+//! 9-style per-layer breakdown for VGG-Variant at ImageNet scale.
 //!
 //! Run with: `cargo run --release --example image_inference`
 
-use apnn_tc::kernels::apconv::{ApConv, ConvDesc, Pool2};
-use apnn_tc::kernels::apmm::{Apmm, ApmmDesc};
-use apnn_tc::kernels::fusion::Epilogue;
-use apnn_tc::nn::functional::{QuantNet, QuantStage};
-use apnn_tc::nn::models::vgg_variant;
+use apnn_tc::nn::compile::CompileOptions;
+use apnn_tc::nn::models::{vgg_variant, vgg_variant_tiny};
 use apnn_tc::nn::{simulate, NetPrecision};
 use apnn_tc::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn conv_stage(desc: ConvDesc, pool: Option<Pool2>, epi: Epilogue, rng: &mut SmallRng) -> QuantStage {
-    let n = desc.cout * desc.kh * desc.kw * desc.cin;
-    let weights = if desc.w_enc == Encoding::PlusMinusOne {
-        let vals: Vec<i32> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
-        apnn_tc::kernels::apconv::ConvWeights::from_signed(&desc, &vals)
-    } else {
-        let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..(1u32 << desc.w_bits))).collect();
-        apnn_tc::kernels::apconv::ConvWeights::from_codes(&desc, &codes)
-    };
-    QuantStage::Conv {
-        conv: ApConv::new(desc),
-        weights,
-        pool,
-        epi,
-    }
-}
-
 fn main() {
     let mut rng = SmallRng::seed_from_u64(99);
-    let batch = 4;
 
-    // --- Part 1: functional packed inference at CIFAR scale -------------
-    // conv1 (w1, a8 input) -> pool -> 2-bit; conv2 (w1a2) -> pool -> 2-bit;
-    // fc -> logits.
-    let mut net = QuantNet::default();
-    let c1 = ConvDesc {
-        batch,
-        cin: 3,
-        h: 32,
-        w: 32,
-        cout: 32,
-        kh: 3,
-        kw: 3,
-        stride: 1,
-        pad: 1,
-        w_bits: 1,
-        x_bits: 8,
-        w_enc: Encoding::PlusMinusOne,
-        x_enc: Encoding::ZeroOne,
-    };
-    // ±1 weights over 8-bit codes produce ~N(0, 2000) accumulators: center
-    // the 2-bit code range on zero so positives and negatives both survive.
-    net.push(conv_stage(
-        c1,
-        Some(Pool2::Max),
-        Epilogue::quantize(2000.0, -4000.0, 2),
-        &mut rng,
-    ));
-    let c2 = ConvDesc {
-        batch,
-        cin: 32,
-        h: 16,
-        w: 16,
-        cout: 64,
-        kh: 3,
-        kw: 3,
-        stride: 1,
-        pad: 1,
-        w_bits: 1,
-        x_bits: 2,
-        w_enc: Encoding::PlusMinusOne,
-        x_enc: Encoding::ZeroOne,
-    };
-    net.push(conv_stage(
-        c2,
-        Some(Pool2::Max),
-        Epilogue::quantize(40.0, -80.0, 2),
-        &mut rng,
-    ));
-    let fc = ApmmDesc::w1aq(10, batch, 8 * 8 * 64, 2, Encoding::ZeroOne);
-    let fc_w: Vec<i32> = (0..10 * fc.k).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
-    net.push(QuantStage::Linear {
-        apmm: Apmm::new(fc),
-        weights: BitPlanes::from_signed_binary(&fc_w, 10, fc.k),
-        epi: Epilogue::none(),
-    });
+    // --- Part 1: compile once, serve many --------------------------------
+    let shard = 4; // compiled batch = sharding granularity
+    let plan = vgg_variant_tiny().compile(
+        NetPrecision::w1a2(),
+        &CompileOptions::functional(shard, 2021),
+    );
+    println!(
+        "compiled {} ({}): {} stages, {} classes, executable: {}",
+        plan.model,
+        plan.scheme,
+        plan.stages().len(),
+        plan.classes(),
+        plan.is_executable()
+    );
 
-    // Synthetic 8-bit RGB batch, packed channel-major (NPHWC).
-    let codes = Tensor4::<u32>::from_fn(batch, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+    // Synthetic 8-bit RGB request batch (10 images — not a multiple of the
+    // shard size on purpose), packed channel-major (NPHWC).
+    let requests = 10;
+    let codes = Tensor4::<u32>::from_fn(requests, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
         rng.gen_range(0..256)
     });
     let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
-    let logits = net.infer(&input);
-    println!("functional w1a2 CNN on {batch} images -> logits:");
-    for b in 0..batch {
-        let row = &logits[b * 10..(b + 1) * 10];
+    let logits = plan.infer_batched(&input);
+
+    println!("served {requests} requests through the compiled plan:");
+    let classes = plan.classes();
+    for b in 0..requests {
+        let row = &logits[b * classes..(b + 1) * classes];
         let pred = row
             .iter()
             .enumerate()

@@ -14,7 +14,10 @@ fn main() {
     let spec = GpuSpec::rtx3090();
     let (m, n, k) = (64, 1024, 1024); // the Table 4 FC workload
 
-    println!("simulated APMM latency (us) on {}, M={m} N={n} K={k}:", spec.name);
+    println!(
+        "simulated APMM latency (us) on {}, M={m} N={n} K={k}:",
+        spec.name
+    );
     print!("{:>6}", "p\\q");
     for q in 1..=8u32 {
         print!("{q:>8}");

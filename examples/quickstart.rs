@@ -21,7 +21,9 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(7);
 
     // 1. Quantized operands: ±1 weights (1 bit), unsigned 2-bit activations.
-    let w_vals: Vec<i32> = (0..m * k).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+    let w_vals: Vec<i32> = (0..m * k)
+        .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+        .collect();
     let x_codes: Vec<u32> = (0..n * k).map(|_| rng.gen_range(0..4)).collect();
 
     // 2. Bit-plane decomposition (§3.1 of the paper).
@@ -44,7 +46,10 @@ fn main() {
     let x_vals: Vec<i32> = x_codes.iter().map(|&c| c as i32).collect();
     let y_ref = gemm_i32(&w_vals, &x_vals, m, n, k);
     assert_eq!(y, y_ref, "APMM output must match the full-precision oracle");
-    println!("functional check: OK ({}x{} outputs, w1a2 == i32 oracle)", m, n);
+    println!(
+        "functional check: OK ({}x{} outputs, w1a2 == i32 oracle)",
+        m, n
+    );
 
     // 5. Simulated RTX 3090 latency vs library baselines (Table 4's shape).
     let spec = GpuSpec::rtx3090();
@@ -54,7 +59,11 @@ fn main() {
     let int8 = gemm_report(BaselineKind::CublasInt8, m, n, k, &spec);
 
     println!("\nsimulated latency, RTX 3090 (paper Table 4 workload):");
-    println!("  APMM-w1a2        {:8.2} us  (bound: {:?})", ours.time_us(), ours.cost.bound);
+    println!(
+        "  APMM-w1a2        {:8.2} us  (bound: {:?})",
+        ours.time_us(),
+        ours.cost.bound
+    );
     println!("  cutlass-gemm-int1{:8.2} us", int1.time_us());
     println!("  cutlass-gemm-int4{:8.2} us", int4.time_us());
     println!("  cublas-gemm-int8 {:8.2} us", int8.time_us());

@@ -32,6 +32,13 @@ pub use apnn_sim as sim;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use apnn_bitpack::{BitMatrix, BitPlanes, BitTensor4, Encoding, Layout, Tensor4};
-    pub use apnn_kernels::{ApConv, Apmm, ApmmDesc, ConvDesc, Epilogue, EpilogueOp, TileConfig};
+    pub use apnn_kernels::{
+        ApConv, Apmm, ApmmDesc, ConvDesc, Epilogue, EpilogueOp, PreparedApmm, PreparedConv,
+        TileConfig,
+    };
+    pub use apnn_nn::{
+        CompileOptions, CompiledNet, CpuEngine, Engine, Materialize, NetPrecision, Network,
+        SimEngine,
+    };
     pub use apnn_sim::{GpuSpec, KernelReport, Precision};
 }

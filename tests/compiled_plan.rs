@@ -1,0 +1,280 @@
+//! The tentpole contract: one compiled execution plan serves both engines.
+//!
+//! * A model-zoo network (VGG-Variant-Tiny, w1a2) compiled once runs
+//!   *functionally* on `CpuEngine` and its logits match a naive
+//!   layer-by-layer reference built from the plan's own initialization.
+//! * The same lowering priced on `SimEngine` reproduces the pre-refactor
+//!   `exec::simulate` numbers bit-for-bit, for every zoo model and
+//!   precision scheme.
+//! * Repeated `infer()` / `infer_batched()` calls reuse the compiled plan:
+//!   no weight re-packing, no re-autotuning.
+
+use apnn_tc::bitpack::{BitTensor4, Encoding, Layout, Tensor4};
+use apnn_tc::kernels::reference::{conv2d_i32, gemm_i32};
+use apnn_tc::kernels::stats;
+use apnn_tc::nn::compile::{CompileOptions, CompiledNet, MainKernel};
+use apnn_tc::nn::exec::legacy;
+use apnn_tc::nn::models::{alexnet, resnet18, vgg_variant, vgg_variant_tiny};
+use apnn_tc::nn::{simulate, simulate_with, MainOp, NetPrecision};
+use apnn_tc::sim::GpuSpec;
+use std::sync::Mutex;
+
+/// `repeated_inference_reuses_the_compiled_plan` reads process-wide
+/// counters (`apnn_kernels::stats`); serialize every test in this binary so
+/// concurrent compiles cannot perturb them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+/// Naive layer-by-layer execution of a functional plan: reference conv/gemm
+/// oracles + the plan's own epilogues, no bit packing anywhere.
+fn naive_reference(plan: &CompiledNet, input_codes: &Tensor4<u32>) -> Vec<i32> {
+    let (batch, cin0, h0, w0) = input_codes.shape();
+    // NHWC i32 activations.
+    let mut x: Vec<i32> = {
+        let mut v = vec![0i32; batch * h0 * w0 * cin0];
+        for b in 0..batch {
+            for y in 0..h0 {
+                for xx in 0..w0 {
+                    for c in 0..cin0 {
+                        v[((b * h0 + y) * w0 + xx) * cin0 + c] =
+                            input_codes.get(b, c, y, xx) as i32;
+                    }
+                }
+            }
+        }
+        v
+    };
+    let (mut h, mut w) = (h0, w0);
+    let mains: Vec<_> = plan.main_stages().collect();
+    let n_mains = mains.len();
+    let mut logits = Vec::new();
+    for (i, m) in mains.into_iter().enumerate() {
+        let last = i + 1 == n_mains;
+        let init = m.init.as_ref().expect("functional plan carries init");
+        match (&m.kernel, &m.op) {
+            (MainKernel::Conv { desc, .. }, _) => {
+                let mut y = conv2d_i32(
+                    &x,
+                    &init.w_vals,
+                    batch,
+                    h,
+                    w,
+                    desc.cin,
+                    desc.cout,
+                    desc.kh,
+                    desc.kw,
+                    desc.stride,
+                    desc.pad,
+                );
+                let (mut oh, mut ow) = (desc.out_h(), desc.out_w());
+                if m.pool.is_some() {
+                    // Fused 2×2 max pool on the i32 accumulators (engine
+                    // order: pool before the epilogue).
+                    let (ph, pw) = (oh / 2, ow / 2);
+                    let mut v = vec![0i32; batch * ph * pw * desc.cout];
+                    for b in 0..batch {
+                        for py in 0..ph {
+                            for px in 0..pw {
+                                for co in 0..desc.cout {
+                                    let at = |dy: usize, dx: usize| {
+                                        y[((b * oh + 2 * py + dy) * ow + 2 * px + dx) * desc.cout
+                                            + co]
+                                    };
+                                    v[((b * ph + py) * pw + px) * desc.cout + co] =
+                                        at(0, 0).max(at(0, 1)).max(at(1, 0)).max(at(1, 1));
+                                }
+                            }
+                        }
+                    }
+                    y = v;
+                    oh = ph;
+                    ow = pw;
+                }
+                assert!(!last, "zoo nets end with a linear layer");
+                // Quantizing epilogue → next layer's codes.
+                x = y
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &acc)| {
+                        let co = idx % desc.cout;
+                        m.epi.apply_to_code(acc, co) as i32
+                    })
+                    .collect();
+                h = oh;
+                w = ow;
+            }
+            (MainKernel::Linear { desc, .. }, MainOp::Linear { in_features, .. }) => {
+                assert_eq!(x.len(), batch * in_features);
+                // x is batch-major (h,w,c)-flattened — exactly the layout
+                // linear weights are packed against.
+                let y = gemm_i32(&init.w_vals, &x, desc.m, batch, desc.k);
+                if last {
+                    // features×batch → batch×classes.
+                    logits = vec![0i32; batch * desc.m];
+                    for f in 0..desc.m {
+                        for b in 0..batch {
+                            logits[b * desc.m + f] = y[f * batch + b];
+                        }
+                    }
+                } else {
+                    // Quantize per output feature; stay batch-major.
+                    let mut next = vec![0i32; batch * desc.m];
+                    for f in 0..desc.m {
+                        for b in 0..batch {
+                            next[b * desc.m + f] = m.epi.apply_to_code(y[f * batch + b], f) as i32;
+                        }
+                    }
+                    x = next;
+                }
+            }
+            _ => unreachable!("kernel/op mismatch"),
+        }
+    }
+    logits
+}
+
+#[test]
+fn zoo_model_runs_functionally_and_matches_naive_reference() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let batch = 2;
+    let net = vgg_variant_tiny();
+    let plan = net.compile(
+        NetPrecision::w1a2(),
+        &CompileOptions::functional(batch, 2024),
+    );
+    assert!(plan.is_executable(), "tiny VGG must fully fuse");
+
+    let mut seed = 77u64;
+    let codes = Tensor4::<u32>::from_fn(batch, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+        (lcg(&mut seed) as u32) % 256
+    });
+    let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+
+    let got = plan.infer(&input);
+    let want = naive_reference(&plan, &codes);
+    assert_eq!(got.len(), batch * 10);
+    assert_eq!(
+        got, want,
+        "CpuEngine logits differ from the naive reference"
+    );
+    // The logits are informative (not saturated to a constant).
+    assert!(got.iter().any(|&v| v != got[0]));
+}
+
+#[test]
+fn sim_engine_reproduces_prerefactor_simulate_exactly() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = GpuSpec::rtx3090();
+    let schemes = [
+        NetPrecision::Fp32,
+        NetPrecision::Fp16,
+        NetPrecision::Int8,
+        NetPrecision::Bnn,
+        NetPrecision::w1a2(),
+        NetPrecision::Apnn { w: 2, a: 2 },
+    ];
+    for net in [alexnet(), vgg_variant(), resnet18(), vgg_variant_tiny()] {
+        for precision in schemes {
+            let new = simulate(&net, precision, &spec, 8);
+            let old = legacy::simulate(&net, precision, &spec, 8);
+            assert_eq!(
+                new.total_s,
+                old.total_s,
+                "{} {}: compiled {} vs legacy {}",
+                net.name,
+                precision.label(),
+                new.total_s,
+                old.total_s
+            );
+            assert_eq!(new.stages.len(), old.stages.len());
+            for (a, b) in new.stages.iter().zip(&old.stages) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.time_s, b.time_s, "stage {} of {}", a.name, net.name);
+                assert_eq!(a.global_bytes, b.global_bytes);
+                assert_eq!(a.macs, b.macs);
+            }
+        }
+        // The Fig. 10 ablation flag round-trips too.
+        for fuse in [true, false] {
+            let new = simulate_with(&net, NetPrecision::w1a2(), &spec, 8, fuse);
+            let old = legacy::simulate_with(&net, NetPrecision::w1a2(), &spec, 8, fuse);
+            assert_eq!(new.total_s, old.total_s);
+        }
+    }
+}
+
+#[test]
+fn repeated_inference_reuses_the_compiled_plan() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let batch = 2;
+    let plan =
+        vgg_variant_tiny().compile(NetPrecision::w1a2(), &CompileOptions::functional(batch, 55));
+
+    let mut seed = 9u64;
+    let codes = Tensor4::<u32>::from_fn(batch, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+        (lcg(&mut seed) as u32) % 256
+    });
+    let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+
+    let autotunes = stats::autotune_calls();
+    let prepares = stats::weight_prepares();
+    let first = plan.infer(&input);
+    let second = plan.infer(&input);
+    assert_eq!(first, second);
+    // Serving reuses every compiled artifact: no re-autotuning, no weight
+    // re-packing in the hot loop.
+    assert_eq!(stats::autotune_calls(), autotunes, "infer re-autotuned");
+    assert_eq!(
+        stats::weight_prepares(),
+        prepares,
+        "infer re-packed weights"
+    );
+
+    // Batched serving over the Rayon pool reuses the plan too.
+    let big_codes = Tensor4::<u32>::from_fn(5, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+        (lcg(&mut seed) as u32) % 256
+    });
+    let big = BitTensor4::from_tensor(&big_codes, 8, Encoding::ZeroOne);
+    let logits = plan.infer_batched(&big);
+    assert_eq!(logits.len(), 5 * 10);
+    assert_eq!(stats::autotune_calls(), autotunes);
+    assert_eq!(stats::weight_prepares(), prepares);
+
+    // Sanity: compiling *does* move the counters.
+    let _plan2 =
+        vgg_variant_tiny().compile(NetPrecision::w1a2(), &CompileOptions::functional(batch, 56));
+    assert!(stats::weight_prepares() > prepares);
+}
+
+#[test]
+fn one_plan_prices_and_executes() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The same CompiledNet object drives both engines.
+    let spec = GpuSpec::rtx3090();
+    let batch = 2;
+    let plan =
+        vgg_variant_tiny().compile(NetPrecision::w1a2(), &CompileOptions::functional(batch, 3));
+
+    let report = plan.report(&spec);
+    assert_eq!(report.scheme, "APNN-w1a2");
+    assert!(report.total_s > 0.0);
+    assert_eq!(
+        report.stages.len(),
+        plan.stages().len(),
+        "every plan stage is priced"
+    );
+
+    let mut seed = 4u64;
+    let codes = Tensor4::<u32>::from_fn(batch, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+        (lcg(&mut seed) as u32) % 256
+    });
+    let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+    let logits = plan.infer(&input);
+    assert_eq!(logits.len(), batch * plan.classes());
+}

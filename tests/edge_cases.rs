@@ -38,7 +38,8 @@ fn k_smaller_than_one_fragment() {
     let w = BitPlanes::from_signed_binary(&[1, -1, 1], 1, 3);
     let x = BitPlanes::from_signed_binary(&[-1, -1, 1], 1, 3);
     let desc = ApmmDesc::w1aq(1, 1, 3, 1, Encoding::PlusMinusOne);
-    assert_eq!(Apmm::new(desc).execute(&w, &x), vec![-1 + 1 + 1]);
+    // (1·−1) + (−1·−1) + (1·1) = 1.
+    assert_eq!(Apmm::new(desc).execute(&w, &x), vec![1]);
 }
 
 #[test]
@@ -92,9 +93,7 @@ fn conv_window_larger_than_input_needs_padding() {
         v
     };
     let got = ApConv::new(desc).execute(&weights, &input);
-    let want = apnn_tc::kernels::reference::conv2d_i32(
-        &x_vals, &w_vals, 1, 3, 3, 2, 2, 5, 5, 1, 2,
-    );
+    let want = apnn_tc::kernels::reference::conv2d_i32(&x_vals, &w_vals, 1, 3, 3, 2, 2, 5, 5, 1, 2);
     assert_eq!(got, want);
 }
 

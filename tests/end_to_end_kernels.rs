@@ -13,7 +13,9 @@ fn rand_codes(rng: &mut SmallRng, len: usize, bits: u32) -> Vec<u32> {
 }
 
 fn rand_signs(rng: &mut SmallRng, len: usize) -> Vec<i32> {
-    (0..len).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect()
+    (0..len)
+        .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+        .collect()
 }
 
 #[test]
@@ -23,7 +25,15 @@ fn apmm_all_cases_match_oracle() {
     let cases = [
         (31, 47, 129, 3, 2, Encoding::ZeroOne, Encoding::ZeroOne),
         (16, 64, 512, 1, 2, Encoding::PlusMinusOne, Encoding::ZeroOne),
-        (24, 24, 200, 1, 1, Encoding::PlusMinusOne, Encoding::PlusMinusOne),
+        (
+            24,
+            24,
+            200,
+            1,
+            1,
+            Encoding::PlusMinusOne,
+            Encoding::PlusMinusOne,
+        ),
         (9, 13, 77, 4, 1, Encoding::ZeroOne, Encoding::PlusMinusOne),
         (64, 128, 1024, 2, 8, Encoding::ZeroOne, Encoding::ZeroOne),
     ];
@@ -110,16 +120,13 @@ fn apconv_matches_oracle_with_padding_and_stride() {
             for y in 0..hw {
                 for xw in 0..hw {
                     for c in 0..cin {
-                        x_vals[((b * hw + y) * hw + xw) * cin + c] =
-                            codes.get(b, c, y, xw) as i32;
+                        x_vals[((b * hw + y) * hw + xw) * cin + c] = codes.get(b, c, y, xw) as i32;
                     }
                 }
             }
         }
         let got = ApConv::new(desc).execute(&weights, &input);
-        let want = conv2d_i32(
-            &x_vals, &w_vals, 2, hw, hw, cin, cout, kk, kk, stride, pad,
-        );
+        let want = conv2d_i32(&x_vals, &w_vals, 2, hw, hw, cin, cout, kk, kk, stride, pad);
         assert_eq!(got, want, "conv case {desc:?}");
     }
 }

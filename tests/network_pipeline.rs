@@ -53,7 +53,11 @@ fn first_layer_dominates_apnn_latency() {
     // Fig. 9: the 8-bit-activation first layer is the hotspot.
     let spec = GpuSpec::rtx3090();
     let a = simulate(&alexnet(), NetPrecision::w1a2(), &spec, 8);
-    assert!(a.first_main_share() > 0.5, "AlexNet {}", a.first_main_share());
+    assert!(
+        a.first_main_share() > 0.5,
+        "AlexNet {}",
+        a.first_main_share()
+    );
     let v = simulate(&vgg_variant(), NetPrecision::w1a2(), &spec, 8);
     assert!(v.first_main_share() > 0.3, "VGG {}", v.first_main_share());
     // And it is the single largest layer in both.

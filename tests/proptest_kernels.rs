@@ -22,7 +22,15 @@ struct GemmCase {
 }
 
 fn gemm_case() -> impl Strategy<Value = GemmCase> {
-    (1usize..20, 1usize..20, 1usize..200, 1u32..=4, 1u32..=4, any::<bool>(), any::<bool>())
+    (
+        1usize..20,
+        1usize..20,
+        1usize..200,
+        1u32..=4,
+        1u32..=4,
+        any::<bool>(),
+        any::<bool>(),
+    )
         .prop_flat_map(|(m, n, k, p, q, mut w_signed, mut x_signed)| {
             // ±1 encodings are 1-bit only.
             if p > 1 {

@@ -29,9 +29,18 @@ fn estimator_equals_functional_execution_across_configs() {
     let spec = GpuSpec::rtx3090();
     // (desc, tile) pairs with p | bm and q | bn, including ragged edges.
     let cases = [
-        (ApmmDesc::unsigned(40, 72, 300, 2, 2), TileConfig::new(16, 32)),
-        (ApmmDesc::unsigned(64, 64, 128, 1, 1), TileConfig::new(32, 32)),
-        (ApmmDesc::unsigned(17, 50, 520, 4, 2), TileConfig::new(16, 64)),
+        (
+            ApmmDesc::unsigned(40, 72, 300, 2, 2),
+            TileConfig::new(16, 32),
+        ),
+        (
+            ApmmDesc::unsigned(64, 64, 128, 1, 1),
+            TileConfig::new(32, 32),
+        ),
+        (
+            ApmmDesc::unsigned(17, 50, 520, 4, 2),
+            TileConfig::new(16, 64),
+        ),
         (ApmmDesc::unsigned(8, 8, 128, 8, 8), TileConfig::new(64, 64)),
     ];
     for (desc, tile) in cases {
