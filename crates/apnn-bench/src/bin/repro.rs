@@ -2,14 +2,14 @@
 //! simulated Ampere substrate.
 //!
 //! ```text
-//! repro <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|table4|all>
+//! repro <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|table4|serve|all>
 //! ```
 //!
 //! Figures 5/7 run on the RTX 3090 preset, 6/8 on the A100 preset, matching
 //! the paper's panels; everything else defaults to the RTX 3090 (the paper
 //! reports "similar trends" on both GPUs and focuses on the 3090, §6.1.2).
 
-use apnn_bench::experiments as exp;
+use apnn_bench::{experiments as exp, serve_load};
 use apnn_sim::GpuSpec;
 
 fn table1() -> String {
@@ -68,6 +68,10 @@ fn main() {
             "ablation-layout" => Some(exp::ablation_layout(&g3090)),
             "ablation-batching" => Some(exp::ablation_batching(&g3090)),
             "turing" => Some(exp::turing(&g3090)),
+            "serve" => Some(serve_load::report(&serve_load::sweep(
+                &[1, 2, 4, 8, 16, 32],
+                96,
+            ))),
             _ => None,
         }
     };
@@ -91,6 +95,7 @@ fn main() {
             "ablation-layout",
             "ablation-batching",
             "turing",
+            "serve",
         ] {
             println!("{}", run(name).unwrap());
         }
@@ -99,7 +104,8 @@ fn main() {
     } else {
         eprintln!(
             "unknown experiment '{arg}'. Options: fig5..fig12, table1..table4, \
-             fusion-ablation, ablation-tiles, ablation-layout, ablation-batching, turing, all"
+             fusion-ablation, ablation-tiles, ablation-layout, ablation-batching, turing, \
+             serve, all"
         );
         std::process::exit(2);
     }

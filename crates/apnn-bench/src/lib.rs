@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod gen;
+pub mod serve_load;
 pub mod workloads;
 
 use std::fmt::Write as _;

@@ -1,0 +1,124 @@
+//! Serving-tier load sweep: offered load (closed-loop burst size) vs.
+//! batch fill, queueing latency and throughput.
+//!
+//! The paper's end-to-end argument is that arbitrary-precision kernels pay
+//! off at network-serving scale; this driver quantifies the serving tier
+//! itself. Submitters issue bursts of concurrent requests against an
+//! `apnn-serve` [`Server`] and the table reports, per offered burst size:
+//! how full the coalesced batches ran (`fill`), how long requests queued
+//! in ticks (`p50`/`p99`), and end-to-end throughput in requests/s.
+//!
+//! Run via `repro serve`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use apnn_bitpack::{BitTensor4, Encoding, Layout, Tensor4};
+use apnn_nn::NetPrecision;
+use apnn_serve::{ModelKey, PlanRegistry, ServeConfig, Server};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Requests submitted per closed-loop burst.
+    pub burst: usize,
+    /// Mean requests per dispatched batch.
+    pub mean_fill: f64,
+    /// Median queueing latency in ticks.
+    pub p50_ticks: u64,
+    /// 99th-percentile queueing latency in ticks.
+    pub p99_ticks: u64,
+    /// Requests per second, wall clock, including queueing.
+    pub throughput_rps: f64,
+}
+
+/// Sweep offered load over `bursts`, serving `total` requests per point.
+pub fn sweep(bursts: &[usize], total: usize) -> Vec<LoadPoint> {
+    let batch = 8;
+    let key = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
+    let mut points = Vec::with_capacity(bursts.len());
+    for &burst in bursts {
+        let server = Server::new(
+            PlanRegistry::zoo(batch, 7),
+            ServeConfig {
+                queue_capacity: 2 * batch.max(burst),
+                max_batch_delay: burst as u64,
+                workers: 4,
+            },
+        );
+        // Warm the plan cache without traffic (a deployment compiles at
+        // startup, not per request), so the reported fill/latency stats
+        // cover exactly the measured window.
+        server.registry().get(&key).unwrap();
+
+        let start = Instant::now();
+        let mut done = 0usize;
+        while done < total {
+            let n = burst.min(total - done);
+            let tickets: Vec<_> = (0..n)
+                .map(|i| server.submit(&key, image(done + i)).unwrap())
+                .collect();
+            for t in &tickets {
+                t.wait().expect("serve request failed");
+            }
+            done += n;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = server.stats();
+        points.push(LoadPoint {
+            burst,
+            mean_fill: stats.mean_fill(),
+            p50_ticks: stats.p50_latency_ticks,
+            p99_ticks: stats.p99_latency_ticks,
+            throughput_rps: done as f64 / elapsed.max(1e-9),
+        });
+    }
+    points
+}
+
+/// Render the sweep as a report table.
+pub fn report(points: &[LoadPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Serving: offered load vs. batch fill (VGG-Variant-Tiny @ APNN-w1a2, \
+         compiled batch 8, 4 workers)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>7}{:>10}{:>10}{:>10}{:>14}",
+        "burst", "fill", "p50(tk)", "p99(tk)", "req/s"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>7}{:>10.2}{:>10}{:>10}{:>14.1}",
+            p.burst, p.mean_fill, p.p50_ticks, p.p99_ticks, p.throughput_rps
+        );
+    }
+    out
+}
+
+fn image(seed: usize) -> BitTensor4 {
+    let codes = Tensor4::<u32>::from_fn(1, 3, 32, 32, Layout::Nhwc, |_, c, h, w| {
+        ((seed.wrapping_mul(37).wrapping_add(3 * c + 5 * h + 7 * w)) % 256) as u32
+    });
+    BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_accounts_for_every_request() {
+        let points = sweep(&[1, 4], 8);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.mean_fill >= 1.0, "fill below 1 at burst {}", p.burst);
+            assert!(p.throughput_rps > 0.0);
+        }
+        let table = report(&points);
+        assert!(table.contains("req/s"));
+    }
+}

@@ -112,7 +112,7 @@ impl BitTensor4 {
     /// sharding primitive behind `infer_batched` serving.
     pub fn batch_slice(&self, start: usize, len: usize) -> BitTensor4 {
         assert!(start + len <= self.n, "batch slice out of range");
-        let stride = self.bits as usize * self.h * self.w * self.words_per_pixel;
+        let stride = self.image_stride();
         BitTensor4 {
             n: len,
             bits: self.bits,
@@ -123,6 +123,86 @@ impl BitTensor4 {
             words_per_pixel: self.words_per_pixel,
             encoding: self.encoding,
             data: self.data[start * stride..(start + len) * stride].to_vec(),
+        }
+    }
+
+    /// Packed words of one whole image (`[start, start+1)` of the batch).
+    #[inline]
+    fn image_words(&self, n: usize) -> &[u64] {
+        let stride = self.image_stride();
+        &self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Packed words per image (all planes × pixels of one batch entry).
+    #[inline]
+    fn image_stride(&self) -> usize {
+        self.bits as usize * self.h * self.w * self.words_per_pixel
+    }
+
+    /// Gather images by (possibly non-contiguous, repeated, reordered)
+    /// batch indices into a new tensor: `out[i] = self[indices[i]]`.
+    ///
+    /// This is the request-coalescing primitive of `apnn-serve`: pending
+    /// requests land anywhere in a submission buffer, and a serving shard
+    /// gathers exactly the images it owns. Word-level copies — no
+    /// per-element re-packing.
+    pub fn batch_gather(&self, indices: &[usize]) -> BitTensor4 {
+        let stride = self.image_stride();
+        let mut data = Vec::with_capacity(indices.len() * stride);
+        for &i in indices {
+            assert!(
+                i < self.n,
+                "batch_gather index {i} out of range ({})",
+                self.n
+            );
+            data.extend_from_slice(self.image_words(i));
+        }
+        BitTensor4 {
+            n: indices.len(),
+            bits: self.bits,
+            h: self.h,
+            w: self.w,
+            c: self.c,
+            padded_c: self.padded_c,
+            words_per_pixel: self.words_per_pixel,
+            encoding: self.encoding,
+            data,
+        }
+    }
+
+    /// Concatenate tensors along the batch dimension (the scatter-side
+    /// inverse of [`batch_gather`]): coalesces single-image requests into
+    /// one contiguous batch. All parts must agree on shape, bit width and
+    /// encoding; empty parts (n = 0) contribute nothing.
+    ///
+    /// [`batch_gather`]: BitTensor4::batch_gather
+    pub fn concat_images(parts: &[&BitTensor4]) -> BitTensor4 {
+        let first = parts
+            .first()
+            .expect("concat_images needs at least one part");
+        let (_, h, w, c) = first.shape();
+        let mut n = 0;
+        let mut data =
+            Vec::with_capacity(parts.iter().map(|p| p.n).sum::<usize>() * first.image_stride());
+        for p in parts {
+            assert_eq!(
+                (p.h, p.w, p.c, p.bits, p.encoding),
+                (first.h, first.w, first.c, first.bits, first.encoding),
+                "concat_images parts disagree on shape/bits/encoding"
+            );
+            n += p.n;
+            data.extend_from_slice(&p.data);
+        }
+        BitTensor4 {
+            n,
+            bits: first.bits,
+            h,
+            w,
+            c,
+            padded_c: first.padded_c,
+            words_per_pixel: first.words_per_pixel,
+            encoding: first.encoding,
+            data,
         }
     }
 
@@ -273,6 +353,40 @@ mod tests {
         let words = t.pixel_words(0, 0, 0, 0);
         assert_eq!(words[0], 0xAAAA_AAAA_AAAA_AAAA);
         assert_eq!(words[1], 0); // padding word
+    }
+
+    #[test]
+    fn batch_gather_matches_per_image_slices() {
+        let codes = Tensor4::<u32>::from_fn(5, 3, 2, 2, Layout::Nhwc, |n, c, h, w| {
+            ((7 * n + 5 * c + 3 * h + w) % 4) as u32
+        });
+        let t = BitTensor4::from_tensor(&codes, 2, Encoding::ZeroOne);
+        // Reordered, repeated, non-contiguous.
+        let idx = [4, 1, 1, 0];
+        let g = t.batch_gather(&idx);
+        assert_eq!(g.shape(), (4, 2, 2, 3));
+        for (out_i, &src) in idx.iter().enumerate() {
+            assert_eq!(g.batch_slice(out_i, 1), t.batch_slice(src, 1));
+        }
+        assert!(g.padding_is_zero());
+        // Empty gather is a zero-batch tensor.
+        assert_eq!(t.batch_gather(&[]).shape(), (0, 2, 2, 3));
+    }
+
+    #[test]
+    fn concat_images_inverts_batch_slices() {
+        let codes = Tensor4::<u32>::from_fn(4, 2, 3, 3, Layout::Nhwc, |n, c, h, w| {
+            ((n + c + 2 * h + w) % 8) as u32
+        });
+        let t = BitTensor4::from_tensor(&codes, 3, Encoding::ZeroOne);
+        let parts: Vec<BitTensor4> = (0..4).map(|i| t.batch_slice(i, 1)).collect();
+        let refs: Vec<&BitTensor4> = parts.iter().collect();
+        let joined = BitTensor4::concat_images(&refs);
+        assert_eq!(joined, t);
+        // Uneven split round-trips too.
+        let a = t.batch_slice(0, 3);
+        let b = t.batch_slice(3, 1);
+        assert_eq!(BitTensor4::concat_images(&[&a, &b]), t);
     }
 
     #[test]

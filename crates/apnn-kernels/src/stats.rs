@@ -1,4 +1,4 @@
-//! Process-wide counters for compile-time vs. serve-time work.
+//! Counters for compile-time vs. serve-time work.
 //!
 //! The compiled-plan execution model (see `apnn-nn`'s `compile` module)
 //! promises that expensive per-layer preparation — tile autotuning, weight
@@ -6,11 +6,32 @@
 //! and never in the `infer()` hot loop. These counters make that promise
 //! testable: snapshot them after compilation, run inference, and assert
 //! they did not move.
+//!
+//! Two views exist:
+//!
+//! * the historical **process-wide** totals ([`autotune_calls`],
+//!   [`weight_prepares`]) — monotone across every thread, useful for
+//!   coarse "compiling moves the counters" sanity checks;
+//! * a **per-scope** view ([`scope`] → [`StatsScope`]) backed by
+//!   thread-local counters, so concurrent test binaries and `apnn-serve`
+//!   worker threads can each assert "no preparation happened *here*"
+//!   without serializing on a global lock or reading each other's work.
+//!
+//! Preparation always happens on the thread that calls `compile()` /
+//! `prepare()` (the kernels never defer packing to a pool thread), so a
+//! scope opened before a compile on the same thread observes exactly that
+//! compile's work and nothing else.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static AUTOTUNE_CALLS: AtomicU64 = AtomicU64::new(0);
 static WEIGHT_PREPARES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_AUTOTUNE: Cell<u64> = const { Cell::new(0) };
+    static TL_PREPARES: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Total [`crate::autotune::autotune`] invocations in this process.
 pub fn autotune_calls() -> u64 {
@@ -23,12 +44,52 @@ pub fn weight_prepares() -> u64 {
     WEIGHT_PREPARES.load(Ordering::Relaxed)
 }
 
+/// Open a counting scope on the **current thread**. Deltas read from the
+/// returned [`StatsScope`] cover only work performed by this thread after
+/// this call — other threads (parallel tests, serve workers) cannot
+/// perturb them.
+pub fn scope() -> StatsScope {
+    StatsScope {
+        autotune0: TL_AUTOTUNE.get(),
+        prepares0: TL_PREPARES.get(),
+        _thread_bound: std::marker::PhantomData,
+    }
+}
+
+/// A snapshot handle from [`scope`]: reports how much preparation work the
+/// current thread performed since the scope was opened. Plain reads — a
+/// scope can be consulted repeatedly and scopes may nest freely.
+///
+/// Deliberately `!Send`/`!Sync` (raw-pointer marker): the baselines are
+/// thread-local, so reading a scope from another thread would compare
+/// against the wrong counters. The contract is enforced at compile time.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsScope {
+    autotune0: u64,
+    prepares0: u64,
+    _thread_bound: std::marker::PhantomData<*const ()>,
+}
+
+impl StatsScope {
+    /// Autotune invocations on this thread since the scope opened.
+    pub fn autotune_calls(&self) -> u64 {
+        TL_AUTOTUNE.get() - self.autotune0
+    }
+
+    /// Prepared-kernel constructions on this thread since the scope opened.
+    pub fn weight_prepares(&self) -> u64 {
+        TL_PREPARES.get() - self.prepares0
+    }
+}
+
 pub(crate) fn count_autotune() {
     AUTOTUNE_CALLS.fetch_add(1, Ordering::Relaxed);
+    TL_AUTOTUNE.set(TL_AUTOTUNE.get() + 1);
 }
 
 pub(crate) fn count_weight_prepare() {
     WEIGHT_PREPARES.fetch_add(1, Ordering::Relaxed);
+    TL_PREPARES.set(TL_PREPARES.get() + 1);
 }
 
 #[cfg(test)]
@@ -43,5 +104,31 @@ mod tests {
         let w0 = weight_prepares();
         count_weight_prepare();
         assert!(weight_prepares() > w0);
+    }
+
+    #[test]
+    fn scopes_see_own_thread_deltas_only() {
+        let s = scope();
+        count_autotune();
+        count_weight_prepare();
+        assert_eq!(s.autotune_calls(), 1);
+        assert_eq!(s.weight_prepares(), 1);
+
+        // Work on another thread is invisible to this scope.
+        std::thread::spawn(|| {
+            count_autotune();
+            count_weight_prepare();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(s.autotune_calls(), 1);
+        assert_eq!(s.weight_prepares(), 1);
+
+        // Nested scope starts from zero.
+        let inner = scope();
+        assert_eq!(inner.autotune_calls(), 0);
+        count_autotune();
+        assert_eq!(inner.autotune_calls(), 1);
+        assert_eq!(s.autotune_calls(), 2);
     }
 }

@@ -303,6 +303,42 @@ impl CompiledNet {
         self.batch
     }
 
+    /// The precision scheme this plan was lowered at (`None` for hand-built
+    /// stage lists).
+    pub fn precision(&self) -> Option<NetPrecision> {
+        self.precision
+    }
+
+    /// The packed feature map the first main stage consumes, as
+    /// `(h, w, c, bits, encoding)` — `None` for linear-front plans, which
+    /// take feature vectors. Servers validate request tensors against this
+    /// before queueing them.
+    pub fn input_map_spec(&self) -> Option<(usize, usize, usize, u32, Encoding)> {
+        self.main_stages().next().and_then(|m| match &m.kernel {
+            MainKernel::Conv { desc, .. } => {
+                Some((desc.h, desc.w, desc.cin, desc.x_bits, desc.x_enc))
+            }
+            _ => None,
+        })
+    }
+
+    /// Partition `n` requests into compiled-batch shards: every shard is
+    /// `batch()` wide except the last, which carries the remainder (any
+    /// size down to 1). This is the public remainder-handling contract the
+    /// serve path and the differential tests are written against;
+    /// [`CompiledNet::infer_batched`] executes exactly these shards.
+    pub fn shards(&self, n: usize) -> Vec<Shard> {
+        let width = self.batch.max(1);
+        let mut out = Vec::with_capacity(n.div_ceil(width));
+        let mut start = 0;
+        while start < n {
+            let len = (n - start).min(width);
+            out.push(Shard { start, len });
+            start += len;
+        }
+        out
+    }
+
     /// The compiled stages.
     pub fn stages(&self) -> &[PlanStage] {
         &self.stages
@@ -376,8 +412,9 @@ impl CompiledNet {
     }
 
     /// Serve a large request batch by sharding it into compiled-batch
-    /// chunks over the Rayon pool. `input` carries any number of images;
-    /// the plan is reused across shards without re-lowering.
+    /// chunks (see [`CompiledNet::shards`]) over the Rayon pool. `input`
+    /// carries any number of images; the plan is reused across shards
+    /// without re-lowering.
     pub fn infer_batched(&self, input: &BitTensor4) -> Vec<i32> {
         let n = input.shape().0;
         let shard = self.batch.max(1);
@@ -385,18 +422,30 @@ impl CompiledNet {
         if n <= shard {
             return self.infer(input);
         }
+        let shards = self.shards(n);
         let mut out = vec![0i32; n * classes];
+        // `shards()` and `par_chunks_mut` both cut uniform widths with one
+        // trailing remainder, so chunk `ci` is exactly `shards[ci]`.
         out.par_chunks_mut(shard * classes)
             .enumerate()
             .for_each(|(ci, chunk)| {
-                let start = ci * shard;
-                let len = (n - start).min(shard);
-                let slice = input.batch_slice(start, len);
+                let s = shards[ci];
+                let slice = input.batch_slice(s.start, s.len);
                 let logits = self.infer(&slice);
-                chunk[..len * classes].copy_from_slice(&logits);
+                chunk[..s.len * classes].copy_from_slice(&logits);
             });
         out
     }
+}
+
+/// One contiguous slice of a request batch, at most one compiled batch
+/// wide — the unit a serving worker hands to [`CompiledNet::infer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// First request index in the shard.
+    pub start: usize,
+    /// Number of requests (`1..=plan.batch()`).
+    pub len: usize,
 }
 
 /// An execution backend for compiled plans.
@@ -1166,6 +1215,23 @@ mod tests {
         .report(&spec);
         assert_eq!(sim_only.total_s, functional.total_s);
         assert_eq!(sim_only.stages.len(), functional.stages.len());
+    }
+
+    #[test]
+    fn shards_cover_the_batch_with_one_remainder() {
+        let plan = CompiledNet::compile(&tiny_net(), NetPrecision::w1a2(), &CompileOptions::sim(4));
+        assert_eq!(plan.shards(0), vec![]);
+        assert_eq!(plan.shards(3), vec![Shard { start: 0, len: 3 }]);
+        assert_eq!(
+            plan.shards(9),
+            vec![
+                Shard { start: 0, len: 4 },
+                Shard { start: 4, len: 4 },
+                Shard { start: 8, len: 1 },
+            ]
+        );
+        // Exact multiples have no remainder shard.
+        assert!(plan.shards(8).iter().all(|s| s.len == 4));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod net;
 pub mod precision;
 
 pub use compile::{
-    ActInput, CompileOptions, CompiledNet, CpuEngine, Engine, Materialize, SimEngine,
+    ActInput, CompileOptions, CompiledNet, CpuEngine, Engine, Materialize, Shard, SimEngine,
 };
 pub use exec::{simulate, simulate_with, NetworkReport, StageReport};
 pub use functional::{QuantNet, QuantStage};

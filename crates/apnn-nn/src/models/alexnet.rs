@@ -42,6 +42,34 @@ pub fn alexnet() -> Network {
         .push(L::linear("fc8", 1000))
 }
 
+/// AlexNet scaled to CIFAR shapes (3×32×32, 10 classes): the same
+/// conv-heavy front with larger-than-3×3 kernels, but 2×2 pools so every
+/// stage fuses (the ImageNet AlexNet's 3×3/2 pools stay element-wise and
+/// cannot run on the functional engine). This is the second servable zoo
+/// entry the `apnn-serve` differential harness exercises.
+pub fn alexnet_tiny() -> Network {
+    Network::new("AlexNet-Tiny", 3, 32, 32)
+        .push(L::conv("conv1", 24, 5, 1, 2)) // 32
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::MaxPool { k: 2, stride: 2 }) // 16
+        .push(L::QuantizeActs)
+        .push(L::conv("conv2", 48, 5, 1, 2))
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::MaxPool { k: 2, stride: 2 }) // 8
+        .push(L::QuantizeActs)
+        .push(L::conv("conv3", 64, 3, 1, 1))
+        .push(L::Relu)
+        .push(L::MaxPool { k: 2, stride: 2 }) // 4
+        .push(L::QuantizeActs)
+        .push(L::Flatten) // 1024
+        .push(L::linear("fc4", 96))
+        .push(L::Relu)
+        .push(L::QuantizeActs)
+        .push(L::linear("fc5", 10))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

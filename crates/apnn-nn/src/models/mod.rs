@@ -8,7 +8,7 @@ mod alexnet;
 mod resnet18;
 mod vgg;
 
-pub use alexnet::alexnet;
+pub use alexnet::{alexnet, alexnet_tiny};
 pub use resnet18::resnet18;
 pub use vgg::{vgg_variant, vgg_variant_tiny};
 
@@ -17,6 +17,16 @@ use crate::net::Network;
 /// All three evaluation models, in the paper's Table 1/2 order.
 pub fn all_models() -> Vec<Network> {
     vec![alexnet(), vgg_variant(), resnet18()]
+}
+
+/// The zoo entries a functional server can actually host: fully fusable
+/// (no element-wise stages survive lowering, so `CompiledNet::infer` runs)
+/// and CIFAR-scale (weights pack in milliseconds, not minutes). The
+/// ImageNet networks stay simulation-only — AlexNet and ResNet-18 keep
+/// unfusable 3×3/2 pools / residual adds, and VGG-Variant's fc6 alone
+/// packs 10⁸ weights.
+pub fn servable_zoo() -> Vec<Network> {
+    vec![alexnet_tiny(), vgg_variant_tiny()]
 }
 
 #[cfg(test)]
@@ -28,6 +38,17 @@ mod tests {
         for m in all_models() {
             assert_eq!(m.output_features(), 1000, "{}", m.name);
             assert_eq!((m.input_c, m.input_h, m.input_w), (3, 224, 224));
+        }
+    }
+
+    #[test]
+    fn servable_zoo_models_fully_fuse_and_execute() {
+        use crate::compile::CompileOptions;
+        use crate::precision::NetPrecision;
+        for net in servable_zoo() {
+            assert_eq!(net.output_features(), 10, "{}", net.name);
+            let plan = net.compile(NetPrecision::w1a2(), &CompileOptions::functional(2, 11));
+            assert!(plan.is_executable(), "{} must fully fuse", net.name);
         }
     }
 

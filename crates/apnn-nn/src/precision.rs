@@ -4,7 +4,7 @@ use apnn_bitpack::Encoding;
 use apnn_kernels::baselines::BaselineKind;
 
 /// A whole-network precision scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetPrecision {
     /// CUTLASS single-precision on CUDA cores.
     Fp32,

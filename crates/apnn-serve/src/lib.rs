@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # apnn-serve
+//!
+//! A dynamic-batching, multi-model inference server over
+//! [`apnn_nn::CompiledNet`] execution plans — the serving tier the paper's
+//! end-to-end claim points at: arbitrary-precision kernels pay off when a
+//! *network* serves many concurrent requests through one compiled plan.
+//!
+//! The moving parts:
+//!
+//! * [`PlanRegistry`] — maps a [`ModelKey`] `(model, precision scheme)` to
+//!   a cached [`CompiledNet`], compiled **lazily exactly once** and shared
+//!   (`Arc`) between every worker; cache hit/compile counters prove the
+//!   once-only property.
+//! * [`Server`] — a bounded submission queue with blocking backpressure
+//!   and a pool of worker threads. Workers **coalesce** pending requests
+//!   for the same key into one packed batch
+//!   ([`apnn_bitpack::BitTensor4::concat_images`]), run the plan's
+//!   compiled batch (partial shards allowed — see
+//!   [`apnn_nn::CompiledNet::shards`]), and scatter per-request logits
+//!   back through [`Ticket`] completion handles.
+//! * [`ServeStats`] — a consistent snapshot: queue depth, batch-fill
+//!   histogram, p50/p99 queueing latency in *ticks* (submissions are the
+//!   clock, so the numbers are load-dependent but wall-clock-free), and
+//!   the plan-cache counters.
+//!
+//! The serving invariant the differential test harness enforces
+//! (`tests/serve_differential.rs` at the workspace root): **any** grouping
+//! of requests into batches — any partition, any interleaving, any worker
+//! count — produces logits bit-identical to one-at-a-time
+//! [`apnn_nn::CompiledNet::infer`]. Integer-exact kernels make this a
+//! hard equality, not a tolerance.
+
+mod registry;
+mod server;
+mod stats;
+
+pub use registry::{ModelKey, PlanRegistry};
+pub use server::{ServeConfig, Server, Ticket};
+pub use stats::ServeStats;
+
+/// Why a submission or plan lookup failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No builder registered under this model name.
+    UnknownModel(String),
+    /// The model compiled, but the plan cannot run functionally (baseline
+    /// precision, or element-wise stages survived fusion).
+    NotServable(String),
+    /// The request tensor does not match what the plan's first stage
+    /// consumes.
+    BadInput(String),
+    /// The server is shutting down; the request was not queued.
+    ShuttingDown,
+    /// The worker executing this request's batch panicked; the request
+    /// was consumed but produced no logits.
+    ExecutionFailed(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            ServeError::NotServable(why) => write!(f, "plan is not servable: {why}"),
+            ServeError::BadInput(why) => write!(f, "bad request input: {why}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::ExecutionFailed(why) => write!(f, "batch execution failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

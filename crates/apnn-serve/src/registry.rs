@@ -1,0 +1,210 @@
+//! The plan cache: `(model, precision)` → one shared [`CompiledNet`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use apnn_nn::models::servable_zoo;
+use apnn_nn::{CompileOptions, CompiledNet, NetPrecision, Network};
+
+use crate::ServeError;
+
+/// Identity of a served plan: which model, at which precision scheme. The
+/// compiled batch size and weight seed are registry-wide (a deployment
+/// serves one build), so they live in [`PlanRegistry`], not the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Zoo model name (`Network::name`).
+    pub model: String,
+    /// Precision scheme.
+    pub precision: NetPrecision,
+}
+
+impl ModelKey {
+    /// Key for `model` at `precision`.
+    pub fn new(model: impl Into<String>, precision: NetPrecision) -> Self {
+        ModelKey {
+            model: model.into(),
+            precision,
+        }
+    }
+
+    /// Human-readable scheme label (the paper's table names).
+    pub fn scheme(&self) -> String {
+        self.precision.label()
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.model, self.precision.label())
+    }
+}
+
+type Builder = Box<dyn Fn() -> Network + Send + Sync>;
+
+/// One cache slot. `OnceLock` gives the compile-exactly-once guarantee
+/// even when many submitters race on a cold key: the first caller runs the
+/// compilation, everyone else blocks until the plan (or the error) lands.
+struct Entry {
+    plan: OnceLock<Result<Arc<CompiledNet>, ServeError>>,
+}
+
+/// A registry of model builders and their lazily compiled plans.
+///
+/// Compilation — fusion, autotuning, weight packing, calibration — runs at
+/// most once per [`ModelKey`], on the first submitter that needs the plan.
+/// [`PlanRegistry::compiles`] / [`PlanRegistry::hits`] expose the cache
+/// behaviour for tests and [`crate::ServeStats`].
+pub struct PlanRegistry {
+    builders: HashMap<String, Builder>,
+    entries: Mutex<HashMap<ModelKey, Arc<Entry>>>,
+    batch: usize,
+    seed: u64,
+    compiles: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl PlanRegistry {
+    /// Empty registry compiling plans at `batch` with weight seed `seed`.
+    pub fn new(batch: usize, seed: u64) -> Self {
+        assert!(batch > 0, "compiled batch must be at least 1");
+        PlanRegistry {
+            builders: HashMap::new(),
+            entries: Mutex::new(HashMap::new()),
+            batch,
+            seed,
+            compiles: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Registry pre-loaded with the servable zoo
+    /// ([`apnn_nn::models::servable_zoo`]).
+    pub fn zoo(batch: usize, seed: u64) -> Self {
+        let mut reg = Self::new(batch, seed);
+        for net in servable_zoo() {
+            let name = net.name.clone();
+            reg.register(&name, move || net.clone());
+        }
+        reg
+    }
+
+    /// Register a model builder under `name`. The builder runs once per
+    /// precision scheme, inside the compile path.
+    pub fn register(&mut self, name: &str, build: impl Fn() -> Network + Send + Sync + 'static) {
+        self.builders.insert(name.to_string(), Box::new(build));
+    }
+
+    /// Compiled batch size baked into every plan this registry produces.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The plan for `key`: cached if warm, compiled (once) if cold.
+    pub fn get(&self, key: &ModelKey) -> Result<Arc<CompiledNet>, ServeError> {
+        if !self.builders.contains_key(&key.model) {
+            return Err(ServeError::UnknownModel(key.model.clone()));
+        }
+        let entry = {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(entries.entry(key.clone()).or_insert_with(|| {
+                Arc::new(Entry {
+                    plan: OnceLock::new(),
+                })
+            }))
+        };
+        let mut compiled_now = false;
+        let result = entry.plan.get_or_init(|| {
+            compiled_now = true;
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            self.compile(key)
+        });
+        if !compiled_now {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// How many plans were compiled (should equal the number of distinct
+    /// keys ever requested).
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// How many [`PlanRegistry::get`] calls were served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn compile(&self, key: &ModelKey) -> Result<Arc<CompiledNet>, ServeError> {
+        let net = (self.builders[&key.model])();
+        let plan = net.compile(
+            key.precision,
+            &CompileOptions::functional(self.batch, self.seed),
+        );
+        if !plan.is_executable() {
+            return Err(ServeError::NotServable(format!(
+                "`{key}` did not lower to a fully-fused functional plan"
+            )));
+        }
+        // The cache is keyed by precision; the plan must agree with its key.
+        assert_eq!(plan.precision(), Some(key.precision));
+        Ok(Arc::new(plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn cold_then_warm_counts_one_compile() {
+        let reg = PlanRegistry::zoo(2, 42);
+        let key = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
+        let a = reg.get(&key).unwrap();
+        let b = reg.get(&key).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "warm lookups share one plan");
+        assert_eq!(reg.compiles(), 1);
+        assert_eq!(reg.hits(), 1);
+    }
+
+    #[test]
+    fn racing_cold_lookups_still_compile_once() {
+        let reg = Arc::new(PlanRegistry::zoo(2, 7));
+        let key = ModelKey::new("AlexNet-Tiny", NetPrecision::w1a2());
+        let barrier = Arc::new(Barrier::new(4));
+        let plans: Vec<_> = (0..4)
+            .map(|_| {
+                let (reg, key, barrier) = (Arc::clone(&reg), key.clone(), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    reg.get(&key).unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(reg.compiles(), 1, "exactly one racer compiled");
+        assert_eq!(reg.hits(), 3);
+        assert!(plans.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn unknown_and_unservable_models_error() {
+        let reg = PlanRegistry::zoo(2, 1);
+        let missing = ModelKey::new("AlexNet", NetPrecision::w1a2());
+        assert!(matches!(
+            reg.get(&missing),
+            Err(ServeError::UnknownModel(_))
+        ));
+        // Baseline precisions compile but cannot execute functionally.
+        let fp32 = ModelKey::new("VGG-Variant-Tiny", NetPrecision::Fp32);
+        assert!(matches!(reg.get(&fp32), Err(ServeError::NotServable(_))));
+        // The failed compile is cached too — and still counts once.
+        assert!(matches!(reg.get(&fp32), Err(ServeError::NotServable(_))));
+        assert_eq!(reg.compiles(), 1);
+    }
+}

@@ -1,0 +1,572 @@
+//! The dynamic batcher: bounded queue → coalesce → shard → complete.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use apnn_bitpack::BitTensor4;
+use apnn_kernels::stats as kstats;
+use apnn_nn::compile::MainKernel;
+use apnn_nn::CompiledNet;
+
+use crate::registry::{ModelKey, PlanRegistry};
+use crate::stats::{ServeStats, StatsInner};
+use crate::ServeError;
+
+/// Liveness backstop base: a worker holding a partial batch whose
+/// tick-based delay has not expired re-checks at this cadence (scaled by
+/// `max_batch_delay`, see [`backstop`]), so a lone request is never
+/// stranded waiting for submissions that will not come.
+const PARTIAL_BATCH_BACKSTOP: Duration = Duration::from_millis(1);
+
+/// Wall-clock patience for a filling partial batch. Scales with the
+/// configured tick delay so a larger `max_batch_delay` really buys more
+/// coalescing under steady (non-burst) load instead of being overridden
+/// by a fixed constant; capped so drains stay prompt.
+fn backstop(config: &ServeConfig) -> Duration {
+    PARTIAL_BATCH_BACKSTOP * (1 + config.max_batch_delay.min(100) as u32)
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Bounded queue size; `submit` blocks (backpressure) once this many
+    /// requests are waiting.
+    pub queue_capacity: usize,
+    /// How many further *submissions* a queued request may wait through
+    /// before a partial batch is dispatched anyway. `0` dispatches
+    /// greedily; larger values trade queueing latency (in ticks) for
+    /// batch fill. A wall-clock backstop of `(1 + max_batch_delay) ms`
+    /// (capped at ~100 ms) force-dispatches when submissions stop
+    /// arriving, so results never depend on wall time — only how full
+    /// the batches ran.
+    pub max_batch_delay: u64,
+    /// Worker threads executing batches.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch_delay: 0,
+            workers: 2,
+        }
+    }
+}
+
+/// Completion handle for one submitted request.
+#[derive(Clone)]
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+struct TicketInner {
+    slot: Mutex<Option<Result<Vec<i32>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Ticket {
+    fn new() -> (Ticket, Arc<TicketInner>) {
+        let inner = Arc::new(TicketInner {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        (
+            Ticket {
+                inner: Arc::clone(&inner),
+            },
+            inner,
+        )
+    }
+
+    /// Block until the request's logits (one `i32` per class) arrive.
+    pub fn wait(&self) -> Result<Vec<i32>, ServeError> {
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
+        while slot.is_none() {
+            slot = self
+                .inner
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        slot.as_ref().unwrap().clone()
+    }
+
+    /// Non-blocking peek: `Some` once the result is in.
+    pub fn try_get(&self) -> Option<Result<Vec<i32>, ServeError>> {
+        self.inner
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+impl TicketInner {
+    /// First delivery wins: the panic-recovery path may offer an error to
+    /// tickets whose logits already landed.
+    fn deliver(&self, result: Result<Vec<i32>, ServeError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(result);
+            self.ready.notify_all();
+        }
+    }
+}
+
+struct Request {
+    plan: Arc<CompiledNet>,
+    key: ModelKey,
+    image: BitTensor4,
+    ticket: Arc<TicketInner>,
+    enqueue_tick: u64,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<Request>,
+    /// The serving clock: +1 per accepted submission.
+    ticks: u64,
+    /// Requests currently executing in workers.
+    in_flight: usize,
+    shutdown: bool,
+    stats: StatsInner,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for submissions / shutdown.
+    work: Condvar,
+    /// Submitters wait here for queue space (backpressure).
+    space: Condvar,
+    /// `wait_idle` callers wait here for the queue to fully drain.
+    idle: Condvar,
+    registry: PlanRegistry,
+    config: ServeConfig,
+}
+
+/// A multi-model dynamic-batching inference server over a
+/// [`PlanRegistry`].
+///
+/// `submit` resolves (lazily compiling at most once per key) the
+/// [`CompiledNet`] for the request's [`ModelKey`], validates the packed
+/// input against the plan's first stage, and enqueues the request —
+/// blocking when the bounded queue is full. Worker threads coalesce
+/// same-key requests into shards of at most the compiled batch
+/// (`plan.batch()`), execute them with partial-shard support, and deliver
+/// per-request logits through [`Ticket`]s.
+///
+/// Dropping the server (or calling [`Server::shutdown`]) drains the queue:
+/// every accepted request still completes; late submissions get
+/// [`ServeError::ShuttingDown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start `config.workers` worker threads over `registry`.
+    pub fn new(registry: PlanRegistry, config: ServeConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            idle: Condvar::new(),
+            registry,
+            config,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("apnn-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// The plan cache behind this server.
+    pub fn registry(&self) -> &PlanRegistry {
+        &self.shared.registry
+    }
+
+    /// Submit one packed image for `key` (by value — no copy on the hot
+    /// path; clone at the call site to retain it). Blocks while the queue
+    /// is at capacity. The returned [`Ticket`] resolves to the request's
+    /// logits.
+    pub fn submit(&self, key: &ModelKey, image: BitTensor4) -> Result<Ticket, ServeError> {
+        let plan = self.shared.registry.get(key)?;
+        validate_input(&plan, &image)?;
+        let (ticket, inner) = Ticket::new();
+        let mut state = self.lock_state();
+        while state.queue.len() >= self.shared.config.queue_capacity && !state.shutdown {
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if state.shutdown {
+            state.stats.rejected += 1;
+            return Err(ServeError::ShuttingDown);
+        }
+        state.ticks += 1;
+        state.stats.submitted += 1;
+        let enqueue_tick = state.ticks;
+        state.queue.push_back(Request {
+            plan,
+            key: key.clone(),
+            image,
+            ticket: inner,
+            enqueue_tick,
+        });
+        drop(state);
+        self.shared.work.notify_all();
+        Ok(ticket)
+    }
+
+    /// Block until every accepted request has completed and the queue is
+    /// empty.
+    pub fn wait_idle(&self) {
+        let mut state = self.lock_state();
+        while !(state.queue.is_empty() && state.in_flight == 0) {
+            state = self
+                .shared
+                .idle
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Snapshot the serving counters (see [`ServeStats`]).
+    pub fn stats(&self) -> ServeStats {
+        let state = self.lock_state();
+        state.stats.snapshot(
+            state.queue.len(),
+            state.in_flight,
+            self.shared.registry.compiles(),
+            self.shared.registry.hits(),
+        )
+    }
+
+    /// Stop accepting requests, drain the queue (every accepted request
+    /// still completes) and join the workers. Equivalent to dropping the
+    /// server.
+    pub fn shutdown(self) {
+        // Drop runs the actual teardown.
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        {
+            let mut state = self.lock_state();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Check a request tensor against what the plan's first main stage
+/// consumes.
+fn validate_input(plan: &CompiledNet, image: &BitTensor4) -> Result<(), ServeError> {
+    let (n, h, w, c) = image.shape();
+    if n != 1 {
+        return Err(ServeError::BadInput(format!(
+            "requests carry exactly one image, got a batch of {n}"
+        )));
+    }
+    if let Some((ph, pw, pc, bits, enc)) = plan.input_map_spec() {
+        if (h, w, c) != (ph, pw, pc) || image.bits() != bits || image.encoding() != enc {
+            return Err(ServeError::BadInput(format!(
+                "plan expects {ph}×{pw}×{pc} @ {bits} bits {enc:?}, \
+                 got {h}×{w}×{c} @ {} bits {:?}",
+                image.bits(),
+                image.encoding()
+            )));
+        }
+        return Ok(());
+    }
+    // Linear-front plan: the engine flattens the map to h·w·c features.
+    let first = plan
+        .main_stages()
+        .next()
+        .expect("servable plan has a main stage");
+    if let MainKernel::Linear { desc, .. } = &first.kernel {
+        if h * w * c != desc.k || image.bits() != desc.x_bits || image.encoding() != desc.x_enc {
+            return Err(ServeError::BadInput(format!(
+                "plan expects {} features @ {} bits {:?}, got {h}×{w}×{c} @ {} bits {:?}",
+                desc.k,
+                desc.x_bits,
+                desc.x_enc,
+                image.bits(),
+                image.encoding()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Pull the next dispatchable batch out of the queue, or `None` if every
+/// pending group should keep waiting for fill.
+///
+/// Groups are formed per [`ModelKey`] in arrival order. The group at the
+/// head of the queue dispatches when it fills the compiled batch, when its
+/// oldest request has waited through `max_batch_delay` submissions, on
+/// shutdown, or when `force` is set (backstop timeout). A younger group
+/// that already *fills* its compiled batch may overtake a waiting head.
+fn pick_batch(state: &mut State, config: &ServeConfig, force: bool) -> Option<Vec<Request>> {
+    let head_key = state.queue.front()?.key.clone();
+    let head_group = group_indices(&state.queue, &head_key);
+    let head_plan_batch = state.queue[head_group[0]].plan.batch().max(1);
+    let head_ripe = force
+        || state.shutdown
+        || head_group.len() >= head_plan_batch
+        || state.ticks - state.queue[head_group[0]].enqueue_tick >= config.max_batch_delay;
+    if head_ripe {
+        return Some(remove_indices(&mut state.queue, &head_group));
+    }
+    // The head is still filling; look for a younger key with a full batch.
+    let mut seen = vec![head_key];
+    for i in 0..state.queue.len() {
+        let key = &state.queue[i].key;
+        if seen.contains(key) {
+            continue;
+        }
+        seen.push(key.clone());
+        let group = group_indices(&state.queue, key);
+        if group.len() >= state.queue[group[0]].plan.batch().max(1) {
+            return Some(remove_indices(&mut state.queue, &group));
+        }
+    }
+    None
+}
+
+/// Queue positions of the first `plan.batch()` requests for `key`, in
+/// arrival order.
+fn group_indices(queue: &VecDeque<Request>, key: &ModelKey) -> Vec<usize> {
+    let mut cap = usize::MAX;
+    let mut out = Vec::new();
+    for (i, r) in queue.iter().enumerate() {
+        if r.key == *key {
+            if out.is_empty() {
+                cap = r.plan.batch().max(1);
+            }
+            out.push(i);
+            if out.len() >= cap {
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn remove_indices(queue: &mut VecDeque<Request>, indices: &[usize]) -> Vec<Request> {
+    let mut out = Vec::with_capacity(indices.len());
+    // Descending removal keeps earlier indices valid; reverse afterwards to
+    // restore arrival order.
+    for &i in indices.iter().rev() {
+        out.push(queue.remove(i).expect("index in range"));
+    }
+    out.reverse();
+    out
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    let mut force = false;
+    loop {
+        if state.queue.is_empty() {
+            if state.shutdown {
+                return;
+            }
+            force = false;
+            state = shared.work.wait(state).unwrap_or_else(|e| e.into_inner());
+            continue;
+        }
+        match pick_batch(&mut state, &shared.config, force) {
+            Some(batch) => {
+                force = false;
+                let dispatch_tick = state.ticks;
+                state.in_flight += batch.len();
+                drop(state);
+                shared.space.notify_all();
+
+                // A panicking plan must not strand its clients or leak
+                // `in_flight`: catch it, fail the batch's tickets, keep the
+                // worker alive.
+                let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute_batch(&batch)
+                }))
+                .err();
+                if let Some(panic) = &panicked {
+                    let why = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".to_string());
+                    for r in &batch {
+                        r.ticket
+                            .deliver(Err(ServeError::ExecutionFailed(why.clone())));
+                    }
+                }
+
+                state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                state.in_flight -= batch.len();
+                if panicked.is_some() {
+                    state.stats.failed += batch.len() as u64;
+                } else {
+                    state.stats.completed += batch.len() as u64;
+                }
+                state.stats.batches += 1;
+                *state.stats.batch_fill.entry(batch.len()).or_insert(0) += 1;
+                for r in &batch {
+                    state.stats.record_latency(dispatch_tick - r.enqueue_tick);
+                }
+                if state.queue.is_empty() && state.in_flight == 0 {
+                    shared.idle.notify_all();
+                }
+            }
+            None => {
+                // Head group is filling and nothing else is ripe: wait for
+                // another submission (which moves the tick clock), shutdown,
+                // or the liveness backstop — then force-dispatch. The force
+                // only applies to the head the timeout was armed for: if
+                // another worker dispatched it meanwhile, the new head gets
+                // its own full delay.
+                let armed_head = state.queue.front().map(|r| r.enqueue_tick);
+                let (g, timeout) = shared
+                    .work
+                    .wait_timeout(state, backstop(&shared.config))
+                    .unwrap_or_else(|e| e.into_inner());
+                state = g;
+                force = timeout.timed_out()
+                    && state.queue.front().map(|r| r.enqueue_tick) == armed_head;
+            }
+        }
+    }
+}
+
+/// Coalesce → infer → scatter: run one batch and resolve its tickets.
+fn execute_batch(batch: &[Request]) {
+    let plan = &batch[0].plan;
+    let scope = kstats::scope();
+    let logits = if batch.len() == 1 {
+        plan.infer(&batch[0].image)
+    } else {
+        let images: Vec<&BitTensor4> = batch.iter().map(|r| &r.image).collect();
+        plan.infer(&BitTensor4::concat_images(&images))
+    };
+    // The compiled-plan contract: serving performs zero preparation work.
+    debug_assert_eq!(scope.autotune_calls(), 0, "serving re-autotuned");
+    debug_assert_eq!(scope.weight_prepares(), 0, "serving re-packed weights");
+    let classes = plan.classes();
+    debug_assert_eq!(logits.len(), batch.len() * classes);
+    for (i, r) in batch.iter().enumerate() {
+        r.ticket
+            .deliver(Ok(logits[i * classes..(i + 1) * classes].to_vec()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apnn_bitpack::{Encoding, Layout, Tensor4};
+    use apnn_nn::NetPrecision;
+
+    fn image(seed: u64) -> BitTensor4 {
+        let codes = Tensor4::<u32>::from_fn(1, 3, 32, 32, Layout::Nhwc, |_, c, h, w| {
+            ((seed as usize + 3 * c + 5 * h + 7 * w) % 256) as u32
+        });
+        BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne)
+    }
+
+    fn zoo_server(workers: usize, delay: u64) -> Server {
+        Server::new(
+            PlanRegistry::zoo(4, 99),
+            ServeConfig {
+                queue_capacity: 16,
+                max_batch_delay: delay,
+                workers,
+            },
+        )
+    }
+
+    #[test]
+    fn serves_logits_matching_direct_inference() {
+        let server = zoo_server(2, 3);
+        let key = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| server.submit(&key, image(i)).unwrap())
+            .collect();
+        let plan = server.registry().get(&key).unwrap();
+        for (i, t) in tickets.iter().enumerate() {
+            assert_eq!(t.wait().unwrap(), plan.infer(&image(i as u64)));
+        }
+        server.wait_idle();
+        let stats = server.stats();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.plan_compiles, 1);
+        // The fill histogram accounts for every request exactly once.
+        let total: u64 = stats.batch_fill.iter().map(|&(f, c)| f as u64 * c).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn bad_inputs_and_unknown_models_are_rejected_synchronously() {
+        let server = zoo_server(1, 0);
+        let key = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
+        // Wrong spatial size.
+        let codes = Tensor4::<u32>::from_fn(1, 3, 8, 8, Layout::Nhwc, |_, _, _, _| 0);
+        let small = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+        assert!(matches!(
+            server.submit(&key, small),
+            Err(ServeError::BadInput(_))
+        ));
+        // Wrong bit width.
+        let codes = Tensor4::<u32>::from_fn(1, 3, 32, 32, Layout::Nhwc, |_, _, _, _| 1);
+        let narrow = BitTensor4::from_tensor(&codes, 2, Encoding::ZeroOne);
+        assert!(matches!(
+            server.submit(&key, narrow),
+            Err(ServeError::BadInput(_))
+        ));
+        let missing = ModelKey::new("nope", NetPrecision::w1a2());
+        assert!(matches!(
+            server.submit(&missing, image(0)),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn multi_model_requests_are_grouped_per_key() {
+        let server = zoo_server(2, 8);
+        let vgg = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
+        let alex = ModelKey::new("AlexNet-Tiny", NetPrecision::Apnn { w: 2, a: 2 });
+        let mut tickets = Vec::new();
+        for i in 0..4 {
+            tickets.push((vgg.clone(), i, server.submit(&vgg, image(i)).unwrap()));
+            tickets.push((alex.clone(), i, server.submit(&alex, image(i)).unwrap()));
+        }
+        for (key, i, t) in &tickets {
+            let plan = server.registry().get(key).unwrap();
+            assert_eq!(t.wait().unwrap(), plan.infer(&image(*i)));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.plan_compiles, 2, "one compile per distinct key");
+        assert_eq!(stats.completed, 8);
+    }
+}

@@ -1,0 +1,170 @@
+//! Serving telemetry: a consistent snapshot of queue, batching and
+//! plan-cache behaviour.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// How many recent per-request latencies the percentile window keeps.
+/// Bounded so a long-running server's stats stay O(1) in memory and a
+/// `stats()` snapshot sorts a few thousand entries, not the full request
+/// history, while holding the queue lock.
+pub(crate) const LATENCY_WINDOW: usize = 4096;
+
+/// Mutable counters maintained under the server's queue lock.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub(crate) submitted: u64,
+    pub(crate) completed: u64,
+    pub(crate) rejected: u64,
+    pub(crate) failed: u64,
+    pub(crate) batches: u64,
+    /// batch fill (requests coalesced per dispatch) → dispatch count.
+    pub(crate) batch_fill: BTreeMap<usize, u64>,
+    /// Queueing latency of the most recent [`LATENCY_WINDOW`] completed
+    /// requests, in ticks (one tick per submission): dispatch tick −
+    /// enqueue tick.
+    pub(crate) latencies_ticks: VecDeque<u64>,
+}
+
+/// A point-in-time snapshot of a [`crate::Server`]'s behaviour.
+///
+/// Latency is measured in **ticks**, not wall time: the server's clock
+/// advances by one on every submission, so "p99 latency of 7 ticks" reads
+/// as "99% of requests were dispatched before 7 further submissions
+/// arrived". This keeps every number in the snapshot deterministic given
+/// a submission/dispatch order, which is what the test harness needs.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Requests accepted into the queue so far.
+    pub submitted: u64,
+    /// Requests whose logits were delivered.
+    pub completed: u64,
+    /// Requests refused at submit time (shutdown).
+    pub rejected: u64,
+    /// Requests consumed by a batch whose execution panicked
+    /// ([`crate::ServeError::ExecutionFailed`] delivered instead of
+    /// logits).
+    pub failed: u64,
+    /// Requests currently queued (not yet dispatched).
+    pub queue_depth: usize,
+    /// Requests currently executing in a worker.
+    pub in_flight: usize,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Histogram over batch fill: `(requests per dispatched batch, count)`,
+    /// ascending fill.
+    pub batch_fill: Vec<(usize, u64)>,
+    /// Median queueing latency in ticks, over the most recent
+    /// `LATENCY_WINDOW` (4096) completions.
+    pub p50_latency_ticks: u64,
+    /// 99th-percentile queueing latency in ticks (same window).
+    pub p99_latency_ticks: u64,
+    /// Worst queueing latency in ticks (same window).
+    pub max_latency_ticks: u64,
+    /// Plans compiled by the registry (one per distinct model key).
+    pub plan_compiles: u64,
+    /// Plan lookups served from the warm cache.
+    pub plan_hits: u64,
+}
+
+impl ServeStats {
+    /// Mean requests per dispatched batch (0.0 before any dispatch).
+    pub fn mean_fill(&self) -> f64 {
+        let (mut reqs, mut batches) = (0u64, 0u64);
+        for &(fill, count) in &self.batch_fill {
+            reqs += fill as u64 * count;
+            batches += count;
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            reqs as f64 / batches as f64
+        }
+    }
+}
+
+impl StatsInner {
+    pub(crate) fn record_latency(&mut self, ticks: u64) {
+        if self.latencies_ticks.len() == LATENCY_WINDOW {
+            self.latencies_ticks.pop_front();
+        }
+        self.latencies_ticks.push_back(ticks);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        in_flight: usize,
+        plan_compiles: u64,
+        plan_hits: u64,
+    ) -> ServeStats {
+        let mut sorted: Vec<u64> = self.latencies_ticks.iter().copied().collect();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        ServeStats {
+            submitted: self.submitted,
+            completed: self.completed,
+            rejected: self.rejected,
+            failed: self.failed,
+            queue_depth,
+            in_flight,
+            batches: self.batches,
+            batch_fill: self.batch_fill.iter().map(|(&f, &c)| (f, c)).collect(),
+            p50_latency_ticks: pct(0.50),
+            p99_latency_ticks: pct(0.99),
+            max_latency_ticks: sorted.last().copied().unwrap_or(0),
+            plan_compiles,
+            plan_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_mean_fill() {
+        let mut inner = StatsInner {
+            latencies_ticks: (1..=100).collect(),
+            batches: 8,
+            ..Default::default()
+        };
+        inner.batch_fill.insert(1, 2);
+        inner.batch_fill.insert(4, 6);
+        let snap = inner.snapshot(3, 1, 2, 9);
+        assert_eq!(snap.p50_latency_ticks, 50);
+        assert_eq!(snap.p99_latency_ticks, 99);
+        assert_eq!(snap.max_latency_ticks, 100);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.in_flight, 1);
+        assert_eq!(snap.plan_compiles, 2);
+        assert_eq!(snap.plan_hits, 9);
+        let mean = snap.mean_fill();
+        assert!((mean - 26.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let mut inner = StatsInner::default();
+        for i in 0..(LATENCY_WINDOW as u64 + 10) {
+            inner.record_latency(i);
+        }
+        assert_eq!(inner.latencies_ticks.len(), LATENCY_WINDOW);
+        // Oldest entries fell out of the window.
+        assert_eq!(inner.latencies_ticks.front().copied(), Some(10));
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = StatsInner::default().snapshot(0, 0, 0, 0);
+        assert_eq!(snap.p50_latency_ticks, 0);
+        assert_eq!(snap.p99_latency_ticks, 0);
+        assert_eq!(snap.mean_fill(), 0.0);
+    }
+}

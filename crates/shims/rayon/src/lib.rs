@@ -14,12 +14,25 @@
 //! its index; panics propagate).
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
-/// Number of worker threads the shim pool will use.
+/// Number of worker threads the shim pool will use. Like real rayon's
+/// global pool, `RAYON_NUM_THREADS` overrides the core count (read once;
+/// the CI test matrix pins it to 1 and 4 so threading bugs cannot hide
+/// behind one default width).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// The subset of `rayon::prelude` this workspace imports.

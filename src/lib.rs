@@ -19,6 +19,8 @@
 //!   ResNet-18 model zoo.
 //! * [`quant`] — quantization algorithms (affine, LQ-Nets QEM, DoReFa) and
 //!   quantization-aware training on synthetic data.
+//! * [`serve`] — the dynamic-batching multi-model inference server over
+//!   compiled plans (bounded queue, request coalescing, plan cache).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map and
 //! the paper-substitution rationale.
@@ -27,6 +29,7 @@ pub use apnn_bitpack as bitpack;
 pub use apnn_kernels as kernels;
 pub use apnn_nn as nn;
 pub use apnn_quant as quant;
+pub use apnn_serve as serve;
 pub use apnn_sim as sim;
 
 /// Convenience prelude: the types most programs need.
@@ -37,8 +40,9 @@ pub mod prelude {
         TileConfig,
     };
     pub use apnn_nn::{
-        CompileOptions, CompiledNet, CpuEngine, Engine, Materialize, NetPrecision, Network,
+        CompileOptions, CompiledNet, CpuEngine, Engine, Materialize, NetPrecision, Network, Shard,
         SimEngine,
     };
+    pub use apnn_serve::{ModelKey, PlanRegistry, ServeConfig, ServeStats, Server, Ticket};
     pub use apnn_sim::{GpuSpec, KernelReport, Precision};
 }

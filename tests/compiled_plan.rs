@@ -17,12 +17,15 @@ use apnn_tc::nn::exec::legacy;
 use apnn_tc::nn::models::{alexnet, resnet18, vgg_variant, vgg_variant_tiny};
 use apnn_tc::nn::{simulate, simulate_with, MainOp, NetPrecision};
 use apnn_tc::sim::GpuSpec;
-use std::sync::Mutex;
 
-/// `repeated_inference_reuses_the_compiled_plan` reads process-wide
-/// counters (`apnn_kernels::stats`); serialize every test in this binary so
-/// concurrent compiles cannot perturb them.
-static SERIAL: Mutex<()> = Mutex::new(());
+// Plan-reuse assertions use `stats::scope()` (thread-local deltas), so the
+// tests in this binary run concurrently without perturbing each other —
+// the guard/handle API exists precisely so parallel `cargo test` and serve
+// workers don't corrupt each other's counters. A scope only sees its own
+// thread, so preparation sneaking into `infer_batched`'s *pool threads*
+// would escape it here; the CI matrix closes that gap by also running the
+// suite with RAYON_NUM_THREADS=1, where the shim pool executes inline on
+// this thread and any such regression lands in the scope.
 
 fn lcg(seed: &mut u64) -> u64 {
     *seed = seed
@@ -141,7 +144,6 @@ fn naive_reference(plan: &CompiledNet, input_codes: &Tensor4<u32>) -> Vec<i32> {
 
 #[test]
 fn zoo_model_runs_functionally_and_matches_naive_reference() {
-    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let batch = 2;
     let net = vgg_variant_tiny();
     let plan = net.compile(
@@ -169,7 +171,6 @@ fn zoo_model_runs_functionally_and_matches_naive_reference() {
 
 #[test]
 fn sim_engine_reproduces_prerefactor_simulate_exactly() {
-    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let spec = GpuSpec::rtx3090();
     let schemes = [
         NetPrecision::Fp32,
@@ -211,7 +212,6 @@ fn sim_engine_reproduces_prerefactor_simulate_exactly() {
 
 #[test]
 fn repeated_inference_reuses_the_compiled_plan() {
-    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let batch = 2;
     let plan =
         vgg_variant_tiny().compile(NetPrecision::w1a2(), &CompileOptions::functional(batch, 55));
@@ -222,19 +222,14 @@ fn repeated_inference_reuses_the_compiled_plan() {
     });
     let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
 
-    let autotunes = stats::autotune_calls();
-    let prepares = stats::weight_prepares();
+    let serving = stats::scope();
     let first = plan.infer(&input);
     let second = plan.infer(&input);
     assert_eq!(first, second);
     // Serving reuses every compiled artifact: no re-autotuning, no weight
     // re-packing in the hot loop.
-    assert_eq!(stats::autotune_calls(), autotunes, "infer re-autotuned");
-    assert_eq!(
-        stats::weight_prepares(),
-        prepares,
-        "infer re-packed weights"
-    );
+    assert_eq!(serving.autotune_calls(), 0, "infer re-autotuned");
+    assert_eq!(serving.weight_prepares(), 0, "infer re-packed weights");
 
     // Batched serving over the Rayon pool reuses the plan too.
     let big_codes = Tensor4::<u32>::from_fn(5, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
@@ -243,18 +238,19 @@ fn repeated_inference_reuses_the_compiled_plan() {
     let big = BitTensor4::from_tensor(&big_codes, 8, Encoding::ZeroOne);
     let logits = plan.infer_batched(&big);
     assert_eq!(logits.len(), 5 * 10);
-    assert_eq!(stats::autotune_calls(), autotunes);
-    assert_eq!(stats::weight_prepares(), prepares);
+    assert_eq!(serving.autotune_calls(), 0);
+    assert_eq!(serving.weight_prepares(), 0);
 
-    // Sanity: compiling *does* move the counters.
+    // Sanity: compiling *does* move the counters (the scope is not inert).
+    let compiling = stats::scope();
     let _plan2 =
         vgg_variant_tiny().compile(NetPrecision::w1a2(), &CompileOptions::functional(batch, 56));
-    assert!(stats::weight_prepares() > prepares);
+    assert!(compiling.weight_prepares() > 0);
+    assert!(compiling.autotune_calls() > 0);
 }
 
 #[test]
 fn one_plan_prices_and_executes() {
-    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // The same CompiledNet object drives both engines.
     let spec = GpuSpec::rtx3090();
     let batch = 2;

@@ -1,0 +1,236 @@
+//! The serving invariant, tested differentially: **any** partition of N
+//! requests into batch shards, in **any** interleaving, through **any**
+//! worker count, produces logits bit-identical to sequential one-image
+//! [`CompiledNet::infer`] calls.
+//!
+//! Mixed-precision serving depends on this property for reproducible
+//! results — a request's logits must not depend on which requests it
+//! happened to share a batch with. The kernels are integer-exact, so the
+//! tests assert hard equality, not tolerances.
+
+use std::sync::{Arc, OnceLock};
+
+use apnn_tc::bitpack::{BitTensor4, Encoding, Layout, Tensor4};
+use apnn_tc::nn::{CompiledNet, NetPrecision};
+use apnn_tc::serve::{ModelKey, PlanRegistry, ServeConfig, Server};
+use proptest::prelude::*;
+
+/// Requests per differential round.
+const N: usize = 7;
+/// Compiled batch baked into every plan (shards are 1..=BATCH wide).
+const BATCH: usize = 3;
+/// Weight/calibration seed shared by every registry in this binary, so
+/// independently constructed servers host bit-identical plans.
+const SEED: u64 = 2021;
+
+/// The precision schemes the servable zoo is exercised under.
+fn schemes() -> [NetPrecision; 2] {
+    [NetPrecision::w1a2(), NetPrecision::Apnn { w: 2, a: 2 }]
+}
+
+struct Combo {
+    key: ModelKey,
+    plan: Arc<CompiledNet>,
+    /// N packed request images as one tensor (request i = image i).
+    input: BitTensor4,
+    /// Reference logits: sequential single-image inference.
+    reference: Vec<Vec<i32>>,
+}
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+/// Every servable zoo model × scheme, with plans, inputs and sequential
+/// reference logits computed once per process.
+fn combos() -> &'static [Combo] {
+    static COMBOS: OnceLock<Vec<Combo>> = OnceLock::new();
+    COMBOS.get_or_init(|| {
+        let registry = PlanRegistry::zoo(BATCH, SEED);
+        let models = ["AlexNet-Tiny", "VGG-Variant-Tiny"];
+        let mut out = Vec::new();
+        for model in models {
+            for precision in schemes() {
+                let key = ModelKey::new(model, precision);
+                let plan = registry
+                    .get(&key)
+                    .unwrap_or_else(|e| panic!("{key} must be servable: {e}"));
+                let mut seed = 0xC0FFEE ^ key.scheme().len() as u64 ^ model.len() as u64;
+                let codes = Tensor4::<u32>::from_fn(N, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+                    (lcg(&mut seed) as u32) % 256
+                });
+                let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+                let reference: Vec<Vec<i32>> = (0..N)
+                    .map(|i| plan.infer(&input.batch_slice(i, 1)))
+                    .collect();
+                // The reference itself is informative (not a constant).
+                assert!(reference.iter().flatten().any(|&v| v != reference[0][0]));
+                out.push(Combo {
+                    key,
+                    plan,
+                    input,
+                    reference,
+                });
+            }
+        }
+        // Coverage guard: the harness must actually span the servable zoo.
+        assert_eq!(out.len(), models.len() * schemes().len());
+        out
+    })
+}
+
+/// Stable argsort of `ranks` — an arbitrary request interleaving.
+fn permutation(ranks: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ranks.len()).collect();
+    order.sort_by_key(|&i| (ranks[i], i));
+    order
+}
+
+/// Cut the permuted request order into shards of the proposed sizes
+/// (cycled, clamped to the compiled batch).
+fn shard_plan(order: &[usize], sizes: &[usize], max: usize) -> Vec<Vec<usize>> {
+    let mut shards = Vec::new();
+    let mut at = 0;
+    let mut s = 0;
+    while at < order.len() {
+        let len = sizes[s % sizes.len()].clamp(1, max).min(order.len() - at);
+        shards.push(order[at..at + len].to_vec());
+        at += len;
+        s += 1;
+    }
+    shards
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Gather arbitrary (non-contiguous, reordered) request subsets into
+    /// shards, run each shard through the plan, scatter per-request logits
+    /// back — bit-identical to the sequential reference for every combo.
+    #[test]
+    fn any_partition_and_interleaving_matches_sequential_infer(
+        ranks in proptest::collection::vec(any::<u64>(), N),
+        sizes in proptest::collection::vec(1usize..=BATCH, N),
+    ) {
+        let order = permutation(&ranks);
+        for combo in combos() {
+            let shards = shard_plan(&order, &sizes, combo.plan.batch());
+            let mut got: Vec<Option<Vec<i32>>> = vec![None; N];
+            for shard in &shards {
+                let gathered = combo.input.batch_gather(shard);
+                let logits = combo.plan.infer(&gathered);
+                let classes = combo.plan.classes();
+                prop_assert_eq!(logits.len(), shard.len() * classes);
+                for (j, &req) in shard.iter().enumerate() {
+                    got[req] = Some(logits[j * classes..(j + 1) * classes].to_vec());
+                }
+            }
+            for (req, logits) in got.into_iter().enumerate() {
+                prop_assert_eq!(
+                    logits.as_ref(),
+                    Some(&combo.reference[req]),
+                    "{}: request {} differs under partition {:?}",
+                    &combo.key,
+                    req,
+                    &shards
+                );
+            }
+        }
+    }
+}
+
+/// Long-lived servers shared by every `server_path_*` case: one at a
+/// single worker, one at 8 workers. Reusing them across cases is itself
+/// part of the property — the plan-cache counters must stay at "one
+/// compile per key" no matter how many rounds of traffic flow through.
+fn servers() -> &'static [(usize, Server)] {
+    static SERVERS: OnceLock<Vec<(usize, Server)>> = OnceLock::new();
+    SERVERS.get_or_init(|| {
+        [(1usize, 3u64), (8, 1)]
+            .into_iter()
+            .map(|(workers, max_batch_delay)| {
+                (
+                    workers,
+                    Server::new(
+                        PlanRegistry::zoo(BATCH, SEED),
+                        ServeConfig {
+                            queue_capacity: 2 * N * combos().len(),
+                            max_batch_delay,
+                            workers,
+                        },
+                    ),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The full serve path — queue, coalescing workers, completion
+    /// handles — under a random submission interleaving, at 1 and 8
+    /// workers.
+    #[test]
+    fn server_path_matches_sequential_infer(
+        ranks in proptest::collection::vec(any::<u64>(), N),
+    ) {
+        let order = permutation(&ranks);
+        for (workers, server) in servers() {
+            // Interleave submissions across every combo, in permuted
+            // request order.
+            let mut tickets = Vec::new();
+            for &req in &order {
+                for combo in combos() {
+                    let img = combo.input.batch_slice(req, 1);
+                    let ticket = server.submit(&combo.key, img).unwrap();
+                    tickets.push((combo, req, ticket));
+                }
+            }
+            for (combo, req, ticket) in &tickets {
+                let got = ticket.wait().unwrap();
+                prop_assert_eq!(
+                    &got,
+                    &combo.reference[*req],
+                    "{} request {} differs at {} workers",
+                    &combo.key,
+                    *req,
+                    workers
+                );
+            }
+            let stats = server.stats();
+            // Plan-cache proof: each ModelKey compiled exactly once —
+            // no matter how many rounds of traffic this server has seen.
+            prop_assert_eq!(stats.plan_compiles, combos().len() as u64);
+            prop_assert!(
+                stats.plan_hits >= stats.submitted - stats.plan_compiles,
+                "every warm submission must hit the cache"
+            );
+        }
+    }
+}
+
+/// `infer_batched`'s contiguous sharding is one particular partition — it
+/// must agree with the sequential reference too (and with the shard list
+/// the plan advertises).
+#[test]
+fn infer_batched_is_one_partition_of_the_differential_space() {
+    for combo in combos() {
+        let flat = combo.plan.infer_batched(&combo.input);
+        let classes = combo.plan.classes();
+        for (req, want) in combo.reference.iter().enumerate() {
+            assert_eq!(
+                &flat[req * classes..(req + 1) * classes],
+                &want[..],
+                "{} request {req}",
+                combo.key
+            );
+        }
+        let shards = combo.plan.shards(N);
+        assert_eq!(shards.iter().map(|s| s.len).sum::<usize>(), N);
+        assert!(shards.iter().all(|s| s.len <= combo.plan.batch()));
+    }
+}
