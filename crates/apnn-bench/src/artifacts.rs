@@ -1,0 +1,213 @@
+//! Machine-readable benchmark artifacts: `BENCH_exec.json` and
+//! `BENCH_serve.json`.
+//!
+//! The printed `repro` tables are for humans; these JSON files are for the
+//! *trajectory* — each PR regenerates them (`repro exec` / `repro serve`)
+//! and commits the result, so throughput, batch fill and tail latency can
+//! be compared across the repository's history instead of living only in
+//! terminal scrollback. The JSON is hand-formatted (the offline `serde`
+//! shim has no serializer) and deliberately flat: one object per measured
+//! point, scalar fields only.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use apnn_bitpack::{BitTensor4, Encoding, Layout, Tensor4};
+use apnn_nn::models::servable_zoo;
+use apnn_nn::{CompileOptions, NetPrecision};
+
+use crate::serve_load::LoadPoint;
+
+/// One steady-state execution measurement: a servable zoo model × scheme,
+/// timed with a reused [`apnn_nn::compile::ExecWorkspace`] against fresh
+/// per-call workspaces (the allocating wrapper path).
+#[derive(Debug, Clone)]
+pub struct ExecPoint {
+    /// Model name.
+    pub model: String,
+    /// Precision scheme label.
+    pub scheme: String,
+    /// Compiled batch (requests per inference call).
+    pub batch: usize,
+    /// Requests/s with one reused workspace (zero-allocation steady state).
+    pub reused_ws_rps: f64,
+    /// Requests/s allocating a fresh workspace per call.
+    pub fresh_ws_rps: f64,
+    /// Total workspace footprint in bytes ([`apnn_nn::CompiledNet::workspace_spec`]).
+    pub workspace_bytes: usize,
+}
+
+/// Measure steady-state inference throughput for every servable zoo model
+/// × {w1a2, w2a2}: `iters` timed calls at the compiled batch, reused
+/// workspace vs. fresh workspace per call.
+pub fn exec_bench(batch: usize, iters: usize) -> Vec<ExecPoint> {
+    let mut points = Vec::new();
+    for net in servable_zoo() {
+        for precision in [NetPrecision::w1a2(), NetPrecision::Apnn { w: 2, a: 2 }] {
+            let plan = net.compile(precision, &CompileOptions::functional(batch, 2021));
+            let input = bench_input(&net.name, batch, net.input_h, net.input_w);
+            let spec = plan.workspace_spec();
+
+            let mut ws = plan.workspace();
+            let mut out = Vec::new();
+            plan.infer_into(&input, &mut ws, &mut out); // warm
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                plan.infer_into(&input, &mut ws, &mut out);
+            }
+            let reused = (iters * batch) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let _ = plan.infer(&input); // fresh workspace per call
+            }
+            let fresh = (iters * batch) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+            points.push(ExecPoint {
+                model: net.name.clone(),
+                scheme: precision.label(),
+                batch,
+                reused_ws_rps: reused,
+                fresh_ws_rps: fresh,
+                workspace_bytes: spec.total_bytes,
+            });
+        }
+    }
+    points
+}
+
+/// Render the exec benchmark as `BENCH_exec.json` content.
+pub fn exec_json(points: &[ExecPoint]) -> String {
+    let mut body = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            body,
+            "  {{\"model\": \"{}\", \"scheme\": \"{}\", \"batch\": {}, \
+             \"reused_ws_rps\": {:.1}, \"fresh_ws_rps\": {:.1}, \"workspace_bytes\": {}}}{}",
+            p.model,
+            p.scheme,
+            p.batch,
+            p.reused_ws_rps,
+            p.fresh_ws_rps,
+            p.workspace_bytes,
+            if i + 1 == points.len() { "\n" } else { ",\n" }
+        );
+    }
+    format!("{{\n\"exec\": [\n{body}]\n}}\n")
+}
+
+/// Render a serve-load sweep as `BENCH_serve.json` content.
+pub fn serve_json(points: &[LoadPoint]) -> String {
+    let mut body = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            body,
+            "  {{\"burst\": {}, \"mean_fill\": {:.3}, \"p50_ticks\": {}, \
+             \"p99_ticks\": {}, \"throughput_rps\": {:.1}}}{}",
+            p.burst,
+            p.mean_fill,
+            p.p50_ticks,
+            p.p99_ticks,
+            p.throughput_rps,
+            if i + 1 == points.len() { "\n" } else { ",\n" }
+        );
+    }
+    format!("{{\n\"serve\": [\n{body}]\n}}\n")
+}
+
+/// Render the exec benchmark as a human table (printed by `repro exec`).
+pub fn exec_report(points: &[ExecPoint]) -> String {
+    let mut out =
+        String::from("## Exec: steady-state inference throughput, reused vs. fresh workspace\n");
+    let _ = writeln!(
+        out,
+        "{:<18}{:<12}{:>7}{:>14}{:>14}{:>8}{:>12}",
+        "model", "scheme", "batch", "reused req/s", "fresh req/s", "gain", "ws bytes"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<18}{:<12}{:>7}{:>14.1}{:>14.1}{:>7.2}x{:>12}",
+            p.model,
+            p.scheme,
+            p.batch,
+            p.reused_ws_rps,
+            p.fresh_ws_rps,
+            p.reused_ws_rps / p.fresh_ws_rps.max(1e-9),
+            p.workspace_bytes
+        );
+    }
+    out
+}
+
+/// Write an artifact file next to the working directory (or under
+/// `BENCH_DIR` when set). Returns the path written.
+pub fn write_artifact(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    let dir = std::env::var_os("BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+fn bench_input(tag: &str, batch: usize, h: usize, w: usize) -> BitTensor4 {
+    let salt = tag.len();
+    let codes = Tensor4::<u32>::from_fn(batch, 3, h, w, Layout::Nhwc, |b, c, y, x| {
+        ((salt + 7 * b + 3 * c + 5 * y + 11 * x) % 256) as u32
+    });
+    BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_json_is_flat_and_complete() {
+        let points = vec![
+            ExecPoint {
+                model: "A".into(),
+                scheme: "APNN-w1a2".into(),
+                batch: 4,
+                reused_ws_rps: 123.456,
+                fresh_ws_rps: 100.0,
+                workspace_bytes: 4096,
+            },
+            ExecPoint {
+                model: "B".into(),
+                scheme: "APNN-w2a2".into(),
+                batch: 4,
+                reused_ws_rps: 50.0,
+                fresh_ws_rps: 40.0,
+                workspace_bytes: 8192,
+            },
+        ];
+        let json = exec_json(&points);
+        assert!(json.contains("\"model\": \"A\""));
+        assert!(json.contains("\"reused_ws_rps\": 123.5"));
+        assert!(json.contains("\"workspace_bytes\": 8192"));
+        // Two objects, one trailing-comma-free array.
+        assert_eq!(json.matches("{\"model\"").count(), 2);
+        assert!(!json.contains(",\n]"));
+        let table = exec_report(&points);
+        assert!(table.contains("gain"));
+    }
+
+    #[test]
+    fn serve_json_round_trips_points() {
+        let points = vec![LoadPoint {
+            burst: 8,
+            mean_fill: 3.25,
+            p50_ticks: 2,
+            p99_ticks: 9,
+            throughput_rps: 456.78,
+        }];
+        let json = serve_json(&points);
+        assert!(json.contains("\"burst\": 8"));
+        assert!(json.contains("\"mean_fill\": 3.250"));
+        assert!(json.contains("\"throughput_rps\": 456.8"));
+        assert!(!json.contains(",\n]"));
+    }
+}

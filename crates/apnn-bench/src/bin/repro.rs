@@ -2,15 +2,42 @@
 //! simulated Ampere substrate.
 //!
 //! ```text
-//! repro <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|table4|serve|all>
+//! repro <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|table4|serve|exec|all>
 //! ```
+//!
+//! `serve` and `exec` additionally write machine-readable
+//! `BENCH_serve.json` / `BENCH_exec.json` artifacts (working directory, or
+//! `BENCH_DIR`) so the bench trajectory is tracked across PRs.
 //!
 //! Figures 5/7 run on the RTX 3090 preset, 6/8 on the A100 preset, matching
 //! the paper's panels; everything else defaults to the RTX 3090 (the paper
 //! reports "similar trends" on both GPUs and focuses on the 3090, §6.1.2).
 
-use apnn_bench::{experiments as exp, serve_load};
+use apnn_bench::{artifacts, experiments as exp, serve_load};
 use apnn_sim::GpuSpec;
+
+/// Run the serving load sweep, write `BENCH_serve.json`, return the table.
+fn serve() -> String {
+    let points = serve_load::sweep(&[1, 2, 4, 8, 16, 32], 96);
+    let mut out = serve_load::report(&points);
+    match artifacts::write_artifact("BENCH_serve.json", &artifacts::serve_json(&points)) {
+        Ok(path) => out.push_str(&format!("wrote {}\n", path.display())),
+        Err(e) => out.push_str(&format!("could not write BENCH_serve.json: {e}\n")),
+    }
+    out
+}
+
+/// Run the steady-state exec benchmark, write `BENCH_exec.json`, return
+/// the table.
+fn exec() -> String {
+    let points = artifacts::exec_bench(8, 40);
+    let mut out = artifacts::exec_report(&points);
+    match artifacts::write_artifact("BENCH_exec.json", &artifacts::exec_json(&points)) {
+        Ok(path) => out.push_str(&format!("wrote {}\n", path.display())),
+        Err(e) => out.push_str(&format!("could not write BENCH_exec.json: {e}\n")),
+    }
+    out
+}
 
 fn table1() -> String {
     use apnn_quant::data::SyntheticDataset;
@@ -68,10 +95,8 @@ fn main() {
             "ablation-layout" => Some(exp::ablation_layout(&g3090)),
             "ablation-batching" => Some(exp::ablation_batching(&g3090)),
             "turing" => Some(exp::turing(&g3090)),
-            "serve" => Some(serve_load::report(&serve_load::sweep(
-                &[1, 2, 4, 8, 16, 32],
-                96,
-            ))),
+            "serve" => Some(serve()),
+            "exec" => Some(exec()),
             _ => None,
         }
     };
@@ -96,6 +121,7 @@ fn main() {
             "ablation-batching",
             "turing",
             "serve",
+            "exec",
         ] {
             println!("{}", run(name).unwrap());
         }
@@ -105,7 +131,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{arg}'. Options: fig5..fig12, table1..table4, \
              fusion-ablation, ablation-tiles, ablation-layout, ablation-batching, turing, \
-             serve, all"
+             serve, exec, all"
         );
         std::process::exit(2);
     }

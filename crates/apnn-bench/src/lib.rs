@@ -7,6 +7,7 @@
 //! experiment drivers behind the `repro` binary (one subcommand per paper
 //! table and figure) and the Criterion benches.
 
+pub mod artifacts;
 pub mod experiments;
 pub mod gen;
 pub mod serve_load;

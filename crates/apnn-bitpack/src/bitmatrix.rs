@@ -58,18 +58,45 @@ impl BitMatrix {
     /// Extract bit-plane `plane` of row-major unsigned codes
     /// (`bit = (code >> plane) & 1`, Eq. 2 of the paper).
     pub fn from_codes_plane(codes: &[u32], rows: usize, cols: usize, plane: u32) -> Self {
-        assert_eq!(codes.len(), rows * cols, "codes length must be rows*cols");
         let mut m = Self::zeros(rows, cols);
-        for r in 0..rows {
-            let row = &codes[r * cols..(r + 1) * cols];
-            let base = r * m.words_per_row;
+        m.fill_from_codes_plane(codes, plane);
+        m
+    }
+
+    /// Reshape this matrix to `rows × cols` and zero every bit, **reusing
+    /// the existing backing store**: when the new shape fits the already
+    /// allocated capacity, no heap allocation happens. This is the
+    /// steady-state rebuild primitive behind the workspace-reuse execution
+    /// path.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        let padded_cols = pad_to_bmma_k(cols);
+        let words_per_row = padded_cols / WORD_BITS;
+        self.data.clear();
+        self.data.resize(rows * words_per_row, 0);
+        self.rows = rows;
+        self.cols = cols;
+        self.padded_cols = padded_cols;
+        self.words_per_row = words_per_row;
+    }
+
+    /// Overwrite this (already correctly shaped, zeroed) matrix with
+    /// bit-plane `plane` of `codes`. Allocation-free; pair with
+    /// [`BitMatrix::reset_zeros`].
+    pub fn fill_from_codes_plane(&mut self, codes: &[u32], plane: u32) {
+        assert_eq!(
+            codes.len(),
+            self.rows * self.cols,
+            "codes length must be rows*cols"
+        );
+        for r in 0..self.rows {
+            let row = &codes[r * self.cols..(r + 1) * self.cols];
+            let base = r * self.words_per_row;
             for (c, &code) in row.iter().enumerate() {
                 if (code >> plane) & 1 != 0 {
-                    m.data[base + c / WORD_BITS] |= 1u64 << (c % WORD_BITS);
+                    self.data[base + c / WORD_BITS] |= 1u64 << (c % WORD_BITS);
                 }
             }
         }
-        m
     }
 
     /// Logical row count.
@@ -318,6 +345,25 @@ mod tests {
         // Already-wide matrices pass through unchanged.
         let same = wide.with_min_padding(128);
         assert_eq!(same.padded_cols(), 512);
+    }
+
+    #[test]
+    fn reset_zeros_reuses_capacity_and_keeps_invariants() {
+        let mut m = BitMatrix::from_fn(4, 200, |r, c| (r + c) % 3 == 0);
+        let ptr = m.words().as_ptr();
+        // Shrinking reshape: same backing store, all bits cleared.
+        m.reset_zeros(2, 130);
+        assert_eq!((m.rows(), m.cols(), m.padded_cols()), (2, 130, 256));
+        assert!(m.words().iter().all(|&w| w == 0));
+        assert_eq!(m.words().as_ptr(), ptr, "shrink must not reallocate");
+        m.fill_from_codes_plane(&vec![1u32; 2 * 130], 0);
+        assert_eq!(m.row_popcount(0), 130);
+        assert!(m.padding_is_zero());
+        // Refilling the original shape matches a fresh build.
+        let codes: Vec<u32> = (0..4 * 200).map(|i| (i % 2) as u32).collect();
+        m.reset_zeros(4, 200);
+        m.fill_from_codes_plane(&codes, 0);
+        assert_eq!(m, BitMatrix::from_codes_plane(&codes, 4, 200, 0));
     }
 
     #[test]

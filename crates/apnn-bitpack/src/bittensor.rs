@@ -107,6 +107,90 @@ impl BitTensor4 {
         self.data.len() * 8
     }
 
+    /// Reshape this tensor in place to `(n, h, w, c)` with `bits` planes,
+    /// zeroing every bit and **reusing the backing store**: once the tensor
+    /// has been sized at its peak shape, later resets to any shape that
+    /// fits the allocated capacity perform zero heap allocations. This is
+    /// the workspace-slot rebuild primitive behind steady-state serving.
+    pub fn reset_zeros(
+        &mut self,
+        n: usize,
+        h: usize,
+        w: usize,
+        c: usize,
+        bits: u32,
+        encoding: Encoding,
+    ) {
+        assert!((1..=8).contains(&bits));
+        if encoding == Encoding::PlusMinusOne {
+            assert_eq!(bits, 1, "±1 encoding is one bit wide");
+        }
+        let padded_c = pad_to_bmma_k(c);
+        let words_per_pixel = padded_c / WORD_BITS;
+        self.data.clear();
+        self.data
+            .resize(n * bits as usize * h * w * words_per_pixel, 0);
+        self.n = n;
+        self.bits = bits;
+        self.h = h;
+        self.w = w;
+        self.c = c;
+        self.padded_c = padded_c;
+        self.words_per_pixel = words_per_pixel;
+        self.encoding = encoding;
+    }
+
+    /// [`BitTensor4::reset_zeros`] without the zeroing pass, for callers
+    /// that immediately overwrite **every** image slot with
+    /// [`BitTensor4::copy_image_from`] (gather/concat coalescing): the
+    /// surviving prefix of the backing store keeps stale bits, which is
+    /// sound only because a full-stride image copy — from a tensor whose
+    /// own padding is zero — replaces all of them. Any region grown beyond
+    /// the previous length is zero-filled.
+    pub fn reset_for_overwrite(
+        &mut self,
+        n: usize,
+        h: usize,
+        w: usize,
+        c: usize,
+        bits: u32,
+        encoding: Encoding,
+    ) {
+        assert!((1..=8).contains(&bits));
+        if encoding == Encoding::PlusMinusOne {
+            assert_eq!(bits, 1, "±1 encoding is one bit wide");
+        }
+        let padded_c = pad_to_bmma_k(c);
+        let words_per_pixel = padded_c / WORD_BITS;
+        let len = n * bits as usize * h * w * words_per_pixel;
+        self.data.truncate(len);
+        self.data.resize(len, 0);
+        self.n = n;
+        self.bits = bits;
+        self.h = h;
+        self.w = w;
+        self.c = c;
+        self.padded_c = padded_c;
+        self.words_per_pixel = words_per_pixel;
+        self.encoding = encoding;
+    }
+
+    /// Copy image `src_index` of `src` into slot `dst_index` of `self` —
+    /// one contiguous word-level memcpy, no allocation. Both tensors must
+    /// agree on per-image geometry (`h × w × c`, bits, encoding).
+    pub fn copy_image_from(&mut self, src: &BitTensor4, src_index: usize, dst_index: usize) {
+        assert_eq!(
+            (src.h, src.w, src.c, src.bits, src.encoding),
+            (self.h, self.w, self.c, self.bits, self.encoding),
+            "copy_image_from tensors disagree on image geometry"
+        );
+        assert!(src_index < src.n, "source image index out of range");
+        assert!(dst_index < self.n, "destination image index out of range");
+        let stride = self.image_stride();
+        self.data[dst_index * stride..(dst_index + 1) * stride]
+            .copy_from_slice(src.image_words(src_index));
+    }
+
     /// Copy images `[start, start + len)` into a new tensor. The NPHWC
     /// layout is batch-major, so this is one contiguous memcpy — the batch
     /// sharding primitive behind `infer_batched` serving.
@@ -147,26 +231,35 @@ impl BitTensor4 {
     /// gathers exactly the images it owns. Word-level copies — no
     /// per-element re-packing.
     pub fn batch_gather(&self, indices: &[usize]) -> BitTensor4 {
-        let stride = self.image_stride();
-        let mut data = Vec::with_capacity(indices.len() * stride);
-        for &i in indices {
+        let mut out = BitTensor4::zeros(0, self.h, self.w, self.c, self.bits, self.encoding);
+        self.batch_gather_into(indices, &mut out);
+        out
+    }
+
+    /// [`batch_gather`] writing into a caller-owned tensor: `out` is
+    /// reshaped in place (see [`BitTensor4::reset_zeros`]) and filled with
+    /// word-level image copies, so a serving worker that keeps one
+    /// coalescing buffer per thread gathers every batch without touching
+    /// the allocator once the buffer has reached its peak size.
+    ///
+    /// [`batch_gather`]: BitTensor4::batch_gather
+    pub fn batch_gather_into(&self, indices: &[usize], out: &mut BitTensor4) {
+        // Every slot is overwritten below, so skip the zeroing pass.
+        out.reset_for_overwrite(
+            indices.len(),
+            self.h,
+            self.w,
+            self.c,
+            self.bits,
+            self.encoding,
+        );
+        for (slot, &i) in indices.iter().enumerate() {
             assert!(
                 i < self.n,
                 "batch_gather index {i} out of range ({})",
                 self.n
             );
-            data.extend_from_slice(self.image_words(i));
-        }
-        BitTensor4 {
-            n: indices.len(),
-            bits: self.bits,
-            h: self.h,
-            w: self.w,
-            c: self.c,
-            padded_c: self.padded_c,
-            words_per_pixel: self.words_per_pixel,
-            encoding: self.encoding,
-            data,
+            out.copy_image_from(self, i, slot);
         }
     }
 
@@ -180,29 +273,33 @@ impl BitTensor4 {
         let first = parts
             .first()
             .expect("concat_images needs at least one part");
-        let (_, h, w, c) = first.shape();
-        let mut n = 0;
-        let mut data =
-            Vec::with_capacity(parts.iter().map(|p| p.n).sum::<usize>() * first.image_stride());
+        let mut out = BitTensor4::zeros(0, first.h, first.w, first.c, first.bits, first.encoding);
+        Self::concat_images_into(parts, &mut out);
+        out
+    }
+
+    /// [`concat_images`] writing into a caller-owned tensor (reshaped in
+    /// place, allocation-free once `out` has reached its peak capacity).
+    ///
+    /// [`concat_images`]: BitTensor4::concat_images
+    pub fn concat_images_into(parts: &[&BitTensor4], out: &mut BitTensor4) {
+        let first = parts
+            .first()
+            .expect("concat_images needs at least one part");
+        let total: usize = parts.iter().map(|p| p.n).sum();
+        // Every slot is overwritten below, so skip the zeroing pass.
+        out.reset_for_overwrite(total, first.h, first.w, first.c, first.bits, first.encoding);
+        let mut slot = 0;
         for p in parts {
             assert_eq!(
                 (p.h, p.w, p.c, p.bits, p.encoding),
                 (first.h, first.w, first.c, first.bits, first.encoding),
                 "concat_images parts disagree on shape/bits/encoding"
             );
-            n += p.n;
-            data.extend_from_slice(&p.data);
-        }
-        BitTensor4 {
-            n,
-            bits: first.bits,
-            h,
-            w,
-            c,
-            padded_c: first.padded_c,
-            words_per_pixel: first.words_per_pixel,
-            encoding: first.encoding,
-            data,
+            for i in 0..p.n {
+                out.copy_image_from(p, i, slot);
+                slot += 1;
+            }
         }
     }
 
@@ -387,6 +484,37 @@ mod tests {
         let a = t.batch_slice(0, 3);
         let b = t.batch_slice(3, 1);
         assert_eq!(BitTensor4::concat_images(&[&a, &b]), t);
+    }
+
+    #[test]
+    fn gather_into_reuses_one_buffer_across_shrinking_and_growing_gathers() {
+        let codes = Tensor4::<u32>::from_fn(6, 3, 2, 2, Layout::Nhwc, |n, c, h, w| {
+            ((11 * n + 5 * c + 3 * h + w) % 4) as u32
+        });
+        let t = BitTensor4::from_tensor(&codes, 2, Encoding::ZeroOne);
+        let mut buf = BitTensor4::zeros(6, 2, 2, 3, 2, Encoding::ZeroOne);
+        for idx in [vec![5, 0, 0, 2, 4, 1], vec![3], vec![1, 1, 2, 0]] {
+            t.batch_gather_into(&idx, &mut buf);
+            assert_eq!(buf, t.batch_gather(&idx));
+        }
+        // concat_images_into round-trips through the same reused buffer.
+        let a = t.batch_slice(0, 2);
+        let b = t.batch_slice(2, 4);
+        BitTensor4::concat_images_into(&[&a, &b], &mut buf);
+        assert_eq!(buf, t);
+    }
+
+    #[test]
+    fn reset_zeros_reshapes_and_clears() {
+        let codes = Tensor4::<u32>::from_fn(2, 4, 3, 3, Layout::Nhwc, |_, _, _, _| 3);
+        let mut t = BitTensor4::from_tensor(&codes, 2, Encoding::ZeroOne);
+        t.reset_zeros(1, 2, 2, 200, 1, Encoding::ZeroOne);
+        assert_eq!(t.shape(), (1, 2, 2, 200));
+        assert_eq!(t.bits(), 1);
+        assert_eq!(t.padded_c(), 256);
+        assert!(t.padding_is_zero());
+        assert_eq!(t.get_code(0, 1, 1, 199), 0);
+        assert_eq!(t, BitTensor4::zeros(1, 2, 2, 200, 1, Encoding::ZeroOne));
     }
 
     #[test]

@@ -53,6 +53,61 @@ impl BitPlanes {
         }
     }
 
+    /// All-zero decomposition of the given logical shape — the
+    /// pre-allocation primitive for workspace slots that are later rebuilt
+    /// in place with [`BitPlanes::from_codes_into`].
+    pub fn zeros(rows: usize, cols: usize, bits: u32, encoding: Encoding) -> Self {
+        assert!((1..=8).contains(&bits), "supported plane counts are 1..=8");
+        if encoding == Encoding::PlusMinusOne {
+            assert_eq!(bits, 1, "±1 encoding is one bit wide");
+        }
+        BitPlanes {
+            planes: (0..bits).map(|_| BitMatrix::zeros(rows, cols)).collect(),
+            rows,
+            cols,
+            bits,
+            encoding,
+        }
+    }
+
+    /// Rebuild this decomposition **in place** from row-major unsigned
+    /// `codes` (the borrowed-buffer variant of [`BitPlanes::from_codes`]):
+    /// plane storage is reused, so once the operand has been built at its
+    /// peak shape, later rebuilds — same `bits`, any `rows × cols` that fits
+    /// the allocated capacity — perform **zero heap allocations**. Changing
+    /// `bits` between calls restructures the plane list and may allocate.
+    pub fn from_codes_into(
+        &mut self,
+        codes: &[u32],
+        rows: usize,
+        cols: usize,
+        bits: u32,
+        encoding: Encoding,
+    ) {
+        assert!((1..=8).contains(&bits), "supported plane counts are 1..=8");
+        assert_eq!(codes.len(), rows * cols);
+        if encoding == Encoding::PlusMinusOne {
+            assert_eq!(bits, 1, "±1 encoding is one bit wide");
+        }
+        debug_assert!(
+            bits == 32 || codes.iter().all(|&c| c < (1u32 << bits)),
+            "codes exceed bit width"
+        );
+        self.planes.truncate(bits as usize);
+        while self.planes.len() < bits as usize {
+            // Empty matrices defer their allocation to `reset_zeros` below.
+            self.planes.push(BitMatrix::zeros(0, 0));
+        }
+        for (s, plane) in self.planes.iter_mut().enumerate() {
+            plane.reset_zeros(rows, cols);
+            plane.fill_from_codes_plane(codes, s as u32);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.bits = bits;
+        self.encoding = encoding;
+    }
+
     /// Decompose signed values already restricted to `{−1, +1}`.
     pub fn from_signed_binary(values: &[i32], rows: usize, cols: usize) -> Self {
         assert_eq!(values.len(), rows * cols);
@@ -206,6 +261,35 @@ mod tests {
         ];
         let y = combine_partials(&partials, 1, 1);
         assert_eq!(y, vec![1 + 4 + 6 + 16]);
+    }
+
+    #[test]
+    fn from_codes_into_matches_fresh_build_across_shapes() {
+        let mut reused = BitPlanes::zeros(4, 300, 2, Encoding::ZeroOne);
+        // Peak shape, then smaller, then back — contents must always match
+        // a fresh decomposition.
+        for (rows, cols) in [(4, 300), (1, 100), (3, 257), (4, 300)] {
+            let codes: Vec<u32> = (0..rows * cols).map(|i| (i % 4) as u32).collect();
+            reused.from_codes_into(&codes, rows, cols, 2, Encoding::ZeroOne);
+            let fresh = BitPlanes::from_codes(&codes, rows, cols, 2, Encoding::ZeroOne);
+            assert_eq!(reused.rows(), rows);
+            assert_eq!(reused.cols(), cols);
+            assert_eq!(reused.reconstruct_codes(), fresh.reconstruct_codes());
+            for s in 0..2 {
+                assert!(reused.plane(s).padding_is_zero());
+            }
+        }
+        // Signed rebuild through the same slot (bits drop to 1).
+        reused.from_codes_into(&[0, 1, 1, 0], 2, 2, 1, Encoding::PlusMinusOne);
+        assert_eq!(reused.values(), vec![-1, 1, 1, -1]);
+    }
+
+    #[test]
+    fn zeros_matches_from_codes_of_zeros() {
+        let z = BitPlanes::zeros(3, 70, 3, Encoding::ZeroOne);
+        let f = BitPlanes::from_codes(&[0; 3 * 70], 3, 70, 3, Encoding::ZeroOne);
+        assert_eq!(z.reconstruct_codes(), f.reconstruct_codes());
+        assert_eq!(z.bits(), 3);
     }
 
     #[test]

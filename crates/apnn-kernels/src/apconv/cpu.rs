@@ -108,6 +108,266 @@ impl ConvExecPlan {
     }
 }
 
+/// Reusable per-call scratch for the sequential (workspace) APConv path:
+/// one gathered window (reused across every output pixel) plus the
+/// accumulator and pooling buffers of fused executions. Size it once with
+/// [`ConvScratch::reserve`] (at the plan's full batch); every later call —
+/// full or partial shard — is then allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    /// The reused window gather.
+    pub(crate) window: WindowScratch,
+    /// Raw NHWC i32 accumulators for fused executions.
+    pub(crate) acc: Vec<i32>,
+    /// Pooled accumulators (fused 2×2 pooling).
+    pub(crate) pooled: Vec<i32>,
+}
+
+/// The window-gather portion of [`ConvScratch`], split out so fused
+/// executions can borrow it independently of the accumulator buffers.
+#[derive(Debug, Clone, Default)]
+pub struct WindowScratch {
+    /// Flat `q` planes × (taps · words_per_tap) gathered window words.
+    win: Vec<u64>,
+    /// Indices of out-of-frame taps of the current window.
+    oob: Vec<usize>,
+    /// Per-plane popcounts of the gathered window (Case `AndWeightTransformed`).
+    popc: Vec<i32>,
+}
+
+impl ConvScratch {
+    /// Pre-size the scratch: `win_words` gathered-window words
+    /// (`x_bits × taps × words_per_tap`), `taps` out-of-frame slots,
+    /// `planes` popcount slots (`x_bits`), `acc` accumulator elements
+    /// (`batch × oh × ow × cout`) and `pooled` pooled elements.
+    pub fn reserve(
+        &mut self,
+        win_words: usize,
+        taps: usize,
+        planes: usize,
+        acc: usize,
+        pooled: usize,
+    ) {
+        let w = &mut self.window;
+        w.win.reserve(win_words.saturating_sub(w.win.len()));
+        w.oob.reserve(taps.saturating_sub(w.oob.len()));
+        w.popc.reserve(planes.saturating_sub(w.popc.len()));
+        self.acc.reserve(acc.saturating_sub(self.acc.len()));
+        self.pooled
+            .reserve(pooled.saturating_sub(self.pooled.len()));
+    }
+}
+
+/// Gather one output pixel's window into the reused scratch buffers
+/// (the allocation-free form of [`gather_window`]). Every tap's words are
+/// overwritten — in-frame taps copy the input, out-of-frame taps write the
+/// fill pattern (or zeros) — so stale data from the previous pixel never
+/// survives.
+#[allow(clippy::too_many_arguments)]
+fn gather_window_seq(
+    desc: &ConvDesc,
+    input: &BitTensor4,
+    fill: PadFill,
+    fill_pattern: &[u64],
+    b: usize,
+    oy: usize,
+    ox: usize,
+    need_popc: bool,
+    scratch: &mut WindowScratch,
+) {
+    let wpt = input.words_per_pixel();
+    let taps = desc.kh * desc.kw;
+    let q = desc.x_bits as usize;
+    let plane_words = taps * wpt;
+    scratch.win.clear();
+    scratch.win.resize(q * plane_words, 0);
+    scratch.oob.clear();
+    for ky in 0..desc.kh {
+        for kx in 0..desc.kw {
+            let tap = ky * desc.kw + kx;
+            let iy = (oy * desc.stride + ky) as isize - desc.pad as isize;
+            let ix = (ox * desc.stride + kx) as isize - desc.pad as isize;
+            let in_frame = iy >= 0 && ix >= 0 && (iy as usize) < desc.h && (ix as usize) < desc.w;
+            if in_frame {
+                for t in 0..q {
+                    let dst = t * plane_words + tap * wpt;
+                    scratch.win[dst..dst + wpt].copy_from_slice(input.pixel_words(
+                        b,
+                        t as u32,
+                        iy as usize,
+                        ix as usize,
+                    ));
+                }
+            } else {
+                scratch.oob.push(tap);
+                if fill != PadFill::Zeros {
+                    for t in 0..q {
+                        let dst = t * plane_words + tap * wpt;
+                        scratch.win[dst..dst + wpt].copy_from_slice(fill_pattern);
+                    }
+                }
+            }
+        }
+    }
+    scratch.popc.clear();
+    if need_popc {
+        for t in 0..q {
+            let plane = &scratch.win[t * plane_words..(t + 1) * plane_words];
+            scratch
+                .popc
+                .push(plane.iter().map(|w| w.count_ones()).sum::<u32>() as i32);
+        }
+    }
+}
+
+/// Sequential zero-allocation core of the prepared conv path: identical
+/// arithmetic (same per-element accumulation order, hence bit-identical
+/// results) to [`conv_exec`], running on the calling thread with a reused
+/// window gather. Serving workers are the concurrency unit for this path.
+pub(crate) fn conv_exec_seq(
+    desc: &ConvDesc,
+    weights: &ConvWeights,
+    input: &BitTensor4,
+    eplan_state: &ConvExecPlan,
+    scratch: &mut WindowScratch,
+    out: &mut Vec<i32>,
+) {
+    let (n, h, w, c) = input.shape();
+    assert!(n <= desc.batch, "input batch exceeds plan batch");
+    assert_eq!((h, w, c), (desc.h, desc.w, desc.cin));
+    assert_eq!(input.bits(), desc.x_bits);
+    assert_eq!(input.encoding(), desc.x_enc);
+    let (cout, taps, cin, _padded) = weights.dims();
+    assert_eq!(cout, desc.cout);
+    assert_eq!(taps, desc.kh * desc.kw);
+    assert_eq!(cin, desc.cin);
+
+    let ConvExecPlan {
+        eplan,
+        fill,
+        fill_pattern,
+    } = eplan_state;
+    let (eplan, fill) = (*eplan, *fill);
+    let need_popc = eplan.case == EmulationCase::AndWeightTransformed;
+
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+    let p = desc.w_bits as usize;
+    let q = desc.x_bits as usize;
+    let pixels = n * oh * ow;
+    let wpt = input.words_per_pixel();
+    let plane_words = taps * wpt;
+    out.clear();
+    out.resize(pixels * cout, 0);
+
+    for pix in 0..pixels {
+        let b = pix / (oh * ow);
+        let oy = (pix / ow) % oh;
+        let ox = pix % ow;
+        gather_window_seq(
+            desc,
+            input,
+            fill,
+            fill_pattern,
+            b,
+            oy,
+            ox,
+            need_popc,
+            scratch,
+        );
+        let valid_taps = (taps - scratch.oob.len()) as i32;
+        let oob_taps = scratch.oob.len() as i32;
+
+        let chunk = &mut out[pix * cout..(pix + 1) * cout];
+        for (co, out_v) in chunk.iter_mut().enumerate() {
+            let mut acc = 0i32;
+            for s in 0..p {
+                let w_row = weights.planes().plane(s as u32).row_words(co);
+                let oob_w_popc: i32 = scratch
+                    .oob
+                    .iter()
+                    .map(|&tap| weights.seg_popc(s as u32, co, tap))
+                    .sum();
+                for t in 0..q {
+                    let x_words = &scratch.win[t * plane_words..(t + 1) * plane_words];
+                    let popc = match eplan.op {
+                        BmmaOp::And => and_popcount(w_row, x_words),
+                        BmmaOp::Xor => xor_popcount(w_row, x_words),
+                    } as i32;
+                    let adj = match eplan.case {
+                        EmulationCase::AndUnsigned => popc,
+                        EmulationCase::XorSignedBinary => correct_xor_window(
+                            popc,
+                            desc.cin as i32,
+                            valid_taps,
+                            oob_w_popc,
+                            oob_taps,
+                        ),
+                        EmulationCase::AndWeightTransformed => 2 * popc - scratch.popc[t],
+                        EmulationCase::AndActivationTransformed => {
+                            2 * popc - valid_row_popc(weights.row_popc(s as u32, co), oob_w_popc)
+                        }
+                        EmulationCase::XorDerivedUnsigned
+                        | EmulationCase::XorDerivedWeightTransformed
+                        | EmulationCase::XorDerivedActivationTransformed => {
+                            unreachable!("conv kernels use the Ampere plan")
+                        }
+                    };
+                    acc += adj << (s + t);
+                }
+            }
+            *out_v = acc;
+        }
+    }
+}
+
+/// Sequential fused execution: [`conv_exec_seq`] + in-place pooling +
+/// quantizing epilogue, packing the next layer's channel-major activations
+/// into the caller-owned `out` tensor. The whole pipeline is
+/// allocation-free once `scratch` and `out` have reached the plan's
+/// full-batch capacity.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv_exec_fused_seq(
+    desc: &ConvDesc,
+    weights: &ConvWeights,
+    input: &BitTensor4,
+    eplan_state: &ConvExecPlan,
+    pool: Option<Pool2>,
+    epi: &Epilogue,
+    scratch: &mut ConvScratch,
+    out: &mut BitTensor4,
+) {
+    let bits = epi
+        .output_bits()
+        .expect("fused conv stages must end in quantization");
+    let ConvScratch {
+        window,
+        acc,
+        pooled,
+    } = scratch;
+    conv_exec_seq(desc, weights, input, eplan_state, window, acc);
+    let batch = input.shape().0;
+    let (oh, ow) = (desc.out_h(), desc.out_w());
+    let cout = desc.cout;
+    let (ph, pw, vals): (usize, usize, &[i32]) = match pool {
+        None => (oh, ow, acc),
+        Some(kind) => {
+            pool2_i32_into(acc, batch, oh, ow, cout, kind, pooled);
+            (oh / 2, ow / 2, pooled)
+        }
+    };
+    out.reset_zeros(batch, ph, pw, cout, bits, Encoding::ZeroOne);
+    for b in 0..batch {
+        for py in 0..ph {
+            for px in 0..pw {
+                for co in 0..cout {
+                    let a = vals[((b * ph + py) * pw + px) * cout + co];
+                    out.set_code(b, py, px, co, epi.apply_to_code(a, co));
+                }
+            }
+        }
+    }
+}
+
 /// Direct convolution returning NHWC i32 accumulators.
 pub fn conv_cpu(desc: &ConvDesc, weights: &ConvWeights, input: &BitTensor4) -> Vec<i32> {
     let (n, ..) = input.shape();
@@ -225,9 +485,27 @@ pub fn pool2_i32(
     cout: usize,
     kind: Pool2,
 ) -> Vec<i32> {
+    let mut v = Vec::new();
+    pool2_i32_into(y, batch, oh, ow, cout, kind, &mut v);
+    v
+}
+
+/// [`pool2_i32`] writing into a caller-owned buffer (allocation-free once
+/// `out` has reached its peak capacity).
+pub fn pool2_i32_into(
+    y: &[i32],
+    batch: usize,
+    oh: usize,
+    ow: usize,
+    cout: usize,
+    kind: Pool2,
+    out: &mut Vec<i32>,
+) {
     let ph = oh / 2;
     let pw = ow / 2;
-    let mut v = vec![0i32; batch * ph * pw * cout];
+    out.clear();
+    out.resize(batch * ph * pw * cout, 0);
+    let v = out;
     for b in 0..batch {
         for py in 0..ph {
             for px in 0..pw {
@@ -244,7 +522,6 @@ pub fn pool2_i32(
             }
         }
     }
-    v
 }
 
 /// [`conv_exec`] + fused pooling/epilogue over the actual input batch.
@@ -438,6 +715,74 @@ mod tests {
             }
         }
         let _ = oh;
+    }
+
+    #[test]
+    fn sequential_workspace_core_matches_pooled_path_every_case() {
+        let mut descs = vec![
+            ConvDesc::unsigned(2, 5, 6, 4, 3, 1, 1, 2, 2),
+            ConvDesc::unsigned(1, 130, 4, 3, 3, 1, 1, 1, 3),
+        ];
+        // ±1/±1 (pad-1 + counter correction) and the two Case III forms.
+        let mut d = ConvDesc::unsigned(1, 5, 6, 4, 3, 1, 1, 1, 1);
+        d.w_enc = Encoding::PlusMinusOne;
+        d.x_enc = Encoding::PlusMinusOne;
+        descs.push(d);
+        let mut d = ConvDesc::unsigned(2, 9, 5, 3, 3, 2, 1, 1, 4);
+        d.w_enc = Encoding::PlusMinusOne;
+        descs.push(d);
+        let mut d = ConvDesc::unsigned(1, 5, 5, 3, 3, 1, 1, 2, 1);
+        d.x_enc = Encoding::PlusMinusOne;
+        descs.push(d);
+
+        let mut scratch = WindowScratch::default();
+        let mut out = Vec::new();
+        for (i, desc) in descs.iter().enumerate() {
+            let mut seed = 100 + i as u64;
+            let (input, _) = make_input(desc, &mut seed);
+            let (weights, _) = if desc.w_enc == Encoding::PlusMinusOne {
+                let n = desc.cout * desc.kh * desc.kw * desc.cin;
+                let vals: Vec<i32> = (0..n)
+                    .map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 })
+                    .collect();
+                (ConvWeights::from_signed(desc, &vals), vals)
+            } else {
+                make_weights(desc, &mut seed)
+            };
+            let state = ConvExecPlan::new(desc, &weights);
+            // One scratch reused across every desc: shapes shrink and grow.
+            conv_exec_seq(desc, &weights, &input, &state, &mut scratch, &mut out);
+            assert_eq!(out, conv_cpu(desc, &weights, &input), "desc {desc:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_fused_matches_allocating_fused() {
+        let desc = ConvDesc::unsigned(2, 4, 8, 3, 3, 1, 1, 1, 2);
+        let mut seed = 13;
+        let (input, _) = make_input(&desc, &mut seed);
+        let (weights, _) = make_weights(&desc, &mut seed);
+        let epi = Epilogue::quantize(4.0, 0.0, 2);
+        let state = ConvExecPlan::new(&desc, &weights);
+        let mut scratch = ConvScratch::default();
+        let mut packed = BitTensor4::zeros(1, 1, 1, 1, 1, Encoding::ZeroOne);
+        for pool in [None, Some(Pool2::Max), Some(Pool2::Avg)] {
+            conv_exec_fused_seq(
+                &desc,
+                &weights,
+                &input,
+                &state,
+                pool,
+                &epi,
+                &mut scratch,
+                &mut packed,
+            );
+            let ConvOutput::Packed(want) = conv_cpu_fused(&desc, &weights, &input, pool, &epi)
+            else {
+                panic!("expected packed")
+            };
+            assert_eq!(packed, want, "pool {pool:?}");
+        }
     }
 
     #[test]

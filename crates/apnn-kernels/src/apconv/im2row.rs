@@ -27,6 +27,23 @@ use crate::apmm::{cpu::apmm_cpu, ApmmDesc};
 /// pixel, `KH·KW` channel segments per row (each padded to the fragment
 /// width), matching [`ConvWeights`]' row layout exactly.
 pub fn im2row_planes(desc: &ConvDesc, input: &BitTensor4) -> BitPlanes {
+    let mut codes = Vec::new();
+    let mut out = BitPlanes::zeros(1, 1, desc.x_bits, Encoding::ZeroOne);
+    im2row_planes_into(desc, input, &mut codes, &mut out);
+    out
+}
+
+/// [`im2row_planes`] writing into caller-owned buffers: `codes` is the
+/// segmented-code scratch, `out` the materialized activation operand,
+/// rebuilt in place. Allocation-free once both have reached capacity —
+/// so even the explicit-GEMM lowering can run a steady-state loop without
+/// re-materializing its (large) im2row buffer from the allocator.
+pub fn im2row_planes_into(
+    desc: &ConvDesc,
+    input: &BitTensor4,
+    codes: &mut Vec<u32>,
+    out: &mut BitPlanes,
+) {
     assert_eq!(input.bits(), desc.x_bits);
     assert_eq!(input.encoding(), desc.x_enc);
     let (oh, ow) = (desc.out_h(), desc.out_w());
@@ -35,7 +52,9 @@ pub fn im2row_planes(desc: &ConvDesc, input: &BitTensor4) -> BitPlanes {
     let k_bits = desc.k_bits();
 
     // Build per-plane bit matrices with zero-fill for out-of-frame taps.
-    let mut seg_codes = vec![0u32; pixels * k_bits];
+    codes.clear();
+    codes.resize(pixels * k_bits, 0);
+    let seg_codes = codes;
     for b in 0..desc.batch {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -57,7 +76,7 @@ pub fn im2row_planes(desc: &ConvDesc, input: &BitTensor4) -> BitPlanes {
             }
         }
     }
-    BitPlanes::from_codes(&seg_codes, pixels, k_bits, desc.x_bits, desc.x_enc)
+    out.from_codes_into(seg_codes, pixels, k_bits, desc.x_bits, desc.x_enc);
 }
 
 /// Convolution by explicit im2row + APMM. Output layout matches
@@ -184,6 +203,23 @@ mod tests {
         let buffer = im2row_bytes(&desc);
         // 256 pixels × 9 taps × 128 channels × 2 bits / 8.
         assert_eq!(buffer, 256 * 9 * 128 * 2 / 8);
+    }
+
+    #[test]
+    fn im2row_into_reuses_buffers_across_shapes() {
+        let mut seed = 51;
+        let mut codes = Vec::new();
+        let mut out = BitPlanes::zeros(1, 1, 2, Encoding::ZeroOne);
+        for desc in [
+            ConvDesc::unsigned(2, 5, 8, 4, 3, 1, 1, 2, 2),
+            ConvDesc::unsigned(1, 4, 6, 2, 3, 1, 1, 1, 2),
+        ] {
+            let input = rand_input(&desc, &mut seed);
+            im2row_planes_into(&desc, &input, &mut codes, &mut out);
+            let fresh = im2row_planes(&desc, &input);
+            assert_eq!(out.rows(), fresh.rows());
+            assert_eq!(out.reconstruct_codes(), fresh.reconstruct_codes());
+        }
     }
 
     #[test]

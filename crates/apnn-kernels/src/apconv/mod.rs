@@ -281,6 +281,53 @@ impl PreparedConv {
     ) -> ConvOutput {
         cpu::conv_exec_fused(&self.desc, &self.weights, input, &self.exec_plan, pool, epi)
     }
+
+    /// Sequential workspace form of [`PreparedConv::execute`]: NHWC i32
+    /// accumulators land in `out`, the window gather reuses `scratch`, and
+    /// — once the buffers have reached the plan's full-batch capacity — the
+    /// call performs **zero heap allocations**. Bit-identical to the
+    /// thread-pool path (integer-exact kernels, same accumulation order).
+    pub fn execute_into(
+        &self,
+        input: &BitTensor4,
+        scratch: &mut cpu::ConvScratch,
+        out: &mut Vec<i32>,
+    ) {
+        cpu::conv_exec_seq(
+            &self.desc,
+            &self.weights,
+            input,
+            &self.exec_plan,
+            &mut scratch.window,
+            out,
+        );
+    }
+
+    /// Sequential workspace form of [`PreparedConv::execute_fused`] for
+    /// quantizing epilogues: accumulators and pooled values go through
+    /// `scratch`, and the packed channel-major activations are rebuilt in
+    /// place in `out` (see [`apnn_bitpack::BitTensor4::reset_zeros`]).
+    /// Panics if `epi` does not end in quantization — the compiled-plan
+    /// engine only runs quantizing conv stages.
+    pub fn execute_fused_into(
+        &self,
+        input: &BitTensor4,
+        pool: Option<Pool2>,
+        epi: &Epilogue,
+        scratch: &mut cpu::ConvScratch,
+        out: &mut BitTensor4,
+    ) {
+        cpu::conv_exec_fused_seq(
+            &self.desc,
+            &self.weights,
+            input,
+            &self.exec_plan,
+            pool,
+            epi,
+            scratch,
+            out,
+        );
+    }
 }
 
 #[cfg(test)]

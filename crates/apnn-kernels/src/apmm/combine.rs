@@ -25,6 +25,26 @@ pub fn quantize_pack_transposed(
     epi: &Epilogue,
     bits: u32,
 ) -> BitPlanes {
+    let mut codes = Vec::new();
+    let mut out = BitPlanes::zeros(n, m, bits, Encoding::ZeroOne);
+    quantize_pack_transposed_into(y, m, n, epi, bits, &mut codes, &mut out);
+    out
+}
+
+/// [`quantize_pack_transposed`] writing into caller-owned buffers: `codes`
+/// is the transposed quantized-code scratch, `out` the packed result
+/// (rebuilt in place, see [`BitPlanes::from_codes_into`]). Allocation-free
+/// once both have reached their peak capacity — the workspace-reuse form
+/// used by steady-state serving.
+pub fn quantize_pack_transposed_into(
+    y: &[i32],
+    m: usize,
+    n: usize,
+    epi: &Epilogue,
+    bits: u32,
+    codes: &mut Vec<u32>,
+    out: &mut BitPlanes,
+) {
     assert_eq!(y.len(), m * n);
     assert_eq!(
         epi.output_bits(),
@@ -32,13 +52,14 @@ pub fn quantize_pack_transposed(
         "epilogue must end in quantize"
     );
     // Codes of the transposed output: row j (batch), col i (feature).
-    let mut codes = vec![0u32; n * m];
+    codes.clear();
+    codes.resize(n * m, 0);
     for i in 0..m {
         for j in 0..n {
             codes[j * m + i] = epi.apply_to_code(y[i * n + j], i);
         }
     }
-    BitPlanes::from_codes(&codes, n, m, bits, Encoding::ZeroOne)
+    out.from_codes_into(codes, n, m, bits, Encoding::ZeroOne);
 }
 
 /// The warp-level packing route used on the GPU: quantize a stream of 32

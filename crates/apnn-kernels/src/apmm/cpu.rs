@@ -31,9 +31,13 @@ pub(crate) fn correction_needs(case: EmulationCase) -> (bool, bool) {
 /// Compute the per-plane weight-row sums a case's correction consumes (the
 /// `W·J` vectors of §3.2). Returns an empty vec when the plan needs none —
 /// this is the weight-side precomputation hoisted into compiled plans.
+/// Every *actual* build bumps [`crate::stats::row_sum_builds`], so tests
+/// can prove prepared kernels compute these exactly once per plan and
+/// never on the inference hot path.
 pub fn weight_row_sums(w: &BitPlanes, eplan: EmulationPlan) -> Vec<Vec<i32>> {
     let (needs_row, _) = correction_needs(eplan.case);
     if needs_row {
+        crate::stats::count_row_sums_build();
         (0..w.bits()).map(|s| w.plane(s).row_sums()).collect()
     } else {
         Vec::new()
@@ -95,11 +99,7 @@ pub(crate) fn apmm_exec(
     let w_row_sums: &[Vec<i32>] = match w_row_sums_pre {
         Some(pre) => pre,
         None => {
-            w_row_sums_local = if needs_row {
-                (0..p).map(|s| w.plane(s as u32).row_sums()).collect()
-            } else {
-                Vec::new()
-            };
+            w_row_sums_local = weight_row_sums(w, eplan);
             &w_row_sums_local
         }
     };
@@ -143,6 +143,113 @@ pub(crate) fn apmm_exec(
             }
         });
     y
+}
+
+/// Reusable per-call scratch for the sequential (workspace) APMM path:
+/// the activation-side correction table and the raw accumulator buffer.
+/// Size it once with [`ApmmScratch::reserve`] (at the plan's full batch);
+/// every later call — full or partial shard — is then allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ApmmScratch {
+    /// Flat `q × n` activation column sums (input-dependent, rebuilt per
+    /// call in place).
+    pub(crate) col_sums: Vec<i32>,
+    /// Raw `m × n` i32 accumulators for fused executions.
+    pub(crate) acc: Vec<i32>,
+}
+
+impl ApmmScratch {
+    /// Pre-size the scratch: `col_sums` activation-correction entries
+    /// (`x_bits × batch`) and `acc` accumulator elements (`m × batch`).
+    pub fn reserve(&mut self, col_sums: usize, acc: usize) {
+        self.col_sums
+            .reserve(col_sums.saturating_sub(self.col_sums.len()));
+        self.acc.reserve(acc.saturating_sub(self.acc.len()));
+    }
+}
+
+/// Sequential zero-allocation core of the prepared path: identical
+/// arithmetic (same per-element accumulation order, hence bit-identical
+/// results) to [`apmm_exec`], but running on the **calling thread** with
+/// every buffer caller-owned. Serving workers are the concurrency unit for
+/// this path; the thread-pool path above stays for ad-hoc/batch calls.
+pub(crate) fn apmm_exec_seq(
+    desc: &ApmmDesc,
+    w: &BitPlanes,
+    x: &BitPlanes,
+    eplan: EmulationPlan,
+    w_row_sums: &[Vec<i32>],
+    col_sums: &mut Vec<i32>,
+    out: &mut Vec<i32>,
+) {
+    let m = desc.m;
+    let n = x.rows();
+    assert!(n <= desc.n, "activation batch exceeds plan batch");
+    let (p, q) = (desc.w_bits as usize, desc.x_bits as usize);
+    let k_valid = desc.k as i32;
+    assert_eq!(
+        w.plane(0).padded_cols(),
+        x.plane(0).padded_cols(),
+        "operands must share padded K"
+    );
+    debug_assert!(p <= 8 && q <= 8, "plane counts are 1..=8");
+
+    let (needs_row, needs_col) = correction_needs(eplan.case);
+    col_sums.clear();
+    if needs_col {
+        col_sums.resize(q * n, 0);
+        for t in 0..q {
+            let plane = x.plane(t as u32);
+            for j in 0..n {
+                col_sums[t * n + j] = plane.row_popcount(j) as i32;
+            }
+        }
+    }
+
+    // Per-plane word tables on the stack (plane counts are ≤ 8), so the
+    // inner loops index flat slices without building per-call row tables.
+    let x_planes: [(&[u64], usize); 8] = std::array::from_fn(|t| {
+        if t < q {
+            let plane = x.plane(t as u32);
+            (plane.words(), plane.words_per_row())
+        } else {
+            (&[][..], 0)
+        }
+    });
+
+    out.clear();
+    out.resize(m * n, 0);
+    for i in 0..m {
+        let w_rows: [&[u64]; 8] = std::array::from_fn(|s| {
+            if s < p {
+                w.plane(s as u32).row_words(i)
+            } else {
+                &[]
+            }
+        });
+        let row_out = &mut out[i * n..(i + 1) * n];
+        for (j, out_v) in row_out.iter_mut().enumerate() {
+            let mut acc = 0i32;
+            for (s, w_row) in w_rows[..p].iter().enumerate() {
+                for (t, &(x_words, x_wpr)) in x_planes[..q].iter().enumerate() {
+                    let x_row = &x_words[j * x_wpr..(j + 1) * x_wpr];
+                    let popc = match eplan.op {
+                        BmmaOp::And => and_popcount(w_row, x_row),
+                        BmmaOp::Xor => xor_popcount(w_row, x_row),
+                    } as i32;
+                    let adj = adjust_partial(
+                        eplan.case,
+                        popc,
+                        k_valid,
+                        if needs_row { w_row_sums[s][i] } else { 0 },
+                        if needs_col { col_sums[t * n + j] } else { 0 },
+                    );
+                    acc += adj << (s + t);
+                }
+            }
+            *out_v = acc;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +373,66 @@ mod tests {
             let ampere = apmm_cpu(&desc, &w, &x);
             let turing = apmm_cpu_with_plan(&desc, &w, &x, plan_xor_only(w_enc, x_enc));
             assert_eq!(ampere, turing, "{w_enc:?}/{x_enc:?} w{p}a{q}");
+        }
+    }
+
+    #[test]
+    fn sequential_workspace_core_matches_pooled_path_every_case() {
+        let mut seed = 37;
+        let cases = [
+            (Encoding::ZeroOne, Encoding::ZeroOne, 3u32, 2u32),
+            (Encoding::PlusMinusOne, Encoding::ZeroOne, 1, 4),
+            (Encoding::ZeroOne, Encoding::PlusMinusOne, 2, 1),
+            (Encoding::PlusMinusOne, Encoding::PlusMinusOne, 1, 1),
+        ];
+        for (w_enc, x_enc, p, q) in cases {
+            let (m, n, k) = (13, 21, 230);
+            let desc = ApmmDesc {
+                m,
+                n,
+                k,
+                w_bits: p,
+                x_bits: q,
+                w_enc,
+                x_enc,
+            };
+            let mk = |rows: usize, bits: u32, enc: Encoding, seed: &mut u64| {
+                if enc == Encoding::PlusMinusOne {
+                    BitPlanes::from_signed_binary(&rand_signs(rows * k, seed), rows, k)
+                } else {
+                    BitPlanes::from_codes(&rand_codes(rows * k, bits, seed), rows, k, bits, enc)
+                }
+            };
+            let w = mk(m, p, w_enc, &mut seed);
+            let x = mk(n, q, x_enc, &mut seed);
+            let eplan = desc.plan();
+            let pooled = apmm_cpu(&desc, &w, &x);
+
+            let w_sums = weight_row_sums(&w, eplan);
+            let mut col_sums = Vec::new();
+            let mut out = Vec::new();
+            apmm_exec_seq(&desc, &w, &x, eplan, &w_sums, &mut col_sums, &mut out);
+            assert_eq!(out, pooled, "{w_enc:?}/{x_enc:?} w{p}a{q}");
+
+            // Partial shard through the same reused buffers.
+            let half = n / 2;
+            let xh = if x_enc == Encoding::PlusMinusOne {
+                BitPlanes::from_signed_binary(&x.values()[..half * k], half, k)
+            } else {
+                BitPlanes::from_codes(
+                    &x.reconstruct_codes()[..half * k],
+                    half,
+                    k,
+                    q,
+                    Encoding::ZeroOne,
+                )
+            };
+            apmm_exec_seq(&desc, &w, &xh, eplan, &w_sums, &mut col_sums, &mut out);
+            for i in 0..m {
+                for j in 0..half {
+                    assert_eq!(out[i * half + j], pooled[i * n + j]);
+                }
+            }
         }
     }
 

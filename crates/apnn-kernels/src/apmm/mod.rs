@@ -252,6 +252,56 @@ impl PreparedApmm {
         let y = self.execute(x);
         finish_fused(y, self.desc.m, x.rows(), epi)
     }
+
+    /// Sequential workspace form of [`PreparedApmm::execute`]: the raw
+    /// `m × x.rows()` product lands in `out`, every intermediate lives in
+    /// `scratch`, and — once the buffers have reached the plan's full-batch
+    /// capacity — the call performs **zero heap allocations**. Results are
+    /// bit-identical to the thread-pool path (integer-exact kernels, same
+    /// per-element accumulation order).
+    pub fn execute_into(&self, x: &BitPlanes, scratch: &mut cpu::ApmmScratch, out: &mut Vec<i32>) {
+        self.check_acts(x);
+        let cpu::ApmmScratch { col_sums, .. } = scratch;
+        cpu::apmm_exec_seq(
+            &self.desc,
+            &self.weights,
+            x,
+            self.plan,
+            &self.w_row_sums,
+            col_sums,
+            out,
+        );
+    }
+
+    /// Sequential workspace form of [`PreparedApmm::execute_fused`] for
+    /// quantizing epilogues: accumulators go through `scratch`, quantized
+    /// transposed codes through `codes`, and the packed next-layer operand
+    /// is rebuilt in place in `out`. Panics if `epi` does not end in
+    /// quantization (the output layer uses [`PreparedApmm::execute_into`]).
+    pub fn execute_fused_into(
+        &self,
+        x: &BitPlanes,
+        epi: &Epilogue,
+        scratch: &mut cpu::ApmmScratch,
+        codes: &mut Vec<u32>,
+        out: &mut BitPlanes,
+    ) {
+        let bits = epi
+            .output_bits()
+            .expect("execute_fused_into requires a quantizing epilogue");
+        self.check_acts(x);
+        let cpu::ApmmScratch { col_sums, acc } = scratch;
+        cpu::apmm_exec_seq(
+            &self.desc,
+            &self.weights,
+            x,
+            self.plan,
+            &self.w_row_sums,
+            col_sums,
+            acc,
+        );
+        combine::quantize_pack_transposed_into(acc, self.desc.m, x.rows(), epi, bits, codes, out);
+    }
 }
 
 /// Apply a fused epilogue to raw `m×n` accumulators: packed (transposed)
@@ -322,6 +372,85 @@ mod tests {
                 assert_eq!(got[i * (desc.n / 2) + j], adhoc[i * desc.n + j]);
             }
         }
+    }
+
+    #[test]
+    fn row_sums_build_once_at_prepare_never_at_execute() {
+        // Mirrored Case III ({0,1} weights, ±1 activations) consumes the
+        // W·J weight-row sums: `prepare` must build them exactly once and
+        // `execute` must never rebuild them, while the ad-hoc entry point
+        // rebuilds per call — the hoist the stats counter makes testable.
+        let desc = ApmmDesc {
+            m: 6,
+            n: 5,
+            k: 96,
+            w_bits: 2,
+            x_bits: 1,
+            w_enc: Encoding::ZeroOne,
+            x_enc: Encoding::PlusMinusOne,
+        };
+        let wc: Vec<u32> = (0..desc.m * desc.k).map(|i| (i % 4) as u32).collect();
+        let w = BitPlanes::from_codes(&wc, desc.m, desc.k, 2, Encoding::ZeroOne);
+        let xv: Vec<i32> = (0..desc.n * desc.k)
+            .map(|i| if i % 3 == 0 { -1 } else { 1 })
+            .collect();
+        let x = BitPlanes::from_signed_binary(&xv, desc.n, desc.k);
+
+        let apmm = Apmm::new(desc);
+        let adhoc_scope = crate::stats::scope();
+        let want = apmm.execute(&w, &x);
+        let _ = apmm.execute(&w, &x);
+        assert_eq!(
+            adhoc_scope.row_sum_builds(),
+            2,
+            "the ad-hoc path rebuilds W·J on every call"
+        );
+
+        let prepare_scope = crate::stats::scope();
+        let prepared = apmm.prepare(w);
+        assert_eq!(prepare_scope.row_sum_builds(), 1, "one build per plan");
+        assert_eq!(prepared.execute(&x), want);
+        assert_eq!(prepared.execute(&x), want);
+        assert_eq!(
+            prepare_scope.row_sum_builds(),
+            1,
+            "execute must not rebuild W·J"
+        );
+    }
+
+    #[test]
+    fn prepared_into_paths_match_allocating_paths() {
+        let mut seed = 77u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let desc = ApmmDesc::w1aq(7, 6, 140, 2, Encoding::ZeroOne);
+        let wv: Vec<i32> = (0..desc.m * desc.k)
+            .map(|_| if next() % 2 == 0 { -1 } else { 1 })
+            .collect();
+        let w = BitPlanes::from_signed_binary(&wv, desc.m, desc.k);
+        let xc: Vec<u32> = (0..desc.n * desc.k).map(|_| next() % 4).collect();
+        let x = BitPlanes::from_codes(&xc, desc.n, desc.k, 2, Encoding::ZeroOne);
+        let prepared = Apmm::new(desc).prepare(w);
+
+        let mut scratch = cpu::ApmmScratch::default();
+        let mut out = Vec::new();
+        prepared.execute_into(&x, &mut scratch, &mut out);
+        assert_eq!(out, prepared.execute(&x));
+
+        let epi = Epilogue::quantize(8.0, 0.0, 2);
+        let mut codes = Vec::new();
+        let mut packed = apnn_bitpack::BitPlanes::zeros(desc.n, desc.m, 2, Encoding::ZeroOne);
+        prepared.execute_fused_into(&x, &epi, &mut scratch, &mut codes, &mut packed);
+        let FusedOutput::Packed(want) = prepared.execute_fused(&x, &epi) else {
+            panic!("expected packed output")
+        };
+        assert_eq!(packed.reconstruct_codes(), want.reconstruct_codes());
+        assert_eq!(packed.rows(), want.rows());
+        assert_eq!(packed.cols(), want.cols());
     }
 
     #[test]

@@ -24,17 +24,20 @@
 //!   [`CompiledNet::infer_batched`] shards large request batches over the
 //!   Rayon pool.
 
+use apnn_bitpack::word::pad_to_bmma_k;
 use apnn_bitpack::{BitPlanes, BitTensor4, Encoding};
-use apnn_kernels::apconv::cpu::pool2_i32;
+use apnn_kernels::apconv::cpu::{pool2_i32, ConvScratch};
 use apnn_kernels::apconv::simmap::{estimate_with_efficiency as conv_estimate, ActLayout};
-use apnn_kernels::apconv::{ApConv, ConvDesc, ConvOutput, ConvWeights, Pool2, PreparedConv};
+use apnn_kernels::apconv::{ApConv, ConvDesc, ConvWeights, Pool2, PreparedConv};
+use apnn_kernels::apmm::cpu::ApmmScratch;
 use apnn_kernels::apmm::simmap::{estimate_with_efficiency as apmm_estimate, APMM_TC_EFFICIENCY};
-use apnn_kernels::apmm::{Apmm, ApmmDesc, FusedOutput, PreparedApmm, TileConfig};
+use apnn_kernels::apmm::{Apmm, ApmmDesc, PreparedApmm, TileConfig};
 use apnn_kernels::autotune::autotune;
 use apnn_kernels::baselines::conv::{conv_report, ConvShape};
 use apnn_kernels::baselines::gemm::gemm_report;
 use apnn_kernels::baselines::BNN_KERNEL_EFFICIENCY;
 use apnn_kernels::fusion::{Epilogue, EpilogueOp};
+use apnn_kernels::stats as kstats;
 use apnn_sim::GpuSpec;
 use rayon::prelude::*;
 
@@ -208,7 +211,7 @@ impl CompiledNet {
         // fixes the epilogue constants. This is per-call work (range
         // estimation) hoisted into compilation.
         let fully_fused = fused.iter().all(Stage::is_main);
-        let mut calib: Option<Act<'static>> = match opts.materialize {
+        let mut calib: Option<Act> = match opts.materialize {
             Materialize::Functional { .. } if fully_fused && precision.is_emulated() => {
                 let bits = precision.activation_bits(true);
                 let mut t = BitTensor4::zeros(
@@ -388,33 +391,91 @@ impl CompiledNet {
         any_main
     }
 
-    /// Run an engine over this plan.
+    /// Run an engine over this plan with a transient workspace.
     pub fn run<'a, E: Engine>(&self, engine: &E, input: E::Input<'a>) -> E::Output {
-        engine.execute(self, input)
+        let mut ws = engine.workspace(self);
+        engine.execute(self, input, &mut ws)
+    }
+
+    /// Run an engine over this plan, reusing a caller-owned workspace —
+    /// the steady-state serving form (see [`ExecWorkspace`]).
+    pub fn run_with<'a, E: Engine>(
+        &self,
+        engine: &E,
+        input: E::Input<'a>,
+        ws: &mut E::Workspace,
+    ) -> E::Output {
+        engine.execute(self, input, ws)
     }
 
     /// Price the plan on the simulated GPU (convenience for
     /// [`SimEngine`]).
     pub fn report(&self, spec: &GpuSpec) -> NetworkReport {
-        SimEngine { spec }.execute(self, ())
+        SimEngine { spec }.execute(self, (), &mut ())
+    }
+
+    /// Build an execution workspace sized exactly for this plan (see
+    /// [`CompiledNet::workspace_spec`]): keep one per serving thread and
+    /// thread it through [`CompiledNet::infer_into`] for allocation-free
+    /// steady-state inference. Requires an executable plan.
+    pub fn workspace(&self) -> ExecWorkspace {
+        ExecWorkspace::for_plan(self)
+    }
+
+    /// How much memory the functional engine needs to run this plan: one
+    /// entry per main stage (packed activation slot, flatten slot,
+    /// accumulator footprint) plus the shared kernel scratch. This is the
+    /// sizing contract of [`CompiledNet::workspace`]: the workspace
+    /// pre-allocates every buffer at these full-batch peaks, so inference
+    /// — including *partial* shards, which only shrink shapes — performs
+    /// zero heap allocations from the first call onward.
+    pub fn workspace_spec(&self) -> WorkspaceSpec {
+        WorkspaceSpec::for_plan(self)
     }
 
     /// Functional inference on a packed feature map. Returns logits as
     /// `batch × classes`, row-major.
+    ///
+    /// Thin wrapper owning a transient [`ExecWorkspace`]; hot loops should
+    /// hold a workspace and call [`CompiledNet::infer_into`] instead.
     pub fn infer(&self, input: &BitTensor4) -> Vec<i32> {
-        CpuEngine.execute(self, ActInput::Map(input))
+        self.run(&CpuEngine, ActInput::Map(input))
     }
 
     /// Functional inference on packed feature vectors (all-linear plans):
-    /// rows = batch, cols = features.
+    /// rows = batch, cols = features. Thin wrapper owning a transient
+    /// workspace, like [`CompiledNet::infer`].
     pub fn infer_vec(&self, input: &BitPlanes) -> Vec<i32> {
-        CpuEngine.execute(self, ActInput::Vec(input))
+        self.run(&CpuEngine, ActInput::Vec(input))
+    }
+
+    /// Functional inference reusing a caller-owned workspace; returns
+    /// freshly allocated logits. See [`CompiledNet::infer_into`] for the
+    /// fully allocation-free form.
+    pub fn infer_with(&self, input: &BitTensor4, ws: &mut ExecWorkspace) -> Vec<i32> {
+        self.run_with(&CpuEngine, ActInput::Map(input), ws)
+    }
+
+    /// Allocation-free steady-state inference: activations flow through
+    /// `ws`'s plan-sized slots and logits land in `out` (resized in
+    /// place). Once `ws` and `out` have reached capacity — `ws` is born at
+    /// capacity, `out` after the first call — the call performs **zero
+    /// heap allocations**, for full and partial shards alike. Results are
+    /// bit-identical to [`CompiledNet::infer`].
+    pub fn infer_into(&self, input: &BitTensor4, ws: &mut ExecWorkspace, out: &mut Vec<i32>) {
+        cpu_execute_into(self, ActInput::Map(input), ws, out);
+    }
+
+    /// [`CompiledNet::infer_into`] for packed feature vectors (all-linear
+    /// plans).
+    pub fn infer_vec_into(&self, input: &BitPlanes, ws: &mut ExecWorkspace, out: &mut Vec<i32>) {
+        cpu_execute_into(self, ActInput::Vec(input), ws, out);
     }
 
     /// Serve a large request batch by sharding it into compiled-batch
     /// chunks (see [`CompiledNet::shards`]) over the Rayon pool. `input`
     /// carries any number of images; the plan is reused across shards
-    /// without re-lowering.
+    /// without re-lowering (each pool worker owns a transient workspace).
     pub fn infer_batched(&self, input: &BitTensor4) -> Vec<i32> {
         let n = input.shape().0;
         let shard = self.batch.max(1);
@@ -449,15 +510,33 @@ pub struct Shard {
 }
 
 /// An execution backend for compiled plans.
+///
+/// Engines are *workspace-threaded*: every run borrows a mutable
+/// [`Engine::Workspace`] holding all per-run mutable state, so a caller
+/// that keeps one workspace per thread executes the plan repeatedly
+/// without touching the allocator (see [`ExecWorkspace`]). Engines with no
+/// per-run state (the simulator) use `()`.
 pub trait Engine {
     /// Per-run input (activations for functional engines, nothing for the
     /// simulator).
     type Input<'a>;
     /// Run result.
     type Output;
+    /// Reusable per-run mutable state.
+    type Workspace;
 
-    /// Execute `plan` on this engine.
-    fn execute<'a>(&self, plan: &CompiledNet, input: Self::Input<'a>) -> Self::Output;
+    /// Build a workspace sized for `plan` (see
+    /// [`CompiledNet::workspace_spec`] for the sizing contract of the
+    /// functional engine).
+    fn workspace(&self, plan: &CompiledNet) -> Self::Workspace;
+
+    /// Execute `plan` on this engine, reusing `ws` for all per-run state.
+    fn execute<'a>(
+        &self,
+        plan: &CompiledNet,
+        input: Self::Input<'a>,
+        ws: &mut Self::Workspace,
+    ) -> Self::Output;
 }
 
 /// Prices a compiled plan on the `apnn-sim` cost model.
@@ -470,8 +549,11 @@ pub struct SimEngine<'s> {
 impl Engine for SimEngine<'_> {
     type Input<'a> = ();
     type Output = NetworkReport;
+    type Workspace = ();
 
-    fn execute<'a>(&self, plan: &CompiledNet, _input: ()) -> NetworkReport {
+    fn workspace(&self, _plan: &CompiledNet) {}
+
+    fn execute<'a>(&self, plan: &CompiledNet, _input: (), _ws: &mut ()) -> NetworkReport {
         let spec = self.spec;
         let batch = plan.batch;
         let mut reports = Vec::with_capacity(plan.stages.len());
@@ -602,130 +684,162 @@ pub enum ActInput<'a> {
 /// Executes a compiled plan functionally on the CPU (real bit-packed
 /// compute, §5.1 dataflow). Requires a fully-fused, materialized plan —
 /// see [`CompiledNet::is_executable`].
+///
+/// Every run threads a mutable [`ExecWorkspace`] — the plan-sized arena
+/// holding per-stage activation slots, flatten/quantize scratch and kernel
+/// accumulators — so steady-state inference performs zero heap
+/// allocations. Execution runs **sequentially on the calling thread**: the
+/// serving tier parallelizes across worker threads (one workspace each),
+/// not inside a single request, which is what makes the zero-allocation
+/// property enforceable.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CpuEngine;
 
-enum Act<'a> {
-    /// Borrowed initial input — the engine never copies the caller's tensor.
-    MapRef(&'a BitTensor4),
+/// Owned activations chained through compile-time calibration.
+enum Act {
     Map(BitTensor4),
-    /// Borrowed initial input (all-linear plans).
-    VecRef(&'a BitPlanes),
     Vector(BitPlanes),
-    Logits(Vec<i32>, usize, usize), // features×batch row-major
-}
-
-impl Act<'_> {
-    fn as_map(&self) -> Option<&BitTensor4> {
-        match self {
-            Act::Map(t) => Some(t),
-            Act::MapRef(t) => Some(t),
-            _ => None,
-        }
-    }
 }
 
 impl Engine for CpuEngine {
     type Input<'a> = ActInput<'a>;
     type Output = Vec<i32>;
+    type Workspace = ExecWorkspace;
 
-    fn execute<'a>(&self, plan: &CompiledNet, input: ActInput<'a>) -> Vec<i32> {
-        let mains: Vec<&MainStage> = plan.main_stages().collect();
-        assert!(!mains.is_empty(), "empty network");
-        for s in &plan.stages {
-            if let PlanStage::Elementwise { name, .. } = s {
-                panic!(
-                    "stage `{name}` did not fuse; CpuEngine requires a fully-fused plan \
-                     (compile with fuse=true and a fusable network)"
-                );
-            }
-        }
+    fn workspace(&self, plan: &CompiledNet) -> ExecWorkspace {
+        ExecWorkspace::for_plan(plan)
+    }
 
-        let mut act = match input {
-            ActInput::Map(t) => Act::MapRef(t),
-            ActInput::Vec(v) => Act::VecRef(v),
-        };
-        let n_stages = mains.len();
-        for (i, stage) in mains.into_iter().enumerate() {
-            let last = i + 1 == n_stages;
-            act = run_main_stage(stage, act, last, i);
-        }
-        match act {
-            Act::Logits(y, m, n) => {
-                // features×batch → batch×classes.
-                let mut out = vec![0i32; m * n];
-                for f in 0..m {
-                    for b in 0..n {
-                        out[b * m + f] = y[f * n + b];
-                    }
-                }
-                out
-            }
-            _ => panic!("plan did not end in an i32 linear output stage"),
-        }
+    fn execute<'a>(
+        &self,
+        plan: &CompiledNet,
+        input: ActInput<'a>,
+        ws: &mut ExecWorkspace,
+    ) -> Vec<i32> {
+        let mut out = Vec::new();
+        cpu_execute_into(plan, input, ws, &mut out);
+        out
     }
 }
 
-fn run_main_stage<'a>(stage: &MainStage, act: Act<'a>, last: bool, i: usize) -> Act<'a> {
-    match (&stage.kernel, act) {
-        (MainKernel::Conv { prepared, .. }, act @ (Act::Map(_) | Act::MapRef(_))) => {
-            let prepared = prepared
-                .as_ref()
-                .unwrap_or_else(|| panic!("conv stage {i} has no materialized weights"));
-            let map = act.as_map().unwrap();
-            match prepared.execute_fused(map, stage.pool, &stage.epi) {
-                ConvOutput::Packed(next) => Act::Map(next),
-                ConvOutput::Int32(_) => {
-                    panic!("conv stage {i} must quantize (only the last linear may emit i32)")
+/// The functional engine core: run `plan` over `input`, all mutable state
+/// in `ws`, logits into `out` (`batch × classes`, row-major). This is the
+/// zero-allocation steady-state path behind [`CompiledNet::infer_into`].
+fn cpu_execute_into(
+    plan: &CompiledNet,
+    input: ActInput<'_>,
+    ws: &mut ExecWorkspace,
+    out: &mut Vec<i32>,
+) {
+    ws.check(plan);
+    for s in &plan.stages {
+        if let PlanStage::Elementwise { name, .. } = s {
+            panic!(
+                "stage `{name}` did not fuse; CpuEngine requires a fully-fused plan \
+                 (compile with fuse=true and a fusable network)"
+            );
+        }
+    }
+    let ExecWorkspace {
+        slots,
+        conv,
+        apmm,
+        codes,
+        y,
+        ..
+    } = ws;
+    let n_mains = slots.len();
+    let mut shard_n = 0;
+    let mut classes = 0;
+
+    /// This stage's input activation: the caller's tensor for stage 0, the
+    /// previous stage's output slot afterwards.
+    enum In<'x> {
+        Map(&'x BitTensor4),
+        Vector(&'x BitPlanes),
+    }
+
+    for (mi, stage) in plan.main_stages().enumerate() {
+        let last = mi + 1 == n_mains;
+        let (done, rest) = slots.split_at_mut(mi);
+        let slot = &mut rest[0];
+        let cur = if mi == 0 {
+            match input {
+                ActInput::Map(t) => {
+                    shard_n = t.shape().0;
+                    In::Map(t)
+                }
+                ActInput::Vec(v) => {
+                    shard_n = v.rows();
+                    In::Vector(v)
                 }
             }
-        }
-        (
-            MainKernel::Linear { prepared, .. },
-            act @ (Act::Map(_) | Act::MapRef(_) | Act::Vector(_) | Act::VecRef(_)),
-        ) => {
-            let prepared = prepared
-                .as_ref()
-                .unwrap_or_else(|| panic!("linear stage {i} has no materialized weights"));
-            let flat;
-            let v: &BitPlanes = match &act {
-                Act::Map(map) => {
-                    flat = flatten_map(map);
-                    &flat
-                }
-                Act::MapRef(map) => {
-                    flat = flatten_map(map);
-                    &flat
-                }
-                Act::Vector(v) => v,
-                Act::VecRef(v) => v,
-                Act::Logits(..) => unreachable!(),
-            };
-            if last {
-                assert!(
-                    stage.epi.output_bits().is_none(),
-                    "output stage must not quantize (§5.1)"
-                );
-                // The output layer's affine is applied *outside* the engine
-                // (exact integer logits end to end — §5.1), so any
-                // non-quantizing epilogue ops are ignored here, matching the
-                // pre-refactor QuantNet contract.
-                let n = v.rows();
-                Act::Logits(prepared.execute(v), prepared.desc.m, n)
-            } else {
-                match prepared.execute_fused(v, &stage.epi) {
-                    FusedOutput::Packed(next) => Act::Vector(next),
-                    FusedOutput::Int32(_) => panic!("hidden linear stage {i} must quantize"),
+        } else {
+            match &done[mi - 1].out {
+                SlotOut::Map(t) => In::Map(t),
+                SlotOut::Vector(v) => In::Vector(v),
+                SlotOut::None => unreachable!("only the output stage has no slot"),
+            }
+        };
+        match (&stage.kernel, cur) {
+            (MainKernel::Conv { prepared, .. }, In::Map(map)) => {
+                let prepared = prepared
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("conv stage {mi} has no materialized weights"));
+                let SlotOut::Map(out_map) = &mut slot.out else {
+                    unreachable!("conv slots hold packed maps")
+                };
+                prepared.execute_fused_into(map, stage.pool, &stage.epi, conv, out_map);
+            }
+            (MainKernel::Conv { .. }, In::Vector(_)) => {
+                panic!("conv stage {mi} after flatten")
+            }
+            (MainKernel::Linear { prepared, .. }, cur) => {
+                let prepared = prepared
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("linear stage {mi} has no materialized weights"));
+                let v: &BitPlanes = match cur {
+                    In::Map(map) => {
+                        let flat = slot
+                            .flat
+                            .as_mut()
+                            .expect("linear-after-map stage has a flatten slot");
+                        flatten_map_into(map, codes, flat);
+                        flat
+                    }
+                    In::Vector(v) => v,
+                };
+                if last {
+                    assert!(
+                        stage.epi.output_bits().is_none(),
+                        "output stage must not quantize (§5.1)"
+                    );
+                    // The output layer's affine is applied *outside* the
+                    // engine (exact integer logits end to end — §5.1), so
+                    // any non-quantizing epilogue ops are ignored here,
+                    // matching the pre-refactor QuantNet contract.
+                    prepared.execute_into(v, apmm, y);
+                    classes = prepared.desc.m;
+                } else {
+                    let SlotOut::Vector(out_vec) = &mut slot.out else {
+                        unreachable!("hidden linear slots hold packed vectors")
+                    };
+                    prepared.execute_fused_into(v, &stage.epi, apmm, codes, out_vec);
                 }
             }
+            (MainKernel::Baseline, _) => {
+                panic!("baseline stage {mi} cannot execute functionally")
+            }
         }
-        (MainKernel::Conv { .. }, Act::Vector(_) | Act::VecRef(_)) => {
-            panic!("conv stage {i} after flatten")
+    }
+
+    // features×batch → batch×classes.
+    out.clear();
+    out.resize(shard_n * classes, 0);
+    for f in 0..classes {
+        for b in 0..shard_n {
+            out[b * classes + f] = y[f * shard_n + b];
         }
-        (MainKernel::Baseline, _) => {
-            panic!("baseline stage {i} cannot execute functionally")
-        }
-        (_, Act::Logits(..)) => panic!("stage {i} follows the output stage"),
     }
 }
 
@@ -733,8 +847,20 @@ fn run_main_stage<'a>(stage: &MainStage, act: Act<'a>, last: bool, i: usize) -> 
 /// — the layout linear weights are packed against.
 pub fn flatten_map(map: &BitTensor4) -> BitPlanes {
     let (n, h, w, c) = map.shape();
+    let mut codes = Vec::new();
+    let mut out = BitPlanes::zeros(n, h * w * c, map.bits(), Encoding::ZeroOne);
+    flatten_map_into(map, &mut codes, &mut out);
+    out
+}
+
+/// [`flatten_map`] writing into caller-owned buffers (the workspace form):
+/// `codes` is the dense-code scratch, `out` the packed per-image feature
+/// rows, rebuilt in place. Allocation-free once both are at capacity.
+pub fn flatten_map_into(map: &BitTensor4, codes: &mut Vec<u32>, out: &mut BitPlanes) {
+    let (n, h, w, c) = map.shape();
     let features = h * w * c;
-    let mut codes = vec![0u32; n * features];
+    codes.clear();
+    codes.resize(n * features, 0);
     for b in 0..n {
         for y in 0..h {
             for x in 0..w {
@@ -744,7 +870,390 @@ pub fn flatten_map(map: &BitTensor4) -> BitPlanes {
             }
         }
     }
-    BitPlanes::from_codes(&codes, n, features, map.bits(), map.encoding())
+    out.from_codes_into(codes, n, features, map.bits(), map.encoding());
+}
+
+// ---------------------------------------------------------------------------
+// Execution workspaces.
+// ---------------------------------------------------------------------------
+
+/// The plan-sized execution arena of the functional engine — the
+/// reproduction's form of the paper's batch-based double caching: every
+/// buffer the hot loop touches is allocated **once**, sized by the plan at
+/// workspace-construction time, and rebuilt in place on every call.
+///
+/// Contents:
+/// * one packed activation slot per main stage (the stage's output — conv
+///   stages write a [`BitTensor4`] map, hidden linear stages a
+///   [`BitPlanes`] vector), plus a flatten slot where a linear stage
+///   consumes a map;
+/// * the kernel scratch ([`ConvScratch`] window gather /
+///   [`ApmmScratch`] correction table), sized at the per-stage peaks;
+/// * the shared dense-code scratch and the raw logits buffer.
+///
+/// Keep one workspace per serving thread and pass it to
+/// [`CompiledNet::infer_into`]; partial shards only ever *shrink* shapes,
+/// so any interleaving of shard sizes stays allocation-free. A workspace
+/// is bound to the plan (model, scheme, batch) it was built for — using it
+/// with a different plan panics.
+#[derive(Debug, Clone)]
+pub struct ExecWorkspace {
+    model: String,
+    scheme: String,
+    batch: usize,
+    slots: Vec<StageSlot>,
+    conv: ConvScratch,
+    apmm: ApmmScratch,
+    /// Dense-code scratch shared by flattening and quantize-packing.
+    codes: Vec<u32>,
+    /// Raw output-stage accumulators (features × batch).
+    y: Vec<i32>,
+}
+
+#[derive(Debug, Clone)]
+struct StageSlot {
+    /// Flattened map input (linear stages that may consume a map).
+    flat: Option<BitPlanes>,
+    /// The stage's packed output.
+    out: SlotOut,
+}
+
+#[derive(Debug, Clone)]
+enum SlotOut {
+    Map(BitTensor4),
+    Vector(BitPlanes),
+    /// The output stage writes raw logits, not a packed slot.
+    None,
+}
+
+impl ExecWorkspace {
+    /// Build a workspace for `plan`, pre-allocating every buffer at the
+    /// full-batch peaks reported by [`CompiledNet::workspace_spec`].
+    fn for_plan(plan: &CompiledNet) -> ExecWorkspace {
+        let layouts = stage_layouts(plan);
+        let peaks = ScratchPeaks::of(&layouts);
+        let mut slots = Vec::with_capacity(layouts.len());
+        for l in &layouts {
+            slots.push(StageSlot {
+                flat: l.flat.map(|(rows, cols, bits)| {
+                    BitPlanes::zeros(rows, cols, bits, Encoding::ZeroOne)
+                }),
+                out: match l.out {
+                    Some(SlotShape::Map { n, h, w, c, bits }) => {
+                        SlotOut::Map(BitTensor4::zeros(n, h, w, c, bits, Encoding::ZeroOne))
+                    }
+                    Some(SlotShape::Vector { rows, cols, bits }) => {
+                        SlotOut::Vector(BitPlanes::zeros(rows, cols, bits, Encoding::ZeroOne))
+                    }
+                    None => SlotOut::None,
+                },
+            });
+        }
+        let mut conv = ConvScratch::default();
+        conv.reserve(
+            peaks.win,
+            peaks.taps,
+            peaks.planes,
+            peaks.conv_acc,
+            peaks.pooled,
+        );
+        let mut apmm = ApmmScratch::default();
+        apmm.reserve(peaks.col_sums, peaks.apmm_acc);
+        kstats::record_workspace_create();
+        ExecWorkspace {
+            model: plan.model.clone(),
+            scheme: plan.scheme.clone(),
+            batch: plan.batch,
+            slots,
+            conv,
+            apmm,
+            codes: Vec::with_capacity(peaks.codes),
+            y: Vec::with_capacity(peaks.y),
+        }
+    }
+
+    /// Panic unless this workspace was built for `plan`.
+    fn check(&self, plan: &CompiledNet) {
+        assert!(
+            self.model == plan.model
+                && self.scheme == plan.scheme
+                && self.batch == plan.batch
+                && self.slots.len() == plan.main_stages().count(),
+            "workspace was built for `{}@{}` (batch {}); got `{}@{}` (batch {})",
+            self.model,
+            self.scheme,
+            self.batch,
+            plan.model,
+            plan.scheme,
+            plan.batch,
+        );
+    }
+}
+
+/// Memory footprint of a plan's [`ExecWorkspace`] — the sizing contract of
+/// [`CompiledNet::workspace`]: each stage's slot buffers are owned
+/// per-stage; the kernel scratch is shared and sized at the per-stage
+/// peaks.
+#[derive(Debug, Clone)]
+pub struct WorkspaceSpec {
+    /// Per-main-stage buffer demands, in execution order.
+    pub stages: Vec<StageWorkspace>,
+    /// Shared scratch (window gather, correction tables, accumulators,
+    /// dense codes, raw logits), sized at the per-stage peaks.
+    pub scratch_bytes: usize,
+    /// Total workspace footprint: per-stage slots + shared scratch.
+    pub total_bytes: usize,
+}
+
+/// One main stage's contribution to the workspace (see [`WorkspaceSpec`]).
+#[derive(Debug, Clone)]
+pub struct StageWorkspace {
+    /// Stage (layer) name.
+    pub name: String,
+    /// Packed output slot bytes (0 for the output stage).
+    pub out_bytes: usize,
+    /// Flatten-slot bytes (linear stages that may consume a map).
+    pub flat_bytes: usize,
+    /// Peak i32 accumulator bytes this stage demands of the shared scratch
+    /// (pre-pool accumulators + pooled buffer for conv, raw product for
+    /// linear).
+    pub acc_bytes: usize,
+}
+
+impl WorkspaceSpec {
+    fn for_plan(plan: &CompiledNet) -> WorkspaceSpec {
+        let layouts = stage_layouts(plan);
+        let peaks = ScratchPeaks::of(&layouts);
+        let mut stages = Vec::with_capacity(layouts.len());
+        for l in &layouts {
+            let out_bytes = match l.out {
+                Some(SlotShape::Map { n, h, w, c, bits }) => {
+                    n * bits as usize * h * w * (pad_to_bmma_k(c) / 64) * 8
+                }
+                Some(SlotShape::Vector { rows, cols, bits }) => {
+                    bits as usize * rows * (pad_to_bmma_k(cols) / 64) * 8
+                }
+                None => 0,
+            };
+            let flat_bytes = l
+                .flat
+                .map(|(rows, cols, bits)| bits as usize * rows * (pad_to_bmma_k(cols) / 64) * 8)
+                .unwrap_or(0);
+            stages.push(StageWorkspace {
+                name: l.name.clone(),
+                out_bytes,
+                flat_bytes,
+                acc_bytes: (l.acc_elems + l.pooled_elems + l.y_elems) * 4,
+            });
+        }
+        let scratch_bytes = peaks.bytes();
+        let total_bytes = scratch_bytes
+            + stages
+                .iter()
+                .map(|s| s.out_bytes + s.flat_bytes)
+                .sum::<usize>();
+        WorkspaceSpec {
+            stages,
+            scratch_bytes,
+            total_bytes,
+        }
+    }
+}
+
+/// Peak shared-scratch demands over a plan's stages — computed once and
+/// consumed by **both** [`ExecWorkspace::for_plan`] (what gets allocated)
+/// and [`WorkspaceSpec::for_plan`] (what gets reported), so the two can
+/// never disagree about a buffer.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScratchPeaks {
+    /// Conv window-gather words.
+    win: usize,
+    /// Conv out-of-frame tap slots (`usize` each).
+    taps: usize,
+    /// Conv per-plane popcount slots (`i32` each).
+    planes: usize,
+    /// Conv accumulator elements (`i32`).
+    conv_acc: usize,
+    /// Pooled accumulator elements (`i32`).
+    pooled: usize,
+    /// APMM activation column-sum elements (`i32`).
+    col_sums: usize,
+    /// APMM accumulator elements (`i32`).
+    apmm_acc: usize,
+    /// Dense-code scratch elements (`u32`).
+    codes: usize,
+    /// Raw logits elements (`i32`).
+    y: usize,
+}
+
+impl ScratchPeaks {
+    fn of(layouts: &[StageLayout]) -> ScratchPeaks {
+        let mut p = ScratchPeaks::default();
+        for l in layouts {
+            p.win = p.win.max(l.conv_win_words);
+            p.taps = p.taps.max(l.conv_taps);
+            p.planes = p.planes.max(l.conv_planes);
+            p.conv_acc = p.conv_acc.max(if l.is_conv { l.acc_elems } else { 0 });
+            p.pooled = p.pooled.max(l.pooled_elems);
+            p.col_sums = p.col_sums.max(l.apmm_col_sums);
+            p.apmm_acc = p.apmm_acc.max(if l.is_conv { 0 } else { l.acc_elems });
+            p.codes = p.codes.max(l.codes_elems);
+            p.y = p.y.max(l.y_elems);
+        }
+        p
+    }
+
+    /// Total bytes of every shared buffer listed above.
+    fn bytes(&self) -> usize {
+        (self.win + self.taps) * 8
+            + (self.planes + self.conv_acc + self.pooled + self.col_sums + self.apmm_acc + self.y)
+                * 4
+            + self.codes * 4
+    }
+}
+
+/// Packed shape of a stage's output slot.
+#[derive(Debug, Clone, Copy)]
+enum SlotShape {
+    Map {
+        n: usize,
+        h: usize,
+        w: usize,
+        c: usize,
+        bits: u32,
+    },
+    Vector {
+        rows: usize,
+        cols: usize,
+        bits: u32,
+    },
+}
+
+/// Per-stage buffer demands derived from the compiled descriptors — the
+/// single walk shared by [`ExecWorkspace`] and [`WorkspaceSpec`] so the
+/// two can never disagree.
+struct StageLayout {
+    name: String,
+    out: Option<SlotShape>,
+    flat: Option<(usize, usize, u32)>,
+    acc_elems: usize,
+    pooled_elems: usize,
+    y_elems: usize,
+    conv_win_words: usize,
+    conv_taps: usize,
+    conv_planes: usize,
+    apmm_col_sums: usize,
+    codes_elems: usize,
+    is_conv: bool,
+}
+
+fn stage_layouts(plan: &CompiledNet) -> Vec<StageLayout> {
+    assert!(plan.main_stages().next().is_some(), "empty network");
+    assert!(
+        plan.is_executable(),
+        "cannot size a workspace for `{}@{}`: the plan is not executable \
+         (simulation-only, baseline precision, or unfused element-wise stages)",
+        plan.model,
+        plan.scheme,
+    );
+    let n_mains = plan.main_stages().count();
+    let mut prev_is_conv = false;
+    plan.main_stages()
+        .enumerate()
+        .map(|(i, m)| {
+            let last = i + 1 == n_mains;
+            let layout = match &m.kernel {
+                MainKernel::Conv { desc, .. } => {
+                    assert!(!last, "plan did not end in an i32 linear output stage");
+                    let bits = m.epi.output_bits().unwrap_or_else(|| {
+                        panic!("conv stage {i} must quantize (only the last linear may emit i32)")
+                    });
+                    let (oh, ow) = (desc.out_h(), desc.out_w());
+                    let (ph, pw) = if m.pool.is_some() {
+                        (oh / 2, ow / 2)
+                    } else {
+                        (oh, ow)
+                    };
+                    let acc_elems = desc.batch * oh * ow * desc.cout;
+                    StageLayout {
+                        name: m.name.clone(),
+                        out: Some(SlotShape::Map {
+                            n: desc.batch,
+                            h: ph,
+                            w: pw,
+                            c: desc.cout,
+                            bits,
+                        }),
+                        flat: None,
+                        acc_elems,
+                        pooled_elems: if m.pool.is_some() {
+                            desc.batch * ph * pw * desc.cout
+                        } else {
+                            0
+                        },
+                        y_elems: 0,
+                        conv_win_words: desc.x_bits as usize
+                            * desc.kh
+                            * desc.kw
+                            * (desc.padded_c() / 64),
+                        conv_taps: desc.kh * desc.kw,
+                        conv_planes: desc.x_bits as usize,
+                        apmm_col_sums: 0,
+                        codes_elems: 0,
+                        is_conv: true,
+                    }
+                }
+                MainKernel::Linear { desc, .. } => {
+                    // A flatten slot is needed whenever this stage may see a
+                    // map: always for the first stage (the caller decides at
+                    // call time), and after any conv stage.
+                    let flat_needed = i == 0 || prev_is_conv;
+                    let out_bits = if last {
+                        assert!(
+                            m.epi.output_bits().is_none(),
+                            "output stage must not quantize (§5.1)"
+                        );
+                        None
+                    } else {
+                        Some(
+                            m.epi
+                                .output_bits()
+                                .unwrap_or_else(|| panic!("hidden linear stage {i} must quantize")),
+                        )
+                    };
+                    let flat_codes = if flat_needed { desc.n * desc.k } else { 0 };
+                    let pack_codes = if last { 0 } else { desc.n * desc.m };
+                    StageLayout {
+                        name: m.name.clone(),
+                        out: out_bits.map(|bits| SlotShape::Vector {
+                            rows: desc.n,
+                            cols: desc.m,
+                            bits,
+                        }),
+                        flat: if flat_needed {
+                            Some((desc.n, desc.k, desc.x_bits))
+                        } else {
+                            None
+                        },
+                        acc_elems: desc.m * desc.n,
+                        pooled_elems: 0,
+                        y_elems: if last { desc.m * desc.n } else { 0 },
+                        conv_win_words: 0,
+                        conv_taps: 0,
+                        conv_planes: 0,
+                        apmm_col_sums: desc.x_bits as usize * desc.n,
+                        codes_elems: flat_codes.max(pack_codes),
+                        is_conv: false,
+                    }
+                }
+                MainKernel::Baseline => {
+                    unreachable!("is_executable rejected baseline stages")
+                }
+            };
+            prev_is_conv = matches!(m.kernel, MainKernel::Conv { .. });
+            layout
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -760,7 +1269,7 @@ fn compile_main(
     precision: NetPrecision,
     opts: &CompileOptions,
     rng: &mut SynthRng,
-    calib: &mut Option<Act<'static>>,
+    calib: &mut Option<Act>,
 ) -> MainStage {
     let channels = op.out_channels();
 
@@ -939,9 +1448,9 @@ fn calibrate_stage(
     channels: usize,
     out_bits: u32,
     next_enc: Encoding,
-    act: Act<'static>,
+    act: Act,
     rng: &mut SynthRng,
-) -> (Epilogue, Option<Act<'static>>) {
+) -> (Epilogue, Option<Act>) {
     // Raw i32 accumulators (+ pooled geometry) and a per-element channel
     // index function.
     enum OutShape {
@@ -976,8 +1485,6 @@ fn calibrate_stage(
             let v = match act {
                 Act::Map(m) => flatten_map(&m),
                 Act::Vector(v) => v,
-                // Calibration only ever chains owned activations.
-                _ => unreachable!(),
             };
             let n = v.rows();
             (p.execute(&v), OutShape::Vector { n })
@@ -1232,6 +1739,82 @@ mod tests {
         );
         // Exact multiples have no remainder shard.
         assert!(plan.shards(8).iter().all(|s| s.len == 4));
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_shard_sizes() {
+        use apnn_bitpack::{Layout, Tensor4};
+        let plan = CompiledNet::compile(
+            &tiny_net(),
+            NetPrecision::w1a2(),
+            &CompileOptions::functional(4, 21),
+        );
+        let mut ws = plan.workspace();
+        let mut out = Vec::new();
+        // Interleave shard sizes (full, partial, single) through one
+        // workspace; every call must match a fresh allocating infer.
+        for n in [4usize, 1, 3, 4, 2] {
+            let codes = Tensor4::<u32>::from_fn(n, 3, 8, 8, Layout::Nhwc, |b, c, h, w| {
+                ((13 * b + 3 * c + 5 * h + 7 * w + n) % 256) as u32
+            });
+            let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+            plan.infer_into(&input, &mut ws, &mut out);
+            assert_eq!(out, plan.infer(&input), "shard of {n}");
+            assert_eq!(plan.infer_with(&input, &mut ws), out);
+        }
+    }
+
+    #[test]
+    fn workspace_spec_reports_plan_sized_buffers() {
+        let plan = CompiledNet::compile(
+            &tiny_net(),
+            NetPrecision::w1a2(),
+            &CompileOptions::functional(2, 5),
+        );
+        let spec = plan.workspace_spec();
+        assert_eq!(spec.stages.len(), plan.main_stages().count());
+        // Conv stage: packed map out, pre-pool accumulators.
+        let conv = &spec.stages[0];
+        assert_eq!(conv.name, "c1");
+        // 2 images × 2 bits × 4×4 pooled pixels × 1 padded channel word.
+        assert_eq!(conv.out_bytes, 2 * 2 * 4 * 4 * 2 * 8);
+        assert_eq!(conv.flat_bytes, 0);
+        // Pre-pool 8×8×8 accumulators + pooled 4×4×8, i32 each.
+        assert_eq!(conv.acc_bytes, (2 * 8 * 8 * 8 + 2 * 4 * 4 * 8) * 4);
+        // Output stage: no packed slot, flatten slot for the pooled map.
+        let fc = &spec.stages[1];
+        assert_eq!(fc.out_bytes, 0);
+        assert!(fc.flat_bytes > 0);
+        assert!(spec.scratch_bytes > 0);
+        assert!(spec.total_bytes >= spec.scratch_bytes + conv.out_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace was built for")]
+    fn workspace_is_bound_to_its_plan() {
+        use apnn_bitpack::{Layout, Tensor4};
+        let a = CompiledNet::compile(
+            &tiny_net(),
+            NetPrecision::w1a2(),
+            &CompileOptions::functional(2, 5),
+        );
+        let b = CompiledNet::compile(
+            &tiny_net(),
+            NetPrecision::w1a2(),
+            &CompileOptions::functional(4, 5),
+        );
+        let mut ws = a.workspace();
+        let codes = Tensor4::<u32>::from_fn(2, 3, 8, 8, Layout::Nhwc, |_, _, _, _| 1);
+        let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+        let mut out = Vec::new();
+        b.infer_into(&input, &mut ws, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "not executable")]
+    fn sim_only_plans_have_no_workspace() {
+        let plan = CompiledNet::compile(&tiny_net(), NetPrecision::w1a2(), &CompileOptions::sim(4));
+        let _ = plan.workspace();
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //!   once-only property.
 //! * [`Server`] — a bounded submission queue with blocking backpressure
 //!   and a pool of worker threads. Workers **coalesce** pending requests
-//!   for the same key into one packed batch
-//!   ([`apnn_bitpack::BitTensor4::concat_images`]), run the plan's
+//!   for the same key word-level into a reused per-worker tensor
+//!   ([`apnn_bitpack::BitTensor4::copy_image_from`]), run the plan's
 //!   compiled batch (partial shards allowed — see
-//!   [`apnn_nn::CompiledNet::shards`]), and scatter per-request logits
-//!   back through [`Ticket`] completion handles.
+//!   [`apnn_nn::CompiledNet::shards`]) through one long-lived
+//!   [`apnn_nn::compile::ExecWorkspace`] per (worker, plan) — so the
+//!   steady-state inference hot path performs **zero heap allocations**
+//!   — and scatter per-request logits back through [`Ticket`] completion
+//!   handles.
 //! * [`ServeStats`] — a consistent snapshot: queue depth, batch-fill
 //!   histogram, p50/p99 queueing latency in *ticks* (submissions are the
 //!   clock, so the numbers are load-dependent but wall-clock-free), and

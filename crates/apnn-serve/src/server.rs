@@ -1,13 +1,13 @@
 //! The dynamic batcher: bounded queue → coalesce → shard → complete.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use apnn_bitpack::BitTensor4;
 use apnn_kernels::stats as kstats;
-use apnn_nn::compile::MainKernel;
+use apnn_nn::compile::{ExecWorkspace, MainKernel};
 use apnn_nn::CompiledNet;
 
 use crate::registry::{ModelKey, PlanRegistry};
@@ -385,7 +385,38 @@ fn remove_indices(queue: &mut VecDeque<Request>, indices: &[usize]) -> Vec<Reque
     out
 }
 
+/// One worker thread's reusable execution state for one plan: the
+/// [`ExecWorkspace`] (plan-sized arena), the coalescing input tensor and
+/// the logits buffer. Built once per `(worker, plan)` pair — the
+/// `workspace_creates` stats counter proves it — so a long-running worker
+/// executes batch after batch with zero steady-state heap allocations in
+/// the inference hot path (only the per-ticket result copies allocate).
+struct WorkerCache {
+    ws: ExecWorkspace,
+    /// Coalesced request images (reused across batches).
+    input: BitTensor4,
+    /// `batch × classes` logits of the last execution.
+    logits: Vec<i32>,
+}
+
+impl WorkerCache {
+    fn new(plan: &CompiledNet, first: &BitTensor4) -> WorkerCache {
+        let (_, h, w, c) = first.shape();
+        WorkerCache {
+            ws: plan.workspace(),
+            // Born at the plan's full coalescing width so later batches
+            // only ever shrink or refill it.
+            input: BitTensor4::zeros(plan.batch().max(1), h, w, c, first.bits(), first.encoding()),
+            logits: Vec::new(),
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
+    // Per-worker, per-plan execution state. Keyed by `ModelKey`: the
+    // registry guarantees one immutable plan per key for the server's
+    // lifetime.
+    let mut caches: HashMap<ModelKey, WorkerCache> = HashMap::new();
     let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
     let mut force = false;
     loop {
@@ -409,7 +440,7 @@ fn worker_loop(shared: &Shared) {
                 // `in_flight`: catch it, fail the batch's tickets, keep the
                 // worker alive.
                 let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute_batch(&batch)
+                    execute_batch(&batch, &mut caches)
                 }))
                 .err();
                 if let Some(panic) = &panicked {
@@ -460,20 +491,46 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Coalesce → infer → scatter: run one batch and resolve its tickets.
-fn execute_batch(batch: &[Request]) {
+/// Coalesce → infer → scatter: run one batch through this worker's reused
+/// per-plan workspace and resolve its tickets.
+fn execute_batch(batch: &[Request], caches: &mut HashMap<ModelKey, WorkerCache>) {
     let plan = &batch[0].plan;
     let scope = kstats::scope();
-    let logits = if batch.len() == 1 {
-        plan.infer(&batch[0].image)
+    // `contains_key` + `get_mut` instead of `entry`: the hit path (every
+    // steady-state batch) must not clone the key.
+    if !caches.contains_key(&batch[0].key) {
+        caches.insert(
+            batch[0].key.clone(),
+            WorkerCache::new(plan, &batch[0].image),
+        );
+    }
+    let cache = caches.get_mut(&batch[0].key).expect("cache just ensured");
+    if batch.len() == 1 {
+        plan.infer_into(&batch[0].image, &mut cache.ws, &mut cache.logits);
     } else {
-        let images: Vec<&BitTensor4> = batch.iter().map(|r| &r.image).collect();
-        plan.infer(&BitTensor4::concat_images(&images))
-    };
+        // Word-level coalescing into the reused input tensor; `pick_batch`
+        // never hands out more than the compiled batch, and every slot is
+        // overwritten by a full-stride image copy (so no zeroing pass).
+        let (_, h, w, c) = batch[0].image.shape();
+        cache.input.reset_for_overwrite(
+            batch.len(),
+            h,
+            w,
+            c,
+            batch[0].image.bits(),
+            batch[0].image.encoding(),
+        );
+        for (i, r) in batch.iter().enumerate() {
+            cache.input.copy_image_from(&r.image, 0, i);
+        }
+        plan.infer_into(&cache.input, &mut cache.ws, &mut cache.logits);
+    }
     // The compiled-plan contract: serving performs zero preparation work.
     debug_assert_eq!(scope.autotune_calls(), 0, "serving re-autotuned");
     debug_assert_eq!(scope.weight_prepares(), 0, "serving re-packed weights");
+    debug_assert_eq!(scope.row_sum_builds(), 0, "serving rebuilt row sums");
     let classes = plan.classes();
+    let logits = &cache.logits;
     debug_assert_eq!(logits.len(), batch.len() * classes);
     for (i, r) in batch.iter().enumerate() {
         r.ticket

@@ -227,9 +227,17 @@ fn repeated_inference_reuses_the_compiled_plan() {
     let second = plan.infer(&input);
     assert_eq!(first, second);
     // Serving reuses every compiled artifact: no re-autotuning, no weight
-    // re-packing in the hot loop.
+    // re-packing, no correction-vector rebuilds in the hot loop.
     assert_eq!(serving.autotune_calls(), 0, "infer re-autotuned");
     assert_eq!(serving.weight_prepares(), 0, "infer re-packed weights");
+    assert_eq!(serving.row_sum_builds(), 0, "infer rebuilt W·J row sums");
+    // The workspace path reuses them too.
+    let mut ws = plan.workspace();
+    let mut out = Vec::new();
+    plan.infer_into(&input, &mut ws, &mut out);
+    assert_eq!(out, first);
+    assert_eq!(serving.row_sum_builds(), 0, "infer_into rebuilt row sums");
+    assert_eq!(serving.weight_prepares(), 0);
 
     // Batched serving over the Rayon pool reuses the plan too.
     let big_codes = Tensor4::<u32>::from_fn(5, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
@@ -247,6 +255,12 @@ fn repeated_inference_reuses_the_compiled_plan() {
         vgg_variant_tiny().compile(NetPrecision::w1a2(), &CompileOptions::functional(batch, 56));
     assert!(compiling.weight_prepares() > 0);
     assert!(compiling.autotune_calls() > 0);
+    // w1a2 (±1 weights, {0,1} activations) corrects with *activation*
+    // column sums — input-dependent, computed in scratch per call — so
+    // compilation builds no weight-side W·J vectors for it. Schemes that
+    // do need them (±1 activations, Turing XOR-only plans) are covered by
+    // the prepare-once counter test in `apnn-kernels`.
+    assert_eq!(compiling.row_sum_builds(), 0);
 }
 
 #[test]

@@ -81,55 +81,63 @@ fn independently_compiled_registries_host_bit_identical_plans() {
     assert_ne!(a.infer_batched(&input), c.infer_batched(&input));
 }
 
-/// Golden snapshots: `vgg_variant_tiny` logits under two schemes, pinned
-/// to files. A mismatch means serving changed numerics — bump the files
-/// deliberately (run with `REGEN_GOLDEN=1`) only when the change is
-/// intended and understood.
+/// Golden snapshots: every servable zoo model (`vgg_variant_tiny`,
+/// `alexnet_tiny`) × {w1a2, w2a2} logits, pinned to files. A mismatch
+/// means serving changed numerics — bump the files deliberately (run with
+/// `REGEN_GOLDEN=1`) only when the change is intended and understood.
 #[test]
 fn golden_logits_match_snapshots() {
     let input = fixed_input();
-    for precision in [NetPrecision::w1a2(), NetPrecision::Apnn { w: 2, a: 2 }] {
-        let key = ModelKey::new("VGG-Variant-Tiny", precision);
-        let plan = PlanRegistry::zoo(BATCH, SEED).get(&key).unwrap();
-        let logits = plan.infer_batched(&input);
-        let classes = plan.classes();
-        let path = format!(
-            "{}/tests/golden/vgg_variant_tiny_{}.txt",
-            env!("CARGO_MANIFEST_DIR"),
-            key.scheme().to_lowercase().replace('-', "_")
-        );
-        let rows: Vec<String> = logits
-            .chunks(classes)
-            .map(|row| {
-                row.iter()
-                    .map(|v| v.to_string())
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            })
-            .collect();
-        if std::env::var_os("REGEN_GOLDEN").is_some() {
-            let header = format!(
-                "# golden logits: VGG-Variant-Tiny @ {} — {} requests × {} classes,\n\
-                 # registry (batch={}, seed={}), fixed input seed 0xDECAF.\n",
-                key.scheme(),
-                REQUESTS,
-                classes,
-                BATCH,
-                SEED
-            );
-            std::fs::write(&path, header + &rows.join("\n") + "\n").unwrap();
-            continue;
+    for model in ["VGG-Variant-Tiny", "AlexNet-Tiny"] {
+        for precision in [NetPrecision::w1a2(), NetPrecision::Apnn { w: 2, a: 2 }] {
+            let key = ModelKey::new(model, precision);
+            golden_check(&key, &input);
         }
-        let golden = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("missing golden file {path}: {e}"));
-        let want: Vec<&str> = golden
-            .lines()
-            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
-            .collect();
-        assert_eq!(
-            rows, want,
-            "{key}: serve logits drifted from {path} \
-             (REGEN_GOLDEN=1 to re-pin intentionally)"
-        );
     }
+}
+
+fn golden_check(key: &ModelKey, input: &BitTensor4) {
+    let plan = PlanRegistry::zoo(BATCH, SEED).get(key).unwrap();
+    let logits = plan.infer_batched(input);
+    let classes = plan.classes();
+    let path = format!(
+        "{}/tests/golden/{}_{}.txt",
+        env!("CARGO_MANIFEST_DIR"),
+        key.model.to_lowercase().replace('-', "_"),
+        key.scheme().to_lowercase().replace('-', "_")
+    );
+    let rows: Vec<String> = logits
+        .chunks(classes)
+        .map(|row| {
+            row.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let header = format!(
+            "# golden logits: {} @ {} — {} requests × {} classes,\n\
+                 # registry (batch={}, seed={}), fixed input seed 0xDECAF.\n",
+            key.model,
+            key.scheme(),
+            REQUESTS,
+            classes,
+            BATCH,
+            SEED
+        );
+        std::fs::write(&path, header + &rows.join("\n") + "\n").unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path}: {e}"));
+    let want: Vec<&str> = golden
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .collect();
+    assert_eq!(
+        rows, want,
+        "{key}: serve logits drifted from {path} \
+             (REGEN_GOLDEN=1 to re-pin intentionally)"
+    );
 }

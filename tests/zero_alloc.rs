@@ -1,0 +1,75 @@
+//! The zero-allocation steady-state contract (the tentpole acceptance
+//! gate): once a plan's [`ExecWorkspace`] and output buffer are warm, every
+//! further `infer_into` call — full batch or any partial shard — performs
+//! **zero heap allocations**, for every servable zoo model × scheme.
+//!
+//! The instrument is a counting `#[global_allocator]`
+//! ([`apnn_tc::kernels::stats::CountingAllocator`]): the counter is
+//! process-wide, so an allocation sneaking onto *any* thread fails the
+//! assertion. Everything runs in the single test below — this binary must
+//! not host concurrent tests that allocate while the scope is open.
+//!
+//! [`ExecWorkspace`]: apnn_tc::nn::compile::ExecWorkspace
+
+use apnn_tc::bitpack::{BitTensor4, Encoding, Layout, Tensor4};
+use apnn_tc::kernels::stats::{alloc_scope, CountingAllocator};
+use apnn_tc::nn::models::servable_zoo;
+use apnn_tc::nn::{CompileOptions, NetPrecision};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+const BATCH: usize = 4;
+
+fn packed_input(net_h: usize, net_w: usize, n: usize, salt: u64) -> BitTensor4 {
+    let codes = Tensor4::<u32>::from_fn(n, 3, net_h, net_w, Layout::Nhwc, |b, c, h, w| {
+        ((salt as usize + 13 * b + 3 * c + 5 * h + 7 * w) % 256) as u32
+    });
+    BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne)
+}
+
+#[test]
+fn steady_state_inference_performs_zero_heap_allocations() {
+    for net in servable_zoo() {
+        for precision in [NetPrecision::w1a2(), NetPrecision::Apnn { w: 2, a: 2 }] {
+            let plan = net.compile(precision, &CompileOptions::functional(BATCH, 77));
+            let mut ws = plan.workspace();
+            let mut out = Vec::new();
+
+            // Inputs built *before* the scope opens; shard widths cover the
+            // full batch, a partial shard and a single request.
+            let inputs: Vec<BitTensor4> = [BATCH, 1, 3]
+                .iter()
+                .map(|&n| packed_input(net.input_h, net.input_w, n, n as u64))
+                .collect();
+
+            // First call per width warms `out` (and would surface any
+            // sizing bug in the workspace itself).
+            let mut want = Vec::new();
+            for input in &inputs {
+                plan.infer_into(input, &mut ws, &mut out);
+                want.push(out.clone());
+            }
+
+            // Steady state: interleave every width twice more — zero
+            // allocations, bit-identical logits.
+            let scope = alloc_scope();
+            for _ in 0..2 {
+                for input in &inputs {
+                    plan.infer_into(input, &mut ws, &mut out);
+                }
+            }
+            assert_eq!(
+                scope.allocations(),
+                0,
+                "{} @ {}: steady-state infer_into touched the allocator",
+                net.name,
+                precision.label()
+            );
+            for (input, want) in inputs.iter().zip(&want) {
+                plan.infer_into(input, &mut ws, &mut out);
+                assert_eq!(&out, want, "{} @ {}", net.name, precision.label());
+            }
+        }
+    }
+}
