@@ -3,11 +3,14 @@
 //!
 //! ```text
 //! repro <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|table4|serve|exec|all>
+//! repro check-bench <fresh_dir> <committed_dir>
 //! ```
 //!
 //! `serve` and `exec` additionally write machine-readable
 //! `BENCH_serve.json` / `BENCH_exec.json` artifacts (working directory, or
-//! `BENCH_DIR`) so the bench trajectory is tracked across PRs.
+//! `BENCH_DIR`) so the bench trajectory is tracked across PRs;
+//! `check-bench` schema-validates freshly generated artifacts against the
+//! committed copies (the `bench-trajectory` CI gate).
 //!
 //! Figures 5/7 run on the RTX 3090 preset, 6/8 on the A100 preset, matching
 //! the paper's panels; everything else defaults to the RTX 3090 (the paper
@@ -16,9 +19,10 @@
 use apnn_bench::{artifacts, experiments as exp, serve_load};
 use apnn_sim::GpuSpec;
 
-/// Run the serving load sweep, write `BENCH_serve.json`, return the table.
+/// Run the serving load sweep (burst × intra-batch threads), write
+/// `BENCH_serve.json`, return the table.
 fn serve() -> String {
-    let points = serve_load::sweep(&[1, 2, 4, 8, 16, 32], 96);
+    let points = serve_load::sweep(&[1, 2, 4, 8, 16, 32], &[1, 4], 96);
     let mut out = serve_load::report(&points);
     match artifacts::write_artifact("BENCH_serve.json", &artifacts::serve_json(&points)) {
         Ok(path) => out.push_str(&format!("wrote {}\n", path.display())),
@@ -27,16 +31,45 @@ fn serve() -> String {
     out
 }
 
-/// Run the steady-state exec benchmark, write `BENCH_exec.json`, return
-/// the table.
+/// Run the steady-state exec benchmark (thread/pool sweep), write
+/// `BENCH_exec.json`, return the table.
 fn exec() -> String {
-    let points = artifacts::exec_bench(8, 40);
+    let points = artifacts::exec_bench(8, 16, &[1, 2, 4], 8);
     let mut out = artifacts::exec_report(&points);
     match artifacts::write_artifact("BENCH_exec.json", &artifacts::exec_json(&points)) {
         Ok(path) => out.push_str(&format!("wrote {}\n", path.display())),
         Err(e) => out.push_str(&format!("could not write BENCH_exec.json: {e}\n")),
     }
     out
+}
+
+/// Validate freshly generated bench artifacts against the committed ones
+/// (the `bench-trajectory` CI gate): both parse, both pass the range
+/// checks, and both cover the same sweep points. Exits non-zero with a
+/// diagnostic on the first violation.
+fn check_bench(fresh_dir: &str, committed_dir: &str) -> Result<String, String> {
+    use apnn_bench::schema;
+    let read = |dir: &str, name: &str| -> Result<String, String> {
+        let path = std::path::Path::new(dir).join(name);
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let exec_keys = |dir: &str| -> Result<Vec<(String, String, u64)>, String> {
+        schema::validate_exec(&schema::parse_rows(&read(dir, "BENCH_exec.json")?)?)
+            .map_err(|e| format!("{dir}/BENCH_exec.json: {e}"))
+    };
+    let serve_keys = |dir: &str| -> Result<Vec<(u64, u64)>, String> {
+        schema::validate_serve(&schema::parse_rows(&read(dir, "BENCH_serve.json")?)?)
+            .map_err(|e| format!("{dir}/BENCH_serve.json: {e}"))
+    };
+    let (fe, ce) = (exec_keys(fresh_dir)?, exec_keys(committed_dir)?);
+    schema::same_keys(&fe, &ce, "BENCH_exec.json")?;
+    let (fs, cs) = (serve_keys(fresh_dir)?, serve_keys(committed_dir)?);
+    schema::same_keys(&fs, &cs, "BENCH_serve.json")?;
+    Ok(format!(
+        "bench artifacts OK: {} exec rows, {} serve rows, sweep points match the committed trajectory\n",
+        fe.len(),
+        fs.len()
+    ))
 }
 
 fn table1() -> String {
@@ -73,6 +106,20 @@ fn table1() -> String {
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if arg == "check-bench" {
+        let fresh = std::env::args().nth(2).unwrap_or_else(|| ".".to_string());
+        let committed = std::env::args().nth(3).unwrap_or_else(|| ".".to_string());
+        match check_bench(&fresh, &committed) {
+            Ok(msg) => {
+                println!("{msg}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("bench artifact validation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let g3090 = GpuSpec::rtx3090();
     let a100 = GpuSpec::a100();
 
@@ -131,7 +178,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{arg}'. Options: fig5..fig12, table1..table4, \
              fusion-ablation, ablation-tiles, ablation-layout, ablation-batching, turing, \
-             serve, exec, all"
+             serve, exec, check-bench <fresh_dir> <committed_dir>, all"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,322 @@
+//! Schema validation for the committed benchmark artifacts.
+//!
+//! The `bench-trajectory` CI job regenerates `BENCH_exec.json` /
+//! `BENCH_serve.json` on the runner and validates both the fresh and the
+//! committed copies here: every row must carry the expected fields with
+//! values in sane ranges, and the fresh artifact must cover exactly the
+//! same identity keys (model × scheme × threads, burst × threads) as the
+//! committed one. The gate is **schema-shaped, not threshold-shaped** —
+//! absolute throughput on a shared runner is noise, but a silently dropped
+//! model, scheme or sweep point is a broken trajectory.
+//!
+//! The parser below handles exactly the flat JSON this crate emits (see
+//! [`crate::artifacts`]): one top-level array of objects whose values are
+//! numbers or strings. The offline `serde` shim has no deserializer, so
+//! this is hand-rolled — and deliberately strict about that shape.
+
+use std::collections::BTreeMap;
+
+/// A scalar field of a flat artifact row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// A JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+}
+
+impl JsonVal {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonVal::Num(v) => Some(*v),
+            JsonVal::Str(_) => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Num(_) => None,
+            JsonVal::Str(s) => Some(s),
+        }
+    }
+}
+
+/// One artifact row: field name → scalar value.
+pub type Row = BTreeMap<String, JsonVal>;
+
+/// Parse a flat artifact file: `{"<key>": [ {..}, {..} ]}` with scalar-only
+/// objects. Returns the rows of the single top-level array.
+pub fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    // Find the opening '[' of the single top-level array.
+    let open = text.find('[').ok_or("no top-level array found")?;
+    let mut at = open + 1;
+    loop {
+        // Skip to the next '{' or the closing ']'.
+        let rest = &text[at..];
+        let next_obj = rest.find('{');
+        let next_close = rest.find(']').ok_or("unterminated array")?;
+        match next_obj {
+            Some(o) if o < next_close => {
+                let obj_start = at + o;
+                let obj_end = text[obj_start..]
+                    .find('}')
+                    .map(|e| obj_start + e)
+                    .ok_or("unterminated object")?;
+                rows.push(parse_object(&text[obj_start + 1..obj_end])?);
+                at = obj_end + 1;
+            }
+            _ => break,
+        }
+    }
+    Ok(rows)
+}
+
+/// Parse the `"key": value, ...` interior of one flat object.
+fn parse_object(body: &str) -> Result<Row, String> {
+    let mut row = Row::new();
+    for field in split_fields(body) {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let colon = field
+            .find(':')
+            .ok_or_else(|| format!("no colon in `{field}`"))?;
+        let key = field[..colon].trim().trim_matches('"').to_string();
+        let raw = field[colon + 1..].trim();
+        let val = if let Some(stripped) = raw.strip_prefix('"') {
+            JsonVal::Str(
+                stripped
+                    .strip_suffix('"')
+                    .ok_or_else(|| format!("unterminated string in `{field}`"))?
+                    .to_string(),
+            )
+        } else {
+            JsonVal::Num(
+                raw.parse::<f64>()
+                    .map_err(|e| format!("bad number `{raw}`: {e}"))?,
+            )
+        };
+        if row.insert(key.clone(), val).is_some() {
+            return Err(format!("duplicate field `{key}`"));
+        }
+    }
+    Ok(row)
+}
+
+/// Split an object body on commas that sit outside string literals.
+fn split_fields(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in body.chars() {
+        match ch {
+            '"' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Pull field `key` as a finite number, or explain what is missing.
+fn num(row: &Row, key: &str) -> Result<f64, String> {
+    let v = row
+        .get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))?
+        .as_num()
+        .ok_or_else(|| format!("field `{key}` is not a number"))?;
+    if !v.is_finite() {
+        return Err(format!("field `{key}` is not finite"));
+    }
+    Ok(v)
+}
+
+fn string(row: &Row, key: &str) -> Result<String, String> {
+    Ok(row
+        .get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .to_string())
+}
+
+/// Validate one `BENCH_exec.json` row set: required fields present, values
+/// in sane ranges. Returns the identity keys `(model, scheme, threads)`.
+pub fn validate_exec(rows: &[Row]) -> Result<Vec<(String, String, u64)>, String> {
+    if rows.is_empty() {
+        return Err("exec artifact has no rows".into());
+    }
+    let mut keys = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |e: String| format!("exec row {i}: {e}");
+        let model = string(row, "model").map_err(ctx)?;
+        let scheme = string(row, "scheme").map_err(ctx)?;
+        let batch = num(row, "batch").map_err(ctx)?;
+        let requests = num(row, "requests").map_err(ctx)?;
+        let threads = num(row, "threads").map_err(ctx)?;
+        let pool = num(row, "pool").map_err(ctx)?;
+        let reused = num(row, "reused_ws_rps").map_err(ctx)?;
+        let fresh = num(row, "fresh_ws_rps").map_err(ctx)?;
+        let ws = num(row, "workspace_bytes").map_err(ctx)?;
+        if !scheme.starts_with("APNN-") {
+            return Err(format!("exec row {i}: unexpected scheme `{scheme}`"));
+        }
+        if batch < 1.0 || requests < batch || threads < 1.0 || pool < 1.0 {
+            return Err(format!("exec row {i}: implausible sweep dimensions"));
+        }
+        if reused <= 0.0 || fresh <= 0.0 || ws <= 0.0 {
+            return Err(format!("exec row {i}: non-positive measurement"));
+        }
+        keys.push((model, scheme, threads as u64));
+    }
+    Ok(keys)
+}
+
+/// Validate one `BENCH_serve.json` row set. Returns the identity keys
+/// `(burst, threads)`.
+pub fn validate_serve(rows: &[Row]) -> Result<Vec<(u64, u64)>, String> {
+    if rows.is_empty() {
+        return Err("serve artifact has no rows".into());
+    }
+    let mut keys = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |e: String| format!("serve row {i}: {e}");
+        let burst = num(row, "burst").map_err(ctx)?;
+        let threads = num(row, "threads").map_err(ctx)?;
+        let pool = num(row, "pool").map_err(ctx)?;
+        let fill = num(row, "mean_fill").map_err(ctx)?;
+        let p50 = num(row, "p50_ticks").map_err(ctx)?;
+        let p99 = num(row, "p99_ticks").map_err(ctx)?;
+        let rps = num(row, "throughput_rps").map_err(ctx)?;
+        if burst < 1.0 || threads < 1.0 || pool < 1.0 {
+            return Err(format!("serve row {i}: implausible sweep dimensions"));
+        }
+        if !(1.0..=1024.0).contains(&fill) {
+            return Err(format!("serve row {i}: batch fill {fill} out of range"));
+        }
+        if p50 > p99 {
+            return Err(format!("serve row {i}: p50 {p50} exceeds p99 {p99}"));
+        }
+        if rps <= 0.0 {
+            return Err(format!("serve row {i}: non-positive throughput"));
+        }
+        keys.push((burst as u64, threads as u64));
+    }
+    Ok(keys)
+}
+
+/// Assert that two sorted identity-key sets are equal (fresh run vs.
+/// committed artifact): same sweep points, no silent drops or additions.
+pub fn same_keys<K: Ord + std::fmt::Debug + Clone>(
+    fresh: &[K],
+    committed: &[K],
+    what: &str,
+) -> Result<(), String> {
+    let mut f = fresh.to_vec();
+    let mut c = committed.to_vec();
+    f.sort();
+    c.sort();
+    if f != c {
+        return Err(format!(
+            "{what}: fresh and committed artifacts cover different sweep points\n  \
+             fresh:     {f:?}\n  committed: {c:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXEC: &str = r#"{
+"exec": [
+  {"model": "A", "scheme": "APNN-w1a2", "batch": 8, "requests": 32, "threads": 1, "pool": 1, "reused_ws_rps": 100.0, "fresh_ws_rps": 90.0, "workspace_bytes": 4096},
+  {"model": "A", "scheme": "APNN-w2a2", "batch": 8, "requests": 32, "threads": 4, "pool": 4, "reused_ws_rps": 55.5, "fresh_ws_rps": 50.1, "workspace_bytes": 4096}
+]
+}
+"#;
+
+    #[test]
+    fn parses_and_validates_exec_rows() {
+        let rows = parse_rows(EXEC).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("model").unwrap().as_str(), Some("A"));
+        assert_eq!(rows[1].get("threads").unwrap().as_num(), Some(4.0));
+        let keys = validate_exec(&rows).unwrap();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0], ("A".into(), "APNN-w1a2".into(), 1));
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_bad_ranges() {
+        let rows =
+            parse_rows(r#"{"exec": [{"model": "A", "scheme": "APNN-w1a2", "batch": 8}]}"#).unwrap();
+        let err = validate_exec(&rows).unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+
+        let rows = parse_rows(
+            r#"{"serve": [{"burst": 8, "threads": 1, "pool": 1, "mean_fill": 0.2,
+                "p50_ticks": 0, "p99_ticks": 1, "throughput_rps": 10.0}]}"#,
+        )
+        .unwrap();
+        let err = validate_serve(&rows).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn key_set_mismatch_is_detected() {
+        let a = vec![(1u64, 1u64), (2, 1)];
+        let b = vec![(1u64, 1u64), (2, 1)];
+        assert!(same_keys(&a, &b, "serve").is_ok());
+        let c = vec![(1u64, 1u64), (4, 1)];
+        let err = same_keys(&a, &c, "serve").unwrap_err();
+        assert!(err.contains("different sweep points"));
+    }
+
+    #[test]
+    fn round_trips_real_artifact_renderers() {
+        use crate::artifacts::{exec_json, serve_json, ExecPoint};
+        use crate::serve_load::LoadPoint;
+        let ejson = exec_json(&[ExecPoint {
+            model: "VGG-Variant-Tiny".into(),
+            scheme: "APNN-w1a2".into(),
+            batch: 8,
+            requests: 32,
+            threads: 2,
+            pool: 2,
+            reused_ws_rps: 321.0,
+            fresh_ws_rps: 300.0,
+            workspace_bytes: 1024,
+        }]);
+        let keys = validate_exec(&parse_rows(&ejson).unwrap()).unwrap();
+        assert_eq!(
+            keys,
+            vec![("VGG-Variant-Tiny".into(), "APNN-w1a2".into(), 2)]
+        );
+
+        let sjson = serve_json(&[LoadPoint {
+            burst: 16,
+            threads: 4,
+            pool: 8,
+            mean_fill: 7.5,
+            p50_ticks: 3,
+            p99_ticks: 11,
+            throughput_rps: 410.0,
+        }]);
+        let keys = validate_serve(&parse_rows(&sjson).unwrap()).unwrap();
+        assert_eq!(keys, vec![(16, 4)]);
+    }
+}

@@ -1,12 +1,15 @@
-//! Serving-tier load sweep: offered load (closed-loop burst size) vs.
-//! batch fill, queueing latency and throughput.
+//! Serving-tier load sweep: offered load (closed-loop burst size) ×
+//! intra-batch thread count vs. batch fill, queueing latency and
+//! throughput.
 //!
 //! The paper's end-to-end argument is that arbitrary-precision kernels pay
 //! off at network-serving scale; this driver quantifies the serving tier
 //! itself. Submitters issue bursts of concurrent requests against an
-//! `apnn-serve` [`Server`] and the table reports, per offered burst size:
-//! how full the coalesced batches ran (`fill`), how long requests queued
-//! in ticks (`p50`/`p99`), and end-to-end throughput in requests/s.
+//! `apnn-serve` [`Server`] and the table reports, per offered burst size
+//! and [`ServeConfig::intra_batch_threads`] setting: how full the
+//! coalesced batches ran (`fill`), how long requests queued in ticks
+//! (`p50`/`p99`), end-to-end throughput in requests/s, and the warmed
+//! workspace-pool population (`pool`).
 //!
 //! Run via `repro serve`.
 
@@ -22,6 +25,10 @@ use apnn_serve::{ModelKey, PlanRegistry, ServeConfig, Server};
 pub struct LoadPoint {
     /// Requests submitted per closed-loop burst.
     pub burst: usize,
+    /// `intra_batch_threads` the server ran with.
+    pub threads: usize,
+    /// Workspaces the per-plan pool warmed to over the run.
+    pub pool: usize,
     /// Mean requests per dispatched batch.
     pub mean_fill: f64,
     /// Median queueing latency in ticks.
@@ -32,46 +39,52 @@ pub struct LoadPoint {
     pub throughput_rps: f64,
 }
 
-/// Sweep offered load over `bursts`, serving `total` requests per point.
-pub fn sweep(bursts: &[usize], total: usize) -> Vec<LoadPoint> {
+/// Sweep offered load over `bursts` × `threads`, serving `total` requests
+/// per point.
+pub fn sweep(bursts: &[usize], threads: &[usize], total: usize) -> Vec<LoadPoint> {
     let batch = 8;
     let key = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
-    let mut points = Vec::with_capacity(bursts.len());
-    for &burst in bursts {
-        let server = Server::new(
-            PlanRegistry::zoo(batch, 7),
-            ServeConfig {
-                queue_capacity: 2 * batch.max(burst),
-                max_batch_delay: burst as u64,
-                workers: 4,
-            },
-        );
-        // Warm the plan cache without traffic (a deployment compiles at
-        // startup, not per request), so the reported fill/latency stats
-        // cover exactly the measured window.
-        server.registry().get(&key).unwrap();
+    let mut points = Vec::with_capacity(bursts.len() * threads.len());
+    for &intra in threads {
+        for &burst in bursts {
+            let server = Server::new(
+                PlanRegistry::zoo(batch, 7),
+                ServeConfig {
+                    queue_capacity: 2 * batch.max(burst),
+                    max_batch_delay: burst as u64,
+                    workers: 4,
+                    intra_batch_threads: intra,
+                },
+            );
+            // Warm the plan cache without traffic (a deployment compiles at
+            // startup, not per request), so the reported fill/latency stats
+            // cover exactly the measured window.
+            server.registry().get(&key).unwrap();
 
-        let start = Instant::now();
-        let mut done = 0usize;
-        while done < total {
-            let n = burst.min(total - done);
-            let tickets: Vec<_> = (0..n)
-                .map(|i| server.submit(&key, image(done + i)).unwrap())
-                .collect();
-            for t in &tickets {
-                t.wait().expect("serve request failed");
+            let start = Instant::now();
+            let mut done = 0usize;
+            while done < total {
+                let n = burst.min(total - done);
+                let tickets: Vec<_> = (0..n)
+                    .map(|i| server.submit(&key, image(done + i)).unwrap())
+                    .collect();
+                for t in &tickets {
+                    t.wait().expect("serve request failed");
+                }
+                done += n;
             }
-            done += n;
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = server.stats();
+            points.push(LoadPoint {
+                burst,
+                threads: intra,
+                pool: stats.workspace_pool_size,
+                mean_fill: stats.mean_fill(),
+                p50_ticks: stats.p50_latency_ticks,
+                p99_ticks: stats.p99_latency_ticks,
+                throughput_rps: done as f64 / elapsed.max(1e-9),
+            });
         }
-        let elapsed = start.elapsed().as_secs_f64();
-        let stats = server.stats();
-        points.push(LoadPoint {
-            burst,
-            mean_fill: stats.mean_fill(),
-            p50_ticks: stats.p50_latency_ticks,
-            p99_ticks: stats.p99_latency_ticks,
-            throughput_rps: done as f64 / elapsed.max(1e-9),
-        });
     }
     points
 }
@@ -86,14 +99,14 @@ pub fn report(points: &[LoadPoint]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:>7}{:>10}{:>10}{:>10}{:>14}",
-        "burst", "fill", "p50(tk)", "p99(tk)", "req/s"
+        "{:>7}{:>5}{:>6}{:>10}{:>10}{:>10}{:>14}",
+        "burst", "thr", "pool", "fill", "p50(tk)", "p99(tk)", "req/s"
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{:>7}{:>10.2}{:>10}{:>10}{:>14.1}",
-            p.burst, p.mean_fill, p.p50_ticks, p.p99_ticks, p.throughput_rps
+            "{:>7}{:>5}{:>6}{:>10.2}{:>10}{:>10}{:>14.1}",
+            p.burst, p.threads, p.pool, p.mean_fill, p.p50_ticks, p.p99_ticks, p.throughput_rps
         );
     }
     out
@@ -112,13 +125,15 @@ mod tests {
 
     #[test]
     fn sweep_accounts_for_every_request() {
-        let points = sweep(&[1, 4], 8);
-        assert_eq!(points.len(), 2);
+        let points = sweep(&[1, 4], &[1, 2], 8);
+        assert_eq!(points.len(), 4);
         for p in &points {
             assert!(p.mean_fill >= 1.0, "fill below 1 at burst {}", p.burst);
             assert!(p.throughput_rps > 0.0);
+            assert!(p.pool >= 1, "pool never warmed at burst {}", p.burst);
         }
         let table = report(&points);
         assert!(table.contains("req/s"));
+        assert!(table.contains("pool"));
     }
 }

@@ -79,6 +79,53 @@ impl BitMatrix {
         self.words_per_row = words_per_row;
     }
 
+    /// [`BitMatrix::reset_zeros`] without the zeroing pass, for callers
+    /// that immediately overwrite **every** word — in practice
+    /// [`BitMatrix::overwrite_from_codes_plane`], which stores each word
+    /// (including padding words) exactly once. Any region grown beyond the
+    /// previous length is zero-filled; surviving prefix words keep stale
+    /// bits until the overwrite lands.
+    pub fn reset_for_overwrite(&mut self, rows: usize, cols: usize) {
+        let padded_cols = pad_to_bmma_k(cols);
+        let words_per_row = padded_cols / WORD_BITS;
+        let len = rows * words_per_row;
+        self.data.truncate(len);
+        self.data.resize(len, 0);
+        self.rows = rows;
+        self.cols = cols;
+        self.padded_cols = padded_cols;
+        self.words_per_row = words_per_row;
+    }
+
+    /// Rebuild every word of this matrix from bit-plane `plane` of
+    /// row-major `codes`: each packed word — padding words included — is
+    /// *stored*, not OR-merged, so no prior zeroing pass is needed (pair
+    /// with [`BitMatrix::reset_for_overwrite`]). This is the hot-path
+    /// packing primitive: one pass, no memset, padding invariant restored
+    /// by construction.
+    pub fn overwrite_from_codes_plane(&mut self, codes: &[u32], plane: u32) {
+        assert_eq!(
+            codes.len(),
+            self.rows * self.cols,
+            "codes length must be rows*cols"
+        );
+        for r in 0..self.rows {
+            let row = &codes[r * self.cols..(r + 1) * self.cols];
+            let base = r * self.words_per_row;
+            for wi in 0..self.words_per_row {
+                let lo = wi * WORD_BITS;
+                let mut word = 0u64;
+                if lo < self.cols {
+                    let hi = (lo + WORD_BITS).min(self.cols);
+                    for (bit, &code) in row[lo..hi].iter().enumerate() {
+                        word |= (((code >> plane) & 1) as u64) << bit;
+                    }
+                }
+                self.data[base + wi] = word;
+            }
+        }
+    }
+
     /// Overwrite this (already correctly shaped, zeroed) matrix with
     /// bit-plane `plane` of `codes`. Allocation-free; pair with
     /// [`BitMatrix::reset_zeros`].
@@ -345,6 +392,27 @@ mod tests {
         // Already-wide matrices pass through unchanged.
         let same = wide.with_min_padding(128);
         assert_eq!(same.padded_cols(), 512);
+    }
+
+    #[test]
+    fn overwrite_from_codes_plane_matches_fresh_build_over_stale_state() {
+        // Fill with garbage at a big shape, then overwrite-rebuild at
+        // several shapes: every word (padding included) must match a fresh
+        // zero+fill build, with no zeroing pass in between.
+        let mut m = BitMatrix::from_fn(5, 300, |r, c| (r * 31 + c * 7) % 2 == 0);
+        for (rows, cols) in [(5, 300), (2, 100), (4, 257), (5, 300)] {
+            let codes: Vec<u32> = (0..rows * cols).map(|i| (i % 4) as u32).collect();
+            for plane in 0..2 {
+                m.reset_for_overwrite(rows, cols);
+                m.overwrite_from_codes_plane(&codes, plane);
+                assert_eq!(
+                    m,
+                    BitMatrix::from_codes_plane(&codes, rows, cols, plane),
+                    "{rows}x{cols} plane {plane}"
+                );
+                assert!(m.padding_is_zero());
+            }
+        }
     }
 
     #[test]

@@ -210,6 +210,43 @@ impl BitTensor4 {
         }
     }
 
+    /// Reserve backing-store capacity for `n` images of the given
+    /// per-image geometry without reshaping or writing anything. Pair
+    /// with [`BitTensor4::fill_from_batch_range`]: one up-front
+    /// reservation at the peak width makes every later fill — any shard
+    /// width, in any order — allocation-free.
+    pub fn reserve_images(&mut self, n: usize, h: usize, w: usize, c: usize, bits: u32) {
+        let words = n * bits as usize * h * w * (pad_to_bmma_k(c) / WORD_BITS);
+        self.data.reserve(words.saturating_sub(self.data.len()));
+    }
+
+    /// Reshape to `len` images of `src`'s per-image geometry and copy
+    /// images `[start, start + len)` of `src` in — **one contiguous
+    /// word-level memcpy** (the NPHWC layout is batch-major), and nothing
+    /// else: shrinking truncates, growing appends the copied words
+    /// directly, so no byte is ever zero-filled only to be overwritten.
+    /// This is the shard-staging primitive of the parallel batched
+    /// execution path; reserve capacity once at the peak width
+    /// ([`BitTensor4::reserve_images`]) and every fill is allocation-free.
+    pub fn fill_from_batch_range(&mut self, src: &BitTensor4, start: usize, len: usize) {
+        assert!(start + len <= src.n, "batch range out of bounds");
+        let stride = src.image_stride();
+        let need = len * stride;
+        let src_words = &src.data[start * stride..(start + len) * stride];
+        let have = self.data.len().min(need);
+        self.data.truncate(have);
+        self.data[..have].copy_from_slice(&src_words[..have]);
+        self.data.extend_from_slice(&src_words[have..]);
+        self.n = len;
+        self.bits = src.bits;
+        self.h = src.h;
+        self.w = src.w;
+        self.c = src.c;
+        self.padded_c = src.padded_c;
+        self.words_per_pixel = src.words_per_pixel;
+        self.encoding = src.encoding;
+    }
+
     /// Packed words of one whole image (`[start, start+1)` of the batch).
     #[inline]
     fn image_words(&self, n: usize) -> &[u64] {
@@ -502,6 +539,21 @@ mod tests {
         let b = t.batch_slice(2, 4);
         BitTensor4::concat_images_into(&[&a, &b], &mut buf);
         assert_eq!(buf, t);
+    }
+
+    #[test]
+    fn fill_from_batch_range_matches_batch_slice_across_widths() {
+        let codes = Tensor4::<u32>::from_fn(6, 3, 4, 4, Layout::Nhwc, |n, c, h, w| {
+            ((9 * n + 5 * c + 3 * h + w) % 4) as u32
+        });
+        let t = BitTensor4::from_tensor(&codes, 2, Encoding::ZeroOne);
+        let mut staged = BitTensor4::zeros(0, 1, 1, 1, 1, Encoding::ZeroOne);
+        // Shrinking and growing ranges through one reused buffer.
+        for (start, len) in [(0, 6), (2, 3), (5, 1), (0, 4), (3, 3)] {
+            staged.fill_from_batch_range(&t, start, len);
+            assert_eq!(staged, t.batch_slice(start, len), "range {start}+{len}");
+            assert!(staged.padding_is_zero());
+        }
     }
 
     #[test]

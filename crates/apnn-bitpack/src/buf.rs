@@ -1,0 +1,52 @@
+//! Buffer-reuse helpers shared by the workspace execution paths.
+
+/// Resize `v` to exactly `len` elements **without re-zeroing the surviving
+/// prefix**: shrinking truncates (capacity retained), growing default-fills
+/// only the new region. For callers that overwrite every element of
+/// `[0, len)` before reading — accumulators, staging code buffers, logits —
+/// this replaces the `clear(); resize(len, 0)` idiom, whose full-length
+/// memset was the dominant steady-state cost of workspace reuse. Once `v`
+/// has reached its peak length the call performs zero heap allocations and
+/// zero writes.
+pub fn resize_for_overwrite<T: Copy + Default>(v: &mut Vec<T>, len: usize) {
+    if len <= v.len() {
+        v.truncate(len);
+    } else {
+        v.resize(len, T::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_keeps_capacity_and_prefix() {
+        let mut v = vec![7i32; 100];
+        let cap = v.capacity();
+        resize_for_overwrite(&mut v, 10);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.capacity(), cap);
+        assert!(
+            v.iter().all(|&x| x == 7),
+            "prefix survives (stale by design)"
+        );
+    }
+
+    #[test]
+    fn grow_default_fills_only_the_new_region() {
+        let mut v = vec![3u32; 4];
+        resize_for_overwrite(&mut v, 8);
+        assert_eq!(&v[..4], &[3, 3, 3, 3]);
+        assert_eq!(&v[4..], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn same_length_is_a_no_op() {
+        let mut v = vec![1u64, 2, 3];
+        let ptr = v.as_ptr();
+        resize_for_overwrite(&mut v, 3);
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(v.as_ptr(), ptr);
+    }
+}

@@ -28,6 +28,7 @@
 pub mod ballot;
 pub mod bitmatrix;
 pub mod bittensor;
+pub mod buf;
 pub mod encoding;
 pub mod planes;
 pub mod tensor;
@@ -35,6 +36,7 @@ pub mod word;
 
 pub use bitmatrix::BitMatrix;
 pub use bittensor::BitTensor4;
+pub use buf::resize_for_overwrite;
 pub use encoding::Encoding;
 pub use planes::BitPlanes;
 pub use tensor::{Layout, Tensor4};

@@ -99,8 +99,11 @@ impl BitPlanes {
             self.planes.push(BitMatrix::zeros(0, 0));
         }
         for (s, plane) in self.planes.iter_mut().enumerate() {
-            plane.reset_zeros(rows, cols);
-            plane.fill_from_codes_plane(codes, s as u32);
+            // Every word (padding included) is stored by the overwrite,
+            // so the reshape skips the zeroing pass — the memset this
+            // avoids was the dominant cost of steady-state slot rebuilds.
+            plane.reset_for_overwrite(rows, cols);
+            plane.overwrite_from_codes_plane(codes, s as u32);
         }
         self.rows = rows;
         self.cols = cols;

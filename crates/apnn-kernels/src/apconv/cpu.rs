@@ -167,7 +167,6 @@ impl ConvScratch {
 fn gather_window_seq(
     desc: &ConvDesc,
     input: &BitTensor4,
-    fill: PadFill,
     fill_pattern: &[u64],
     b: usize,
     oy: usize,
@@ -179,8 +178,11 @@ fn gather_window_seq(
     let taps = desc.kh * desc.kw;
     let q = desc.x_bits as usize;
     let plane_words = taps * wpt;
-    scratch.win.clear();
-    scratch.win.resize(q * plane_words, 0);
+    // Every (plane, tap) slot is written exactly once below — in-frame taps
+    // copy the input, out-of-frame taps copy the fill pattern (which is
+    // all-zero words for `PadFill::Zeros`) — so the reshape skips the
+    // per-pixel zeroing pass the old `resize(.., 0)` paid on every window.
+    apnn_bitpack::resize_for_overwrite(&mut scratch.win, q * plane_words);
     scratch.oob.clear();
     for ky in 0..desc.kh {
         for kx in 0..desc.kw {
@@ -200,11 +202,9 @@ fn gather_window_seq(
                 }
             } else {
                 scratch.oob.push(tap);
-                if fill != PadFill::Zeros {
-                    for t in 0..q {
-                        let dst = t * plane_words + tap * wpt;
-                        scratch.win[dst..dst + wpt].copy_from_slice(fill_pattern);
-                    }
+                for t in 0..q {
+                    let dst = t * plane_words + tap * wpt;
+                    scratch.win[dst..dst + wpt].copy_from_slice(fill_pattern);
                 }
             }
         }
@@ -244,10 +244,10 @@ pub(crate) fn conv_exec_seq(
 
     let ConvExecPlan {
         eplan,
-        fill,
+        fill: _,
         fill_pattern,
     } = eplan_state;
-    let (eplan, fill) = (*eplan, *fill);
+    let eplan = *eplan;
     let need_popc = eplan.case == EmulationCase::AndWeightTransformed;
 
     let (oh, ow) = (desc.out_h(), desc.out_w());
@@ -256,24 +256,15 @@ pub(crate) fn conv_exec_seq(
     let pixels = n * oh * ow;
     let wpt = input.words_per_pixel();
     let plane_words = taps * wpt;
-    out.clear();
-    out.resize(pixels * cout, 0);
+    // Every element of `[0, pixels·cout)` is stored by the loop below, so
+    // the accumulator reshape pays no zeroing pass.
+    apnn_bitpack::resize_for_overwrite(out, pixels * cout);
 
     for pix in 0..pixels {
         let b = pix / (oh * ow);
         let oy = (pix / ow) % oh;
         let ox = pix % ow;
-        gather_window_seq(
-            desc,
-            input,
-            fill,
-            fill_pattern,
-            b,
-            oy,
-            ox,
-            need_popc,
-            scratch,
-        );
+        gather_window_seq(desc, input, fill_pattern, b, oy, ox, need_popc, scratch);
         let valid_taps = (taps - scratch.oob.len()) as i32;
         let oob_taps = scratch.oob.len() as i32;
 
@@ -355,7 +346,12 @@ pub(crate) fn conv_exec_fused_seq(
             (oh / 2, ow / 2, pooled)
         }
     };
-    out.reset_zeros(batch, ph, pw, cout, bits, Encoding::ZeroOne);
+    // `set_code` stores every real-channel bit of every plane for each of
+    // the `batch` images below, and channel-padding bits are zero
+    // inductively (this slot only ever holds outputs of this stage, whose
+    // padding was zeroed at construction and never set since), so the
+    // reshape skips the zeroing pass of `reset_zeros`.
+    out.reset_for_overwrite(batch, ph, pw, cout, bits, Encoding::ZeroOne);
     for b in 0..batch {
         for py in 0..ph {
             for px in 0..pw {
@@ -503,8 +499,8 @@ pub fn pool2_i32_into(
 ) {
     let ph = oh / 2;
     let pw = ow / 2;
-    out.clear();
-    out.resize(batch * ph * pw * cout, 0);
+    // Every pooled element is stored below — no zeroing pass needed.
+    apnn_bitpack::resize_for_overwrite(out, batch * ph * pw * cout);
     let v = out;
     for b in 0..batch {
         for py in 0..ph {

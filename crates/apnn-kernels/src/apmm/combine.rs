@@ -52,8 +52,8 @@ pub fn quantize_pack_transposed_into(
         "epilogue must end in quantize"
     );
     // Codes of the transposed output: row j (batch), col i (feature).
-    codes.clear();
-    codes.resize(n * m, 0);
+    // Every code is stored by the transpose loop — no zeroing pass.
+    apnn_bitpack::resize_for_overwrite(codes, n * m);
     for i in 0..m {
         for j in 0..n {
             codes[j * m + i] = epi.apply_to_code(y[i * n + j], i);

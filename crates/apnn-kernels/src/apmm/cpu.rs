@@ -195,15 +195,17 @@ pub(crate) fn apmm_exec_seq(
     debug_assert!(p <= 8 && q <= 8, "plane counts are 1..=8");
 
     let (needs_row, needs_col) = correction_needs(eplan.case);
-    col_sums.clear();
     if needs_col {
-        col_sums.resize(q * n, 0);
+        // Every entry is stored below — reshape without the zeroing pass.
+        apnn_bitpack::resize_for_overwrite(col_sums, q * n);
         for t in 0..q {
             let plane = x.plane(t as u32);
             for j in 0..n {
                 col_sums[t * n + j] = plane.row_popcount(j) as i32;
             }
         }
+    } else {
+        col_sums.clear();
     }
 
     // Per-plane word tables on the stack (plane counts are ≤ 8), so the
@@ -217,8 +219,8 @@ pub(crate) fn apmm_exec_seq(
         }
     });
 
-    out.clear();
-    out.resize(m * n, 0);
+    // Every accumulator is stored by the loop below — no zeroing pass.
+    apnn_bitpack::resize_for_overwrite(out, m * n);
     for i in 0..m {
         let w_rows: [&[u64]; 8] = std::array::from_fn(|s| {
             if s < p {

@@ -44,6 +44,7 @@ use rayon::prelude::*;
 use crate::exec::{price_elementwise, price_input_pack, tail_epilogue, NetworkReport, StageReport};
 use crate::fuse::{fuse_network, EwKind, FusedTail, MainOp, Stage};
 use crate::net::Network;
+use crate::pool::WorkspacePool;
 use crate::precision::NetPrecision;
 
 /// How much of the plan to materialize at compile time.
@@ -327,9 +328,11 @@ impl CompiledNet {
 
     /// Partition `n` requests into compiled-batch shards: every shard is
     /// `batch()` wide except the last, which carries the remainder (any
-    /// size down to 1). This is the public remainder-handling contract the
-    /// serve path and the differential tests are written against;
-    /// [`CompiledNet::infer_batched`] executes exactly these shards.
+    /// size down to 1). This is the *widest-legal-shard* contract the
+    /// differential tests exercise; [`CompiledNet::infer_batched_into`]
+    /// may cut narrower shards (`⌈n/threads⌉`) to fill the thread pool —
+    /// any such partition is bit-identical (partition invariance), which
+    /// is exactly what the differential harness proves.
     pub fn shards(&self, n: usize) -> Vec<Shard> {
         let width = self.batch.max(1);
         let mut out = Vec::with_capacity(n.div_ceil(width));
@@ -472,31 +475,98 @@ impl CompiledNet {
         cpu_execute_into(self, ActInput::Vec(input), ws, out);
     }
 
-    /// Serve a large request batch by sharding it into compiled-batch
-    /// chunks (see [`CompiledNet::shards`]) over the Rayon pool. `input`
-    /// carries any number of images; the plan is reused across shards
-    /// without re-lowering (each pool worker owns a transient workspace).
+    /// Serve a large request batch by sharding it over the Rayon pool with
+    /// a transient [`WorkspacePool`]. Thin wrapper over
+    /// [`CompiledNet::infer_batched_into`]; hot loops should hold a
+    /// long-lived pool and call that form instead.
     pub fn infer_batched(&self, input: &BitTensor4) -> Vec<i32> {
-        let n = input.shape().0;
-        let shard = self.batch.max(1);
-        let classes = self.classes();
-        if n <= shard {
-            return self.infer(input);
-        }
-        let shards = self.shards(n);
-        let mut out = vec![0i32; n * classes];
-        // `shards()` and `par_chunks_mut` both cut uniform widths with one
-        // trailing remainder, so chunk `ci` is exactly `shards[ci]`.
-        out.par_chunks_mut(shard * classes)
-            .enumerate()
-            .for_each(|(ci, chunk)| {
-                let s = shards[ci];
-                let slice = input.batch_slice(s.start, s.len);
-                let logits = self.infer(&slice);
-                chunk[..s.len * classes].copy_from_slice(&logits);
-            });
+        let pool = self.workspace_pool(rayon::current_num_threads().max(1));
+        let mut out = Vec::new();
+        self.infer_batched_into(input, &pool, 0, &mut out);
         out
     }
+
+    /// A [`WorkspacePool`] for this plan holding at most `max` workspaces
+    /// (created lazily; see the pool docs for the checkout protocol).
+    pub fn workspace_pool(&self, max: usize) -> WorkspacePool {
+        WorkspacePool::new(self, max)
+    }
+
+    /// Parallel allocation-free batched inference — the tentpole
+    /// composition of the workspace arenas and the Rayon pool:
+    ///
+    /// * the coalesced `input` (any number of images) is cut into
+    ///   contiguous shards of width `⌈n/threads⌉`, clamped to the compiled
+    ///   batch (`threads == 0` uses [`rayon::current_num_threads`]);
+    /// * shards fan out over the Rayon pool; each participant checks a
+    ///   plan-sized workspace out of `pool`, stages its shard with one
+    ///   word-level memcpy ([`BitTensor4::fill_from_batch_range`]) and runs
+    ///   the **same sequential [`CompiledNet::infer_into`] core**, so every
+    ///   request's logits are bit-identical to one-image `infer` — the
+    ///   per-element accumulation order never depends on the partition;
+    /// * logits land directly in each shard's disjoint chunk of `out`
+    ///   (resized in place, `n × classes` row-major).
+    ///
+    /// Once `pool` has warmed to its population and `out`/staging buffers
+    /// to their peaks, the call performs **zero heap allocations** — for
+    /// any interleaving of request counts, shard widths and thread counts
+    /// (`tests/zero_alloc.rs` proves it under a counting global
+    /// allocator).
+    pub fn infer_batched_into(
+        &self,
+        input: &BitTensor4,
+        pool: &WorkspacePool,
+        threads: usize,
+        out: &mut Vec<i32>,
+    ) {
+        let n = input.shape().0;
+        let classes = self.classes();
+        apnn_bitpack::resize_for_overwrite(out, n * classes);
+        if n == 0 {
+            return;
+        }
+        let threads = if threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            threads
+        }
+        .max(1);
+        let peak = self.batch.max(1);
+        let width = peak.min(n.div_ceil(threads)).max(1);
+        if n <= width {
+            // Single shard: one checkout, no fan-out — and no staging
+            // copy, since the whole input *is* the shard and the engine
+            // only borrows it.
+            let mut slot = pool.checkout(self);
+            cpu_execute_to_slice(self, ActInput::Map(input), slot.workspace_mut(), out);
+            return;
+        }
+        out.par_chunks_mut(width * classes)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let start = ci * width;
+                let len = (n - start).min(width);
+                let mut slot = pool.checkout(self);
+                let (ws, staged) = slot.parts_mut();
+                stage_shard(staged, input, start, len, peak);
+                cpu_execute_to_slice(
+                    self,
+                    ActInput::Map(&*staged),
+                    ws,
+                    &mut chunk[..len * classes],
+                );
+            });
+    }
+}
+
+/// Stage one contiguous shard into a pooled staging tensor: reserve the
+/// backing store at the plan's full coalescing width once (so a remainder
+/// shard arriving first cannot force a later reallocation), then copy the
+/// shard in — one word-level memcpy, nothing zero-filled.
+fn stage_shard(staged: &mut BitTensor4, input: &BitTensor4, start: usize, len: usize, peak: usize) {
+    let (_, h, w, c) = input.shape();
+    staged.reserve_images(peak.max(len), h, w, c, input.bits());
+    staged.fill_from_batch_range(input, start, len);
 }
 
 /// One contiguous slice of a request batch, at most one compiled batch
@@ -723,7 +793,8 @@ impl Engine for CpuEngine {
 }
 
 /// The functional engine core: run `plan` over `input`, all mutable state
-/// in `ws`, logits into `out` (`batch × classes`, row-major). This is the
+/// in `ws`, logits into `out` (`batch × classes`, row-major; resized in
+/// place without re-zeroing — every element is overwritten). This is the
 /// zero-allocation steady-state path behind [`CompiledNet::infer_into`].
 fn cpu_execute_into(
     plan: &CompiledNet,
@@ -731,6 +802,43 @@ fn cpu_execute_into(
     ws: &mut ExecWorkspace,
     out: &mut Vec<i32>,
 ) {
+    let (shard_n, classes) = cpu_execute_stages(plan, input, ws);
+    apnn_bitpack::resize_for_overwrite(out, shard_n * classes);
+    scatter_logits(ws, shard_n, classes, out);
+}
+
+/// [`cpu_execute_into`] writing into a pre-sized slice — the shard form of
+/// the parallel batched path, where each shard's logits land directly in
+/// its disjoint chunk of the caller's output buffer (no copy, no per-shard
+/// result vector).
+fn cpu_execute_to_slice(
+    plan: &CompiledNet,
+    input: ActInput<'_>,
+    ws: &mut ExecWorkspace,
+    out: &mut [i32],
+) {
+    let (shard_n, classes) = cpu_execute_stages(plan, input, ws);
+    assert_eq!(out.len(), shard_n * classes, "output slice mis-sized");
+    scatter_logits(ws, shard_n, classes, out);
+}
+
+/// features×batch → batch×classes transpose out of the workspace's raw
+/// logits buffer.
+fn scatter_logits(ws: &ExecWorkspace, shard_n: usize, classes: usize, out: &mut [i32]) {
+    for f in 0..classes {
+        for b in 0..shard_n {
+            out[b * classes + f] = ws.y[f * shard_n + b];
+        }
+    }
+}
+
+/// Run every stage of `plan`, leaving raw output-stage accumulators
+/// (features × batch) in `ws.y`; returns `(shard batch, classes)`.
+fn cpu_execute_stages(
+    plan: &CompiledNet,
+    input: ActInput<'_>,
+    ws: &mut ExecWorkspace,
+) -> (usize, usize) {
     ws.check(plan);
     for s in &plan.stages {
         if let PlanStage::Elementwise { name, .. } = s {
@@ -832,15 +940,7 @@ fn cpu_execute_into(
             }
         }
     }
-
-    // features×batch → batch×classes.
-    out.clear();
-    out.resize(shard_n * classes, 0);
-    for f in 0..classes {
-        for b in 0..shard_n {
-            out[b * classes + f] = y[f * shard_n + b];
-        }
-    }
+    (shard_n, classes)
 }
 
 /// Flatten a packed NHWC map into per-image feature rows, ordered `(h,w,c)`
@@ -859,8 +959,8 @@ pub fn flatten_map(map: &BitTensor4) -> BitPlanes {
 pub fn flatten_map_into(map: &BitTensor4, codes: &mut Vec<u32>, out: &mut BitPlanes) {
     let (n, h, w, c) = map.shape();
     let features = h * w * c;
-    codes.clear();
-    codes.resize(n * features, 0);
+    // Every code is stored by the walk below — no zeroing pass.
+    apnn_bitpack::resize_for_overwrite(codes, n * features);
     for b in 0..n {
         for y in 0..h {
             for x in 0..w {
@@ -1223,6 +1323,11 @@ fn stage_layouts(plan: &CompiledNet) -> Vec<StageLayout> {
                     };
                     let flat_codes = if flat_needed { desc.n * desc.k } else { 0 };
                     let pack_codes = if last { 0 } else { desc.n * desc.m };
+                    // The output stage writes its raw product straight
+                    // into the shared logits buffer (`y_elems`); only
+                    // hidden linear stages route through the apmm
+                    // accumulator scratch.
+                    let acc_elems = if last { 0 } else { desc.m * desc.n };
                     StageLayout {
                         name: m.name.clone(),
                         out: out_bits.map(|bits| SlotShape::Vector {
@@ -1235,7 +1340,7 @@ fn stage_layouts(plan: &CompiledNet) -> Vec<StageLayout> {
                         } else {
                             None
                         },
-                        acc_elems: desc.m * desc.n,
+                        acc_elems,
                         pooled_elems: 0,
                         y_elems: if last { desc.m * desc.n } else { 0 },
                         conv_win_words: 0,
@@ -1815,6 +1920,40 @@ mod tests {
     fn sim_only_plans_have_no_workspace() {
         let plan = CompiledNet::compile(&tiny_net(), NetPrecision::w1a2(), &CompileOptions::sim(4));
         let _ = plan.workspace();
+    }
+
+    #[test]
+    fn pooled_batched_inference_is_bit_identical_across_pools_and_threads() {
+        use apnn_bitpack::{Layout, Tensor4};
+        let plan = CompiledNet::compile(
+            &tiny_net(),
+            NetPrecision::w1a2(),
+            &CompileOptions::functional(3, 17),
+        );
+        let n = 10;
+        let codes = Tensor4::<u32>::from_fn(n, 3, 8, 8, Layout::Nhwc, |b, c, h, w| {
+            ((17 * b + 3 * c + 5 * h + 7 * w) % 256) as u32
+        });
+        let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+        // Reference: image-by-image sequential inference.
+        let mut want = Vec::new();
+        for b in 0..n {
+            want.extend(plan.infer(&input.batch_slice(b, 1)));
+        }
+        for pool_size in [1usize, 2, 8] {
+            let pool = plan.workspace_pool(pool_size);
+            let mut out = Vec::new();
+            for threads in [1usize, 2, 4, 0] {
+                // Repeat through the same pool: reuse must not leak state.
+                for _ in 0..2 {
+                    plan.infer_batched_into(&input, &pool, threads, &mut out);
+                    assert_eq!(out, want, "pool {pool_size}, threads {threads}");
+                }
+            }
+            let s = pool.stats();
+            assert!(s.created <= pool_size, "pool overgrew: {s:?}");
+            assert!(s.checkouts > 0);
+        }
     }
 
     #[test]

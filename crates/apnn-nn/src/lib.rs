@@ -26,6 +26,7 @@ pub mod fuse;
 pub mod layer;
 pub mod models;
 pub mod net;
+pub mod pool;
 pub mod precision;
 
 pub use compile::{
@@ -36,4 +37,5 @@ pub use functional::{QuantNet, QuantStage};
 pub use fuse::{fuse_network, MainOp, Stage};
 pub use layer::LayerSpec;
 pub use net::Network;
+pub use pool::{PooledWorkspace, WorkspacePool, WorkspacePoolStats};
 pub use precision::NetPrecision;

@@ -132,7 +132,7 @@ impl ExportedNet {
             .collect()
     }
 
-    /// Lower the trained model straight into a [`CompiledNet`] executable
+    /// Lower the trained model straight into a [`apnn_nn::CompiledNet`]
     /// plan for a given batch size — weights packed, emulation plans and
     /// correction vectors materialized once, ready for repeated
     /// `infer_vec` / `infer_batched` serving.

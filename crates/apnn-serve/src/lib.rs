@@ -10,23 +10,27 @@
 //! The moving parts:
 //!
 //! * [`PlanRegistry`] — maps a [`ModelKey`] `(model, precision scheme)` to
-//!   a cached [`CompiledNet`], compiled **lazily exactly once** and shared
+//!   a cached [`apnn_nn::CompiledNet`], compiled **lazily exactly once** and shared
 //!   (`Arc`) between every worker; cache hit/compile counters prove the
 //!   once-only property.
 //! * [`Server`] — a bounded submission queue with blocking backpressure
 //!   and a pool of worker threads. Workers **coalesce** pending requests
 //!   for the same key word-level into a reused per-worker tensor
-//!   ([`apnn_bitpack::BitTensor4::copy_image_from`]), run the plan's
-//!   compiled batch (partial shards allowed — see
-//!   [`apnn_nn::CompiledNet::shards`]) through one long-lived
-//!   [`apnn_nn::compile::ExecWorkspace`] per (worker, plan) — so the
-//!   steady-state inference hot path performs **zero heap allocations**
-//!   — and scatter per-request logits back through [`Ticket`] completion
-//!   handles.
+//!   ([`apnn_bitpack::BitTensor4::copy_image_from`]), then dispatch the
+//!   whole coalesced batch through a server-wide per-plan
+//!   [`apnn_nn::WorkspacePool`] via
+//!   [`apnn_nn::CompiledNet::infer_batched_into`]:
+//!   [`ServeConfig::intra_batch_threads`] shards fan out over the Rayon
+//!   pool, each against a checked-out plan-sized
+//!   [`apnn_nn::compile::ExecWorkspace`] — so the steady-state inference
+//!   hot path performs **zero heap allocations** while keeping every core
+//!   busy — and per-request logits scatter back through [`Ticket`]
+//!   completion handles.
 //! * [`ServeStats`] — a consistent snapshot: queue depth, batch-fill
 //!   histogram, p50/p99 queueing latency in *ticks* (submissions are the
-//!   clock, so the numbers are load-dependent but wall-clock-free), and
-//!   the plan-cache counters.
+//!   clock, so the numbers are load-dependent but wall-clock-free), the
+//!   plan-cache counters, and the workspace-pool dimensions
+//!   (population, checkouts, checkout contention).
 //!
 //! The serving invariant the differential test harness enforces
 //! (`tests/serve_differential.rs` at the workspace root): **any** grouping

@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use apnn_bitpack::BitTensor4;
 use apnn_kernels::stats as kstats;
-use apnn_nn::compile::{ExecWorkspace, MainKernel};
-use apnn_nn::CompiledNet;
+use apnn_nn::compile::MainKernel;
+use apnn_nn::{CompiledNet, WorkspacePool};
 
 use crate::registry::{ModelKey, PlanRegistry};
 use crate::stats::{ServeStats, StatsInner};
@@ -44,6 +44,14 @@ pub struct ServeConfig {
     pub max_batch_delay: u64,
     /// Worker threads executing batches.
     pub workers: usize,
+    /// Shards a coalesced batch fans out over inside one dispatch
+    /// ([`apnn_nn::CompiledNet::infer_batched_into`]): `1` executes the
+    /// batch sequentially on the dispatching worker (the pre-pool
+    /// behaviour); `N > 1` cuts it into `N` shards run across the Rayon
+    /// pool, each against a workspace checked out of the server's shared
+    /// per-plan [`WorkspacePool`]. Logits are bit-identical either way —
+    /// the partition never changes per-element accumulation order.
+    pub intra_batch_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +60,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_batch_delay: 0,
             workers: 2,
+            intra_batch_threads: 1,
         }
     }
 }
@@ -145,6 +154,26 @@ struct Shared {
     idle: Condvar,
     registry: PlanRegistry,
     config: ServeConfig,
+    /// One shared [`WorkspacePool`] per served plan (created on the first
+    /// batch for that plan, shared by every worker and every intra-batch
+    /// shard). Sized so the population can cover every worker dispatching
+    /// at full intra-batch width simultaneously; `workspace_creates` proves
+    /// it warms to a fixed size and never grows afterwards.
+    pools: Mutex<HashMap<ModelKey, Arc<WorkspacePool>>>,
+}
+
+impl Shared {
+    /// The shared pool for `key`, created on first use.
+    fn pool_for(&self, key: &ModelKey, plan: &CompiledNet) -> Arc<WorkspacePool> {
+        let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pool) = pools.get(key) {
+            return Arc::clone(pool);
+        }
+        let max = self.config.workers.max(1) * self.config.intra_batch_threads.max(1);
+        let pool = Arc::new(WorkspacePool::new(plan, max));
+        pools.insert(key.clone(), Arc::clone(&pool));
+        pool
+    }
 }
 
 /// A multi-model dynamic-batching inference server over a
@@ -177,6 +206,7 @@ impl Server {
             idle: Condvar::new(),
             registry,
             config,
+            pools: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -245,12 +275,27 @@ impl Server {
 
     /// Snapshot the serving counters (see [`ServeStats`]).
     pub fn stats(&self) -> ServeStats {
+        // Aggregate the per-plan workspace pools first (separate lock), so
+        // the queue lock is never held across pool inspection.
+        let pool_stats = {
+            let pools = self.shared.pools.lock().unwrap_or_else(|e| e.into_inner());
+            pools.values().fold((0usize, 0usize, 0u64, 0u64), |acc, p| {
+                let s = p.stats();
+                (
+                    acc.0 + 1,
+                    acc.1 + s.created,
+                    acc.2 + s.checkouts,
+                    acc.3 + s.contended,
+                )
+            })
+        };
         let state = self.lock_state();
         state.stats.snapshot(
             state.queue.len(),
             state.in_flight,
             self.shared.registry.compiles(),
             self.shared.registry.hits(),
+            pool_stats,
         )
     }
 
@@ -385,38 +430,35 @@ fn remove_indices(queue: &mut VecDeque<Request>, indices: &[usize]) -> Vec<Reque
     out
 }
 
-/// One worker thread's reusable execution state for one plan: the
-/// [`ExecWorkspace`] (plan-sized arena), the coalescing input tensor and
-/// the logits buffer. Built once per `(worker, plan)` pair — the
-/// `workspace_creates` stats counter proves it — so a long-running worker
-/// executes batch after batch with zero steady-state heap allocations in
-/// the inference hot path (only the per-ticket result copies allocate).
-struct WorkerCache {
-    ws: ExecWorkspace,
+/// One worker thread's reusable dispatch state for one plan: a handle to
+/// the server-wide [`WorkspacePool`] (cached so the steady-state path
+/// never touches the pool-map lock), the coalescing input tensor and the
+/// logits buffer. Execution workspaces themselves live in the shared pool
+/// — `workspace_creates` proves the population warms to at most
+/// `workers × intra_batch_threads` per plan and never grows afterwards.
+struct WorkerScratch {
+    pool: Arc<WorkspacePool>,
     /// Coalesced request images (reused across batches).
-    input: BitTensor4,
+    coalesce: BitTensor4,
     /// `batch × classes` logits of the last execution.
     logits: Vec<i32>,
 }
 
-impl WorkerCache {
-    fn new(plan: &CompiledNet, first: &BitTensor4) -> WorkerCache {
-        let (_, h, w, c) = first.shape();
-        WorkerCache {
-            ws: plan.workspace(),
-            // Born at the plan's full coalescing width so later batches
-            // only ever shrink or refill it.
-            input: BitTensor4::zeros(plan.batch().max(1), h, w, c, first.bits(), first.encoding()),
+impl WorkerScratch {
+    fn new(shared: &Shared, key: &ModelKey, plan: &CompiledNet) -> WorkerScratch {
+        WorkerScratch {
+            pool: shared.pool_for(key, plan),
+            coalesce: BitTensor4::zeros(0, 1, 1, 1, 1, apnn_bitpack::Encoding::ZeroOne),
             logits: Vec::new(),
         }
     }
 }
 
 fn worker_loop(shared: &Shared) {
-    // Per-worker, per-plan execution state. Keyed by `ModelKey`: the
+    // Per-worker, per-plan dispatch state. Keyed by `ModelKey`: the
     // registry guarantees one immutable plan per key for the server's
     // lifetime.
-    let mut caches: HashMap<ModelKey, WorkerCache> = HashMap::new();
+    let mut caches: HashMap<ModelKey, WorkerScratch> = HashMap::new();
     let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
     let mut force = false;
     loop {
@@ -440,7 +482,7 @@ fn worker_loop(shared: &Shared) {
                 // `in_flight`: catch it, fail the batch's tickets, keep the
                 // worker alive.
                 let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute_batch(&batch, &mut caches)
+                    execute_batch(shared, &batch, &mut caches)
                 }))
                 .err();
                 if let Some(panic) = &panicked {
@@ -491,39 +533,46 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Coalesce → infer → scatter: run one batch through this worker's reused
-/// per-plan workspace and resolve its tickets.
-fn execute_batch(batch: &[Request], caches: &mut HashMap<ModelKey, WorkerCache>) {
+/// Coalesce → shard over the pool → scatter: run one batch through the
+/// server's shared per-plan [`WorkspacePool`] and resolve its tickets.
+fn execute_batch(
+    shared: &Shared,
+    batch: &[Request],
+    caches: &mut HashMap<ModelKey, WorkerScratch>,
+) {
     let plan = &batch[0].plan;
+    let threads = shared.config.intra_batch_threads.max(1);
     let scope = kstats::scope();
     // `contains_key` + `get_mut` instead of `entry`: the hit path (every
     // steady-state batch) must not clone the key.
     if !caches.contains_key(&batch[0].key) {
         caches.insert(
             batch[0].key.clone(),
-            WorkerCache::new(plan, &batch[0].image),
+            WorkerScratch::new(shared, &batch[0].key, plan),
         );
     }
     let cache = caches.get_mut(&batch[0].key).expect("cache just ensured");
     if batch.len() == 1 {
-        plan.infer_into(&batch[0].image, &mut cache.ws, &mut cache.logits);
+        plan.infer_batched_into(&batch[0].image, &cache.pool, threads, &mut cache.logits);
     } else {
-        // Word-level coalescing into the reused input tensor; `pick_batch`
-        // never hands out more than the compiled batch, and every slot is
-        // overwritten by a full-stride image copy (so no zeroing pass).
+        // Word-level coalescing into the reused input tensor, its backing
+        // store reserved at the plan's full coalescing width once so later
+        // batches never reallocate; `pick_batch` never hands out more than
+        // the compiled batch, and every slot is overwritten by a
+        // full-stride image copy (so the reshape skips the zeroing pass).
         let (_, h, w, c) = batch[0].image.shape();
-        cache.input.reset_for_overwrite(
-            batch.len(),
-            h,
-            w,
-            c,
-            batch[0].image.bits(),
-            batch[0].image.encoding(),
-        );
+        let bits = batch[0].image.bits();
+        let enc = batch[0].image.encoding();
+        cache
+            .coalesce
+            .reserve_images(plan.batch().max(1).max(batch.len()), h, w, c, bits);
+        cache
+            .coalesce
+            .reset_for_overwrite(batch.len(), h, w, c, bits, enc);
         for (i, r) in batch.iter().enumerate() {
-            cache.input.copy_image_from(&r.image, 0, i);
+            cache.coalesce.copy_image_from(&r.image, 0, i);
         }
-        plan.infer_into(&cache.input, &mut cache.ws, &mut cache.logits);
+        plan.infer_batched_into(&cache.coalesce, &cache.pool, threads, &mut cache.logits);
     }
     // The compiled-plan contract: serving performs zero preparation work.
     debug_assert_eq!(scope.autotune_calls(), 0, "serving re-autotuned");
@@ -552,12 +601,17 @@ mod tests {
     }
 
     fn zoo_server(workers: usize, delay: u64) -> Server {
+        zoo_server_threads(workers, delay, 1)
+    }
+
+    fn zoo_server_threads(workers: usize, delay: u64, intra: usize) -> Server {
         Server::new(
             PlanRegistry::zoo(4, 99),
             ServeConfig {
                 queue_capacity: 16,
                 max_batch_delay: delay,
                 workers,
+                intra_batch_threads: intra,
             },
         )
     }
@@ -581,6 +635,33 @@ mod tests {
         // The fill histogram accounts for every request exactly once.
         let total: u64 = stats.batch_fill.iter().map(|&(f, c)| f as u64 * c).sum();
         assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn intra_batch_sharding_matches_sequential_dispatch_and_pools_warm() {
+        // The same traffic at intra_batch_threads ∈ {1, 4} must produce
+        // bit-identical logits; the shared pool must warm to a fixed
+        // population bounded by workers × intra_batch_threads.
+        let key = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
+        let mut logits_by_mode = Vec::new();
+        for intra in [1usize, 4] {
+            let server = zoo_server_threads(2, 4, intra);
+            let tickets: Vec<Ticket> = (0..12)
+                .map(|i| server.submit(&key, image(i)).unwrap())
+                .collect();
+            let got: Vec<Vec<i32>> = tickets.iter().map(|t| t.wait().unwrap()).collect();
+            server.wait_idle();
+            let stats = server.stats();
+            assert_eq!(stats.workspace_pools, 1);
+            assert!(
+                stats.workspace_pool_size <= 2 * intra,
+                "pool overgrew: {} workspaces for workers=2 × intra={intra}",
+                stats.workspace_pool_size
+            );
+            assert!(stats.workspace_checkouts >= stats.batches);
+            logits_by_mode.push(got);
+        }
+        assert_eq!(logits_by_mode[0], logits_by_mode[1]);
     }
 
     #[test]

@@ -64,6 +64,22 @@ pub struct ServeStats {
     pub plan_compiles: u64,
     /// Plan lookups served from the warm cache.
     pub plan_hits: u64,
+    /// Per-plan [`apnn_nn::WorkspacePool`]s the server has materialized
+    /// (one per plan that has executed at least one batch).
+    pub workspace_pools: usize,
+    /// Execution workspaces created across every pool — the warmed
+    /// population. Bounded by `workspace_pools × workers ×
+    /// intra_batch_threads` and constant once warm (`workspace_creates`
+    /// proves it process-wide).
+    pub workspace_pool_size: usize,
+    /// Workspace checkouts served across every pool (one per executed
+    /// shard).
+    pub workspace_checkouts: u64,
+    /// Checkouts that blocked waiting for a workspace to return — the
+    /// pool-contention signal: a persistently high ratio against
+    /// `workspace_checkouts` means the pools are undersized for the
+    /// configured parallelism.
+    pub workspace_contended: u64,
 }
 
 impl ServeStats {
@@ -96,6 +112,9 @@ impl StatsInner {
         in_flight: usize,
         plan_compiles: u64,
         plan_hits: u64,
+        // (pools, created, checkouts, contended) aggregated over the
+        // server's per-plan workspace pools.
+        pool_stats: (usize, usize, u64, u64),
     ) -> ServeStats {
         let mut sorted: Vec<u64> = self.latencies_ticks.iter().copied().collect();
         sorted.sort_unstable();
@@ -120,6 +139,10 @@ impl StatsInner {
             max_latency_ticks: sorted.last().copied().unwrap_or(0),
             plan_compiles,
             plan_hits,
+            workspace_pools: pool_stats.0,
+            workspace_pool_size: pool_stats.1,
+            workspace_checkouts: pool_stats.2,
+            workspace_contended: pool_stats.3,
         }
     }
 }
@@ -137,7 +160,7 @@ mod tests {
         };
         inner.batch_fill.insert(1, 2);
         inner.batch_fill.insert(4, 6);
-        let snap = inner.snapshot(3, 1, 2, 9);
+        let snap = inner.snapshot(3, 1, 2, 9, (2, 5, 40, 3));
         assert_eq!(snap.p50_latency_ticks, 50);
         assert_eq!(snap.p99_latency_ticks, 99);
         assert_eq!(snap.max_latency_ticks, 100);
@@ -145,6 +168,10 @@ mod tests {
         assert_eq!(snap.in_flight, 1);
         assert_eq!(snap.plan_compiles, 2);
         assert_eq!(snap.plan_hits, 9);
+        assert_eq!(snap.workspace_pools, 2);
+        assert_eq!(snap.workspace_pool_size, 5);
+        assert_eq!(snap.workspace_checkouts, 40);
+        assert_eq!(snap.workspace_contended, 3);
         let mean = snap.mean_fill();
         assert!((mean - 26.0 / 8.0).abs() < 1e-12);
     }
@@ -162,7 +189,7 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_all_zero() {
-        let snap = StatsInner::default().snapshot(0, 0, 0, 0);
+        let snap = StatsInner::default().snapshot(0, 0, 0, 0, (0, 0, 0, 0));
         assert_eq!(snap.p50_latency_ticks, 0);
         assert_eq!(snap.p99_latency_ticks, 0);
         assert_eq!(snap.mean_fill(), 0.0);

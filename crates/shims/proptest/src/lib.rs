@@ -7,6 +7,14 @@
 //! as a deterministic random-sampling harness. No shrinking: a failing case
 //! reports its inputs (via the assertion message) and the per-test RNG is
 //! seeded from the test name, so failures reproduce exactly.
+//!
+//! The `PROPTEST_CASES` environment variable overrides the per-test case
+//! count — including explicit `with_cases(n)` values, which is
+//! *stronger* than upstream proptest (where the env var only reseeds the
+//! default and explicit configs win). The inversion is deliberate: this
+//! workspace pins small per-test counts to keep PR builds fast, and the
+//! nightly `deep-proptest` CI job raises every harness to 2048 cases
+//! through the env var without touching the sources.
 
 /// Strategy combinators and sampling.
 pub mod strategy {
@@ -230,7 +238,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Lengths acceptable to [`vec`].
+    /// Lengths acceptable to [`vec()`].
     pub trait IntoLen {
         /// Draw a concrete length.
         fn draw_len(&self, rng: &mut TestRng) -> usize;
@@ -285,16 +293,31 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
-        /// Config running `cases` random cases.
+        /// Config running `cases` random cases — unless `PROPTEST_CASES`
+        /// overrides it (deliberately stronger than upstream, where
+        /// explicit configs beat the env var; see the crate docs).
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            Self::with_cases(64)
         }
+    }
+
+    /// The `PROPTEST_CASES` override, read once per process.
+    fn env_cases() -> Option<u32> {
+        static CASES: std::sync::OnceLock<Option<u32>> = std::sync::OnceLock::new();
+        *CASES.get_or_init(|| {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|&n| n > 0)
+        })
     }
 
     /// Explicit test-case failures (`return Err(TestCaseError::fail(..))`).

@@ -27,6 +27,7 @@ fn main() {
             queue_capacity: 32,
             max_batch_delay: 4, // wait up to 4 further submissions for fill
             workers: 2,
+            intra_batch_threads: 1,
         },
     );
 

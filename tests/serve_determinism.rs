@@ -36,6 +36,7 @@ fn serve_once(workers: usize) -> Vec<Vec<i32>> {
             queue_capacity: 32,
             max_batch_delay: 2,
             workers,
+            intra_batch_threads: 1,
         },
     );
     let input = fixed_input();

@@ -160,6 +160,7 @@ fn servers() -> &'static [(usize, Server)] {
                             queue_capacity: 2 * N * combos().len(),
                             max_batch_delay,
                             workers,
+                            intra_batch_threads: 1,
                         },
                     ),
                 )
@@ -209,6 +210,46 @@ proptest! {
                 stats.plan_hits >= stats.submitted - stats.plan_compiles,
                 "every warm submission must hit the cache"
             );
+        }
+    }
+}
+
+/// The pooled parallel path ([`CompiledNet::infer_batched_into`]) is a
+/// family of partitions indexed by thread count — every member, through
+/// every pool size, must be bit-identical to the sequential reference, and
+/// long-lived pools must neither leak state between calls nor grow past
+/// their cap.
+#[test]
+fn pooled_parallel_path_matches_sequential_infer_for_every_pool_and_thread_count() {
+    for combo in combos() {
+        let classes = combo.plan.classes();
+        for pool_size in [1usize, 2, 8] {
+            let pool = combo.plan.workspace_pool(pool_size);
+            let mut out = Vec::new();
+            for threads in [1usize, 2, 4, 0] {
+                // Twice per configuration: reuse through the warmed pool
+                // must stay bit-identical.
+                for round in 0..2 {
+                    combo
+                        .plan
+                        .infer_batched_into(&combo.input, &pool, threads, &mut out);
+                    for (req, want) in combo.reference.iter().enumerate() {
+                        assert_eq!(
+                            &out[req * classes..(req + 1) * classes],
+                            &want[..],
+                            "{}: request {req}, pool {pool_size}, threads {threads}, round {round}",
+                            combo.key
+                        );
+                    }
+                }
+            }
+            let stats = pool.stats();
+            assert!(
+                stats.created <= pool_size,
+                "{}: pool grew past its cap ({stats:?})",
+                combo.key
+            );
+            assert!(stats.checkouts > 0);
         }
     }
 }

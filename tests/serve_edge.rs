@@ -105,6 +105,7 @@ fn empty_queue_shutdown_does_not_deadlock() {
                 queue_capacity: 8,
                 max_batch_delay: 1_000_000, // workers would wait ~forever for fill
                 workers: 8,
+                intra_batch_threads: 1,
             },
         );
         server.wait_idle(); // empty queue: returns immediately
@@ -121,6 +122,7 @@ fn shutdown_drains_queued_requests() {
                 queue_capacity: 16,
                 max_batch_delay: 1_000_000, // dispatch only via drain/backstop
                 workers: 1,
+                intra_batch_threads: 1,
             },
         );
         let key = vgg_key();
@@ -147,6 +149,7 @@ fn bounded_queue_applies_backpressure_without_losing_requests() {
                 queue_capacity: 2, // far below the request count
                 max_batch_delay: 0,
                 workers: 2,
+                intra_batch_threads: 1,
             },
         );
         let key = vgg_key();

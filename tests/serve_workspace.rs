@@ -33,6 +33,7 @@ fn workers_build_one_workspace_per_plan_and_reuse_it() {
             queue_capacity: 32,
             max_batch_delay: 2,
             workers: WORKERS,
+            intra_batch_threads: 1,
         },
     );
     let keys = [
@@ -95,6 +96,7 @@ fn workers_build_one_workspace_per_plan_and_reuse_it() {
             queue_capacity: 32,
             max_batch_delay: 0,
             workers: 1,
+            intra_batch_threads: 1,
         },
     );
     let before = stats::workspace_creates();

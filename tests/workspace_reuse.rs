@@ -145,6 +145,45 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Pool-reuse analogue of the workspace proptest: interleaving
+    /// different request counts and thread counts through one long-lived
+    /// [`apnn_tc::nn::WorkspacePool`] per combo must stay bit-identical to
+    /// the fresh reference — pooled slots (workspace + staging tensor)
+    /// must never leak state between the shards that borrow them.
+    #[test]
+    fn interleaved_batches_through_one_pool_match_fresh_inference(
+        counts in proptest::collection::vec(1usize..=N, 6),
+        threads in proptest::collection::vec(1usize..=4, 6),
+        visit in proptest::collection::vec(0usize..4, 4),
+    ) {
+        for &ci in &visit {
+            let combo = &combos()[ci];
+            let classes = combo.plan.classes();
+            let pool = combo.plan.workspace_pool(2);
+            let mut out = Vec::new();
+            for (&n, &t) in counts.iter().zip(&threads) {
+                let slice = combo.input.batch_slice(0, n);
+                combo.plan.infer_batched_into(&slice, &pool, t, &mut out);
+                prop_assert_eq!(out.len(), n * classes);
+                for req in 0..n {
+                    prop_assert_eq!(
+                        &out[req * classes..(req + 1) * classes],
+                        &combo.reference[req][..],
+                        "{}: request {} differs ({} requests, {} threads)",
+                        &combo.label,
+                        req,
+                        n,
+                        t
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Deterministic spot check outside proptest: a reused workspace agrees
 /// with a *fresh* workspace built mid-sequence — reuse adds nothing and
 /// loses nothing.

@@ -1,15 +1,26 @@
 //! The zero-allocation steady-state contract (the tentpole acceptance
-//! gate): once a plan's [`ExecWorkspace`] and output buffer are warm, every
-//! further `infer_into` call — full batch or any partial shard — performs
-//! **zero heap allocations**, for every servable zoo model × scheme.
+//! gate), in both execution shapes:
+//!
+//! 1. **Sequential**: once a plan's [`ExecWorkspace`] and output buffer are
+//!    warm, every further `infer_into` call — full batch or any partial
+//!    shard — performs **zero heap allocations**;
+//! 2. **Parallel**: once a [`WorkspacePool`] has warmed to its population
+//!    (and the persistent Rayon shim pool has spawned), every further
+//!    `infer_batched_into` call — any request count, any thread count, any
+//!    pool size in {1, 2, 8} — performs **zero heap allocations**, with
+//!    shards fanning out across pool threads;
+//!
+//! for every servable zoo model × scheme.
 //!
 //! The instrument is a counting `#[global_allocator]`
 //! ([`apnn_tc::kernels::stats::CountingAllocator`]): the counter is
-//! process-wide, so an allocation sneaking onto *any* thread fails the
-//! assertion. Everything runs in the single test below — this binary must
-//! not host concurrent tests that allocate while the scope is open.
+//! process-wide, so an allocation sneaking onto *any* thread — including a
+//! Rayon pool worker — fails the assertion. Everything runs in the single
+//! test below — this binary must not host concurrent tests that allocate
+//! while the scope is open.
 //!
 //! [`ExecWorkspace`]: apnn_tc::nn::compile::ExecWorkspace
+//! [`WorkspacePool`]: apnn_tc::nn::WorkspacePool
 
 use apnn_tc::bitpack::{BitTensor4, Encoding, Layout, Tensor4};
 use apnn_tc::kernels::stats::{alloc_scope, CountingAllocator};
@@ -69,6 +80,54 @@ fn steady_state_inference_performs_zero_heap_allocations() {
             for (input, want) in inputs.iter().zip(&want) {
                 plan.infer_into(input, &mut ws, &mut out);
                 assert_eq!(&out, want, "{} @ {}", net.name, precision.label());
+            }
+
+            // -- Parallel path: WorkspacePool + infer_batched_into. ------
+            // Multi-shard request batch plus a partial remainder; thread
+            // counts beyond the machine width are legal (shards just
+            // queue).
+            let big = packed_input(net.input_h, net.input_w, 2 * BATCH + 1, 5);
+            let small = packed_input(net.input_h, net.input_w, 2, 6);
+            let mut reference = Vec::new();
+            plan.infer_batched_into(&big, &plan.workspace_pool(1), 1, &mut reference);
+            for pool_size in [1usize, 2, 8] {
+                let pool = plan.workspace_pool(pool_size);
+                // Warm deterministically: force the full population into
+                // existence (racing steady-state checkouts must never be
+                // the first to create a workspace), then warm `out` and
+                // the Rayon shim pool with one call per input.
+                let slots: Vec<_> = (0..pool_size).map(|_| pool.checkout(&plan)).collect();
+                drop(slots);
+                for threads in [1usize, 2, 4] {
+                    plan.infer_batched_into(&big, &pool, threads, &mut out);
+                    plan.infer_batched_into(&small, &pool, threads, &mut out);
+                }
+
+                let scope = alloc_scope();
+                for threads in [1usize, 2, 4] {
+                    plan.infer_batched_into(&big, &pool, threads, &mut out);
+                    plan.infer_batched_into(&small, &pool, threads, &mut out);
+                    plan.infer_batched_into(&big, &pool, threads, &mut out);
+                }
+                assert_eq!(
+                    scope.allocations(),
+                    0,
+                    "{} @ {}: parallel steady state touched the allocator (pool {pool_size})",
+                    net.name,
+                    precision.label()
+                );
+                assert_eq!(
+                    out,
+                    reference,
+                    "{} @ {}: pooled logits drifted (pool {pool_size})",
+                    net.name,
+                    precision.label()
+                );
+                let stats = pool.stats();
+                assert_eq!(
+                    stats.created, pool_size,
+                    "pool population must warm to its cap and stay there"
+                );
             }
         }
     }
