@@ -2,21 +2,21 @@
 //! simulated Ampere substrate.
 //!
 //! ```text
-//! repro <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|table4|serve|exec|all>
+//! repro <fig5|...|fig12|table1|...|table4|serve|exec|kernels|all>
 //! repro check-bench <fresh_dir> <committed_dir>
 //! ```
 //!
-//! `serve` and `exec` additionally write machine-readable
-//! `BENCH_serve.json` / `BENCH_exec.json` artifacts (working directory, or
-//! `BENCH_DIR`) so the bench trajectory is tracked across PRs;
-//! `check-bench` schema-validates freshly generated artifacts against the
-//! committed copies (the `bench-trajectory` CI gate).
+//! `serve`, `exec` and `kernels` additionally write machine-readable
+//! `BENCH_serve.json` / `BENCH_exec.json` / `BENCH_kernels.json` artifacts
+//! (working directory, or `BENCH_DIR`) so the bench trajectory is tracked
+//! across PRs; `check-bench` schema-validates freshly generated artifacts
+//! against the committed copies (the `bench-trajectory` CI gate).
 //!
 //! Figures 5/7 run on the RTX 3090 preset, 6/8 on the A100 preset, matching
 //! the paper's panels; everything else defaults to the RTX 3090 (the paper
 //! reports "similar trends" on both GPUs and focuses on the 3090, §6.1.2).
 
-use apnn_bench::{artifacts, experiments as exp, serve_load};
+use apnn_bench::{artifacts, experiments as exp, kernels, serve_load};
 use apnn_sim::GpuSpec;
 
 /// Run the serving load sweep (burst × intra-batch threads), write
@@ -43,6 +43,19 @@ fn exec() -> String {
     out
 }
 
+/// Run the kernel-level microkernel sweep (word GB/s + plane-pair
+/// throughput per emulation case), write `BENCH_kernels.json`, return the
+/// table.
+fn kernels() -> String {
+    let points = kernels::kernel_bench(96, 96, 4096, 20);
+    let mut out = kernels::kernels_report(&points);
+    match artifacts::write_artifact("BENCH_kernels.json", &kernels::kernels_json(&points)) {
+        Ok(path) => out.push_str(&format!("wrote {}\n", path.display())),
+        Err(e) => out.push_str(&format!("could not write BENCH_kernels.json: {e}\n")),
+    }
+    out
+}
+
 /// Validate freshly generated bench artifacts against the committed ones
 /// (the `bench-trajectory` CI gate): both parse, both pass the range
 /// checks, and both cover the same sweep points. Exits non-zero with a
@@ -61,14 +74,22 @@ fn check_bench(fresh_dir: &str, committed_dir: &str) -> Result<String, String> {
         schema::validate_serve(&schema::parse_rows(&read(dir, "BENCH_serve.json")?)?)
             .map_err(|e| format!("{dir}/BENCH_serve.json: {e}"))
     };
+    let kernel_keys = |dir: &str| -> Result<Vec<schema::KernelKey>, String> {
+        schema::validate_kernels(&schema::parse_rows(&read(dir, "BENCH_kernels.json")?)?)
+            .map_err(|e| format!("{dir}/BENCH_kernels.json: {e}"))
+    };
     let (fe, ce) = (exec_keys(fresh_dir)?, exec_keys(committed_dir)?);
     schema::same_keys(&fe, &ce, "BENCH_exec.json")?;
     let (fs, cs) = (serve_keys(fresh_dir)?, serve_keys(committed_dir)?);
     schema::same_keys(&fs, &cs, "BENCH_serve.json")?;
+    let (fk, ck) = (kernel_keys(fresh_dir)?, kernel_keys(committed_dir)?);
+    schema::same_keys(&fk, &ck, "BENCH_kernels.json")?;
     Ok(format!(
-        "bench artifacts OK: {} exec rows, {} serve rows, sweep points match the committed trajectory\n",
+        "bench artifacts OK: {} exec rows, {} serve rows, {} kernel rows, \
+         sweep points match the committed trajectory\n",
         fe.len(),
-        fs.len()
+        fs.len(),
+        fk.len()
     ))
 }
 
@@ -144,6 +165,7 @@ fn main() {
             "turing" => Some(exp::turing(&g3090)),
             "serve" => Some(serve()),
             "exec" => Some(exec()),
+            "kernels" => Some(kernels()),
             _ => None,
         }
     };
@@ -169,6 +191,7 @@ fn main() {
             "turing",
             "serve",
             "exec",
+            "kernels",
         ] {
             println!("{}", run(name).unwrap());
         }
@@ -178,7 +201,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{arg}'. Options: fig5..fig12, table1..table4, \
              fusion-ablation, ablation-tiles, ablation-layout, ablation-batching, turing, \
-             serve, exec, check-bench <fresh_dir> <committed_dir>, all"
+             serve, exec, kernels, check-bench <fresh_dir> <committed_dir>, all"
         );
         std::process::exit(2);
     }

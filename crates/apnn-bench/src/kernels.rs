@@ -1,0 +1,239 @@
+//! Kernel-level microbenchmark sweep: `BENCH_kernels.json`.
+//!
+//! The exec/serve artifacts track end-to-end throughput; this sweep sits
+//! one level below and measures the popcount **microkernel** itself
+//! (`apnn_kernels::micro`) through [`apnn_kernels::apmm::cpu::apmm_cpu_with_micro`]:
+//! one row per emulation case, reporting
+//!
+//! * `word_gbps` — operand bytes the plane-pair products logically
+//!   consume per second (`m·n·p·q·k_words·16` bytes per call: every pair
+//!   combines one weight word against one activation word). This is an
+//!   implementation-independent denominator, so the number is comparable
+//!   across PRs even when the kernel reorganizes its loops;
+//! * `pair_mops` — plane-pair partial products (`m·n·p·q`) per second, in
+//!   millions: the CPU analogue of the paper's "1-bit BMMA ops" rate.
+//!
+//! Each case runs at the compile-time-autotuned `(JB, KB)` tile (recorded
+//! in the row), over a reduction long enough that the column-block reuse
+//! matters. Like the other artifacts the committed copy is schema-gated,
+//! not threshold-gated (`apnn_bench::schema::validate_kernels`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use apnn_bitpack::{BitPlanes, Encoding};
+use apnn_kernels::apmm::cpu::apmm_cpu_with_micro;
+use apnn_kernels::apmm::ApmmDesc;
+use apnn_kernels::autotune::autotune_micro;
+use apnn_sim::BmmaOp;
+
+/// One microkernel measurement.
+#[derive(Debug, Clone)]
+pub struct KernelPoint {
+    /// Emulation-case label (`EmulationCase` variant name).
+    pub case: String,
+    /// Boolean tensor-core op the case issues (`and` / `xor`).
+    pub op: String,
+    /// Weight bits.
+    pub p: u32,
+    /// Activation bits.
+    pub q: u32,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction length in bits.
+    pub k: usize,
+    /// Column block the tuner chose.
+    pub jb: usize,
+    /// K block (64-bit words per round) the tuner chose.
+    pub kb: usize,
+    /// Logical operand GB/s through the plane-pair products.
+    pub word_gbps: f64,
+    /// Plane-pair partial products per second, in millions.
+    pub pair_mops: f64,
+}
+
+/// The sweep: one configuration per Ampere emulation case, at the paper's
+/// favorite precisions (`w1a1`, `w1a2`, `w2a1`, `w2a2`).
+fn sweep_cases() -> Vec<(Encoding, Encoding, u32, u32)> {
+    vec![
+        // Case I — AndUnsigned, w2a2.
+        (Encoding::ZeroOne, Encoding::ZeroOne, 2, 2),
+        // Case II — XorSignedBinary, w1a1.
+        (Encoding::PlusMinusOne, Encoding::PlusMinusOne, 1, 1),
+        // Case III — AndWeightTransformed, w1a2.
+        (Encoding::PlusMinusOne, Encoding::ZeroOne, 1, 2),
+        // Mirrored Case III — AndActivationTransformed, w2a1.
+        (Encoding::ZeroOne, Encoding::PlusMinusOne, 2, 1),
+    ]
+}
+
+fn operand(rows: usize, k: usize, bits: u32, enc: Encoding, seed: &mut u64) -> BitPlanes {
+    let next = move |s: &mut u64| {
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*s >> 33) as u32
+    };
+    if enc == Encoding::PlusMinusOne {
+        let vals: Vec<i32> = (0..rows * k)
+            .map(|_| if next(seed) & 1 == 0 { -1 } else { 1 })
+            .collect();
+        BitPlanes::from_signed_binary(&vals, rows, k)
+    } else {
+        let codes: Vec<u32> = (0..rows * k).map(|_| next(seed) % (1 << bits)).collect();
+        BitPlanes::from_codes(&codes, rows, k, bits, enc)
+    }
+}
+
+/// Run the kernel sweep: `iters` timed calls per case over an
+/// `m × n × k` problem (several timing rounds, best kept — scheduler
+/// noise only ever slows a round down).
+pub fn kernel_bench(m: usize, n: usize, k: usize, iters: usize) -> Vec<KernelPoint> {
+    let mut points = Vec::new();
+    let mut seed = 2021u64;
+    for (w_enc, x_enc, p, q) in sweep_cases() {
+        let desc = ApmmDesc {
+            m,
+            n,
+            k,
+            w_bits: p,
+            x_bits: q,
+            w_enc,
+            x_enc,
+        };
+        let w = operand(m, k, p, w_enc, &mut seed);
+        let x = operand(n, k, q, x_enc, &mut seed);
+        let eplan = desc.plan();
+        let k_words = apnn_bitpack::word::pad_to_bmma_k(k) / 64;
+        let micro = autotune_micro(n, k_words, p, q);
+
+        // Warm once (first touch of the packed operands), then time.
+        let mut sink = apmm_cpu_with_micro(&desc, &w, &x, eplan, micro);
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                sink = apmm_cpu_with_micro(&desc, &w, &x, eplan, micro);
+            }
+            best = best.min(t0.elapsed().as_secs_f64().max(1e-9) / iters as f64);
+        }
+        std::hint::black_box(&sink);
+
+        let pairs = (m * n) as f64 * (p * q) as f64;
+        let bytes = pairs * k_words as f64 * 16.0;
+        points.push(KernelPoint {
+            case: format!("{:?}", eplan.case),
+            op: match eplan.op {
+                BmmaOp::And => "and".to_string(),
+                BmmaOp::Xor => "xor".to_string(),
+            },
+            p,
+            q,
+            m,
+            n,
+            k,
+            jb: micro.jb,
+            kb: micro.kb,
+            word_gbps: bytes / best / 1e9,
+            pair_mops: pairs / best / 1e6,
+        });
+    }
+    points
+}
+
+/// Render the sweep as `BENCH_kernels.json` content (flat scalar rows,
+/// like the other artifacts — the offline `serde` shim has no serializer).
+pub fn kernels_json(points: &[KernelPoint]) -> String {
+    let mut body = String::new();
+    for (i, pt) in points.iter().enumerate() {
+        let _ = write!(
+            body,
+            "  {{\"case\": \"{}\", \"op\": \"{}\", \"p\": {}, \"q\": {}, \"m\": {}, \"n\": {}, \
+             \"k\": {}, \"jb\": {}, \"kb\": {}, \"word_gbps\": {:.2}, \"pair_mops\": {:.2}}}{}",
+            pt.case,
+            pt.op,
+            pt.p,
+            pt.q,
+            pt.m,
+            pt.n,
+            pt.k,
+            pt.jb,
+            pt.kb,
+            pt.word_gbps,
+            pt.pair_mops,
+            if i + 1 == points.len() { "\n" } else { ",\n" }
+        );
+    }
+    format!("{{\n\"kernels\": [\n{body}]\n}}\n")
+}
+
+/// Render the sweep as a human table (printed by `repro kernels`).
+pub fn kernels_report(points: &[KernelPoint]) -> String {
+    let mut out =
+        String::from("## Kernels: plane-pair popcount microkernel throughput per emulation case\n");
+    let _ = writeln!(
+        out,
+        "{:<28}{:<5}{:>3}{:>3}{:>6}{:>6}{:>7}{:>4}{:>4}{:>12}{:>12}",
+        "case", "op", "p", "q", "m", "n", "k", "jb", "kb", "word GB/s", "pair Mop/s"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<28}{:<5}{:>3}{:>3}{:>6}{:>6}{:>7}{:>4}{:>4}{:>12.2}{:>12.2}",
+            p.case, p.op, p.p, p.q, p.m, p.n, p.k, p.jb, p.kb, p.word_gbps, p.pair_mops
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_ampere_case_once() {
+        let points = kernel_bench(8, 8, 256, 1);
+        assert_eq!(points.len(), 4);
+        let mut cases: Vec<&str> = points.iter().map(|p| p.case.as_str()).collect();
+        cases.sort();
+        assert_eq!(
+            cases,
+            vec![
+                "AndActivationTransformed",
+                "AndUnsigned",
+                "AndWeightTransformed",
+                "XorSignedBinary",
+            ]
+        );
+        for p in &points {
+            assert!(p.word_gbps > 0.0 && p.pair_mops > 0.0);
+            assert!(p.jb >= 1 && p.kb >= 1);
+        }
+    }
+
+    #[test]
+    fn kernels_json_is_flat_and_complete() {
+        let json = kernels_json(&[KernelPoint {
+            case: "AndUnsigned".into(),
+            op: "and".into(),
+            p: 2,
+            q: 2,
+            m: 64,
+            n: 96,
+            k: 4096,
+            jb: 8,
+            kb: 64,
+            word_gbps: 12.345,
+            pair_mops: 678.9,
+        }]);
+        assert!(json.contains("\"case\": \"AndUnsigned\""));
+        assert!(json.contains("\"word_gbps\": 12.35"));
+        assert!(json.contains("\"jb\": 8"));
+        assert!(!json.contains(",\n]"));
+        let rows = crate::schema::parse_rows(&json).unwrap();
+        let keys = crate::schema::validate_kernels(&rows).unwrap();
+        assert_eq!(keys, vec![("AndUnsigned".into(), 2, 2, 64, 96, 4096)]);
+    }
+}

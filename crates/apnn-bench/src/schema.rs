@@ -184,6 +184,49 @@ pub fn validate_exec(rows: &[Row]) -> Result<Vec<(String, String, u64)>, String>
     Ok(keys)
 }
 
+/// Identity key of one `BENCH_kernels.json` row: `(case, p, q, m, n, k)`.
+/// The problem geometry is part of the identity, so silently changing the
+/// sweep size without regenerating the committed artifact breaks the
+/// trajectory gate.
+pub type KernelKey = (String, u64, u64, u64, u64, u64);
+
+/// Validate one `BENCH_kernels.json` row set: required fields present,
+/// values in sane ranges. Returns the [`KernelKey`] identity keys.
+pub fn validate_kernels(rows: &[Row]) -> Result<Vec<KernelKey>, String> {
+    if rows.is_empty() {
+        return Err("kernels artifact has no rows".into());
+    }
+    let mut keys = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |e: String| format!("kernels row {i}: {e}");
+        let case = string(row, "case").map_err(ctx)?;
+        let op = string(row, "op").map_err(ctx)?;
+        let p = num(row, "p").map_err(ctx)?;
+        let q = num(row, "q").map_err(ctx)?;
+        let m = num(row, "m").map_err(ctx)?;
+        let n = num(row, "n").map_err(ctx)?;
+        let k = num(row, "k").map_err(ctx)?;
+        let jb = num(row, "jb").map_err(ctx)?;
+        let kb = num(row, "kb").map_err(ctx)?;
+        let gbps = num(row, "word_gbps").map_err(ctx)?;
+        let mops = num(row, "pair_mops").map_err(ctx)?;
+        if op != "and" && op != "xor" {
+            return Err(format!("kernels row {i}: unexpected op `{op}`"));
+        }
+        if !(1.0..=8.0).contains(&p) || !(1.0..=8.0).contains(&q) {
+            return Err(format!("kernels row {i}: plane counts out of range"));
+        }
+        if m < 1.0 || n < 1.0 || k < 1.0 || jb < 1.0 || kb < 1.0 {
+            return Err(format!("kernels row {i}: implausible sweep dimensions"));
+        }
+        if gbps <= 0.0 || mops <= 0.0 {
+            return Err(format!("kernels row {i}: non-positive measurement"));
+        }
+        keys.push((case, p as u64, q as u64, m as u64, n as u64, k as u64));
+    }
+    Ok(keys)
+}
+
 /// Validate one `BENCH_serve.json` row set. Returns the identity keys
 /// `(burst, threads)`.
 pub fn validate_serve(rows: &[Row]) -> Result<Vec<(u64, u64)>, String> {
@@ -274,6 +317,25 @@ mod tests {
         .unwrap();
         let err = validate_serve(&rows).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_kernels_rows() {
+        let rows = parse_rows(
+            r#"{"kernels": [{"case": "AndUnsigned", "op": "nand", "p": 2, "q": 2, "m": 8,
+                "n": 8, "k": 128, "jb": 4, "kb": 8, "word_gbps": 1.0, "pair_mops": 1.0}]}"#,
+        )
+        .unwrap();
+        let err = validate_kernels(&rows).unwrap_err();
+        assert!(err.contains("unexpected op"), "{err}");
+
+        let rows = parse_rows(
+            r#"{"kernels": [{"case": "AndUnsigned", "op": "and", "p": 9, "q": 2, "m": 8,
+                "n": 8, "k": 128, "jb": 4, "kb": 8, "word_gbps": 1.0, "pair_mops": 1.0}]}"#,
+        )
+        .unwrap();
+        let err = validate_kernels(&rows).unwrap_err();
+        assert!(err.contains("plane counts"), "{err}");
     }
 
     #[test]

@@ -6,14 +6,14 @@
 //! output channel reduces against its packed weight row with XOR/AND +
 //! popcount. Out-of-frame taps follow the input-aware padding strategies.
 
-use apnn_bitpack::word::{and_popcount, xor_popcount};
 use apnn_bitpack::{BitTensor4, Encoding};
-use apnn_sim::BmmaOp;
 use rayon::prelude::*;
 
 use super::padding::{correct_xor_window, fill_words, pad_fill, valid_row_popc, PadFill};
 use super::{ConvDesc, ConvOutput, ConvWeights, Pool2};
+use crate::autotune::{autotune_micro, MicroTile};
 use crate::fusion::Epilogue;
+use crate::micro::{popc_tile, PlaneView, MAX_TILE};
 use crate::select::{plan, EmulationCase};
 
 /// Gathered window for one output pixel: per activation plane, the
@@ -26,6 +26,17 @@ struct Window {
     /// Per-plane popcount of the gathered bits (the `J·X` window sum used by
     /// Case III; pads are zero there so this equals the valid-bit sum).
     plane_popc: Vec<i32>,
+}
+
+/// Input coordinates + frame status of window tap `(ky, kx)` for output
+/// pixel `(oy, ox)` — the **single** copy of the stride/padding index
+/// arithmetic every gather path uses.
+#[inline]
+fn tap_coords(desc: &ConvDesc, oy: usize, ox: usize, ky: usize, kx: usize) -> (isize, isize, bool) {
+    let iy = (oy * desc.stride + ky) as isize - desc.pad as isize;
+    let ix = (ox * desc.stride + kx) as isize - desc.pad as isize;
+    let in_frame = iy >= 0 && ix >= 0 && (iy as usize) < desc.h && (ix as usize) < desc.w;
+    (iy, ix, in_frame)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -47,9 +58,7 @@ fn gather_window(
     for ky in 0..desc.kh {
         for kx in 0..desc.kw {
             let tap = ky * desc.kw + kx;
-            let iy = (oy * desc.stride + ky) as isize - desc.pad as isize;
-            let ix = (ox * desc.stride + kx) as isize - desc.pad as isize;
-            let in_frame = iy >= 0 && ix >= 0 && (iy as usize) < desc.h && (ix as usize) < desc.w;
+            let (iy, ix, in_frame) = tap_coords(desc, oy, ox, ky, kx);
             if in_frame {
                 for (t, plane) in planes.iter_mut().enumerate() {
                     plane[tap * wpt..(tap + 1) * wpt].copy_from_slice(input.pixel_words(
@@ -92,19 +101,42 @@ pub struct ConvExecPlan {
     pub(crate) eplan: crate::select::EmulationPlan,
     pub(crate) fill: PadFill,
     pub(crate) fill_pattern: Vec<u64>,
+    /// CPU microkernel `(JB, KB)` tile: the column block runs over output
+    /// channels (they share each loaded window word). Chosen once here —
+    /// per layer at compile time for prepared kernels — and exact for any
+    /// value (tests override it freely).
+    pub(crate) micro: MicroTile,
 }
 
 impl ConvExecPlan {
-    /// Resolve the plan + padding strategy for a layer.
+    /// Resolve the plan + padding strategy + microkernel tile for a layer.
     pub fn new(desc: &ConvDesc, weights: &ConvWeights) -> Self {
         let eplan = plan(desc.w_enc, desc.x_enc);
         let fill = pad_fill(desc.w_enc, desc.x_enc);
         let fill_pattern = fill_words(fill, desc.cin, weights.words_per_tap());
+        let micro = autotune_micro(
+            desc.cout,
+            desc.kh * desc.kw * weights.words_per_tap(),
+            desc.x_bits,
+            desc.w_bits,
+        );
         ConvExecPlan {
             eplan,
             fill,
             fill_pattern,
+            micro,
         }
+    }
+
+    /// The microkernel tile this plan executes with.
+    pub fn micro(&self) -> MicroTile {
+        self.micro
+    }
+
+    /// Replace the microkernel tile (bench sweeps, differential tests).
+    pub fn with_micro(mut self, micro: MicroTile) -> Self {
+        self.micro = micro;
+        self
     }
 }
 
@@ -163,6 +195,14 @@ impl ConvScratch {
 /// overwritten — in-frame taps copy the input, out-of-frame taps write the
 /// fill pattern (or zeros) — so stale data from the previous pixel never
 /// survives.
+///
+/// `shift_prev` enables the stride-1 fast path: when the scratch still
+/// holds this row's previous window (`(b, oy, ox−1)` at stride 1), tap
+/// `(ky, kx)` of the new window reads exactly the same input pixel as tap
+/// `(ky, kx+1)` of the old one — so the overlapping taps are moved left
+/// with one in-place `copy_within` per kernel row and only the fresh
+/// right-hand column is gathered from the input. Word contents (and hence
+/// every popcount downstream) are bit-identical to a full gather.
 #[allow(clippy::too_many_arguments)]
 fn gather_window_seq(
     desc: &ConvDesc,
@@ -172,39 +212,107 @@ fn gather_window_seq(
     oy: usize,
     ox: usize,
     need_popc: bool,
+    shift_prev: bool,
     scratch: &mut WindowScratch,
 ) {
     let wpt = input.words_per_pixel();
     let taps = desc.kh * desc.kw;
     let q = desc.x_bits as usize;
     let plane_words = taps * wpt;
-    // Every (plane, tap) slot is written exactly once below — in-frame taps
-    // copy the input, out-of-frame taps copy the fill pattern (which is
-    // all-zero words for `PadFill::Zeros`) — so the reshape skips the
-    // per-pixel zeroing pass the old `resize(.., 0)` paid on every window.
-    apnn_bitpack::resize_for_overwrite(&mut scratch.win, q * plane_words);
-    scratch.oob.clear();
-    for ky in 0..desc.kh {
-        for kx in 0..desc.kw {
-            let tap = ky * desc.kw + kx;
-            let iy = (oy * desc.stride + ky) as isize - desc.pad as isize;
-            let ix = (ox * desc.stride + kx) as isize - desc.pad as isize;
-            let in_frame = iy >= 0 && ix >= 0 && (iy as usize) < desc.h && (ix as usize) < desc.w;
-            if in_frame {
-                for t in 0..q {
-                    let dst = t * plane_words + tap * wpt;
-                    scratch.win[dst..dst + wpt].copy_from_slice(input.pixel_words(
-                        b,
-                        t as u32,
-                        iy as usize,
-                        ix as usize,
-                    ));
+    if shift_prev {
+        debug_assert_eq!(desc.stride, 1);
+        debug_assert!(ox > 0);
+        debug_assert_eq!(scratch.win.len(), q * plane_words);
+        // The per-plane popcounts update incrementally: only the departing
+        // left column and the arriving right column change, and both are
+        // touched by the shift anyway (exact integers, so this equals a
+        // full recount). Valid whenever the previous gather tracked them
+        // — same `need_popc` for every pixel of one execution.
+        let track_popc = need_popc && scratch.popc.len() == q;
+        if track_popc {
+            for t in 0..q {
+                let mut departing = 0u32;
+                for ky in 0..desc.kh {
+                    let base = t * plane_words + ky * desc.kw * wpt;
+                    departing += apnn_bitpack::word::popcount(&scratch.win[base..base + wpt]);
                 }
-            } else {
-                scratch.oob.push(tap);
-                for t in 0..q {
-                    let dst = t * plane_words + tap * wpt;
-                    scratch.win[dst..dst + wpt].copy_from_slice(fill_pattern);
+                scratch.popc[t] -= departing as i32;
+            }
+        }
+        // Shift the kw−1 overlapping columns left in place, per plane and
+        // kernel row. An old out-of-frame tap already holds the fill
+        // pattern, which is exactly what the shifted position needs, so no
+        // oob rewrite is required either.
+        for t in 0..q {
+            for ky in 0..desc.kh {
+                let base = t * plane_words + ky * desc.kw * wpt;
+                scratch
+                    .win
+                    .copy_within(base + wpt..base + desc.kw * wpt, base);
+            }
+        }
+        // Rebuild the bounds bookkeeping (cheap — no word traffic) and
+        // gather only the new rightmost column.
+        scratch.oob.clear();
+        for ky in 0..desc.kh {
+            for kx in 0..desc.kw {
+                let tap = ky * desc.kw + kx;
+                let (iy, ix, in_frame) = tap_coords(desc, oy, ox, ky, kx);
+                if kx + 1 == desc.kw {
+                    for t in 0..q {
+                        let dst = t * plane_words + tap * wpt;
+                        if in_frame {
+                            scratch.win[dst..dst + wpt].copy_from_slice(input.pixel_words(
+                                b,
+                                t as u32,
+                                iy as usize,
+                                ix as usize,
+                            ));
+                        } else {
+                            scratch.win[dst..dst + wpt].copy_from_slice(fill_pattern);
+                        }
+                        if track_popc {
+                            scratch.popc[t] +=
+                                apnn_bitpack::word::popcount(&scratch.win[dst..dst + wpt]) as i32;
+                        }
+                    }
+                }
+                if !in_frame {
+                    scratch.oob.push(tap);
+                }
+            }
+        }
+        if track_popc {
+            return;
+        }
+    } else {
+        // Every (plane, tap) slot is written exactly once below — in-frame
+        // taps copy the input, out-of-frame taps copy the fill pattern
+        // (which is all-zero words for `PadFill::Zeros`) — so the reshape
+        // skips the per-pixel zeroing pass the old `resize(.., 0)` paid on
+        // every window.
+        apnn_bitpack::resize_for_overwrite(&mut scratch.win, q * plane_words);
+        scratch.oob.clear();
+        for ky in 0..desc.kh {
+            for kx in 0..desc.kw {
+                let tap = ky * desc.kw + kx;
+                let (iy, ix, in_frame) = tap_coords(desc, oy, ox, ky, kx);
+                if in_frame {
+                    for t in 0..q {
+                        let dst = t * plane_words + tap * wpt;
+                        scratch.win[dst..dst + wpt].copy_from_slice(input.pixel_words(
+                            b,
+                            t as u32,
+                            iy as usize,
+                            ix as usize,
+                        ));
+                    }
+                } else {
+                    scratch.oob.push(tap);
+                    for t in 0..q {
+                        let dst = t * plane_words + tap * wpt;
+                        scratch.win[dst..dst + wpt].copy_from_slice(fill_pattern);
+                    }
                 }
             }
         }
@@ -217,6 +325,65 @@ fn gather_window_seq(
                 .popc
                 .push(plane.iter().map(|w| w.count_ones()).sum::<u32>() as i32);
         }
+    }
+}
+
+/// Consume one popcount tile block: apply the per-case §3.2/§4.2(b)
+/// corrections and the shift-add combination for a `jbc`-wide
+/// output-channel block. The `[j][t][s]` tile orientation comes from the
+/// conv call shape (A side = window planes, B side = weight rows); the
+/// s-outer / t-inner accumulation order matches the pre-microkernel
+/// kernels, so results are bit-identical. This is the **single** copy of
+/// the conv correction arithmetic — both the parallel and the sequential
+/// path consume their tiles here.
+#[allow(clippy::too_many_arguments)]
+fn combine_conv_block(
+    desc: &ConvDesc,
+    weights: &ConvWeights,
+    case: EmulationCase,
+    tile: &[i32],
+    co0: usize,
+    oob: &[usize],
+    plane_popc: &[i32],
+    valid_taps: i32,
+    oob_taps: i32,
+    out_block: &mut [i32],
+) {
+    let p = desc.w_bits as usize;
+    let q = desc.x_bits as usize;
+    for (jj, out_v) in out_block.iter_mut().enumerate() {
+        let co = co0 + jj;
+        let mut acc = 0i32;
+        for s in 0..p {
+            let oob_w_popc: i32 = oob
+                .iter()
+                .map(|&tap| weights.seg_popc(s as u32, co, tap))
+                .sum();
+            for t in 0..q {
+                let popc = tile[(jj * q + t) * p + s];
+                let adj = match case {
+                    EmulationCase::AndUnsigned => popc,
+                    EmulationCase::XorSignedBinary => {
+                        correct_xor_window(popc, desc.cin as i32, valid_taps, oob_w_popc, oob_taps)
+                    }
+                    EmulationCase::AndWeightTransformed => 2 * popc - plane_popc[t],
+                    EmulationCase::AndActivationTransformed => {
+                        2 * popc - valid_row_popc(weights.row_popc(s as u32, co), oob_w_popc)
+                    }
+                    // The XOR-only (Turing) derivations are supported at
+                    // the GEMM level (`apmm_cpu_with_plan`); the direct
+                    // convolution always plans for the target device via
+                    // `plan(..)`, which never emits them here.
+                    EmulationCase::XorDerivedUnsigned
+                    | EmulationCase::XorDerivedWeightTransformed
+                    | EmulationCase::XorDerivedActivationTransformed => {
+                        unreachable!("conv kernels use the Ampere plan")
+                    }
+                };
+                acc += adj << (s + t);
+            }
+        }
+        *out_v = acc;
     }
 }
 
@@ -246,6 +413,7 @@ pub(crate) fn conv_exec_seq(
         eplan,
         fill: _,
         fill_pattern,
+        micro,
     } = eplan_state;
     let eplan = *eplan;
     let need_popc = eplan.case == EmulationCase::AndWeightTransformed;
@@ -260,53 +428,55 @@ pub(crate) fn conv_exec_seq(
     // the accumulator reshape pays no zeroing pass.
     apnn_bitpack::resize_for_overwrite(out, pixels * cout);
 
+    let MicroTile { jb, kb } = micro.sanitized();
+    let w_view = PlaneView::from_bitplanes(weights.planes());
+    let mut tile = [0i32; MAX_TILE];
     for pix in 0..pixels {
         let b = pix / (oh * ow);
         let oy = (pix / ow) % oh;
         let ox = pix % ow;
-        gather_window_seq(desc, input, fill_pattern, b, oy, ox, need_popc, scratch);
+        // The stride-1 fast path: within an output row the previous
+        // pixel's gather is still in the scratch, one input column to the
+        // left — shift-reuse the overlapping taps instead of re-copying
+        // the full window.
+        let shift_prev = desc.stride == 1 && ox > 0;
+        gather_window_seq(
+            desc,
+            input,
+            fill_pattern,
+            b,
+            oy,
+            ox,
+            need_popc,
+            shift_prev,
+            scratch,
+        );
         let valid_taps = (taps - scratch.oob.len()) as i32;
         let oob_taps = scratch.oob.len() as i32;
+        let win_view = PlaneView::from_flat(&scratch.win, q, plane_words);
 
         let chunk = &mut out[pix * cout..(pix + 1) * cout];
-        for (co, out_v) in chunk.iter_mut().enumerate() {
-            let mut acc = 0i32;
-            for s in 0..p {
-                let w_row = weights.planes().plane(s as u32).row_words(co);
-                let oob_w_popc: i32 = scratch
-                    .oob
-                    .iter()
-                    .map(|&tap| weights.seg_popc(s as u32, co, tap))
-                    .sum();
-                for t in 0..q {
-                    let x_words = &scratch.win[t * plane_words..(t + 1) * plane_words];
-                    let popc = match eplan.op {
-                        BmmaOp::And => and_popcount(w_row, x_words),
-                        BmmaOp::Xor => xor_popcount(w_row, x_words),
-                    } as i32;
-                    let adj = match eplan.case {
-                        EmulationCase::AndUnsigned => popc,
-                        EmulationCase::XorSignedBinary => correct_xor_window(
-                            popc,
-                            desc.cin as i32,
-                            valid_taps,
-                            oob_w_popc,
-                            oob_taps,
-                        ),
-                        EmulationCase::AndWeightTransformed => 2 * popc - scratch.popc[t],
-                        EmulationCase::AndActivationTransformed => {
-                            2 * popc - valid_row_popc(weights.row_popc(s as u32, co), oob_w_popc)
-                        }
-                        EmulationCase::XorDerivedUnsigned
-                        | EmulationCase::XorDerivedWeightTransformed
-                        | EmulationCase::XorDerivedActivationTransformed => {
-                            unreachable!("conv kernels use the Ampere plan")
-                        }
-                    };
-                    acc += adj << (s + t);
-                }
-            }
-            *out_v = acc;
+        let mut co0 = 0;
+        while co0 < cout {
+            let jbc = jb.min(cout - co0);
+            // A-side = the gathered window (q planes, shared by the whole
+            // output-channel block), B-side = the weight rows: the tile
+            // comes back `[j][t][s]`-indexed.
+            let live = &mut tile[..jbc * q * p];
+            popc_tile(eplan.op, &win_view, 0, &w_view, co0, jbc, kb, live);
+            combine_conv_block(
+                desc,
+                weights,
+                eplan.case,
+                live,
+                co0,
+                &scratch.oob,
+                &scratch.popc,
+                valid_taps,
+                oob_taps,
+                &mut chunk[co0..co0 + jbc],
+            );
+            co0 += jbc;
         }
     }
 }
@@ -371,6 +541,21 @@ pub fn conv_cpu(desc: &ConvDesc, weights: &ConvWeights, input: &BitTensor4) -> V
     conv_exec(desc, weights, input, &ConvExecPlan::new(desc, weights))
 }
 
+/// [`conv_cpu`] with an explicit microkernel tile — the knob the
+/// differential proptests and the kernel-level bench sweep turn. Any tile
+/// is bit-identical (exact i32 accumulation); only throughput moves.
+pub fn conv_cpu_with_micro(
+    desc: &ConvDesc,
+    weights: &ConvWeights,
+    input: &BitTensor4,
+    micro: MicroTile,
+) -> Vec<i32> {
+    let (n, ..) = input.shape();
+    assert_eq!(n, desc.batch, "batch mismatch");
+    let state = ConvExecPlan::new(desc, weights).with_micro(micro);
+    conv_exec(desc, weights, input, &state)
+}
+
 /// Shared core: convolve `input` (whose batch may be ≤ `desc.batch` when a
 /// compiled plan serves a partial shard) with prepared invariants.
 pub(crate) fn conv_exec(
@@ -393,69 +578,58 @@ pub(crate) fn conv_exec(
         eplan,
         fill,
         fill_pattern,
+        micro,
     } = eplan_state;
     let (eplan, fill) = (*eplan, *fill);
     let need_popc = eplan.case == EmulationCase::AndWeightTransformed;
 
     let (oh, ow) = (desc.out_h(), desc.out_w());
     let p = desc.w_bits as usize;
+    let q = desc.x_bits as usize;
     let pixels = n * oh * ow;
     let mut out = vec![0i32; pixels * cout];
+    if pixels == 0 {
+        return out;
+    }
+    let MicroTile { jb, kb } = micro.sanitized();
+    let plane_words = taps * input.words_per_pixel();
+    let w_view = PlaneView::from_bitplanes(weights.planes());
 
-    out.par_chunks_mut(cout)
-        .enumerate()
-        .for_each(|(pix, chunk)| {
+    out.par_chunks_mut(cout).enumerate().for_each_init(
+        // One accumulator tile per pool participant, reused across
+        // every output pixel it claims (popc_tile zeroes the live
+        // prefix itself — no per-pixel 2 KiB init).
+        || [0i32; MAX_TILE],
+        |tile, (pix, chunk)| {
             let b = pix / (oh * ow);
             let oy = (pix / ow) % oh;
             let ox = pix % ow;
             let win = gather_window(desc, input, fill, fill_pattern, b, oy, ox, need_popc);
             let valid_taps = (taps - win.oob_taps.len()) as i32;
             let oob_taps = win.oob_taps.len() as i32;
+            let win_view = PlaneView::from_plane_rows(&win.planes, plane_words);
 
-            for (co, out_v) in chunk.iter_mut().enumerate() {
-                let mut acc = 0i32;
-                for s in 0..p {
-                    let w_row = weights.planes().plane(s as u32).row_words(co);
-                    let oob_w_popc: i32 = win
-                        .oob_taps
-                        .iter()
-                        .map(|&tap| weights.seg_popc(s as u32, co, tap))
-                        .sum();
-                    for (t, x_words) in win.planes.iter().enumerate() {
-                        let popc = match eplan.op {
-                            BmmaOp::And => and_popcount(w_row, x_words),
-                            BmmaOp::Xor => xor_popcount(w_row, x_words),
-                        } as i32;
-                        let adj = match eplan.case {
-                            EmulationCase::AndUnsigned => popc,
-                            EmulationCase::XorSignedBinary => correct_xor_window(
-                                popc,
-                                desc.cin as i32,
-                                valid_taps,
-                                oob_w_popc,
-                                oob_taps,
-                            ),
-                            EmulationCase::AndWeightTransformed => 2 * popc - win.plane_popc[t],
-                            EmulationCase::AndActivationTransformed => {
-                                2 * popc
-                                    - valid_row_popc(weights.row_popc(s as u32, co), oob_w_popc)
-                            }
-                            // The XOR-only (Turing) derivations are supported at
-                            // the GEMM level (`apmm_cpu_with_plan`); the direct
-                            // convolution always plans for the target device via
-                            // `plan(..)`, which never emits them here.
-                            EmulationCase::XorDerivedUnsigned
-                            | EmulationCase::XorDerivedWeightTransformed
-                            | EmulationCase::XorDerivedActivationTransformed => {
-                                unreachable!("conv kernels use the Ampere plan")
-                            }
-                        };
-                        acc += adj << (s + t);
-                    }
-                }
-                *out_v = acc;
+            let mut co0 = 0;
+            while co0 < cout {
+                let jbc = jb.min(cout - co0);
+                let live = &mut tile[..jbc * q * p];
+                popc_tile(eplan.op, &win_view, 0, &w_view, co0, jbc, kb, live);
+                combine_conv_block(
+                    desc,
+                    weights,
+                    eplan.case,
+                    live,
+                    co0,
+                    &win.oob_taps,
+                    &win.plane_popc,
+                    valid_taps,
+                    oob_taps,
+                    &mut chunk[co0..co0 + jbc],
+                );
+                co0 += jbc;
             }
-        });
+        },
+    );
     out
 }
 
@@ -749,6 +923,104 @@ mod tests {
             // One scratch reused across every desc: shapes shrink and grow.
             conv_exec_seq(desc, &weights, &input, &state, &mut scratch, &mut out);
             assert_eq!(out, conv_cpu(desc, &weights, &input), "desc {desc:?}");
+        }
+    }
+
+    #[test]
+    fn every_micro_tile_is_bit_identical_for_conv() {
+        let mut descs = vec![
+            // Stride-1 with padding: the sequential path takes the
+            // shift-reuse window gather on every non-leading column.
+            ConvDesc::unsigned(2, 5, 7, 9, 3, 1, 1, 2, 2),
+            // Stride 2 (full gather every pixel) and a wide-kernel shape.
+            ConvDesc::unsigned(1, 4, 9, 5, 5, 2, 2, 1, 2),
+        ];
+        let mut d = ConvDesc::unsigned(1, 5, 6, 4, 3, 1, 1, 1, 1);
+        d.w_enc = Encoding::PlusMinusOne;
+        d.x_enc = Encoding::PlusMinusOne;
+        descs.push(d);
+        let mut d = ConvDesc::unsigned(2, 6, 5, 7, 3, 1, 1, 1, 3);
+        d.w_enc = Encoding::PlusMinusOne;
+        descs.push(d);
+
+        for (i, desc) in descs.iter().enumerate() {
+            let mut seed = 300 + i as u64;
+            let (input, _) = make_input(desc, &mut seed);
+            let weights = if desc.w_enc == Encoding::PlusMinusOne {
+                let n = desc.cout * desc.kh * desc.kw * desc.cin;
+                let vals: Vec<i32> = (0..n)
+                    .map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 })
+                    .collect();
+                ConvWeights::from_signed(desc, &vals)
+            } else {
+                make_weights(desc, &mut seed).0
+            };
+            let want = conv_cpu(desc, &weights, &input);
+            let mut scratch = WindowScratch::default();
+            let mut out = Vec::new();
+            for jb in [1usize, 2, 8] {
+                for kb in [1usize, 4, 64] {
+                    let micro = MicroTile { jb, kb };
+                    assert_eq!(
+                        conv_cpu_with_micro(desc, &weights, &input, micro),
+                        want,
+                        "parallel jb={jb} kb={kb} desc {desc:?}"
+                    );
+                    let state = ConvExecPlan::new(desc, &weights).with_micro(micro);
+                    conv_exec_seq(desc, &weights, &input, &state, &mut scratch, &mut out);
+                    assert_eq!(out, want, "seq jb={jb} kb={kb} desc {desc:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_window_gather_matches_full_gather() {
+        // Drive the stride-1 shift path directly against a fresh full
+        // gather for every pixel of a padded feature map, including the
+        // Case-III popcount bookkeeping.
+        let mut desc = ConvDesc::unsigned(1, 5, 8, 3, 3, 1, 1, 1, 2);
+        desc.w_enc = Encoding::PlusMinusOne; // AndWeightTransformed → need_popc
+        let mut seed = 23;
+        let (input, _) = make_input(&desc, &mut seed);
+        let n = desc.cout * desc.kh * desc.kw * desc.cin;
+        let vals: Vec<i32> = (0..n)
+            .map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 })
+            .collect();
+        let weights = ConvWeights::from_signed(&desc, &vals);
+        let state = ConvExecPlan::new(&desc, &weights);
+
+        let mut rolling = WindowScratch::default();
+        let mut fresh = WindowScratch::default();
+        for oy in 0..desc.out_h() {
+            for ox in 0..desc.out_w() {
+                let shift = ox > 0;
+                gather_window_seq(
+                    &desc,
+                    &input,
+                    &state.fill_pattern,
+                    0,
+                    oy,
+                    ox,
+                    true,
+                    shift,
+                    &mut rolling,
+                );
+                gather_window_seq(
+                    &desc,
+                    &input,
+                    &state.fill_pattern,
+                    0,
+                    oy,
+                    ox,
+                    true,
+                    false,
+                    &mut fresh,
+                );
+                assert_eq!(rolling.win, fresh.win, "window words at ({oy},{ox})");
+                assert_eq!(rolling.oob, fresh.oob, "oob taps at ({oy},{ox})");
+                assert_eq!(rolling.popc, fresh.popc, "plane popc at ({oy},{ox})");
+            }
         }
     }
 

@@ -267,6 +267,19 @@ impl PreparedConv {
         &self.weights
     }
 
+    /// The CPU microkernel `(JB, KB)` tile this plan executes with (chosen
+    /// at prepare time by [`crate::autotune::autotune_micro`]).
+    pub fn micro(&self) -> crate::autotune::MicroTile {
+        self.exec_plan.micro()
+    }
+
+    /// Replace the microkernel tile (bench sweeps, differential tests) —
+    /// every value is bit-identical.
+    pub fn with_micro(mut self, micro: crate::autotune::MicroTile) -> Self {
+        self.exec_plan = self.exec_plan.with_micro(micro);
+        self
+    }
+
     /// NHWC i32 accumulators for an input shard (batch ≤ compiled batch).
     pub fn execute(&self, input: &BitTensor4) -> Vec<i32> {
         cpu::conv_exec(&self.desc, &self.weights, input, &self.exec_plan)

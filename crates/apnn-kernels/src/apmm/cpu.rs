@@ -6,12 +6,12 @@
 //! this engine; its results are validated against the naive i32 oracle and
 //! against the fragment-level [`crate::emulate::ap_bit_mm`].
 
-use apnn_bitpack::word::{and_popcount, xor_popcount};
 use apnn_bitpack::BitPlanes;
-use apnn_sim::BmmaOp;
 use rayon::prelude::*;
 
 use super::ApmmDesc;
+use crate::autotune::{autotune_micro, MicroTile};
+use crate::micro::{popc_tile, PlaneView, MAX_TILE};
 use crate::select::{adjust_partial, EmulationCase, EmulationPlan};
 
 /// Which correction vectors a case consumes.
@@ -57,10 +57,24 @@ pub fn apmm_cpu_with_plan(
     x: &BitPlanes,
     eplan: EmulationPlan,
 ) -> Vec<i32> {
+    let micro = autotune_micro(desc.n, w.plane(0).words_per_row(), desc.w_bits, desc.x_bits);
+    apmm_cpu_with_micro(desc, w, x, eplan, micro)
+}
+
+/// [`apmm_cpu_with_plan`] with an explicit microkernel tile — the knob the
+/// differential proptests and the kernel-level bench sweep turn. Any tile
+/// is bit-identical (exact i32 accumulation); only throughput moves.
+pub fn apmm_cpu_with_micro(
+    desc: &ApmmDesc,
+    w: &BitPlanes,
+    x: &BitPlanes,
+    eplan: EmulationPlan,
+    micro: MicroTile,
+) -> Vec<i32> {
     // The ad-hoc path promises a full `m×n` product; only the prepared
     // (compiled-plan) path may serve partial batch shards.
     assert_eq!(x.rows(), desc.n, "activation rows");
-    apmm_exec(desc, w, x, eplan, None)
+    apmm_exec(desc, w, x, eplan, None, micro)
 }
 
 /// Shared core: multiply packed `w` (rows = output features) against packed
@@ -74,6 +88,7 @@ pub(crate) fn apmm_exec(
     x: &BitPlanes,
     eplan: EmulationPlan,
     w_row_sums_pre: Option<&[Vec<i32>]>,
+    micro: MicroTile,
 ) -> Vec<i32> {
     let m = desc.m;
     let n = x.rows();
@@ -85,6 +100,12 @@ pub(crate) fn apmm_exec(
         x.plane(0).padded_cols(),
         "operands must share padded K"
     );
+    let mut y = vec![0i32; m * n];
+    if n == 0 {
+        // A zero-row shard is a legal (empty) product: return the `m × 0`
+        // output instead of handing `par_chunks_mut` a fabricated width.
+        return y;
+    }
 
     // Correction vectors (bit-plane sums). The weight side is loop-invariant
     // across calls and comes precomputed from prepared kernels; the
@@ -104,45 +125,71 @@ pub(crate) fn apmm_exec(
         }
     };
 
-    // Pre-resolve every activation row's packed words per plane once, so the
-    // innermost loop indexes a flat table instead of chasing
-    // `x.plane(t).row_words(j)` per (j, t) pair.
-    let x_rows: Vec<Vec<&[u64]>> = (0..q)
-        .map(|t| {
-            let plane = x.plane(t as u32);
-            (0..n).map(|j| plane.row_words(j)).collect()
-        })
-        .collect();
-
-    let mut y = vec![0i32; m * n];
-    y.par_chunks_mut(n.max(1))
-        .enumerate()
-        .for_each(|(i, row_out)| {
-            // Hoist this row's weight-plane slices out of the column loop.
-            let w_rows: Vec<&[u64]> = (0..p).map(|s| w.plane(s as u32).row_words(i)).collect();
-            for (j, out) in row_out.iter_mut().enumerate() {
-                let mut acc = 0i32;
-                for (s, w_row) in w_rows.iter().enumerate() {
-                    for (t, x_plane_rows) in x_rows.iter().enumerate() {
-                        let x_row = x_plane_rows[j];
-                        let popc = match eplan.op {
-                            BmmaOp::And => and_popcount(w_row, x_row),
-                            BmmaOp::Xor => xor_popcount(w_row, x_row),
-                        } as i32;
-                        let adj = adjust_partial(
-                            eplan.case,
-                            popc,
-                            k_valid,
-                            if needs_row { w_row_sums[s][i] } else { 0 },
-                            if needs_col { x_col_sums[t][j] } else { 0 },
-                        );
-                        acc += adj << (s + t);
-                    }
-                }
-                *out = acc;
+    let MicroTile { jb, kb } = micro.sanitized();
+    let w_view = PlaneView::from_bitplanes(w);
+    let x_view = PlaneView::from_bitplanes(x);
+    y.par_chunks_mut(n).enumerate().for_each_init(
+        // One accumulator tile per pool participant, reused across every
+        // output row it claims (popc_tile zeroes the live prefix itself).
+        || [0i32; MAX_TILE],
+        |tile, (i, row_out)| {
+            let mut j0 = 0;
+            while j0 < n {
+                let jbc = jb.min(n - j0);
+                let live = &mut tile[..jbc * p * q];
+                popc_tile(eplan.op, &w_view, i, &x_view, j0, jbc, kb, live);
+                combine_apmm_block(
+                    eplan.case,
+                    live,
+                    (p, q),
+                    k_valid,
+                    j0,
+                    |s| if needs_row { w_row_sums[s][i] } else { 0 },
+                    |t, j| if needs_col { x_col_sums[t][j] } else { 0 },
+                    &mut row_out[j0..j0 + jbc],
+                );
+                j0 += jbc;
             }
-        });
+        },
+    );
     y
+}
+
+/// Consume one popcount tile block for a `jbc`-wide batch-column block:
+/// apply the §3.2 correction ([`adjust_partial`]) and the shift-add
+/// combination, in the same s-outer / t-inner order as the
+/// pre-microkernel kernels (bit-identical results). This is the
+/// **single** copy of the APMM combination arithmetic — the parallel and
+/// sequential paths both consume their tiles here; only the correction
+/// lookups differ (closures, so each path keeps its own table layout).
+#[allow(clippy::too_many_arguments)]
+fn combine_apmm_block(
+    case: EmulationCase,
+    tile: &[i32],
+    (p, q): (usize, usize),
+    k_valid: i32,
+    j0: usize,
+    row_sum: impl Fn(usize) -> i32,
+    col_sum: impl Fn(usize, usize) -> i32,
+    out_block: &mut [i32],
+) {
+    for (jj, out_v) in out_block.iter_mut().enumerate() {
+        let j = j0 + jj;
+        let mut acc = 0i32;
+        for s in 0..p {
+            for t in 0..q {
+                let adj = adjust_partial(
+                    case,
+                    tile[(jj * p + s) * q + t],
+                    k_valid,
+                    row_sum(s),
+                    col_sum(t, j),
+                );
+                acc += adj << (s + t);
+            }
+        }
+        *out_v = acc;
+    }
 }
 
 /// Reusable per-call scratch for the sequential (workspace) APMM path:
@@ -173,12 +220,14 @@ impl ApmmScratch {
 /// results) to [`apmm_exec`], but running on the **calling thread** with
 /// every buffer caller-owned. Serving workers are the concurrency unit for
 /// this path; the thread-pool path above stays for ad-hoc/batch calls.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apmm_exec_seq(
     desc: &ApmmDesc,
     w: &BitPlanes,
     x: &BitPlanes,
     eplan: EmulationPlan,
     w_row_sums: &[Vec<i32>],
+    micro: MicroTile,
     col_sums: &mut Vec<i32>,
     out: &mut Vec<i32>,
 ) {
@@ -192,7 +241,13 @@ pub(crate) fn apmm_exec_seq(
         x.plane(0).padded_cols(),
         "operands must share padded K"
     );
-    debug_assert!(p <= 8 && q <= 8, "plane counts are 1..=8");
+
+    // Every accumulator is stored by the loop below — no zeroing pass.
+    apnn_bitpack::resize_for_overwrite(out, m * n);
+    if n == 0 {
+        col_sums.clear();
+        return;
+    }
 
     let (needs_row, needs_col) = correction_needs(eplan.case);
     if needs_col {
@@ -208,48 +263,28 @@ pub(crate) fn apmm_exec_seq(
         col_sums.clear();
     }
 
-    // Per-plane word tables on the stack (plane counts are ≤ 8), so the
-    // inner loops index flat slices without building per-call row tables.
-    let x_planes: [(&[u64], usize); 8] = std::array::from_fn(|t| {
-        if t < q {
-            let plane = x.plane(t as u32);
-            (plane.words(), plane.words_per_row())
-        } else {
-            (&[][..], 0)
-        }
-    });
-
-    // Every accumulator is stored by the loop below — no zeroing pass.
-    apnn_bitpack::resize_for_overwrite(out, m * n);
+    let MicroTile { jb, kb } = micro.sanitized();
+    let w_view = PlaneView::from_bitplanes(w);
+    let x_view = PlaneView::from_bitplanes(x);
+    let mut tile = [0i32; MAX_TILE];
     for i in 0..m {
-        let w_rows: [&[u64]; 8] = std::array::from_fn(|s| {
-            if s < p {
-                w.plane(s as u32).row_words(i)
-            } else {
-                &[]
-            }
-        });
         let row_out = &mut out[i * n..(i + 1) * n];
-        for (j, out_v) in row_out.iter_mut().enumerate() {
-            let mut acc = 0i32;
-            for (s, w_row) in w_rows[..p].iter().enumerate() {
-                for (t, &(x_words, x_wpr)) in x_planes[..q].iter().enumerate() {
-                    let x_row = &x_words[j * x_wpr..(j + 1) * x_wpr];
-                    let popc = match eplan.op {
-                        BmmaOp::And => and_popcount(w_row, x_row),
-                        BmmaOp::Xor => xor_popcount(w_row, x_row),
-                    } as i32;
-                    let adj = adjust_partial(
-                        eplan.case,
-                        popc,
-                        k_valid,
-                        if needs_row { w_row_sums[s][i] } else { 0 },
-                        if needs_col { col_sums[t * n + j] } else { 0 },
-                    );
-                    acc += adj << (s + t);
-                }
-            }
-            *out_v = acc;
+        let mut j0 = 0;
+        while j0 < n {
+            let jbc = jb.min(n - j0);
+            let live = &mut tile[..jbc * p * q];
+            popc_tile(eplan.op, &w_view, i, &x_view, j0, jbc, kb, live);
+            combine_apmm_block(
+                eplan.case,
+                live,
+                (p, q),
+                k_valid,
+                j0,
+                |s| if needs_row { w_row_sums[s][i] } else { 0 },
+                |t, j| if needs_col { col_sums[t * n + j] } else { 0 },
+                &mut row_out[j0..j0 + jbc],
+            );
+            j0 += jbc;
         }
     }
 }
@@ -411,9 +446,19 @@ mod tests {
             let pooled = apmm_cpu(&desc, &w, &x);
 
             let w_sums = weight_row_sums(&w, eplan);
+            let micro = MicroTile { jb: 4, kb: 2 };
             let mut col_sums = Vec::new();
             let mut out = Vec::new();
-            apmm_exec_seq(&desc, &w, &x, eplan, &w_sums, &mut col_sums, &mut out);
+            apmm_exec_seq(
+                &desc,
+                &w,
+                &x,
+                eplan,
+                &w_sums,
+                micro,
+                &mut col_sums,
+                &mut out,
+            );
             assert_eq!(out, pooled, "{w_enc:?}/{x_enc:?} w{p}a{q}");
 
             // Partial shard through the same reused buffers.
@@ -429,11 +474,73 @@ mod tests {
                     Encoding::ZeroOne,
                 )
             };
-            apmm_exec_seq(&desc, &w, &xh, eplan, &w_sums, &mut col_sums, &mut out);
+            apmm_exec_seq(
+                &desc,
+                &w,
+                &xh,
+                eplan,
+                &w_sums,
+                micro,
+                &mut col_sums,
+                &mut out,
+            );
             for i in 0..m {
                 for j in 0..half {
                     assert_eq!(out[i * half + j], pooled[i * n + j]);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_batches_yield_empty_products_on_every_path() {
+        // Regression: the parallel path used to hand `par_chunks_mut` a
+        // fabricated chunk width of `n.max(1)` for zero-row batches; the
+        // empty shard must produce the (empty) `m × 0` product on both the
+        // pooled and the sequential-workspace path, without panicking.
+        let mut seed = 41;
+        let (m, k, p, q) = (7, 200, 2u32, 2u32);
+        let wc = rand_codes(m * k, p, &mut seed);
+        let w = BitPlanes::from_codes(&wc, m, k, p, Encoding::ZeroOne);
+        let x0 = BitPlanes::from_codes(&[], 0, k, q, Encoding::ZeroOne);
+        let desc = ApmmDesc::unsigned(m, 4, k, p, q);
+        let eplan = desc.plan();
+        let micro = MicroTile { jb: 8, kb: 16 };
+
+        let y = apmm_exec(&desc, &w, &x0, eplan, None, micro);
+        assert!(y.is_empty(), "m×0 product must be empty");
+
+        let w_sums = weight_row_sums(&w, eplan);
+        let mut col_sums = vec![1i32; 3]; // stale state must be cleared
+        let mut out = vec![7i32; 5];
+        apmm_exec_seq(
+            &desc,
+            &w,
+            &x0,
+            eplan,
+            &w_sums,
+            micro,
+            &mut col_sums,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert!(col_sums.is_empty());
+    }
+
+    #[test]
+    fn every_micro_tile_is_bit_identical() {
+        let mut seed = 43;
+        let (m, n, k, p, q) = (9, 13, 310, 2, 3);
+        let wc = rand_codes(m * k, p, &mut seed);
+        let xc = rand_codes(n * k, q, &mut seed);
+        let w = BitPlanes::from_codes(&wc, m, k, p, Encoding::ZeroOne);
+        let x = BitPlanes::from_codes(&xc, n, k, q, Encoding::ZeroOne);
+        let desc = ApmmDesc::unsigned(m, n, k, p, q);
+        let want = decoded_reference(&w, &x);
+        for jb in [1usize, 2, 3, 8] {
+            for kb in [1usize, 4, 64] {
+                let got = apmm_cpu_with_micro(&desc, &w, &x, desc.plan(), MicroTile { jb, kb });
+                assert_eq!(got, want, "jb={jb} kb={kb}");
             }
         }
     }

@@ -183,10 +183,17 @@ impl Apmm {
         crate::stats::count_weight_prepare();
         let plan = self.desc.plan();
         let w_row_sums = cpu::weight_row_sums(&weights, plan);
+        let micro = crate::autotune::autotune_micro(
+            self.desc.n,
+            weights.plane(0).words_per_row(),
+            self.desc.w_bits,
+            self.desc.x_bits,
+        );
         PreparedApmm {
             desc: self.desc,
             tile: self.tile,
             plan,
+            micro,
             weights,
             w_row_sums,
         }
@@ -214,6 +221,7 @@ pub struct PreparedApmm {
     pub tile: TileConfig,
     /// Operator-selection plan fixed at compile time.
     pub plan: crate::select::EmulationPlan,
+    micro: crate::autotune::MicroTile,
     weights: BitPlanes,
     w_row_sums: Vec<Vec<i32>>,
 }
@@ -222,6 +230,20 @@ impl PreparedApmm {
     /// The packed weight operand.
     pub fn weights(&self) -> &BitPlanes {
         &self.weights
+    }
+
+    /// The CPU microkernel `(JB, KB)` tile this plan executes with (chosen
+    /// at prepare time by [`crate::autotune::autotune_micro`]; same
+    /// accessor pair as [`crate::apconv::PreparedConv`]).
+    pub fn micro(&self) -> crate::autotune::MicroTile {
+        self.micro
+    }
+
+    /// Replace the microkernel tile (bench sweeps, differential tests) —
+    /// every value is bit-identical.
+    pub fn with_micro(mut self, micro: crate::autotune::MicroTile) -> Self {
+        self.micro = micro;
+        self
     }
 
     /// Validate an activation operand shard (rows may be ≤ the compiled
@@ -243,6 +265,7 @@ impl PreparedApmm {
             x,
             self.plan,
             Some(&self.w_row_sums),
+            self.micro,
         )
     }
 
@@ -268,6 +291,7 @@ impl PreparedApmm {
             x,
             self.plan,
             &self.w_row_sums,
+            self.micro,
             col_sums,
             out,
         );
@@ -297,6 +321,7 @@ impl PreparedApmm {
             x,
             self.plan,
             &self.w_row_sums,
+            self.micro,
             col_sums,
             acc,
         );

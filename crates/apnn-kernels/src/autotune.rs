@@ -68,6 +68,86 @@ pub fn autotune(m: usize, n: usize, _k: usize, p: u32, q: u32) -> TileConfig {
     TileConfig::new(chosen.0, chosen.1)
 }
 
+// ---------------------------------------------------------------------------
+// CPU microkernel tiling.
+// ---------------------------------------------------------------------------
+
+/// Column-block candidates for the CPU popcount microkernel (bounded by
+/// [`MAX_JB`], the stack accumulator tile's column capacity).
+pub const JB_CANDIDATES: [usize; 4] = [1, 2, 4, 8];
+
+/// Largest legal microkernel column block.
+pub const MAX_JB: usize = 8;
+
+/// K-block candidates, in 64-bit words per round.
+pub const KB_CANDIDATES: [usize; 4] = [8, 16, 32, 64];
+
+/// L1 budget (bytes) one microkernel block may stream per K round — half a
+/// typical 32 KiB L1D, leaving room for the accumulator tile and the
+/// caller's locals.
+pub const MICRO_L1_BUDGET: usize = 16 * 1024;
+
+/// Register/cache tiling of the CPU popcount microkernel
+/// (`apnn_kernels::micro`): `jb` B-side columns (batch columns for APMM,
+/// output channels for APConv) share each loaded A-side word, and K is
+/// walked in `kb`-word blocks so every streamed chunk stays L1-resident
+/// while all `pa·pb` plane pairs consume it. Chosen per layer at compile
+/// time by [`autotune_micro`]; any value is *exact* (the accumulators are
+/// i32), so tiling only moves throughput, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroTile {
+    /// Column-block width (B-side rows sharing one A-side load).
+    pub jb: usize,
+    /// K-block depth in 64-bit words.
+    pub kb: usize,
+}
+
+impl MicroTile {
+    /// Clamp to the ranges the kernels' stack tiles are sized for
+    /// (`1..=MAX_JB` columns, at least one K word per round).
+    pub fn sanitized(self) -> MicroTile {
+        MicroTile {
+            jb: self.jb.clamp(1, MAX_JB),
+            kb: self.kb.max(1),
+        }
+    }
+}
+
+/// Pick the microkernel tile for a problem with `n_cols` B-side columns,
+/// `k_words` packed words per row and `pa × pb` bit planes.
+///
+/// Heuristic (the CPU analogue of §4.3.2's two antagonistic quantities):
+/// the column block wants to be as wide as possible — every extra column
+/// amortizes the A-side loads once more — but the block's per-round
+/// working set `(pa + jb·pb)·kb` words must stay inside the L1 budget, and
+/// a block wider than the problem wastes tile slots. The K block takes
+/// whatever budget the column block leaves. Deterministic and pure, so
+/// compiled plans are reproducible.
+pub fn autotune_micro(n_cols: usize, k_words: usize, pa: u32, pb: u32) -> MicroTile {
+    crate::stats::count_micro_tune();
+    let (pa, pb) = (pa.max(1) as usize, pb.max(1) as usize);
+    let budget_words = MICRO_L1_BUDGET / 8;
+    let mut jb = 1;
+    for &cand in &JB_CANDIDATES {
+        let fits_l1 = (pa + cand * pb) * KB_CANDIDATES[0] <= budget_words;
+        // One column beyond the problem width is allowed to round up.
+        if fits_l1 && (cand / 2) < n_cols.max(1) {
+            jb = cand;
+        }
+    }
+    let mut kb = KB_CANDIDATES[0];
+    for &cand in &KB_CANDIDATES {
+        if (pa + jb * pb) * cand <= budget_words {
+            kb = cand;
+        }
+    }
+    // Short reductions need no blocking at all: one round covers them.
+    if k_words > 0 {
+        kb = kb.min(k_words.next_power_of_two().max(KB_CANDIDATES[0]));
+    }
+    MicroTile { jb, kb }.sanitized()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +194,42 @@ mod tests {
         let tlp = thread_level_parallelism(64, 1024, 1, 2, t.bm, t.bn);
         assert!(tlp >= TLP_THRESHOLD);
         assert_eq!(t.bm * t.bn, 2048, "chose {:?}", (t.bm, t.bn));
+    }
+
+    #[test]
+    fn micro_tile_is_deterministic_and_bounded() {
+        for (n_cols, k_words, pa, pb) in [
+            (1usize, 1usize, 1u32, 1u32),
+            (3, 2, 1, 2),
+            (64, 72, 2, 2),
+            (512, 4096, 8, 8),
+            (0, 0, 1, 1),
+        ] {
+            let a = autotune_micro(n_cols, k_words, pa, pb);
+            let b = autotune_micro(n_cols, k_words, pa, pb);
+            assert_eq!(a, b, "selection must be pure");
+            assert!(JB_CANDIDATES.contains(&a.jb));
+            assert!((1..=MAX_JB).contains(&a.jb));
+            assert!(a.kb >= 1);
+            // The per-round working set respects the L1 budget.
+            assert!((pa.max(1) as usize + a.jb * pb.max(1) as usize) * a.kb <= MICRO_L1_BUDGET / 8);
+        }
+    }
+
+    #[test]
+    fn micro_tile_narrow_problems_get_narrow_blocks() {
+        // One output column cannot use an 8-wide block...
+        assert_eq!(autotune_micro(1, 64, 2, 2).jb, 1);
+        // ...but rounding up to cover a ragged tail is allowed.
+        assert!(autotune_micro(3, 64, 2, 2).jb >= 2);
+        assert_eq!(autotune_micro(1024, 64, 2, 2).jb, MAX_JB);
+    }
+
+    #[test]
+    fn micro_tune_moves_the_stats_counter() {
+        let s = crate::stats::scope();
+        let _ = autotune_micro(64, 64, 2, 2);
+        assert_eq!(s.micro_tunes(), 1);
     }
 
     #[test]

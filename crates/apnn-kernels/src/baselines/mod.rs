@@ -59,7 +59,7 @@ impl BaselineKind {
     }
 
     /// Fraction of hardware peak a fully occupied SM reaches with this
-    /// kernel family. Calibration (DESIGN.md §6):
+    /// kernel family. Calibration (DESIGN.md §7):
     /// * `CublasInt8 = 0.80` — cublas IMMA kernels are near-peak.
     /// * `CutlassInt1 = 0.59` — chosen so saturated int1/int8 = 8·0.59/0.80
     ///   = 5.9×, the ratio the paper measures on the RTX 3090 (§6.1.1).

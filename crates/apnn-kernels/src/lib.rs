@@ -16,7 +16,10 @@
 //! * [`apconv`] — arbitrary-precision convolution (§4.2) with channel-major
 //!   NPHWC data organization and input-aware padding.
 //! * [`mod@autotune`] — the TLP/CI performance model and tile-size search
-//!   heuristic (§4.3).
+//!   heuristic (§4.3), plus the CPU microkernel's `(JB, KB)` tile selection.
+//! * [`micro`] — the register-blocked multi-plane popcount microkernel: the
+//!   one inner loop every functional kernel path runs on (the CPU analogue
+//!   of the paper's AP-BMMA fragment reuse).
 //! * [`fusion`] — fusable epilogues (BN / ReLU / pool / quantize, §5.2).
 //! * [`baselines`] — cutlass/cublas-like fixed-tile kernels at int1, int4,
 //!   int8, fp16 and fp32, used by every speedup figure in the paper.
@@ -28,13 +31,16 @@ pub mod autotune;
 pub mod baselines;
 pub mod emulate;
 pub mod fusion;
+pub mod micro;
 pub mod reference;
 pub mod select;
 pub mod stats;
 
 pub use apconv::{ApConv, ConvDesc, PreparedConv};
 pub use apmm::{Apmm, ApmmDesc, PreparedApmm, TileConfig};
-pub use autotune::{autotune, compute_intensity, thread_level_parallelism};
+pub use autotune::{
+    autotune, autotune_micro, compute_intensity, thread_level_parallelism, MicroTile,
+};
 pub use emulate::ap_bit_mm;
 pub use fusion::{Epilogue, EpilogueOp};
 pub use select::{plan, EmulationCase, EmulationPlan};

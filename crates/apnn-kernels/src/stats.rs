@@ -29,11 +29,13 @@ static AUTOTUNE_CALLS: AtomicU64 = AtomicU64::new(0);
 static WEIGHT_PREPARES: AtomicU64 = AtomicU64::new(0);
 static ROW_SUM_BUILDS: AtomicU64 = AtomicU64::new(0);
 static WORKSPACE_CREATES: AtomicU64 = AtomicU64::new(0);
+static MICRO_TUNES: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TL_AUTOTUNE: Cell<u64> = const { Cell::new(0) };
     static TL_PREPARES: Cell<u64> = const { Cell::new(0) };
     static TL_ROW_SUMS: Cell<u64> = const { Cell::new(0) };
+    static TL_MICRO_TUNES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Total [`crate::autotune::autotune`] invocations in this process.
@@ -55,6 +57,15 @@ pub fn row_sum_builds() -> u64 {
     ROW_SUM_BUILDS.load(Ordering::Relaxed)
 }
 
+/// Total CPU-microkernel tile selections
+/// ([`crate::autotune::autotune_micro`]) in this process. Compiled plans
+/// pick one `(JB, KB)` tile per layer at compile time; the ad-hoc kernel
+/// entry points re-tune per call — the counter is how tests prove the
+/// hoist, exactly like [`row_sum_builds`].
+pub fn micro_tunes() -> u64 {
+    MICRO_TUNES.load(Ordering::Relaxed)
+}
+
 /// Total execution-workspace constructions in this process (see
 /// `apnn_nn::compile::ExecWorkspace`). A long-running server should show
 /// one per (worker thread, plan) pair, regardless of how many batches it
@@ -72,6 +83,7 @@ pub fn scope() -> StatsScope {
         autotune0: TL_AUTOTUNE.get(),
         prepares0: TL_PREPARES.get(),
         row_sums0: TL_ROW_SUMS.get(),
+        micro0: TL_MICRO_TUNES.get(),
         _thread_bound: std::marker::PhantomData,
     }
 }
@@ -88,6 +100,7 @@ pub struct StatsScope {
     autotune0: u64,
     prepares0: u64,
     row_sums0: u64,
+    micro0: u64,
     _thread_bound: std::marker::PhantomData<*const ()>,
 }
 
@@ -107,6 +120,11 @@ impl StatsScope {
     pub fn row_sum_builds(&self) -> u64 {
         TL_ROW_SUMS.get() - self.row_sums0
     }
+
+    /// Microkernel tile selections on this thread since the scope opened.
+    pub fn micro_tunes(&self) -> u64 {
+        TL_MICRO_TUNES.get() - self.micro0
+    }
 }
 
 pub(crate) fn count_autotune() {
@@ -122,6 +140,11 @@ pub(crate) fn count_weight_prepare() {
 pub(crate) fn count_row_sums_build() {
     ROW_SUM_BUILDS.fetch_add(1, Ordering::Relaxed);
     TL_ROW_SUMS.set(TL_ROW_SUMS.get() + 1);
+}
+
+pub(crate) fn count_micro_tune() {
+    MICRO_TUNES.fetch_add(1, Ordering::Relaxed);
+    TL_MICRO_TUNES.set(TL_MICRO_TUNES.get() + 1);
 }
 
 /// Record one execution-workspace construction. Called by the workspace
@@ -239,6 +262,9 @@ mod tests {
         let ws0 = workspace_creates();
         record_workspace_create();
         assert!(workspace_creates() > ws0);
+        let m0 = micro_tunes();
+        count_micro_tune();
+        assert!(micro_tunes() > m0);
     }
 
     #[test]

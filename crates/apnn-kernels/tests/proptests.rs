@@ -1,13 +1,42 @@
 //! Property-based tests for the kernel layer: autotuner contract, estimator
 //! invariants, epilogue safety.
 
+use apnn_bitpack::{BitPlanes, BitTensor4, Encoding, Layout, Tensor4};
+use apnn_kernels::apconv::cpu::{conv_cpu_with_micro, ConvScratch};
+use apnn_kernels::apconv::{ApConv, ConvDesc, ConvWeights};
+use apnn_kernels::apmm::cpu::{apmm_cpu_with_micro, ApmmScratch};
 use apnn_kernels::apmm::{simmap, Apmm, ApmmDesc, TileConfig};
 use apnn_kernels::autotune::{
-    autotune, compute_intensity, thread_level_parallelism, TILE_CANDIDATES, TLP_THRESHOLD,
+    autotune, compute_intensity, thread_level_parallelism, MicroTile, TILE_CANDIDATES,
+    TLP_THRESHOLD,
 };
+use apnn_kernels::emulate::decoded_reference;
 use apnn_kernels::fusion::Epilogue;
+use apnn_kernels::reference::conv2d_i32;
+use apnn_kernels::select::plan_for_device;
 use apnn_sim::GpuSpec;
 use proptest::prelude::*;
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+fn operand(rows: usize, cols: usize, bits: u32, signed: bool, seed: &mut u64) -> BitPlanes {
+    if signed {
+        let vals: Vec<i32> = (0..rows * cols)
+            .map(|_| if lcg(seed) & 1 == 0 { -1 } else { 1 })
+            .collect();
+        BitPlanes::from_signed_binary(&vals, rows, cols)
+    } else {
+        let codes: Vec<u32> = (0..rows * cols)
+            .map(|_| (lcg(seed) as u32) % (1 << bits))
+            .collect();
+        BitPlanes::from_codes(&codes, rows, cols, bits, Encoding::ZeroOne)
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -105,6 +134,129 @@ proptest! {
         let t1 = thread_level_parallelism(m, n, p, q, bm, bn);
         let t2 = thread_level_parallelism(m, n, p, q, 2 * bm, bn);
         prop_assert!((t1 / t2 - 2.0).abs() < 1e-9);
+    }
+
+    /// The microkernel differential: for any shape, any encoding pair
+    /// (all seven `EmulationCase`s — the four Ampere cases plus the three
+    /// XOR-only derivations), any `(JB, KB)` block size and any partial
+    /// shard, the tiled kernels are **bit-identical** to the naive decoded
+    /// i32 oracle — on the ad-hoc parallel path, the prepared path and the
+    /// sequential workspace path alike.
+    #[test]
+    fn microkernel_matches_oracle_across_cases_blocks_and_shards(
+        m in 1usize..14, n in 1usize..22, k in 1usize..280,
+        p in 1u32..=4, q in 1u32..=4,
+        w_signed in any::<bool>(), x_signed in any::<bool>(),
+        xor_only in any::<bool>(),
+        jb in 1usize..=8,
+        kb in prop_oneof![Just(1usize), Just(2), Just(5), Just(64)],
+        shard_sel in 0usize..1000,
+        seed in any::<u64>(),
+    ) {
+        let (p, q) = (if w_signed { 1 } else { p }, if x_signed { 1 } else { q });
+        let (w_enc, x_enc) = (
+            if w_signed { Encoding::PlusMinusOne } else { Encoding::ZeroOne },
+            if x_signed { Encoding::PlusMinusOne } else { Encoding::ZeroOne },
+        );
+        let mut seed = seed;
+        let w = operand(m, k, p, w_signed, &mut seed);
+        let x = operand(n, k, q, x_signed, &mut seed);
+        let desc = ApmmDesc { m, n, k, w_bits: p, x_bits: q, w_enc, x_enc };
+        let micro = MicroTile { jb, kb };
+        let oracle = decoded_reference(&w, &x);
+
+        // Ad-hoc parallel path, Ampere or XOR-only (Turing) plan.
+        let eplan = plan_for_device(w_enc, x_enc, !xor_only);
+        prop_assert_eq!(
+            &apmm_cpu_with_micro(&desc, &w, &x, eplan, micro),
+            &oracle,
+            "ad-hoc {:?} jb={} kb={}", eplan.case, jb, kb
+        );
+
+        // Prepared path (partial shard) + sequential workspace path.
+        let shard = shard_sel % (n + 1);
+        let prepared = Apmm::with_tile(desc, TileConfig::new(32, 32))
+            .prepare(w)
+            .with_micro(micro);
+        let xs = if x_signed {
+            BitPlanes::from_signed_binary(&x.values()[..shard * k], shard, k)
+        } else {
+            BitPlanes::from_codes(&x.reconstruct_codes()[..shard * k], shard, k, q, x_enc)
+        };
+        let got = prepared.execute(&xs);
+        let mut scratch = ApmmScratch::default();
+        let mut out = Vec::new();
+        prepared.execute_into(&xs, &mut scratch, &mut out);
+        prop_assert_eq!(&got, &out, "prepared vs sequential shard={}", shard);
+        for i in 0..m {
+            for j in 0..shard {
+                prop_assert_eq!(got[i * shard + j], oracle[i * n + j]);
+            }
+        }
+    }
+
+    /// The conv form of the differential: any stride/pad geometry (the
+    /// stride-1 shift-reuse gather included), any encoding pair, any
+    /// block size and any partial shard equals the naive conv oracle.
+    #[test]
+    fn conv_microkernel_matches_oracle_across_blocks_and_shards(
+        batch in 1usize..3, cin in 1usize..6, hw in 3usize..8,
+        cout in 1usize..10, kk in 1usize..=3,
+        stride in 1usize..=2, pad in 0usize..=1,
+        p in 1u32..=3, q in 1u32..=3,
+        w_signed in any::<bool>(), x_signed in any::<bool>(),
+        jb in 1usize..=8,
+        kb in prop_oneof![Just(1usize), Just(3), Just(64)],
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(hw + 2 * pad >= kk);
+        let (p, q) = (if w_signed { 1 } else { p }, if x_signed { 1 } else { q });
+        let mut desc = ConvDesc::unsigned(batch, cin, hw, cout, kk, stride, pad, p, q);
+        if w_signed { desc.w_enc = Encoding::PlusMinusOne; }
+        if x_signed { desc.x_enc = Encoding::PlusMinusOne; }
+        let mut seed = seed;
+
+        // Packed input + decoded NHWC values for the oracle.
+        let codes = Tensor4::<u32>::from_fn(batch, cin, hw, hw, Layout::Nhwc, |_, _, _, _| {
+            (lcg(&mut seed) as u32) % (1 << q)
+        });
+        let input = BitTensor4::from_tensor(&codes, q, desc.x_enc);
+        let mut x_vals = vec![0i32; batch * hw * hw * cin];
+        for b in 0..batch {
+            for y in 0..hw {
+                for xx in 0..hw {
+                    for c in 0..cin {
+                        x_vals[((b * hw + y) * hw + xx) * cin + c] =
+                            desc.x_enc.code_value(codes.get(b, c, y, xx), q);
+                    }
+                }
+            }
+        }
+        let n_w = cout * kk * kk * cin;
+        let w_codes: Vec<u32> = (0..n_w)
+            .map(|_| (lcg(&mut seed) as u32) % (1 << p))
+            .collect();
+        let weights = ConvWeights::from_codes(&desc, &w_codes);
+        let w_vals: Vec<i32> = w_codes.iter().map(|&c| desc.w_enc.code_value(c, p)).collect();
+        let oracle = conv2d_i32(
+            &x_vals, &w_vals, batch, hw, hw, cin, cout, kk, kk, stride, pad,
+        );
+
+        let micro = MicroTile { jb, kb };
+        prop_assert_eq!(
+            &conv_cpu_with_micro(&desc, &weights, &input, micro),
+            &oracle,
+            "parallel conv jb={} kb={}", jb, kb
+        );
+
+        // Prepared sequential path on a partial shard.
+        let shard = 1 + (seed as usize) % batch;
+        let prepared = ApConv::new(desc).prepare(weights).with_micro(micro);
+        let mut scratch = ConvScratch::default();
+        let mut out = Vec::new();
+        prepared.execute_into(&input.batch_slice(0, shard), &mut scratch, &mut out);
+        let per_image = desc.out_h() * desc.out_w() * cout;
+        prop_assert_eq!(&out[..], &oracle[..shard * per_image], "seq conv shard={}", shard);
     }
 
     /// Latency estimates are monotone in every problem dimension.

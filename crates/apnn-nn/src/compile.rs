@@ -32,7 +32,7 @@ use apnn_kernels::apconv::{ApConv, ConvDesc, ConvWeights, Pool2, PreparedConv};
 use apnn_kernels::apmm::cpu::ApmmScratch;
 use apnn_kernels::apmm::simmap::{estimate_with_efficiency as apmm_estimate, APMM_TC_EFFICIENCY};
 use apnn_kernels::apmm::{Apmm, ApmmDesc, PreparedApmm, TileConfig};
-use apnn_kernels::autotune::autotune;
+use apnn_kernels::autotune::{autotune, autotune_micro, MicroTile};
 use apnn_kernels::baselines::conv::{conv_report, ConvShape};
 use apnn_kernels::baselines::gemm::gemm_report;
 use apnn_kernels::baselines::BNN_KERNEL_EFFICIENCY;
@@ -115,6 +115,12 @@ pub enum MainKernel {
         desc: ConvDesc,
         /// Tile chosen at compile time (§4.3.2).
         tile: TileConfig,
+        /// CPU microkernel `(JB, KB)` tile chosen at compile time
+        /// (`autotune_micro`): output channels share each loaded window
+        /// word in `micro.jb`-wide blocks, K walks in `micro.kb`-word
+        /// rounds. Surfaced here (and in the plan's `Debug` output) so the
+        /// per-layer choice is inspectable.
+        micro: MicroTile,
         /// Packed weights + padding plan (functional plans only).
         prepared: Option<PreparedConv>,
     },
@@ -124,6 +130,10 @@ pub enum MainKernel {
         desc: ApmmDesc,
         /// Tile chosen at compile time.
         tile: TileConfig,
+        /// CPU microkernel `(JB, KB)` tile chosen at compile time: batch
+        /// columns share each loaded weight word in `micro.jb`-wide
+        /// blocks.
+        micro: MicroTile,
         /// Packed weights + correction vectors (functional plans only).
         prepared: Option<PreparedApmm>,
     },
@@ -1447,10 +1457,18 @@ fn compile_main(
                     )
                 }
             };
+            // One microkernel tile per layer, fixed at compile time: read
+            // it back from the prepared kernel (whose `prepare` selected
+            // it) or select it directly for simulation-only plans.
+            let micro = match &prepared {
+                Some(p) => p.micro(),
+                None => autotune_micro(cout, desc.k_bits() / 64, x_bits, w_bits),
+            };
             (
                 MainKernel::Conv {
                     desc,
                     tile,
+                    micro,
                     prepared,
                 },
                 init,
@@ -1496,10 +1514,15 @@ fn compile_main(
                     )
                 }
             };
+            let micro = match &prepared {
+                Some(p) => p.micro(),
+                None => autotune_micro(desc.n, pad_to_bmma_k(desc.k) / 64, w_bits, x_bits),
+            };
             (
                 MainKernel::Linear {
                     desc,
                     tile,
+                    micro,
                     prepared,
                 },
                 init,

@@ -79,6 +79,7 @@ impl QuantNet {
                 let desc = conv.desc;
                 let tile = conv.tile;
                 let prepared = conv.prepare(weights);
+                let micro = prepared.micro();
                 MainStage {
                     name: format!("stage{idx}"),
                     op: MainOp::Conv {
@@ -95,6 +96,7 @@ impl QuantNet {
                     kernel: MainKernel::Conv {
                         desc,
                         tile,
+                        micro,
                         prepared: Some(prepared),
                     },
                     init: None,
@@ -104,6 +106,7 @@ impl QuantNet {
                 let desc = apmm.desc;
                 let tile = apmm.tile;
                 let prepared = apmm.prepare(weights);
+                let micro = prepared.micro();
                 MainStage {
                     name: format!("stage{idx}"),
                     op: MainOp::Linear {
@@ -115,6 +118,7 @@ impl QuantNet {
                     kernel: MainKernel::Linear {
                         desc,
                         tile,
+                        micro,
                         prepared: Some(prepared),
                     },
                     init: None,

@@ -101,6 +101,20 @@ impl<'a, T> EnumerateParChunksMut<'a, T> {
         T: Send,
         F: Fn((usize, &mut [T])) + Sync,
     {
+        self.for_each_init(|| (), |(), item| f(item));
+    }
+
+    /// Visit every `(index, chunk)` pair in parallel, threading a
+    /// per-participant state built by `init` (matching rayon's
+    /// `for_each_init`): each participant builds one state and reuses it
+    /// across every chunk it claims — the hook the kernels use to hoist a
+    /// stack accumulator tile out of the per-chunk work.
+    pub fn for_each_init<I, S, F>(self, init: I, f: F)
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, (usize, &mut [T])) + Sync,
+    {
         let len = self.slice.len();
         let chunk = self.chunk;
         if len == 0 {
@@ -108,28 +122,34 @@ impl<'a, T> EnumerateParChunksMut<'a, T> {
         }
         let n_chunks = len.div_ceil(chunk);
         if n_chunks <= 1 || current_num_threads() <= 1 || pool::in_pool() {
+            let mut state = init();
             for (i, c) in self.slice.chunks_mut(chunk).enumerate() {
-                f((i, c));
+                f(&mut state, (i, c));
             }
             return;
         }
         let base = SendPtr(self.slice.as_mut_ptr());
         let next = std::sync::atomic::AtomicUsize::new(0);
         // Work-stealing body run by the caller and every pool worker: claim
-        // chunk indices until the counter runs past the end. No allocation.
-        let work = move || loop {
-            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if i >= n_chunks {
-                break;
+        // chunk indices until the counter runs past the end. No allocation
+        // beyond whatever `init` itself performs, once per participant.
+        let work = move || {
+            let mut state = init();
+            loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                let start = i * chunk;
+                let end = (start + chunk).min(len);
+                // SAFETY: `i` is claimed exactly once, so `[start, end)`
+                // ranges never overlap between participants; `base` outlives
+                // the dispatch because `pool::run` joins every participant
+                // before returning.
+                let s =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+                f(&mut state, (i, s));
             }
-            let start = i * chunk;
-            let end = (start + chunk).min(len);
-            // SAFETY: `i` is claimed exactly once, so `[start, end)` ranges
-            // never overlap between participants; `base` outlives the
-            // dispatch because `pool::run` joins every participant before
-            // returning.
-            let s = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
-            f((i, s));
         };
         pool::run(&work);
     }
@@ -327,6 +347,30 @@ impl<T> ParallelSliceMut<T> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn for_each_init_builds_one_state_per_participant() {
+        let mut v = vec![0u32; 64];
+        let inits = std::sync::atomic::AtomicUsize::new(0);
+        v.par_chunks_mut(4).enumerate().for_each_init(
+            || {
+                inits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                [0u32; 8]
+            },
+            |scratch, (i, chunk)| {
+                scratch[0] = i as u32 + 1;
+                for c in chunk.iter_mut() {
+                    *c = scratch[0];
+                }
+            },
+        );
+        for (pos, &x) in v.iter().enumerate() {
+            assert_eq!(x, (pos / 4) as u32 + 1);
+        }
+        // One state per dispatch participant (caller + pool workers), not
+        // one per chunk.
+        assert!(inits.load(std::sync::atomic::Ordering::Relaxed) <= current_num_threads() + 1);
+    }
 
     #[test]
     fn chunks_visited_exactly_once_with_indices() {

@@ -226,9 +226,11 @@ fn repeated_inference_reuses_the_compiled_plan() {
     let first = plan.infer(&input);
     let second = plan.infer(&input);
     assert_eq!(first, second);
-    // Serving reuses every compiled artifact: no re-autotuning, no weight
-    // re-packing, no correction-vector rebuilds in the hot loop.
+    // Serving reuses every compiled artifact: no re-autotuning (GPU tiles
+    // *or* CPU microkernel tiles), no weight re-packing, no
+    // correction-vector rebuilds in the hot loop.
     assert_eq!(serving.autotune_calls(), 0, "infer re-autotuned");
+    assert_eq!(serving.micro_tunes(), 0, "infer re-tuned the microkernel");
     assert_eq!(serving.weight_prepares(), 0, "infer re-packed weights");
     assert_eq!(serving.row_sum_builds(), 0, "infer rebuilt W·J row sums");
     // The workspace path reuses them too.
@@ -251,10 +253,22 @@ fn repeated_inference_reuses_the_compiled_plan() {
 
     // Sanity: compiling *does* move the counters (the scope is not inert).
     let compiling = stats::scope();
-    let _plan2 =
+    let plan2 =
         vgg_variant_tiny().compile(NetPrecision::w1a2(), &CompileOptions::functional(batch, 56));
     assert!(compiling.weight_prepares() > 0);
     assert!(compiling.autotune_calls() > 0);
+    // Exactly one CPU-microkernel tile selection per main stage, all at
+    // compile time — and the per-layer choice is surfaced in the plan's
+    // debug output.
+    assert_eq!(
+        compiling.micro_tunes(),
+        plan2.main_stages().count() as u64,
+        "one (JB, KB) selection per layer"
+    );
+    assert!(
+        format!("{plan2:?}").contains("MicroTile"),
+        "plans surface the microkernel tile in debug output"
+    );
     // w1a2 (±1 weights, {0,1} activations) corrects with *activation*
     // column sums — input-dependent, computed in scratch per call — so
     // compilation builds no weight-side W·J vectors for it. Schemes that

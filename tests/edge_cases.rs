@@ -106,6 +106,24 @@ fn zero_rows_matrix_is_legal() {
 }
 
 #[test]
+fn zero_row_activation_shard_yields_empty_product() {
+    // Regression for the empty-shard edge: a prepared plan handed a
+    // zero-row activation batch must return the empty `m × 0` product —
+    // the parallel path used to fabricate a `n.max(1)` chunk width here.
+    let desc = ApmmDesc::unsigned(6, 4, 96, 2, 2);
+    let w_codes: Vec<u32> = (0..6 * 96).map(|i| (i % 4) as u32).collect();
+    let w = BitPlanes::from_codes(&w_codes, 6, 96, 2, Encoding::ZeroOne);
+    let prepared = Apmm::new(desc).prepare(w);
+    let empty = BitPlanes::from_codes(&[], 0, 96, 2, Encoding::ZeroOne);
+    assert!(prepared.execute(&empty).is_empty());
+
+    let mut scratch = apnn_tc::kernels::apmm::cpu::ApmmScratch::default();
+    let mut out = vec![1i32; 3];
+    prepared.execute_into(&empty, &mut scratch, &mut out);
+    assert!(out.is_empty());
+}
+
+#[test]
 fn simulate_handles_degenerate_grids() {
     // A 1×1 output on a huge GPU: overhead-bound, never panics, never zero.
     let spec = GpuSpec::a100();

@@ -22,8 +22,12 @@
 //! [`ExecWorkspace`]: apnn_tc::nn::compile::ExecWorkspace
 //! [`WorkspacePool`]: apnn_tc::nn::WorkspacePool
 
-use apnn_tc::bitpack::{BitTensor4, Encoding, Layout, Tensor4};
+use apnn_tc::bitpack::{BitPlanes, BitTensor4, Encoding, Layout, Tensor4};
+use apnn_tc::kernels::apconv::cpu::ConvScratch;
+use apnn_tc::kernels::apmm::cpu::ApmmScratch;
+use apnn_tc::kernels::autotune::MicroTile;
 use apnn_tc::kernels::stats::{alloc_scope, CountingAllocator};
+use apnn_tc::kernels::{ApConv, Apmm, ApmmDesc, ConvDesc};
 use apnn_tc::nn::models::servable_zoo;
 use apnn_tc::nn::{CompileOptions, NetPrecision};
 
@@ -131,4 +135,66 @@ fn steady_state_inference_performs_zero_heap_allocations() {
             }
         }
     }
+
+    // -- Kernel level: the register-blocked microkernel paths. ------------
+    // The popcount tile lives on the stack, so the prepared APMM/APConv
+    // sequential paths must stay allocation-free from warm onward for
+    // *any* (JB, KB) block shape — including ragged blocks (jb not
+    // dividing the column count) and K blocks smaller than one row.
+    tiled_kernel_paths_allocate_nothing_from_warm_onward();
+}
+
+fn tiled_kernel_paths_allocate_nothing_from_warm_onward() {
+    let (m, n, k) = (9, 13, 500);
+    let desc = ApmmDesc::unsigned(m, n, k, 2, 2);
+    let w_codes: Vec<u32> = (0..m * k).map(|i| (i % 4) as u32).collect();
+    let x_codes: Vec<u32> = (0..n * k).map(|i| ((i * 7) % 4) as u32).collect();
+    let w = BitPlanes::from_codes(&w_codes, m, k, 2, Encoding::ZeroOne);
+    let x = BitPlanes::from_codes(&x_codes, n, k, 2, Encoding::ZeroOne);
+    let cdesc = ConvDesc::unsigned(2, 5, 8, 7, 3, 1, 1, 2, 2);
+    let cw_codes: Vec<u32> = (0..cdesc.cout * 9 * cdesc.cin)
+        .map(|i| (i % 4) as u32)
+        .collect();
+    let conv_w = apnn_tc::kernels::apconv::ConvWeights::from_codes(&cdesc, &cw_codes);
+    let conv_in = packed_conv_input(&cdesc);
+
+    for (jb, kb) in [(1usize, 1usize), (3, 4), (8, 64)] {
+        let micro = MicroTile { jb, kb };
+        let apmm = Apmm::new(desc).prepare(w.clone()).with_micro(micro);
+        let conv = ApConv::new(cdesc).prepare(conv_w.clone()).with_micro(micro);
+        let mut scratch = ApmmScratch::default();
+        let mut out = Vec::new();
+        let mut cscratch = ConvScratch::default();
+        let mut cout = Vec::new();
+        // Warm: first call sizes every buffer.
+        apmm.execute_into(&x, &mut scratch, &mut out);
+        let want = out.clone();
+        conv.execute_into(&conv_in, &mut cscratch, &mut cout);
+        let cwant = cout.clone();
+
+        let scope = alloc_scope();
+        for _ in 0..3 {
+            apmm.execute_into(&x, &mut scratch, &mut out);
+            conv.execute_into(&conv_in, &mut cscratch, &mut cout);
+        }
+        assert_eq!(
+            scope.allocations(),
+            0,
+            "tiled kernel paths touched the allocator (jb={jb}, kb={kb})"
+        );
+        assert_eq!(out, want, "jb={jb} kb={kb}");
+        assert_eq!(cout, cwant, "jb={jb} kb={kb}");
+    }
+}
+
+fn packed_conv_input(desc: &ConvDesc) -> BitTensor4 {
+    let codes = Tensor4::<u32>::from_fn(
+        desc.batch,
+        desc.cin,
+        desc.h,
+        desc.w,
+        Layout::Nhwc,
+        |b, c, h, w| ((3 * b + 5 * c + 7 * h + 11 * w) % (1 << desc.x_bits)) as u32,
+    );
+    BitTensor4::from_tensor(&codes, desc.x_bits, Encoding::ZeroOne)
 }
