@@ -56,6 +56,15 @@ fn kernels() -> String {
     out
 }
 
+/// Run the kernel sweep once per available popcount arm and print the
+/// side-by-side word-GB/s comparison (the dispatch-quality check: the
+/// selected SIMD arm should beat the scalar fallback on a build without
+/// hardware `popcnt`). Prints a table only — no committed artifact, since
+/// the per-arm ratios are host-specific.
+fn arms() -> String {
+    kernels::arms_report(96, 96, 4096, 20)
+}
+
 /// Validate freshly generated bench artifacts against the committed ones
 /// (the `bench-trajectory` CI gate): both parse, both pass the range
 /// checks, and both cover the same sweep points. Exits non-zero with a
@@ -166,6 +175,7 @@ fn main() {
             "serve" => Some(serve()),
             "exec" => Some(exec()),
             "kernels" => Some(kernels()),
+            "arms" => Some(arms()),
             _ => None,
         }
     };
@@ -201,7 +211,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{arg}'. Options: fig5..fig12, table1..table4, \
              fusion-ablation, ablation-tiles, ablation-layout, ablation-batching, turing, \
-             serve, exec, kernels, check-bench <fresh_dir> <committed_dir>, all"
+             serve, exec, kernels, arms, check-bench <fresh_dir> <committed_dir>, all"
         );
         std::process::exit(2);
     }

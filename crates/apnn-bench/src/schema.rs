@@ -190,8 +190,23 @@ pub fn validate_exec(rows: &[Row]) -> Result<Vec<(String, String, u64)>, String>
 /// trajectory gate.
 pub type KernelKey = (String, u64, u64, u64, u64, u64);
 
-/// Validate one `BENCH_kernels.json` row set: required fields present,
-/// values in sane ranges. Returns the [`KernelKey`] identity keys.
+/// The full emulation-case set a kernels artifact must cover: the four
+/// Ampere cases plus the three Turing XOR-only derivations. A sweep that
+/// silently drops one of them is a broken trajectory.
+pub const KERNEL_CASES: [&str; 7] = [
+    "AndUnsigned",
+    "XorSignedBinary",
+    "AndWeightTransformed",
+    "AndActivationTransformed",
+    "XorDerivedUnsigned",
+    "XorDerivedWeightTransformed",
+    "XorDerivedActivationTransformed",
+];
+
+/// Validate one `BENCH_kernels.json` row set: required fields present
+/// (including the popcount `arm` every row must record), values in sane
+/// ranges, and the full seven-case emulation set covered. Returns the
+/// [`KernelKey`] identity keys.
 pub fn validate_kernels(rows: &[Row]) -> Result<Vec<KernelKey>, String> {
     if rows.is_empty() {
         return Err("kernels artifact has no rows".into());
@@ -201,6 +216,7 @@ pub fn validate_kernels(rows: &[Row]) -> Result<Vec<KernelKey>, String> {
         let ctx = |e: String| format!("kernels row {i}: {e}");
         let case = string(row, "case").map_err(ctx)?;
         let op = string(row, "op").map_err(ctx)?;
+        let arm = string(row, "arm").map_err(ctx)?;
         let p = num(row, "p").map_err(ctx)?;
         let q = num(row, "q").map_err(ctx)?;
         let m = num(row, "m").map_err(ctx)?;
@@ -213,6 +229,9 @@ pub fn validate_kernels(rows: &[Row]) -> Result<Vec<KernelKey>, String> {
         if op != "and" && op != "xor" {
             return Err(format!("kernels row {i}: unexpected op `{op}`"));
         }
+        if apnn_bitpack::PopcntArm::parse(&arm).is_none() {
+            return Err(format!("kernels row {i}: unknown popcount arm `{arm}`"));
+        }
         if !(1.0..=8.0).contains(&p) || !(1.0..=8.0).contains(&q) {
             return Err(format!("kernels row {i}: plane counts out of range"));
         }
@@ -223,6 +242,11 @@ pub fn validate_kernels(rows: &[Row]) -> Result<Vec<KernelKey>, String> {
             return Err(format!("kernels row {i}: non-positive measurement"));
         }
         keys.push((case, p as u64, q as u64, m as u64, n as u64, k as u64));
+    }
+    for want in KERNEL_CASES {
+        if !keys.iter().any(|(case, ..)| case == want) {
+            return Err(format!("kernels artifact is missing case `{want}`"));
+        }
     }
     Ok(keys)
 }
@@ -322,20 +346,46 @@ mod tests {
     #[test]
     fn rejects_bad_kernels_rows() {
         let rows = parse_rows(
-            r#"{"kernels": [{"case": "AndUnsigned", "op": "nand", "p": 2, "q": 2, "m": 8,
-                "n": 8, "k": 128, "jb": 4, "kb": 8, "word_gbps": 1.0, "pair_mops": 1.0}]}"#,
+            r#"{"kernels": [{"case": "AndUnsigned", "op": "nand", "arm": "avx2", "p": 2, "q": 2,
+                "m": 8, "n": 8, "k": 128, "jb": 4, "kb": 8, "word_gbps": 1.0, "pair_mops": 1.0}]}"#,
         )
         .unwrap();
         let err = validate_kernels(&rows).unwrap_err();
         assert!(err.contains("unexpected op"), "{err}");
 
         let rows = parse_rows(
-            r#"{"kernels": [{"case": "AndUnsigned", "op": "and", "p": 9, "q": 2, "m": 8,
-                "n": 8, "k": 128, "jb": 4, "kb": 8, "word_gbps": 1.0, "pair_mops": 1.0}]}"#,
+            r#"{"kernels": [{"case": "AndUnsigned", "op": "and", "arm": "avx2", "p": 9, "q": 2,
+                "m": 8, "n": 8, "k": 128, "jb": 4, "kb": 8, "word_gbps": 1.0, "pair_mops": 1.0}]}"#,
         )
         .unwrap();
         let err = validate_kernels(&rows).unwrap_err();
         assert!(err.contains("plane counts"), "{err}");
+
+        // Rows that predate the dispatch refactor carry no `arm` — stale
+        // artifacts fail loudly instead of sliding through.
+        let rows = parse_rows(
+            r#"{"kernels": [{"case": "AndUnsigned", "op": "and", "p": 2, "q": 2, "m": 8,
+                "n": 8, "k": 128, "jb": 4, "kb": 8, "word_gbps": 1.0, "pair_mops": 1.0}]}"#,
+        )
+        .unwrap();
+        let err = validate_kernels(&rows).unwrap_err();
+        assert!(err.contains("missing field `arm`"), "{err}");
+
+        let rows = parse_rows(
+            r#"{"kernels": [{"case": "AndUnsigned", "op": "and", "arm": "mmx", "p": 2, "q": 2,
+                "m": 8, "n": 8, "k": 128, "jb": 4, "kb": 8, "word_gbps": 1.0, "pair_mops": 1.0}]}"#,
+        )
+        .unwrap();
+        let err = validate_kernels(&rows).unwrap_err();
+        assert!(err.contains("unknown popcount arm"), "{err}");
+
+        // A sweep that drops one of the seven emulation cases is a broken
+        // trajectory even when every surviving row is well-formed.
+        let one_case = r#"{"kernels": [{"case": "AndUnsigned", "op": "and", "arm": "scalar",
+            "p": 2, "q": 2, "m": 8, "n": 8, "k": 128, "jb": 4, "kb": 8,
+            "word_gbps": 1.0, "pair_mops": 1.0}]}"#;
+        let err = validate_kernels(&parse_rows(one_case).unwrap()).unwrap_err();
+        assert!(err.contains("missing case"), "{err}");
     }
 
     #[test]

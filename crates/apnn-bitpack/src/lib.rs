@@ -31,6 +31,7 @@ pub mod bittensor;
 pub mod buf;
 pub mod encoding;
 pub mod planes;
+pub mod popcnt;
 pub mod tensor;
 pub mod word;
 
@@ -39,4 +40,5 @@ pub use bittensor::BitTensor4;
 pub use buf::resize_for_overwrite;
 pub use encoding::Encoding;
 pub use planes::BitPlanes;
+pub use popcnt::PopcntArm;
 pub use tensor::{Layout, Tensor4};

@@ -63,7 +63,11 @@ pub const fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
 /// counts) instead of one per word. Exact for any length — the tail falls
 /// back to word-at-a-time counting.
 #[inline(always)]
-fn merged_popcount_harley_seal(a: &[u64], b: &[u64], op: impl Fn(u64, u64) -> u64) -> u32 {
+pub(crate) fn merged_popcount_harley_seal(
+    a: &[u64],
+    b: &[u64],
+    op: impl Fn(u64, u64) -> u64,
+) -> u32 {
     let n = a.len();
     debug_assert_eq!(n, b.len());
     let mut fours = 0u32;

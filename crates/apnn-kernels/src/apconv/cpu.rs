@@ -6,12 +6,12 @@
 //! output channel reduces against its packed weight row with XOR/AND +
 //! popcount. Out-of-frame taps follow the input-aware padding strategies.
 
-use apnn_bitpack::{BitTensor4, Encoding};
+use apnn_bitpack::{BitTensor4, Encoding, PopcntArm};
 use rayon::prelude::*;
 
 use super::padding::{correct_xor_window, fill_words, pad_fill, valid_row_popc, PadFill};
 use super::{ConvDesc, ConvOutput, ConvWeights, Pool2};
-use crate::autotune::{autotune_micro, MicroTile};
+use crate::autotune::{select_micro, MicroTile};
 use crate::fusion::Epilogue;
 use crate::micro::{popc_tile, PlaneView, MAX_TILE};
 use crate::select::{plan, EmulationCase};
@@ -106,25 +106,34 @@ pub struct ConvExecPlan {
     /// per layer at compile time for prepared kernels — and exact for any
     /// value (tests override it freely).
     pub(crate) micro: MicroTile,
+    /// Popcount arm the microkernel runs on, bound once at plan time by
+    /// [`PopcntArm::detect`] (exact for any value).
+    pub(crate) arm: PopcntArm,
 }
 
 impl ConvExecPlan {
-    /// Resolve the plan + padding strategy + microkernel tile for a layer.
+    /// Resolve the plan + padding strategy + popcount arm + microkernel
+    /// tile for a layer. Tile selection goes through the shape-keyed
+    /// [`select_micro`] memo, so rebuilding this state per ad-hoc call
+    /// re-selects nothing after the first call per layer shape.
     pub fn new(desc: &ConvDesc, weights: &ConvWeights) -> Self {
         let eplan = plan(desc.w_enc, desc.x_enc);
         let fill = pad_fill(desc.w_enc, desc.x_enc);
         let fill_pattern = fill_words(fill, desc.cin, weights.words_per_tap());
-        let micro = autotune_micro(
+        let arm = PopcntArm::detect();
+        let micro = select_micro(
             desc.cout,
             desc.kh * desc.kw * weights.words_per_tap(),
             desc.x_bits,
             desc.w_bits,
+            arm,
         );
         ConvExecPlan {
             eplan,
             fill,
             fill_pattern,
             micro,
+            arm,
         }
     }
 
@@ -136,6 +145,18 @@ impl ConvExecPlan {
     /// Replace the microkernel tile (bench sweeps, differential tests).
     pub fn with_micro(mut self, micro: MicroTile) -> Self {
         self.micro = micro;
+        self
+    }
+
+    /// The popcount arm this plan executes with.
+    pub fn arm(&self) -> PopcntArm {
+        self.arm
+    }
+
+    /// Force a popcount arm (tests, benches, CI force-arm legs);
+    /// unavailable arms are clamped to the detected best.
+    pub fn with_arm(mut self, arm: PopcntArm) -> Self {
+        self.arm = arm.sanitized();
         self
     }
 }
@@ -414,8 +435,10 @@ pub(crate) fn conv_exec_seq(
         fill: _,
         fill_pattern,
         micro,
+        arm,
     } = eplan_state;
     let eplan = *eplan;
+    let arm = arm.sanitized();
     let need_popc = eplan.case == EmulationCase::AndWeightTransformed;
 
     let (oh, ow) = (desc.out_h(), desc.out_w());
@@ -463,7 +486,7 @@ pub(crate) fn conv_exec_seq(
             // output-channel block), B-side = the weight rows: the tile
             // comes back `[j][t][s]`-indexed.
             let live = &mut tile[..jbc * q * p];
-            popc_tile(eplan.op, &win_view, 0, &w_view, co0, jbc, kb, live);
+            popc_tile(eplan.op, arm, &win_view, 0, &w_view, co0, jbc, kb, live);
             combine_conv_block(
                 desc,
                 weights,
@@ -556,6 +579,24 @@ pub fn conv_cpu_with_micro(
     conv_exec(desc, weights, input, &state)
 }
 
+/// [`conv_cpu_with_micro`] with an explicit popcount arm as well — the
+/// differential tests pin both knobs; every (tile, arm) pair is
+/// bit-identical.
+pub fn conv_cpu_tuned(
+    desc: &ConvDesc,
+    weights: &ConvWeights,
+    input: &BitTensor4,
+    micro: MicroTile,
+    arm: PopcntArm,
+) -> Vec<i32> {
+    let (n, ..) = input.shape();
+    assert_eq!(n, desc.batch, "batch mismatch");
+    let state = ConvExecPlan::new(desc, weights)
+        .with_micro(micro)
+        .with_arm(arm);
+    conv_exec(desc, weights, input, &state)
+}
+
 /// Shared core: convolve `input` (whose batch may be ≤ `desc.batch` when a
 /// compiled plan serves a partial shard) with prepared invariants.
 pub(crate) fn conv_exec(
@@ -579,8 +620,10 @@ pub(crate) fn conv_exec(
         fill,
         fill_pattern,
         micro,
+        arm,
     } = eplan_state;
     let (eplan, fill) = (*eplan, *fill);
+    let arm = arm.sanitized();
     let need_popc = eplan.case == EmulationCase::AndWeightTransformed;
 
     let (oh, ow) = (desc.out_h(), desc.out_w());
@@ -613,7 +656,7 @@ pub(crate) fn conv_exec(
             while co0 < cout {
                 let jbc = jb.min(cout - co0);
                 let live = &mut tile[..jbc * q * p];
-                popc_tile(eplan.op, &win_view, 0, &w_view, co0, jbc, kb, live);
+                popc_tile(eplan.op, arm, &win_view, 0, &w_view, co0, jbc, kb, live);
                 combine_conv_block(
                     desc,
                     weights,
@@ -972,6 +1015,78 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn every_available_arm_is_bit_identical_for_conv() {
+        // One Ampere case per encoding class, run through every popcount
+        // arm on both the parallel and sequential paths. Unavailable arms
+        // sanitize to the detected best — still exact, so asserting on
+        // the full set is safe on any host.
+        let mut descs = vec![ConvDesc::unsigned(2, 5, 7, 9, 3, 1, 1, 2, 2)];
+        let mut d = ConvDesc::unsigned(1, 5, 6, 4, 3, 1, 1, 1, 1);
+        d.w_enc = Encoding::PlusMinusOne;
+        d.x_enc = Encoding::PlusMinusOne;
+        descs.push(d);
+        let mut d = ConvDesc::unsigned(2, 6, 5, 7, 3, 1, 1, 1, 3);
+        d.w_enc = Encoding::PlusMinusOne;
+        descs.push(d);
+
+        for (i, desc) in descs.iter().enumerate() {
+            let mut seed = 700 + i as u64;
+            let (input, _) = make_input(desc, &mut seed);
+            let weights = if desc.w_enc == Encoding::PlusMinusOne {
+                let n = desc.cout * desc.kh * desc.kw * desc.cin;
+                let vals: Vec<i32> = (0..n)
+                    .map(|_| if lcg(&mut seed) & 1 == 0 { -1 } else { 1 })
+                    .collect();
+                ConvWeights::from_signed(desc, &vals)
+            } else {
+                make_weights(desc, &mut seed).0
+            };
+            let want = conv_cpu(desc, &weights, &input);
+            let mut scratch = WindowScratch::default();
+            let mut out = Vec::new();
+            for arm in PopcntArm::ALL {
+                let state = ConvExecPlan::new(desc, &weights).with_arm(arm);
+                assert_eq!(
+                    conv_exec(desc, &weights, &input, &state),
+                    want,
+                    "parallel arm {} desc {desc:?}",
+                    arm.label()
+                );
+                conv_exec_seq(desc, &weights, &input, &state, &mut scratch, &mut out);
+                assert_eq!(out, want, "seq arm {} desc {desc:?}", arm.label());
+            }
+        }
+    }
+
+    #[test]
+    fn ad_hoc_conv_entry_reuses_the_shape_keyed_memo() {
+        // Satellite contract: `conv_cpu` rebuilds its `ConvExecPlan` per
+        // call, but tile selection must go through the shape-keyed memo —
+        // first call per layer shape selects (and, in measured mode,
+        // benches) once; repeats move neither counter. The shape is unique
+        // to this test so the first call is a guaranteed memo miss.
+        let desc = ConvDesc::unsigned(1, 37, 5, 13, 3, 1, 1, 2, 2);
+        let mut seed = 41;
+        let (input, _) = make_input(&desc, &mut seed);
+        let (weights, _) = make_weights(&desc, &mut seed);
+
+        let s = crate::stats::scope();
+        let y1 = conv_cpu(&desc, &weights, &input);
+        assert_eq!(s.micro_tunes(), 1, "first call per shape selects once");
+        assert!(s.micro_benches() <= 1);
+        let (tunes, benches) = (s.micro_tunes(), s.micro_benches());
+        let y2 = conv_cpu(&desc, &weights, &input);
+        let y3 = conv_cpu(&desc, &weights, &input);
+        assert_eq!(
+            (s.micro_tunes(), s.micro_benches()),
+            (tunes, benches),
+            "repeat calls must be memo hits"
+        );
+        assert_eq!(y1, y2);
+        assert_eq!(y1, y3);
     }
 
     #[test]

@@ -268,7 +268,7 @@ impl PreparedConv {
     }
 
     /// The CPU microkernel `(JB, KB)` tile this plan executes with (chosen
-    /// at prepare time by [`crate::autotune::autotune_micro`]).
+    /// at prepare time by [`crate::autotune::select_micro`]).
     pub fn micro(&self) -> crate::autotune::MicroTile {
         self.exec_plan.micro()
     }
@@ -277,6 +277,19 @@ impl PreparedConv {
     /// every value is bit-identical.
     pub fn with_micro(mut self, micro: crate::autotune::MicroTile) -> Self {
         self.exec_plan = self.exec_plan.with_micro(micro);
+        self
+    }
+
+    /// The popcount arm this plan executes with (bound at prepare time by
+    /// [`apnn_bitpack::PopcntArm::detect`]).
+    pub fn arm(&self) -> apnn_bitpack::PopcntArm {
+        self.exec_plan.arm()
+    }
+
+    /// Force a popcount arm (tests, benches, CI force-arm legs) — every
+    /// available arm is bit-identical; unavailable arms are clamped.
+    pub fn with_arm(mut self, arm: apnn_bitpack::PopcntArm) -> Self {
+        self.exec_plan = self.exec_plan.with_arm(arm);
         self
     }
 

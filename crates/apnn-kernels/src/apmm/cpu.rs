@@ -6,11 +6,11 @@
 //! this engine; its results are validated against the naive i32 oracle and
 //! against the fragment-level [`crate::emulate::ap_bit_mm`].
 
-use apnn_bitpack::BitPlanes;
+use apnn_bitpack::{BitPlanes, PopcntArm};
 use rayon::prelude::*;
 
 use super::ApmmDesc;
-use crate::autotune::{autotune_micro, MicroTile};
+use crate::autotune::{select_micro, MicroTile};
 use crate::micro::{popc_tile, PlaneView, MAX_TILE};
 use crate::select::{adjust_partial, EmulationCase, EmulationPlan};
 
@@ -51,14 +51,25 @@ pub fn apmm_cpu(desc: &ApmmDesc, w: &BitPlanes, x: &BitPlanes) -> Vec<i32> {
 
 /// Compute with an explicit emulation plan — e.g.
 /// [`crate::select::plan_xor_only`] for Turing-class (XOR-only) targets.
+///
+/// Tile selection goes through the same shape-keyed
+/// [`select_micro`] memo the plan compiler uses, so hammering this
+/// entry point re-selects nothing after the first call per shape.
 pub fn apmm_cpu_with_plan(
     desc: &ApmmDesc,
     w: &BitPlanes,
     x: &BitPlanes,
     eplan: EmulationPlan,
 ) -> Vec<i32> {
-    let micro = autotune_micro(desc.n, w.plane(0).words_per_row(), desc.w_bits, desc.x_bits);
-    apmm_cpu_with_micro(desc, w, x, eplan, micro)
+    let arm = PopcntArm::detect();
+    let micro = select_micro(
+        desc.n,
+        w.plane(0).words_per_row(),
+        desc.w_bits,
+        desc.x_bits,
+        arm,
+    );
+    apmm_cpu_tuned(desc, w, x, eplan, micro, arm)
 }
 
 /// [`apmm_cpu_with_plan`] with an explicit microkernel tile — the knob the
@@ -71,10 +82,24 @@ pub fn apmm_cpu_with_micro(
     eplan: EmulationPlan,
     micro: MicroTile,
 ) -> Vec<i32> {
+    apmm_cpu_tuned(desc, w, x, eplan, micro, PopcntArm::detect())
+}
+
+/// [`apmm_cpu_with_micro`] with an explicit popcount arm as well — the
+/// fully-pinned entry point the arm-differential proptests and the bench
+/// arm sweep drive. Every `(tile, arm)` pair is bit-identical.
+pub fn apmm_cpu_tuned(
+    desc: &ApmmDesc,
+    w: &BitPlanes,
+    x: &BitPlanes,
+    eplan: EmulationPlan,
+    micro: MicroTile,
+    arm: PopcntArm,
+) -> Vec<i32> {
     // The ad-hoc path promises a full `m×n` product; only the prepared
     // (compiled-plan) path may serve partial batch shards.
     assert_eq!(x.rows(), desc.n, "activation rows");
-    apmm_exec(desc, w, x, eplan, None, micro)
+    apmm_exec(desc, w, x, eplan, None, micro, arm)
 }
 
 /// Shared core: multiply packed `w` (rows = output features) against packed
@@ -89,6 +114,7 @@ pub(crate) fn apmm_exec(
     eplan: EmulationPlan,
     w_row_sums_pre: Option<&[Vec<i32>]>,
     micro: MicroTile,
+    arm: PopcntArm,
 ) -> Vec<i32> {
     let m = desc.m;
     let n = x.rows();
@@ -126,6 +152,7 @@ pub(crate) fn apmm_exec(
     };
 
     let MicroTile { jb, kb } = micro.sanitized();
+    let arm = arm.sanitized();
     let w_view = PlaneView::from_bitplanes(w);
     let x_view = PlaneView::from_bitplanes(x);
     y.par_chunks_mut(n).enumerate().for_each_init(
@@ -137,7 +164,7 @@ pub(crate) fn apmm_exec(
             while j0 < n {
                 let jbc = jb.min(n - j0);
                 let live = &mut tile[..jbc * p * q];
-                popc_tile(eplan.op, &w_view, i, &x_view, j0, jbc, kb, live);
+                popc_tile(eplan.op, arm, &w_view, i, &x_view, j0, jbc, kb, live);
                 combine_apmm_block(
                     eplan.case,
                     live,
@@ -228,6 +255,7 @@ pub(crate) fn apmm_exec_seq(
     eplan: EmulationPlan,
     w_row_sums: &[Vec<i32>],
     micro: MicroTile,
+    arm: PopcntArm,
     col_sums: &mut Vec<i32>,
     out: &mut Vec<i32>,
 ) {
@@ -264,6 +292,7 @@ pub(crate) fn apmm_exec_seq(
     }
 
     let MicroTile { jb, kb } = micro.sanitized();
+    let arm = arm.sanitized();
     let w_view = PlaneView::from_bitplanes(w);
     let x_view = PlaneView::from_bitplanes(x);
     let mut tile = [0i32; MAX_TILE];
@@ -273,7 +302,7 @@ pub(crate) fn apmm_exec_seq(
         while j0 < n {
             let jbc = jb.min(n - j0);
             let live = &mut tile[..jbc * p * q];
-            popc_tile(eplan.op, &w_view, i, &x_view, j0, jbc, kb, live);
+            popc_tile(eplan.op, arm, &w_view, i, &x_view, j0, jbc, kb, live);
             combine_apmm_block(
                 eplan.case,
                 live,
@@ -447,6 +476,7 @@ mod tests {
 
             let w_sums = weight_row_sums(&w, eplan);
             let micro = MicroTile { jb: 4, kb: 2 };
+            let arm = PopcntArm::detect();
             let mut col_sums = Vec::new();
             let mut out = Vec::new();
             apmm_exec_seq(
@@ -456,6 +486,7 @@ mod tests {
                 eplan,
                 &w_sums,
                 micro,
+                arm,
                 &mut col_sums,
                 &mut out,
             );
@@ -481,6 +512,7 @@ mod tests {
                 eplan,
                 &w_sums,
                 micro,
+                arm,
                 &mut col_sums,
                 &mut out,
             );
@@ -507,7 +539,8 @@ mod tests {
         let eplan = desc.plan();
         let micro = MicroTile { jb: 8, kb: 16 };
 
-        let y = apmm_exec(&desc, &w, &x0, eplan, None, micro);
+        let arm = PopcntArm::detect();
+        let y = apmm_exec(&desc, &w, &x0, eplan, None, micro, arm);
         assert!(y.is_empty(), "m×0 product must be empty");
 
         let w_sums = weight_row_sums(&w, eplan);
@@ -520,6 +553,7 @@ mod tests {
             eplan,
             &w_sums,
             micro,
+            arm,
             &mut col_sums,
             &mut out,
         );
@@ -543,6 +577,48 @@ mod tests {
                 assert_eq!(got, want, "jb={jb} kb={kb}");
             }
         }
+    }
+
+    #[test]
+    fn every_available_arm_is_bit_identical() {
+        let mut seed = 47;
+        let (m, n, k, p, q) = (11, 17, 290, 3, 2);
+        let w = BitPlanes::from_codes(&rand_codes(m * k, p, &mut seed), m, k, p, Encoding::ZeroOne);
+        let x = BitPlanes::from_codes(&rand_codes(n * k, q, &mut seed), n, k, q, Encoding::ZeroOne);
+        let desc = ApmmDesc::unsigned(m, n, k, p, q);
+        let want = decoded_reference(&w, &x);
+        for arm in PopcntArm::ALL {
+            let got = apmm_cpu_tuned(&desc, &w, &x, desc.plan(), MicroTile { jb: 4, kb: 16 }, arm);
+            assert_eq!(got, want, "{arm:?}");
+        }
+    }
+
+    #[test]
+    fn ad_hoc_entry_point_reuses_the_shape_keyed_memo() {
+        // Satellite contract: `apmm_cpu` must not re-run tile selection on
+        // every call — the first call per shape selects (and, in measured
+        // mode, benches) once; repeats move neither counter. The shape is
+        // unique to this test so the first call is a guaranteed memo miss.
+        let mut seed = 53;
+        let (m, n, k, p, q) = (6, 19, 331, 2, 2);
+        let w = BitPlanes::from_codes(&rand_codes(m * k, p, &mut seed), m, k, p, Encoding::ZeroOne);
+        let x = BitPlanes::from_codes(&rand_codes(n * k, q, &mut seed), n, k, q, Encoding::ZeroOne);
+        let desc = ApmmDesc::unsigned(m, n, k, p, q);
+
+        let s = crate::stats::scope();
+        let y1 = apmm_cpu(&desc, &w, &x);
+        assert_eq!(s.micro_tunes(), 1, "first call per shape selects once");
+        assert!(s.micro_benches() <= 1);
+        let (tunes, benches) = (s.micro_tunes(), s.micro_benches());
+        let y2 = apmm_cpu(&desc, &w, &x);
+        let y3 = apmm_cpu(&desc, &w, &x);
+        assert_eq!(
+            (s.micro_tunes(), s.micro_benches()),
+            (tunes, benches),
+            "repeat calls must be memo hits"
+        );
+        assert_eq!(y1, y2);
+        assert_eq!(y1, y3);
     }
 
     #[test]

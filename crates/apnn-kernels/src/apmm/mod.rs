@@ -183,17 +183,20 @@ impl Apmm {
         crate::stats::count_weight_prepare();
         let plan = self.desc.plan();
         let w_row_sums = cpu::weight_row_sums(&weights, plan);
-        let micro = crate::autotune::autotune_micro(
+        let arm = apnn_bitpack::PopcntArm::detect();
+        let micro = crate::autotune::select_micro(
             self.desc.n,
             weights.plane(0).words_per_row(),
             self.desc.w_bits,
             self.desc.x_bits,
+            arm,
         );
         PreparedApmm {
             desc: self.desc,
             tile: self.tile,
             plan,
             micro,
+            arm,
             weights,
             w_row_sums,
         }
@@ -222,6 +225,7 @@ pub struct PreparedApmm {
     /// Operator-selection plan fixed at compile time.
     pub plan: crate::select::EmulationPlan,
     micro: crate::autotune::MicroTile,
+    arm: apnn_bitpack::PopcntArm,
     weights: BitPlanes,
     w_row_sums: Vec<Vec<i32>>,
 }
@@ -246,6 +250,20 @@ impl PreparedApmm {
         self
     }
 
+    /// The popcount arm this plan's microkernel runs on (bound once at
+    /// prepare time by [`apnn_bitpack::PopcntArm::detect`]).
+    pub fn arm(&self) -> apnn_bitpack::PopcntArm {
+        self.arm
+    }
+
+    /// Force a popcount arm (tests, benches, CI force-arm legs). An arm
+    /// the CPU cannot run is clamped to the detected best; every arm is
+    /// bit-identical.
+    pub fn with_arm(mut self, arm: apnn_bitpack::PopcntArm) -> Self {
+        self.arm = arm.sanitized();
+        self
+    }
+
     /// Validate an activation operand shard (rows may be ≤ the compiled
     /// batch; everything else must match).
     fn check_acts(&self, x: &BitPlanes) {
@@ -266,6 +284,7 @@ impl PreparedApmm {
             self.plan,
             Some(&self.w_row_sums),
             self.micro,
+            self.arm,
         )
     }
 
@@ -292,6 +311,7 @@ impl PreparedApmm {
             self.plan,
             &self.w_row_sums,
             self.micro,
+            self.arm,
             col_sums,
             out,
         );
@@ -322,6 +342,7 @@ impl PreparedApmm {
             self.plan,
             &self.w_row_sums,
             self.micro,
+            self.arm,
             col_sums,
             acc,
         );

@@ -22,8 +22,9 @@
 //! moves throughput, never results. The differential proptests drive this
 //! across all emulation cases × block sizes × partial shards.
 
+use apnn_bitpack::popcnt::{and_popcount_arm, xor_popcount_arm};
 use apnn_bitpack::word::{and_popcount, xor_popcount};
-use apnn_bitpack::BitPlanes;
+use apnn_bitpack::{BitPlanes, PopcntArm};
 use apnn_sim::BmmaOp;
 
 use crate::autotune::MAX_JB;
@@ -126,9 +127,17 @@ impl<'a> PlaneView<'a> {
 /// counts are exact, so the caller's correction/shift-add step
 /// ([`crate::select::adjust_partial`]) sees the same integers the
 /// un-tiled kernels produced.
+///
+/// `arm` names the merged-popcount implementation the chunks run on
+/// ([`PopcntArm`], bound once per plan at compile time); every arm is
+/// bit-identical, so it moves throughput only. The [`PopcntArm::Scalar`]
+/// arm keeps the historical compile-time dispatch (and its auto-vectorized
+/// codegen under `target-cpu=native`); the SIMD arms reach explicit
+/// `core::arch` reductions regardless of build flags.
 #[allow(clippy::too_many_arguments)]
 pub fn popc_tile(
     op: BmmaOp,
+    arm: PopcntArm,
     a: &PlaneView<'_>,
     ai: usize,
     b: &PlaneView<'_>,
@@ -137,9 +146,19 @@ pub fn popc_tile(
     kb: usize,
     tile: &mut [i32],
 ) {
-    match op {
-        BmmaOp::And => popc_tile_with(a, ai, b, bj0, jb, kb, tile, and_popcount),
-        BmmaOp::Xor => popc_tile_with(a, ai, b, bj0, jb, kb, tile, xor_popcount),
+    match (op, arm) {
+        (BmmaOp::And, PopcntArm::Scalar) => {
+            popc_tile_with(a, ai, b, bj0, jb, kb, tile, and_popcount)
+        }
+        (BmmaOp::Xor, PopcntArm::Scalar) => {
+            popc_tile_with(a, ai, b, bj0, jb, kb, tile, xor_popcount)
+        }
+        (BmmaOp::And, arm) => popc_tile_with(a, ai, b, bj0, jb, kb, tile, |x, y| {
+            and_popcount_arm(arm, x, y)
+        }),
+        (BmmaOp::Xor, arm) => popc_tile_with(a, ai, b, bj0, jb, kb, tile, |x, y| {
+            xor_popcount_arm(arm, x, y)
+        }),
     }
 }
 
@@ -243,17 +262,19 @@ mod tests {
             let x = BitPlanes::from_codes(&xc, n, k, q, Encoding::ZeroOne);
             let (wv, xv) = (PlaneView::from_bitplanes(&w), PlaneView::from_bitplanes(&x));
             for op in [BmmaOp::And, BmmaOp::Xor] {
-                for jb in [1usize, 2, 3, 8] {
-                    for kb in [1usize, 2, 4, 64] {
-                        let jb = jb.min(n);
-                        let mut tile = [0i32; MAX_TILE];
-                        let live = &mut tile[..jb * p as usize * q as usize];
-                        popc_tile(op, &wv, 2, &xv, 1, jb, kb, live);
-                        assert_eq!(
-                            live,
-                            &naive_tile(op, &w, 2, &x, 1, jb)[..],
-                            "w{p}a{q} {op:?} jb={jb} kb={kb}"
-                        );
+                for arm in PopcntArm::ALL {
+                    for jb in [1usize, 2, 3, 8] {
+                        for kb in [1usize, 2, 4, 64] {
+                            let jb = jb.min(n);
+                            let mut tile = [0i32; MAX_TILE];
+                            let live = &mut tile[..jb * p as usize * q as usize];
+                            popc_tile(op, arm, &wv, 2, &xv, 1, jb, kb, live);
+                            assert_eq!(
+                                live,
+                                &naive_tile(op, &w, 2, &x, 1, jb)[..],
+                                "w{p}a{q} {op:?} {arm:?} jb={jb} kb={kb}"
+                            );
+                        }
                     }
                 }
             }
@@ -281,8 +302,10 @@ mod tests {
         let mut t1 = [0i32; MAX_TILE];
         let mut t2 = [0i32; MAX_TILE];
         let live = 2 * q as usize * 2;
-        popc_tile(BmmaOp::And, &fv, 0, &wv, 0, 2, 8, &mut t1[..live]);
-        popc_tile(BmmaOp::And, &xv, 0, &wv, 0, 2, 8, &mut t2[..live]);
-        assert_eq!(t1, t2);
+        for arm in PopcntArm::ALL {
+            popc_tile(BmmaOp::And, arm, &fv, 0, &wv, 0, 2, 8, &mut t1[..live]);
+            popc_tile(BmmaOp::And, arm, &xv, 0, &wv, 0, 2, 8, &mut t2[..live]);
+            assert_eq!(t1, t2, "{arm:?}");
+        }
     }
 }

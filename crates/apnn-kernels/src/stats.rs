@@ -30,12 +30,14 @@ static WEIGHT_PREPARES: AtomicU64 = AtomicU64::new(0);
 static ROW_SUM_BUILDS: AtomicU64 = AtomicU64::new(0);
 static WORKSPACE_CREATES: AtomicU64 = AtomicU64::new(0);
 static MICRO_TUNES: AtomicU64 = AtomicU64::new(0);
+static MICRO_BENCHES: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TL_AUTOTUNE: Cell<u64> = const { Cell::new(0) };
     static TL_PREPARES: Cell<u64> = const { Cell::new(0) };
     static TL_ROW_SUMS: Cell<u64> = const { Cell::new(0) };
     static TL_MICRO_TUNES: Cell<u64> = const { Cell::new(0) };
+    static TL_MICRO_BENCHES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Total [`crate::autotune::autotune`] invocations in this process.
@@ -66,6 +68,16 @@ pub fn micro_tunes() -> u64 {
     MICRO_TUNES.load(Ordering::Relaxed)
 }
 
+/// Total microkernel tile **measurements** in this process: timed
+/// `(JB, KB)` grid sweeps run by [`crate::autotune::select_micro`] on a
+/// memo miss in measured mode. Every measurement is also a tile selection
+/// (so [`micro_tunes`] moves with it), but a memo hit or a pinned
+/// heuristic answer moves neither — the pair of counters is how tests
+/// prove "measured once per distinct shape, free afterwards".
+pub fn micro_benches() -> u64 {
+    MICRO_BENCHES.load(Ordering::Relaxed)
+}
+
 /// Total execution-workspace constructions in this process (see
 /// `apnn_nn::compile::ExecWorkspace`). A long-running server should show
 /// one per (worker thread, plan) pair, regardless of how many batches it
@@ -84,6 +96,7 @@ pub fn scope() -> StatsScope {
         prepares0: TL_PREPARES.get(),
         row_sums0: TL_ROW_SUMS.get(),
         micro0: TL_MICRO_TUNES.get(),
+        bench0: TL_MICRO_BENCHES.get(),
         _thread_bound: std::marker::PhantomData,
     }
 }
@@ -101,6 +114,7 @@ pub struct StatsScope {
     prepares0: u64,
     row_sums0: u64,
     micro0: u64,
+    bench0: u64,
     _thread_bound: std::marker::PhantomData<*const ()>,
 }
 
@@ -125,6 +139,12 @@ impl StatsScope {
     pub fn micro_tunes(&self) -> u64 {
         TL_MICRO_TUNES.get() - self.micro0
     }
+
+    /// Microkernel tile measurements (timed grid sweeps) on this thread
+    /// since the scope opened.
+    pub fn micro_benches(&self) -> u64 {
+        TL_MICRO_BENCHES.get() - self.bench0
+    }
 }
 
 pub(crate) fn count_autotune() {
@@ -145,6 +165,11 @@ pub(crate) fn count_row_sums_build() {
 pub(crate) fn count_micro_tune() {
     MICRO_TUNES.fetch_add(1, Ordering::Relaxed);
     TL_MICRO_TUNES.set(TL_MICRO_TUNES.get() + 1);
+}
+
+pub(crate) fn count_micro_bench() {
+    MICRO_BENCHES.fetch_add(1, Ordering::Relaxed);
+    TL_MICRO_BENCHES.set(TL_MICRO_BENCHES.get() + 1);
 }
 
 /// Record one execution-workspace construction. Called by the workspace
@@ -265,6 +290,9 @@ mod tests {
         let m0 = micro_tunes();
         count_micro_tune();
         assert!(micro_tunes() > m0);
+        let b0 = micro_benches();
+        count_micro_bench();
+        assert!(micro_benches() > b0);
     }
 
     #[test]

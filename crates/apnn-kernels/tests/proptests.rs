@@ -1,10 +1,10 @@
 //! Property-based tests for the kernel layer: autotuner contract, estimator
 //! invariants, epilogue safety.
 
-use apnn_bitpack::{BitPlanes, BitTensor4, Encoding, Layout, Tensor4};
-use apnn_kernels::apconv::cpu::{conv_cpu_with_micro, ConvScratch};
+use apnn_bitpack::{BitPlanes, BitTensor4, Encoding, Layout, PopcntArm, Tensor4};
+use apnn_kernels::apconv::cpu::{conv_cpu_tuned, ConvScratch};
 use apnn_kernels::apconv::{ApConv, ConvDesc, ConvWeights};
-use apnn_kernels::apmm::cpu::{apmm_cpu_with_micro, ApmmScratch};
+use apnn_kernels::apmm::cpu::{apmm_cpu_tuned, ApmmScratch};
 use apnn_kernels::apmm::{simmap, Apmm, ApmmDesc, TileConfig};
 use apnn_kernels::autotune::{
     autotune, compute_intensity, thread_level_parallelism, MicroTile, TILE_CANDIDATES,
@@ -138,10 +138,11 @@ proptest! {
 
     /// The microkernel differential: for any shape, any encoding pair
     /// (all seven `EmulationCase`s — the four Ampere cases plus the three
-    /// XOR-only derivations), any `(JB, KB)` block size and any partial
-    /// shard, the tiled kernels are **bit-identical** to the naive decoded
-    /// i32 oracle — on the ad-hoc parallel path, the prepared path and the
-    /// sequential workspace path alike.
+    /// XOR-only derivations), any `(JB, KB)` block size, any available
+    /// popcount arm and any partial shard, the tiled kernels are
+    /// **bit-identical** to the naive decoded i32 oracle — on the ad-hoc
+    /// parallel path, the prepared path and the sequential workspace path
+    /// alike.
     #[test]
     fn microkernel_matches_oracle_across_cases_blocks_and_shards(
         m in 1usize..14, n in 1usize..22, k in 1usize..280,
@@ -150,6 +151,7 @@ proptest! {
         xor_only in any::<bool>(),
         jb in 1usize..=8,
         kb in prop_oneof![Just(1usize), Just(2), Just(5), Just(64)],
+        arm_sel in 0usize..64,
         shard_sel in 0usize..1000,
         seed in any::<u64>(),
     ) {
@@ -163,21 +165,24 @@ proptest! {
         let x = operand(n, k, q, x_signed, &mut seed);
         let desc = ApmmDesc { m, n, k, w_bits: p, x_bits: q, w_enc, x_enc };
         let micro = MicroTile { jb, kb };
+        let arms = PopcntArm::available();
+        let arm = arms[arm_sel % arms.len()];
         let oracle = decoded_reference(&w, &x);
 
         // Ad-hoc parallel path, Ampere or XOR-only (Turing) plan.
         let eplan = plan_for_device(w_enc, x_enc, !xor_only);
         prop_assert_eq!(
-            &apmm_cpu_with_micro(&desc, &w, &x, eplan, micro),
+            &apmm_cpu_tuned(&desc, &w, &x, eplan, micro, arm),
             &oracle,
-            "ad-hoc {:?} jb={} kb={}", eplan.case, jb, kb
+            "ad-hoc {:?} jb={} kb={} arm={}", eplan.case, jb, kb, arm.label()
         );
 
         // Prepared path (partial shard) + sequential workspace path.
         let shard = shard_sel % (n + 1);
         let prepared = Apmm::with_tile(desc, TileConfig::new(32, 32))
             .prepare(w)
-            .with_micro(micro);
+            .with_micro(micro)
+            .with_arm(arm);
         let xs = if x_signed {
             BitPlanes::from_signed_binary(&x.values()[..shard * k], shard, k)
         } else {
@@ -197,7 +202,8 @@ proptest! {
 
     /// The conv form of the differential: any stride/pad geometry (the
     /// stride-1 shift-reuse gather included), any encoding pair, any
-    /// block size and any partial shard equals the naive conv oracle.
+    /// block size, any available popcount arm and any partial shard
+    /// equals the naive conv oracle.
     #[test]
     fn conv_microkernel_matches_oracle_across_blocks_and_shards(
         batch in 1usize..3, cin in 1usize..6, hw in 3usize..8,
@@ -207,6 +213,7 @@ proptest! {
         w_signed in any::<bool>(), x_signed in any::<bool>(),
         jb in 1usize..=8,
         kb in prop_oneof![Just(1usize), Just(3), Just(64)],
+        arm_sel in 0usize..64,
         seed in any::<u64>(),
     ) {
         prop_assume!(hw + 2 * pad >= kk);
@@ -243,15 +250,20 @@ proptest! {
         );
 
         let micro = MicroTile { jb, kb };
+        let arms = PopcntArm::available();
+        let arm = arms[arm_sel % arms.len()];
         prop_assert_eq!(
-            &conv_cpu_with_micro(&desc, &weights, &input, micro),
+            &conv_cpu_tuned(&desc, &weights, &input, micro, arm),
             &oracle,
-            "parallel conv jb={} kb={}", jb, kb
+            "parallel conv jb={} kb={} arm={}", jb, kb, arm.label()
         );
 
         // Prepared sequential path on a partial shard.
         let shard = 1 + (seed as usize) % batch;
-        let prepared = ApConv::new(desc).prepare(weights).with_micro(micro);
+        let prepared = ApConv::new(desc)
+            .prepare(weights)
+            .with_micro(micro)
+            .with_arm(arm);
         let mut scratch = ConvScratch::default();
         let mut out = Vec::new();
         prepared.execute_into(&input.batch_slice(0, shard), &mut scratch, &mut out);

@@ -25,7 +25,7 @@
 //!   Rayon pool.
 
 use apnn_bitpack::word::pad_to_bmma_k;
-use apnn_bitpack::{BitPlanes, BitTensor4, Encoding};
+use apnn_bitpack::{BitPlanes, BitTensor4, Encoding, PopcntArm};
 use apnn_kernels::apconv::cpu::{pool2_i32, ConvScratch};
 use apnn_kernels::apconv::simmap::{estimate_with_efficiency as conv_estimate, ActLayout};
 use apnn_kernels::apconv::{ApConv, ConvDesc, ConvWeights, Pool2, PreparedConv};
@@ -115,12 +115,17 @@ pub enum MainKernel {
         desc: ConvDesc,
         /// Tile chosen at compile time (§4.3.2).
         tile: TileConfig,
-        /// CPU microkernel `(JB, KB)` tile chosen at compile time
-        /// (`autotune_micro`): output channels share each loaded window
-        /// word in `micro.jb`-wide blocks, K walks in `micro.kb`-word
-        /// rounds. Surfaced here (and in the plan's `Debug` output) so the
+        /// CPU microkernel `(JB, KB)` tile chosen at compile time (the
+        /// shape-keyed `select_micro` memo — measured on the selected
+        /// popcount arm by default, heuristic under `APNN_MICRO_SELECT=
+        /// heuristic`): output channels share each loaded window word in
+        /// `micro.jb`-wide blocks, K walks in `micro.kb`-word rounds.
+        /// Surfaced here (and in the plan's `Debug` output) so the
         /// per-layer choice is inspectable.
         micro: MicroTile,
+        /// Popcount arm the microkernel dispatches to, detected once at
+        /// compile time (`PopcntArm::detect`).
+        arm: PopcntArm,
         /// Packed weights + padding plan (functional plans only).
         prepared: Option<PreparedConv>,
     },
@@ -134,6 +139,9 @@ pub enum MainKernel {
         /// columns share each loaded weight word in `micro.jb`-wide
         /// blocks.
         micro: MicroTile,
+        /// Popcount arm the microkernel dispatches to, detected once at
+        /// compile time (`PopcntArm::detect`).
+        arm: PopcntArm,
         /// Packed weights + correction vectors (functional plans only).
         prepared: Option<PreparedApmm>,
     },
@@ -1457,18 +1465,24 @@ fn compile_main(
                     )
                 }
             };
-            // One microkernel tile per layer, fixed at compile time: read
-            // it back from the prepared kernel (whose `prepare` selected
-            // it) or select it directly for simulation-only plans.
-            let micro = match &prepared {
-                Some(p) => p.micro(),
-                None => autotune_micro(cout, desc.k_bits() / 64, x_bits, w_bits),
+            // One microkernel tile + popcount arm per layer, fixed at
+            // compile time: read both back from the prepared kernel (whose
+            // `prepare` selected them through the shape-keyed memo), or —
+            // for simulation-only plans, which never execute — take the
+            // free heuristic tile instead of paying for a measurement.
+            let (micro, arm) = match &prepared {
+                Some(p) => (p.micro(), p.arm()),
+                None => (
+                    autotune_micro(cout, desc.k_bits() / 64, x_bits, w_bits),
+                    PopcntArm::detect(),
+                ),
             };
             (
                 MainKernel::Conv {
                     desc,
                     tile,
                     micro,
+                    arm,
                     prepared,
                 },
                 init,
@@ -1514,15 +1528,19 @@ fn compile_main(
                     )
                 }
             };
-            let micro = match &prepared {
-                Some(p) => p.micro(),
-                None => autotune_micro(desc.n, pad_to_bmma_k(desc.k) / 64, w_bits, x_bits),
+            let (micro, arm) = match &prepared {
+                Some(p) => (p.micro(), p.arm()),
+                None => (
+                    autotune_micro(desc.n, pad_to_bmma_k(desc.k) / 64, w_bits, x_bits),
+                    PopcntArm::detect(),
+                ),
             };
             (
                 MainKernel::Linear {
                     desc,
                     tile,
                     micro,
+                    arm,
                     prepared,
                 },
                 init,

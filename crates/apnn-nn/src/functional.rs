@@ -80,6 +80,7 @@ impl QuantNet {
                 let tile = conv.tile;
                 let prepared = conv.prepare(weights);
                 let micro = prepared.micro();
+                let arm = prepared.arm();
                 MainStage {
                     name: format!("stage{idx}"),
                     op: MainOp::Conv {
@@ -97,6 +98,7 @@ impl QuantNet {
                         desc,
                         tile,
                         micro,
+                        arm,
                         prepared: Some(prepared),
                     },
                     init: None,
@@ -107,6 +109,7 @@ impl QuantNet {
                 let tile = apmm.tile;
                 let prepared = apmm.prepare(weights);
                 let micro = prepared.micro();
+                let arm = prepared.arm();
                 MainStage {
                     name: format!("stage{idx}"),
                     op: MainOp::Linear {
@@ -119,6 +122,7 @@ impl QuantNet {
                         desc,
                         tile,
                         micro,
+                        arm,
                         prepared: Some(prepared),
                     },
                     init: None,

@@ -15,7 +15,7 @@ use apnn_tc::kernels::stats;
 use apnn_tc::nn::compile::{CompileOptions, CompiledNet, MainKernel};
 use apnn_tc::nn::exec::legacy;
 use apnn_tc::nn::models::{alexnet, resnet18, vgg_variant, vgg_variant_tiny};
-use apnn_tc::nn::{simulate, simulate_with, MainOp, NetPrecision};
+use apnn_tc::nn::{simulate, simulate_with, LayerSpec, MainOp, NetPrecision, Network};
 use apnn_tc::sim::GpuSpec;
 
 // Plan-reuse assertions use `stats::scope()` (thread-local deltas), so the
@@ -257,17 +257,38 @@ fn repeated_inference_reuses_the_compiled_plan() {
         vgg_variant_tiny().compile(NetPrecision::w1a2(), &CompileOptions::functional(batch, 56));
     assert!(compiling.weight_prepares() > 0);
     assert!(compiling.autotune_calls() > 0);
-    // Exactly one CPU-microkernel tile selection per main stage, all at
-    // compile time — and the per-layer choice is surfaced in the plan's
-    // debug output.
+    // CPU-microkernel tile selection is memoized by layer shape (and
+    // popcount arm): every shape in this network was already selected when
+    // `plan` compiled above, so the recompile re-selects nothing.
     assert_eq!(
         compiling.micro_tunes(),
-        plan2.main_stages().count() as u64,
-        "one (JB, KB) selection per layer"
+        0,
+        "recompiling known shapes re-selected (JB, KB)"
     );
+    // A first-seen layer shape *does* pay exactly one selection per main
+    // stage — this throwaway network's shapes are unique to this test.
+    let fresh = stats::scope();
+    let plan3 = Network::new("memo-probe", 3, 26, 26)
+        .push(LayerSpec::conv("c1", 21, 3, 1, 1))
+        .push(LayerSpec::Relu)
+        .push(LayerSpec::QuantizeActs)
+        .push(LayerSpec::Flatten)
+        .push(LayerSpec::linear("fc2", 11))
+        .compile(NetPrecision::w1a2(), &CompileOptions::functional(batch, 57));
+    assert_eq!(
+        fresh.micro_tunes(),
+        plan3.main_stages().count() as u64,
+        "one (JB, KB) selection per first-seen layer shape"
+    );
+    // The per-layer tile *and* popcount arm are surfaced in the plan's
+    // debug output.
     assert!(
         format!("{plan2:?}").contains("MicroTile"),
         "plans surface the microkernel tile in debug output"
+    );
+    assert!(
+        format!("{plan2:?}").contains("arm:"),
+        "plans surface the popcount arm in debug output"
     );
     // w1a2 (±1 weights, {0,1} activations) corrects with *activation*
     // column sums — input-dependent, computed in scratch per call — so
