@@ -178,8 +178,10 @@ pub fn serve_json(points: &[LoadPoint]) -> String {
     for (i, p) in points.iter().enumerate() {
         let _ = write!(
             body,
-            "  {{\"burst\": {}, \"threads\": {}, \"pool\": {}, \"mean_fill\": {:.3}, \
-             \"p50_ticks\": {}, \"p99_ticks\": {}, \"throughput_rps\": {:.1}}}{}",
+            "  {{\"model\": \"{}\", \"burst\": {}, \"threads\": {}, \"pool\": {}, \
+             \"mean_fill\": {:.3}, \"p50_ticks\": {}, \"p99_ticks\": {}, \
+             \"throughput_rps\": {:.1}}}{}",
+            p.model,
             p.burst,
             p.threads,
             p.pool,
@@ -294,6 +296,7 @@ mod tests {
     #[test]
     fn serve_json_round_trips_points() {
         let points = vec![LoadPoint {
+            model: "VGG-Variant-Tiny".into(),
             burst: 8,
             threads: 4,
             pool: 16,
@@ -303,6 +306,7 @@ mod tests {
             throughput_rps: 456.78,
         }];
         let json = serve_json(&points);
+        assert!(json.contains("\"model\": \"VGG-Variant-Tiny\""));
         assert!(json.contains("\"burst\": 8"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"mean_fill\": 3.250"));
@@ -314,7 +318,7 @@ mod tests {
     fn exec_bench_smoke_reused_wins_or_ties_shape() {
         // Tiny smoke run: every sweep point present, values positive.
         let points = exec_bench(2, 4, &[1, 2], 1);
-        assert_eq!(points.len(), 2 * 2 * 2, "zoo × schemes × threads");
+        assert_eq!(points.len(), 3 * 2 * 2, "zoo × schemes × threads");
         for p in &points {
             assert!(p.reused_ws_rps > 0.0 && p.fresh_ws_rps > 0.0);
             assert!(p.workspace_bytes > 0);

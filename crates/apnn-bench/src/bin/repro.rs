@@ -79,7 +79,7 @@ fn check_bench(fresh_dir: &str, committed_dir: &str) -> Result<String, String> {
         schema::validate_exec(&schema::parse_rows(&read(dir, "BENCH_exec.json")?)?)
             .map_err(|e| format!("{dir}/BENCH_exec.json: {e}"))
     };
-    let serve_keys = |dir: &str| -> Result<Vec<(u64, u64)>, String> {
+    let serve_keys = |dir: &str| -> Result<Vec<(String, u64, u64)>, String> {
         schema::validate_serve(&schema::parse_rows(&read(dir, "BENCH_serve.json")?)?)
             .map_err(|e| format!("{dir}/BENCH_serve.json: {e}"))
     };

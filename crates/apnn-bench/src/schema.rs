@@ -152,8 +152,14 @@ fn string(row: &Row, key: &str) -> Result<String, String> {
         .to_string())
 }
 
+/// The servable-zoo model set both execution artifacts must cover. A sweep
+/// that silently drops a model (say, the residual network) is a broken
+/// trajectory even when every surviving row is well-formed.
+pub const SERVABLE_MODELS: [&str; 3] = ["AlexNet-Tiny", "VGG-Variant-Tiny", "ResNet18-Tiny"];
+
 /// Validate one `BENCH_exec.json` row set: required fields present, values
-/// in sane ranges. Returns the identity keys `(model, scheme, threads)`.
+/// in sane ranges, and every [`SERVABLE_MODELS`] entry covered. Returns
+/// the identity keys `(model, scheme, threads)`.
 pub fn validate_exec(rows: &[Row]) -> Result<Vec<(String, String, u64)>, String> {
     if rows.is_empty() {
         return Err("exec artifact has no rows".into());
@@ -180,6 +186,11 @@ pub fn validate_exec(rows: &[Row]) -> Result<Vec<(String, String, u64)>, String>
             return Err(format!("exec row {i}: non-positive measurement"));
         }
         keys.push((model, scheme, threads as u64));
+    }
+    for want in SERVABLE_MODELS {
+        if !keys.iter().any(|(model, ..)| model == want) {
+            return Err(format!("exec artifact is missing model `{want}`"));
+        }
     }
     Ok(keys)
 }
@@ -251,15 +262,17 @@ pub fn validate_kernels(rows: &[Row]) -> Result<Vec<KernelKey>, String> {
     Ok(keys)
 }
 
-/// Validate one `BENCH_serve.json` row set. Returns the identity keys
-/// `(burst, threads)`.
-pub fn validate_serve(rows: &[Row]) -> Result<Vec<(u64, u64)>, String> {
+/// Validate one `BENCH_serve.json` row set: required fields present,
+/// values in sane ranges, and every [`SERVABLE_MODELS`] entry covered.
+/// Returns the identity keys `(model, burst, threads)`.
+pub fn validate_serve(rows: &[Row]) -> Result<Vec<(String, u64, u64)>, String> {
     if rows.is_empty() {
         return Err("serve artifact has no rows".into());
     }
     let mut keys = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
         let ctx = |e: String| format!("serve row {i}: {e}");
+        let model = string(row, "model").map_err(ctx)?;
         let burst = num(row, "burst").map_err(ctx)?;
         let threads = num(row, "threads").map_err(ctx)?;
         let pool = num(row, "pool").map_err(ctx)?;
@@ -279,7 +292,12 @@ pub fn validate_serve(rows: &[Row]) -> Result<Vec<(u64, u64)>, String> {
         if rps <= 0.0 {
             return Err(format!("serve row {i}: non-positive throughput"));
         }
-        keys.push((burst as u64, threads as u64));
+        keys.push((model, burst as u64, threads as u64));
+    }
+    for want in SERVABLE_MODELS {
+        if !keys.iter().any(|(model, ..)| model == want) {
+            return Err(format!("serve artifact is missing model `{want}`"));
+        }
     }
     Ok(keys)
 }
@@ -310,8 +328,9 @@ mod tests {
 
     const EXEC: &str = r#"{
 "exec": [
-  {"model": "A", "scheme": "APNN-w1a2", "batch": 8, "requests": 32, "threads": 1, "pool": 1, "reused_ws_rps": 100.0, "fresh_ws_rps": 90.0, "workspace_bytes": 4096},
-  {"model": "A", "scheme": "APNN-w2a2", "batch": 8, "requests": 32, "threads": 4, "pool": 4, "reused_ws_rps": 55.5, "fresh_ws_rps": 50.1, "workspace_bytes": 4096}
+  {"model": "AlexNet-Tiny", "scheme": "APNN-w1a2", "batch": 8, "requests": 32, "threads": 1, "pool": 1, "reused_ws_rps": 100.0, "fresh_ws_rps": 90.0, "workspace_bytes": 4096},
+  {"model": "VGG-Variant-Tiny", "scheme": "APNN-w2a2", "batch": 8, "requests": 32, "threads": 4, "pool": 4, "reused_ws_rps": 55.5, "fresh_ws_rps": 50.1, "workspace_bytes": 4096},
+  {"model": "ResNet18-Tiny", "scheme": "APNN-w1a2", "batch": 8, "requests": 32, "threads": 4, "pool": 4, "reused_ws_rps": 45.0, "fresh_ws_rps": 40.0, "workspace_bytes": 8192}
 ]
 }
 "#;
@@ -319,12 +338,25 @@ mod tests {
     #[test]
     fn parses_and_validates_exec_rows() {
         let rows = parse_rows(EXEC).unwrap();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].get("model").unwrap().as_str(), Some("A"));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get("model").unwrap().as_str(), Some("AlexNet-Tiny"));
         assert_eq!(rows[1].get("threads").unwrap().as_num(), Some(4.0));
         let keys = validate_exec(&rows).unwrap();
-        assert_eq!(keys.len(), 2);
-        assert_eq!(keys[0], ("A".into(), "APNN-w1a2".into(), 1));
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys[0], ("AlexNet-Tiny".into(), "APNN-w1a2".into(), 1));
+    }
+
+    #[test]
+    fn exec_artifact_must_cover_the_servable_zoo() {
+        // Dropping the residual model (or any zoo entry) breaks the
+        // trajectory even when every surviving row is well-formed.
+        let rows: Vec<Row> = parse_rows(EXEC)
+            .unwrap()
+            .into_iter()
+            .filter(|r| r.get("model").unwrap().as_str() != Some("ResNet18-Tiny"))
+            .collect();
+        let err = validate_exec(&rows).unwrap_err();
+        assert!(err.contains("missing model `ResNet18-Tiny`"), "{err}");
     }
 
     #[test]
@@ -335,12 +367,21 @@ mod tests {
         assert!(err.contains("missing field"), "{err}");
 
         let rows = parse_rows(
-            r#"{"serve": [{"burst": 8, "threads": 1, "pool": 1, "mean_fill": 0.2,
-                "p50_ticks": 0, "p99_ticks": 1, "throughput_rps": 10.0}]}"#,
+            r#"{"serve": [{"model": "VGG-Variant-Tiny", "burst": 8, "threads": 1, "pool": 1,
+                "mean_fill": 0.2, "p50_ticks": 0, "p99_ticks": 1, "throughput_rps": 10.0}]}"#,
         )
         .unwrap();
         let err = validate_serve(&rows).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
+
+        // Rows that predate the zoo-wide serve sweep carry no `model`.
+        let rows = parse_rows(
+            r#"{"serve": [{"burst": 8, "threads": 1, "pool": 1, "mean_fill": 2.0,
+                "p50_ticks": 0, "p99_ticks": 1, "throughput_rps": 10.0}]}"#,
+        )
+        .unwrap();
+        let err = validate_serve(&rows).unwrap_err();
+        assert!(err.contains("missing field `model`"), "{err}");
     }
 
     #[test]
@@ -402,33 +443,41 @@ mod tests {
     fn round_trips_real_artifact_renderers() {
         use crate::artifacts::{exec_json, serve_json, ExecPoint};
         use crate::serve_load::LoadPoint;
-        let ejson = exec_json(&[ExecPoint {
-            model: "VGG-Variant-Tiny".into(),
-            scheme: "APNN-w1a2".into(),
-            batch: 8,
-            requests: 32,
-            threads: 2,
-            pool: 2,
-            reused_ws_rps: 321.0,
-            fresh_ws_rps: 300.0,
-            workspace_bytes: 1024,
-        }]);
+        let epoints: Vec<ExecPoint> = SERVABLE_MODELS
+            .iter()
+            .map(|model| ExecPoint {
+                model: (*model).into(),
+                scheme: "APNN-w1a2".into(),
+                batch: 8,
+                requests: 32,
+                threads: 2,
+                pool: 2,
+                reused_ws_rps: 321.0,
+                fresh_ws_rps: 300.0,
+                workspace_bytes: 1024,
+            })
+            .collect();
+        let ejson = exec_json(&epoints);
         let keys = validate_exec(&parse_rows(&ejson).unwrap()).unwrap();
-        assert_eq!(
-            keys,
-            vec![("VGG-Variant-Tiny".into(), "APNN-w1a2".into(), 2)]
-        );
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys[0], ("AlexNet-Tiny".into(), "APNN-w1a2".into(), 2));
 
-        let sjson = serve_json(&[LoadPoint {
-            burst: 16,
-            threads: 4,
-            pool: 8,
-            mean_fill: 7.5,
-            p50_ticks: 3,
-            p99_ticks: 11,
-            throughput_rps: 410.0,
-        }]);
+        let spoints: Vec<LoadPoint> = SERVABLE_MODELS
+            .iter()
+            .map(|model| LoadPoint {
+                model: (*model).into(),
+                burst: 16,
+                threads: 4,
+                pool: 8,
+                mean_fill: 7.5,
+                p50_ticks: 3,
+                p99_ticks: 11,
+                throughput_rps: 410.0,
+            })
+            .collect();
+        let sjson = serve_json(&spoints);
         let keys = validate_serve(&parse_rows(&sjson).unwrap()).unwrap();
-        assert_eq!(keys, vec![(16, 4)]);
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys[2], ("ResNet18-Tiny".into(), 16, 4));
     }
 }

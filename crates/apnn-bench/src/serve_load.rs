@@ -17,12 +17,15 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use apnn_bitpack::{BitTensor4, Encoding, Layout, Tensor4};
+use apnn_nn::models::servable_zoo;
 use apnn_nn::NetPrecision;
 use apnn_serve::{ModelKey, PlanRegistry, ServeConfig, Server};
 
 /// One sweep point.
 #[derive(Debug, Clone)]
 pub struct LoadPoint {
+    /// Served zoo model.
+    pub model: String,
     /// Requests submitted per closed-loop burst.
     pub burst: usize,
     /// `intra_batch_threads` the server ran with.
@@ -39,51 +42,54 @@ pub struct LoadPoint {
     pub throughput_rps: f64,
 }
 
-/// Sweep offered load over `bursts` × `threads`, serving `total` requests
-/// per point.
+/// Sweep every servable zoo model (at APNN-w1a2) over `bursts` × `threads`,
+/// serving `total` requests per point.
 pub fn sweep(bursts: &[usize], threads: &[usize], total: usize) -> Vec<LoadPoint> {
     let batch = 8;
-    let key = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
-    let mut points = Vec::with_capacity(bursts.len() * threads.len());
-    for &intra in threads {
-        for &burst in bursts {
-            let server = Server::new(
-                PlanRegistry::zoo(batch, 7),
-                ServeConfig {
-                    queue_capacity: 2 * batch.max(burst),
-                    max_batch_delay: burst as u64,
-                    workers: 4,
-                    intra_batch_threads: intra,
-                },
-            );
-            // Warm the plan cache without traffic (a deployment compiles at
-            // startup, not per request), so the reported fill/latency stats
-            // cover exactly the measured window.
-            server.registry().get(&key).unwrap();
+    let mut points = Vec::new();
+    for net in servable_zoo() {
+        let key = ModelKey::new(net.name.clone(), NetPrecision::w1a2());
+        for &intra in threads {
+            for &burst in bursts {
+                let server = Server::new(
+                    PlanRegistry::zoo(batch, 7),
+                    ServeConfig {
+                        queue_capacity: 2 * batch.max(burst),
+                        max_batch_delay: burst as u64,
+                        workers: 4,
+                        intra_batch_threads: intra,
+                    },
+                );
+                // Warm the plan cache without traffic (a deployment compiles
+                // at startup, not per request), so the reported fill/latency
+                // stats cover exactly the measured window.
+                server.registry().get(&key).unwrap();
 
-            let start = Instant::now();
-            let mut done = 0usize;
-            while done < total {
-                let n = burst.min(total - done);
-                let tickets: Vec<_> = (0..n)
-                    .map(|i| server.submit(&key, image(done + i)).unwrap())
-                    .collect();
-                for t in &tickets {
-                    t.wait().expect("serve request failed");
+                let start = Instant::now();
+                let mut done = 0usize;
+                while done < total {
+                    let n = burst.min(total - done);
+                    let tickets: Vec<_> = (0..n)
+                        .map(|i| server.submit(&key, image(done + i)).unwrap())
+                        .collect();
+                    for t in &tickets {
+                        t.wait().expect("serve request failed");
+                    }
+                    done += n;
                 }
-                done += n;
+                let elapsed = start.elapsed().as_secs_f64();
+                let stats = server.stats();
+                points.push(LoadPoint {
+                    model: net.name.clone(),
+                    burst,
+                    threads: intra,
+                    pool: stats.workspace_pool_size,
+                    mean_fill: stats.mean_fill(),
+                    p50_ticks: stats.p50_latency_ticks,
+                    p99_ticks: stats.p99_latency_ticks,
+                    throughput_rps: done as f64 / elapsed.max(1e-9),
+                });
             }
-            let elapsed = start.elapsed().as_secs_f64();
-            let stats = server.stats();
-            points.push(LoadPoint {
-                burst,
-                threads: intra,
-                pool: stats.workspace_pool_size,
-                mean_fill: stats.mean_fill(),
-                p50_ticks: stats.p50_latency_ticks,
-                p99_ticks: stats.p99_latency_ticks,
-                throughput_rps: done as f64 / elapsed.max(1e-9),
-            });
         }
     }
     points
@@ -94,19 +100,26 @@ pub fn report(points: &[LoadPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "## Serving: offered load vs. batch fill (VGG-Variant-Tiny @ APNN-w1a2, \
+        "## Serving: offered load vs. batch fill (servable zoo @ APNN-w1a2, \
          compiled batch 8, 4 workers)"
     );
     let _ = writeln!(
         out,
-        "{:>7}{:>5}{:>6}{:>10}{:>10}{:>10}{:>14}",
-        "burst", "thr", "pool", "fill", "p50(tk)", "p99(tk)", "req/s"
+        "{:<18}{:>7}{:>5}{:>6}{:>10}{:>10}{:>10}{:>14}",
+        "model", "burst", "thr", "pool", "fill", "p50(tk)", "p99(tk)", "req/s"
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{:>7}{:>5}{:>6}{:>10.2}{:>10}{:>10}{:>14.1}",
-            p.burst, p.threads, p.pool, p.mean_fill, p.p50_ticks, p.p99_ticks, p.throughput_rps
+            "{:<18}{:>7}{:>5}{:>6}{:>10.2}{:>10}{:>10}{:>14.1}",
+            p.model,
+            p.burst,
+            p.threads,
+            p.pool,
+            p.mean_fill,
+            p.p50_ticks,
+            p.p99_ticks,
+            p.throughput_rps
         );
     }
     out
@@ -126,14 +139,23 @@ mod tests {
     #[test]
     fn sweep_accounts_for_every_request() {
         let points = sweep(&[1, 4], &[1, 2], 8);
-        assert_eq!(points.len(), 4);
+        // Three zoo models × 2 bursts × 2 thread counts.
+        assert_eq!(points.len(), 3 * 4);
         for p in &points {
             assert!(p.mean_fill >= 1.0, "fill below 1 at burst {}", p.burst);
             assert!(p.throughput_rps > 0.0);
             assert!(p.pool >= 1, "pool never warmed at burst {}", p.burst);
         }
+        for model in ["AlexNet-Tiny", "VGG-Variant-Tiny", "ResNet18-Tiny"] {
+            assert_eq!(
+                points.iter().filter(|p| p.model == model).count(),
+                4,
+                "{model} missing sweep points"
+            );
+        }
         let table = report(&points);
         assert!(table.contains("req/s"));
         assert!(table.contains("pool"));
+        assert!(table.contains("ResNet18-Tiny"));
     }
 }

@@ -509,12 +509,18 @@ pub(crate) fn conv_exec_seq(
 /// into the caller-owned `out` tensor. The whole pipeline is
 /// allocation-free once `scratch` and `out` have reached the plan's
 /// full-batch capacity.
+///
+/// `residual` adds a same-shaped NHWC i32 buffer into the raw accumulators
+/// *before* the pool/epilogue run — the exact-i32 requantization point of a
+/// fused residual block: `quantize(epi(acc + residual))`, with no
+/// intermediate rounding between the two integer paths.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn conv_exec_fused_seq(
     desc: &ConvDesc,
     weights: &ConvWeights,
     input: &BitTensor4,
     eplan_state: &ConvExecPlan,
+    residual: Option<&[i32]>,
     pool: Option<Pool2>,
     epi: &Epilogue,
     scratch: &mut ConvScratch,
@@ -529,6 +535,16 @@ pub(crate) fn conv_exec_fused_seq(
         pooled,
     } = scratch;
     conv_exec_seq(desc, weights, input, eplan_state, window, acc);
+    if let Some(res) = residual {
+        assert_eq!(
+            res.len(),
+            acc.len(),
+            "residual buffer must match the accumulator shape"
+        );
+        for (a, r) in acc.iter_mut().zip(res) {
+            *a += r;
+        }
+    }
     let batch = input.shape().0;
     let (oh, ow) = (desc.out_h(), desc.out_w());
     let cout = desc.cout;
@@ -1155,6 +1171,7 @@ mod tests {
                 &weights,
                 &input,
                 &state,
+                None,
                 pool,
                 &epi,
                 &mut scratch,
@@ -1165,6 +1182,46 @@ mod tests {
                 panic!("expected packed")
             };
             assert_eq!(packed, want, "pool {pool:?}");
+        }
+    }
+
+    #[test]
+    fn residual_adds_into_raw_accumulators_before_the_epilogue() {
+        let desc = ConvDesc::unsigned(2, 4, 8, 3, 3, 1, 1, 1, 2);
+        let mut seed = 29;
+        let (input, _) = make_input(&desc, &mut seed);
+        let (weights, _) = make_weights(&desc, &mut seed);
+        let epi = Epilogue::quantize(4.0, 0.0, 2);
+        let state = ConvExecPlan::new(&desc, &weights);
+        let n = desc.batch * desc.out_h() * desc.out_w() * desc.cout;
+        let res: Vec<i32> = (0..n).map(|i| (i as i32 % 11) - 5).collect();
+
+        let mut scratch = ConvScratch::default();
+        let mut packed = BitTensor4::zeros(1, 1, 1, 1, 1, Encoding::ZeroOne);
+        conv_exec_fused_seq(
+            &desc,
+            &weights,
+            &input,
+            &state,
+            Some(&res),
+            None,
+            &epi,
+            &mut scratch,
+            &mut packed,
+        );
+
+        // Oracle: raw accumulators + residual, then the epilogue.
+        let raw = conv_cpu(&desc, &weights, &input);
+        for b in 0..desc.batch {
+            for y in 0..desc.out_h() {
+                for x in 0..desc.out_w() {
+                    for co in 0..desc.cout {
+                        let idx = ((b * desc.out_h() + y) * desc.out_w() + x) * desc.cout + co;
+                        let want = epi.apply_to_code(raw[idx] + res[idx], co);
+                        assert_eq!(packed.get_code(b, y, x, co), want, "at {idx}");
+                    }
+                }
+            }
         }
     }
 

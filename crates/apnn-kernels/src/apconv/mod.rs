@@ -348,6 +348,35 @@ impl PreparedConv {
             &self.weights,
             input,
             &self.exec_plan,
+            None,
+            pool,
+            epi,
+            scratch,
+            out,
+        );
+    }
+
+    /// [`PreparedConv::execute_fused_into`] with a residual buffer added
+    /// into the raw i32 accumulators *before* pooling and the epilogue —
+    /// the fused lowering of a ResNet block tail. `residual` must hold
+    /// `batch·out_h·out_w·cout` NHWC values (the same shape the conv
+    /// accumulates); exactness is integer end-to-end: no rounding happens
+    /// between the main-path and skip-path contributions.
+    pub fn execute_fused_residual_into(
+        &self,
+        input: &BitTensor4,
+        residual: &[i32],
+        pool: Option<Pool2>,
+        epi: &Epilogue,
+        scratch: &mut cpu::ConvScratch,
+        out: &mut BitTensor4,
+    ) {
+        cpu::conv_exec_fused_seq(
+            &self.desc,
+            &self.weights,
+            input,
+            &self.exec_plan,
+            Some(residual),
             pool,
             epi,
             scratch,

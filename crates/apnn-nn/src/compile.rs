@@ -42,7 +42,7 @@ use apnn_sim::GpuSpec;
 use rayon::prelude::*;
 
 use crate::exec::{price_elementwise, price_input_pack, tail_epilogue, NetworkReport, StageReport};
-use crate::fuse::{fuse_network, EwKind, FusedTail, MainOp, Stage};
+use crate::fuse::{fuse_network, EwKind, FusedTail, MainOp, ResidualSrc, Stage, StageSrc};
 use crate::net::Network;
 use crate::pool::WorkspacePool;
 use crate::precision::NetPrecision;
@@ -165,7 +165,65 @@ pub struct MainStage {
     pub kernel: MainKernel,
     /// Synthetic init for oracle cross-checks (functional plans only).
     pub init: Option<MainInit>,
+    /// Where the stage reads its input: the chain (previous stage's
+    /// output) or the saved residual branch (skip-path projections).
+    pub input: StageSrc,
+    /// Capture this stage's packed output as the residual branch.
+    pub save_branch: bool,
+    /// Residual added into the raw i32 accumulators *before* the fused
+    /// epilogue — the exact-i32 requantization contract
+    /// (`quantize(bn_relu(acc + residual))`, no intermediate rounding).
+    pub residual: Option<ResidualSrc>,
 }
+
+/// Why a compiled plan cannot run on [`CpuEngine`] — the typed form of
+/// [`CompiledNet::is_executable`], naming the offending stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// An element-wise stage survived lowering (big pools, bare residual
+    /// adds, …); the functional engine only runs fully-fused plans.
+    UnfusedStage {
+        /// Offending stage (layer) name.
+        name: String,
+        /// The element-wise kind that failed to fuse.
+        kind: EwKind,
+    },
+    /// The stage was lowered to a library-baseline kernel (fp32 / fp16 /
+    /// int8) — priced by the simulator, never executed.
+    BaselineStage {
+        /// Offending stage name.
+        name: String,
+    },
+    /// The stage carries no packed weights (sim-only materialization).
+    MissingWeights {
+        /// Offending stage name.
+        name: String,
+    },
+    /// The plan has no main stage at all.
+    NoMainStage,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnfusedStage { name, kind } => write!(
+                f,
+                "stage `{name}` ({kind:?}) did not fuse into a main stage"
+            ),
+            CompileError::BaselineStage { name } => write!(
+                f,
+                "stage `{name}` compiled to a library baseline kernel (priced, never executed)"
+            ),
+            CompileError::MissingWeights { name } => write!(
+                f,
+                "stage `{name}` has no materialized weights (sim-only plan)"
+            ),
+            CompileError::NoMainStage => write!(f, "the plan has no main stage"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
 
 /// One stage of a compiled plan.
 // Plans hold a handful of stages; boxing `MainStage` would only add
@@ -230,7 +288,7 @@ impl CompiledNet {
         // fixes the epilogue constants. This is per-call work (range
         // estimation) hoisted into compilation.
         let fully_fused = fused.iter().all(Stage::is_main);
-        let mut calib: Option<Act> = match opts.materialize {
+        let mut calib: Option<CalibState> = match opts.materialize {
             Materialize::Functional { .. } if fully_fused && precision.is_emulated() => {
                 let bits = precision.activation_bits(true);
                 let mut t = BitTensor4::zeros(
@@ -250,7 +308,11 @@ impl CompiledNet {
                         }
                     }
                 }
-                Some(Act::Map(t))
+                Some(CalibState {
+                    chain: Act::Map(t),
+                    branch: None,
+                    res: None,
+                })
             }
             _ => None,
         };
@@ -262,11 +324,24 @@ impl CompiledNet {
                     op,
                     main_index,
                     tail,
+                    input,
+                    save_branch,
+                    residual,
                     ..
                 } => {
                     let first = *main_index == 0;
                     stages.push(PlanStage::Main(compile_main(
-                        name, op, first, tail, precision, opts, &mut rng, &mut calib,
+                        name,
+                        op,
+                        first,
+                        tail,
+                        *input,
+                        *save_branch,
+                        *residual,
+                        precision,
+                        opts,
+                        &mut rng,
+                        &mut calib,
                     )));
                 }
                 Stage::Elementwise {
@@ -386,30 +461,46 @@ impl CompiledNet {
 
     /// Can this plan run functionally (fully fused + weights materialized)?
     pub fn is_executable(&self) -> bool {
+        self.executable_error().is_ok()
+    }
+
+    /// [`CompiledNet::is_executable`] with the reason: `Err` names the
+    /// first stage that blocks functional execution.
+    pub fn executable_error(&self) -> Result<(), CompileError> {
         let mut any_main = false;
         for s in &self.stages {
             match s {
                 PlanStage::InputPack { .. } => {}
-                PlanStage::Elementwise { .. } => return false,
+                PlanStage::Elementwise { name, kind, .. } => {
+                    return Err(CompileError::UnfusedStage {
+                        name: name.clone(),
+                        kind: *kind,
+                    })
+                }
                 PlanStage::Main(m) => {
                     any_main = true;
-                    match &m.kernel {
-                        MainKernel::Conv { prepared, .. } => {
-                            if prepared.is_none() {
-                                return false;
-                            }
+                    let missing = match &m.kernel {
+                        MainKernel::Conv { prepared, .. } => prepared.is_none(),
+                        MainKernel::Linear { prepared, .. } => prepared.is_none(),
+                        MainKernel::Baseline => {
+                            return Err(CompileError::BaselineStage {
+                                name: m.name.clone(),
+                            })
                         }
-                        MainKernel::Linear { prepared, .. } => {
-                            if prepared.is_none() {
-                                return false;
-                            }
-                        }
-                        MainKernel::Baseline => return false,
+                    };
+                    if missing {
+                        return Err(CompileError::MissingWeights {
+                            name: m.name.clone(),
+                        });
                     }
                 }
             }
         }
-        any_main
+        if any_main {
+            Ok(())
+        } else {
+            Err(CompileError::NoMainStage)
+        }
     }
 
     /// Run an engine over this plan with a transient workspace.
@@ -784,9 +875,20 @@ pub enum ActInput<'a> {
 pub struct CpuEngine;
 
 /// Owned activations chained through compile-time calibration.
+#[derive(Clone)]
 enum Act {
     Map(BitTensor4),
     Vector(BitPlanes),
+}
+
+/// Calibration state threaded through compilation: the chain activation,
+/// plus — inside an open residual block — the activation saved at the last
+/// `BranchSave` and the raw accumulators parked by a skip-projection
+/// stage for the consuming conv.
+struct CalibState {
+    chain: Act,
+    branch: Option<Act>,
+    res: Option<Vec<i32>>,
 }
 
 impl Engine for CpuEngine {
@@ -858,13 +960,11 @@ fn cpu_execute_stages(
     ws: &mut ExecWorkspace,
 ) -> (usize, usize) {
     ws.check(plan);
-    for s in &plan.stages {
-        if let PlanStage::Elementwise { name, .. } = s {
-            panic!(
-                "stage `{name}` did not fuse; CpuEngine requires a fully-fused plan \
-                 (compile with fuse=true and a fusable network)"
-            );
-        }
+    if let Err(e) = plan.executable_error() {
+        panic!(
+            "plan `{}@{}` cannot execute functionally: {e}",
+            plan.model, plan.scheme
+        );
     }
     let ExecWorkspace {
         slots,
@@ -872,25 +972,38 @@ fn cpu_execute_stages(
         apmm,
         codes,
         y,
+        res,
         ..
     } = ws;
     let n_mains = slots.len();
     let mut shard_n = 0;
     let mut classes = 0;
 
-    /// This stage's input activation: the caller's tensor for stage 0, the
-    /// previous stage's output slot afterwards.
+    /// This stage's input activation: the caller's tensor for stage 0, a
+    /// finished stage's output slot afterwards.
     enum In<'x> {
         Map(&'x BitTensor4),
         Vector(&'x BitPlanes),
     }
 
+    // Chain/branch cursors: skip-projection stages read the saved branch
+    // slot and park raw accumulators in `res` without advancing the chain,
+    // so the consuming conv still sees the main path as its input.
+    let mut chain_idx: Option<usize> = None;
+    let mut branch_idx: Option<usize> = None;
+
     for (mi, stage) in plan.main_stages().enumerate() {
         let last = mi + 1 == n_mains;
         let (done, rest) = slots.split_at_mut(mi);
         let slot = &mut rest[0];
-        let cur = if mi == 0 {
-            match input {
+        let is_skip = stage.input == StageSrc::Branch;
+        let src_idx = if is_skip {
+            Some(branch_idx.expect("skip stage before any saved branch"))
+        } else {
+            chain_idx
+        };
+        let cur = match src_idx {
+            None => match input {
                 ActInput::Map(t) => {
                     shard_n = t.shape().0;
                     In::Map(t)
@@ -899,23 +1012,46 @@ fn cpu_execute_stages(
                     shard_n = v.rows();
                     In::Vector(v)
                 }
-            }
-        } else {
-            match &done[mi - 1].out {
+            },
+            Some(i) => match &done[i].out {
                 SlotOut::Map(t) => In::Map(t),
                 SlotOut::Vector(v) => In::Vector(v),
                 SlotOut::None => unreachable!("only the output stage has no slot"),
-            }
+            },
         };
         match (&stage.kernel, cur) {
             (MainKernel::Conv { prepared, .. }, In::Map(map)) => {
                 let prepared = prepared
                     .as_ref()
                     .unwrap_or_else(|| panic!("conv stage {mi} has no materialized weights"));
-                let SlotOut::Map(out_map) = &mut slot.out else {
-                    unreachable!("conv slots hold packed maps")
-                };
-                prepared.execute_fused_into(map, stage.pool, &stage.epi, conv, out_map);
+                if is_skip {
+                    // Skip projection: raw i32 accumulators into the shared
+                    // residual buffer — the consuming conv adds them before
+                    // its fused tail. No packed output slot.
+                    prepared.execute_into(map, conv, res);
+                } else {
+                    let SlotOut::Map(out_map) = &mut slot.out else {
+                        unreachable!("conv slots hold packed maps")
+                    };
+                    match stage.residual {
+                        None => {
+                            prepared.execute_fused_into(map, stage.pool, &stage.epi, conv, out_map)
+                        }
+                        Some(ResidualSrc::Projection) => prepared.execute_fused_residual_into(
+                            map, res, stage.pool, &stage.epi, conv, out_map,
+                        ),
+                        Some(ResidualSrc::Identity) => {
+                            let bi = branch_idx.expect("identity residual before any saved branch");
+                            let SlotOut::Map(bmap) = &done[bi].out else {
+                                unreachable!("residual branches are packed maps")
+                            };
+                            decode_codes_into(bmap, res);
+                            prepared.execute_fused_residual_into(
+                                map, res, stage.pool, &stage.epi, conv, out_map,
+                            )
+                        }
+                    }
+                }
             }
             (MainKernel::Conv { .. }, In::Vector(_)) => {
                 panic!("conv stage {mi} after flatten")
@@ -954,11 +1090,40 @@ fn cpu_execute_stages(
                 }
             }
             (MainKernel::Baseline, _) => {
-                panic!("baseline stage {mi} cannot execute functionally")
+                unreachable!("executable_error rejected baseline stages")
+            }
+        }
+        if !is_skip {
+            chain_idx = Some(mi);
+            if stage.save_branch {
+                branch_idx = Some(mi);
             }
         }
     }
     (shard_n, classes)
+}
+
+/// Decode a packed map's activation codes into the shared residual buffer,
+/// in the kernels' NHWC accumulator order — the identity-skip form of the
+/// exact-i32 residual contract (quantized codes *are* the integer
+/// activations the block adds back).
+fn decode_codes_into(map: &BitTensor4, res: &mut Vec<i32>) {
+    debug_assert_eq!(
+        map.encoding(),
+        Encoding::ZeroOne,
+        "identity residuals read unsigned activation codes"
+    );
+    let (n, h, w, c) = map.shape();
+    apnn_bitpack::resize_for_overwrite(res, n * h * w * c);
+    for b in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..c {
+                    res[((b * h + y) * w + x) * c + ch] = map.get_code(b, y, x, ch) as i32;
+                }
+            }
+        }
+    }
 }
 
 /// Flatten a packed NHWC map into per-image feature rows, ordered `(h,w,c)`
@@ -1026,6 +1191,12 @@ pub struct ExecWorkspace {
     codes: Vec<u32>,
     /// Raw output-stage accumulators (features × batch).
     y: Vec<i32>,
+    /// Shared residual buffer: skip-projection stages park raw i32
+    /// accumulators here (identity skips decode branch codes into it) for
+    /// the consuming conv to add before its fused tail. One buffer
+    /// suffices — every block's residual is consumed before the next
+    /// block's skip runs.
+    res: Vec<i32>,
 }
 
 #[derive(Debug, Clone)]
@@ -1087,6 +1258,7 @@ impl ExecWorkspace {
             apmm,
             codes: Vec::with_capacity(peaks.codes),
             y: Vec::with_capacity(peaks.y),
+            res: Vec::with_capacity(peaks.res),
         }
     }
 
@@ -1161,7 +1333,7 @@ impl WorkspaceSpec {
                 name: l.name.clone(),
                 out_bytes,
                 flat_bytes,
-                acc_bytes: (l.acc_elems + l.pooled_elems + l.y_elems) * 4,
+                acc_bytes: (l.acc_elems + l.pooled_elems + l.y_elems + l.res_elems) * 4,
             });
         }
         let scratch_bytes = peaks.bytes();
@@ -1202,6 +1374,9 @@ struct ScratchPeaks {
     codes: usize,
     /// Raw logits elements (`i32`).
     y: usize,
+    /// Residual buffer elements (`i32`) — skip-projection accumulators /
+    /// decoded identity branches.
+    res: usize,
 }
 
 impl ScratchPeaks {
@@ -1217,6 +1392,7 @@ impl ScratchPeaks {
             p.apmm_acc = p.apmm_acc.max(if l.is_conv { 0 } else { l.acc_elems });
             p.codes = p.codes.max(l.codes_elems);
             p.y = p.y.max(l.y_elems);
+            p.res = p.res.max(l.res_elems);
         }
         p
     }
@@ -1224,7 +1400,13 @@ impl ScratchPeaks {
     /// Total bytes of every shared buffer listed above.
     fn bytes(&self) -> usize {
         (self.win + self.taps) * 8
-            + (self.planes + self.conv_acc + self.pooled + self.col_sums + self.apmm_acc + self.y)
+            + (self.planes
+                + self.conv_acc
+                + self.pooled
+                + self.col_sums
+                + self.apmm_acc
+                + self.y
+                + self.res)
                 * 4
             + self.codes * 4
     }
@@ -1257,6 +1439,7 @@ struct StageLayout {
     acc_elems: usize,
     pooled_elems: usize,
     y_elems: usize,
+    res_elems: usize,
     conv_win_words: usize,
     conv_taps: usize,
     conv_planes: usize,
@@ -1267,13 +1450,12 @@ struct StageLayout {
 
 fn stage_layouts(plan: &CompiledNet) -> Vec<StageLayout> {
     assert!(plan.main_stages().next().is_some(), "empty network");
-    assert!(
-        plan.is_executable(),
-        "cannot size a workspace for `{}@{}`: the plan is not executable \
-         (simulation-only, baseline precision, or unfused element-wise stages)",
-        plan.model,
-        plan.scheme,
-    );
+    if let Err(e) = plan.executable_error() {
+        panic!(
+            "cannot size a workspace for `{}@{}`: the plan is not executable ({e})",
+            plan.model, plan.scheme,
+        );
+    }
     let n_mains = plan.main_stages().count();
     let mut prev_is_conv = false;
     plan.main_stages()
@@ -1283,42 +1465,68 @@ fn stage_layouts(plan: &CompiledNet) -> Vec<StageLayout> {
             let layout = match &m.kernel {
                 MainKernel::Conv { desc, .. } => {
                     assert!(!last, "plan did not end in an i32 linear output stage");
-                    let bits = m.epi.output_bits().unwrap_or_else(|| {
-                        panic!("conv stage {i} must quantize (only the last linear may emit i32)")
-                    });
                     let (oh, ow) = (desc.out_h(), desc.out_w());
-                    let (ph, pw) = if m.pool.is_some() {
-                        (oh / 2, ow / 2)
-                    } else {
-                        (oh, ow)
-                    };
                     let acc_elems = desc.batch * oh * ow * desc.cout;
-                    StageLayout {
-                        name: m.name.clone(),
-                        out: Some(SlotShape::Map {
-                            n: desc.batch,
-                            h: ph,
-                            w: pw,
-                            c: desc.cout,
-                            bits,
-                        }),
-                        flat: None,
-                        acc_elems,
-                        pooled_elems: if m.pool.is_some() {
-                            desc.batch * ph * pw * desc.cout
+                    let conv_win_words =
+                        desc.x_bits as usize * desc.kh * desc.kw * (desc.padded_c() / 64);
+                    if m.input == StageSrc::Branch {
+                        // Skip projection: raw accumulators land straight in
+                        // the shared residual buffer — no packed output
+                        // slot, no epilogue, no pool.
+                        StageLayout {
+                            name: m.name.clone(),
+                            out: None,
+                            flat: None,
+                            acc_elems: 0,
+                            pooled_elems: 0,
+                            y_elems: 0,
+                            res_elems: acc_elems,
+                            conv_win_words,
+                            conv_taps: desc.kh * desc.kw,
+                            conv_planes: desc.x_bits as usize,
+                            apmm_col_sums: 0,
+                            codes_elems: 0,
+                            is_conv: true,
+                        }
+                    } else {
+                        let bits = m.epi.output_bits().unwrap_or_else(|| {
+                            panic!(
+                                "conv stage {i} must quantize (only the last linear may emit i32)"
+                            )
+                        });
+                        let (ph, pw) = if m.pool.is_some() {
+                            (oh / 2, ow / 2)
                         } else {
-                            0
-                        },
-                        y_elems: 0,
-                        conv_win_words: desc.x_bits as usize
-                            * desc.kh
-                            * desc.kw
-                            * (desc.padded_c() / 64),
-                        conv_taps: desc.kh * desc.kw,
-                        conv_planes: desc.x_bits as usize,
-                        apmm_col_sums: 0,
-                        codes_elems: 0,
-                        is_conv: true,
+                            (oh, ow)
+                        };
+                        StageLayout {
+                            name: m.name.clone(),
+                            out: Some(SlotShape::Map {
+                                n: desc.batch,
+                                h: ph,
+                                w: pw,
+                                c: desc.cout,
+                                bits,
+                            }),
+                            flat: None,
+                            acc_elems,
+                            pooled_elems: if m.pool.is_some() {
+                                desc.batch * ph * pw * desc.cout
+                            } else {
+                                0
+                            },
+                            y_elems: 0,
+                            // Residual consumers read a same-shaped i32
+                            // buffer (decoded identity branch or the skip
+                            // stage's parked accumulators).
+                            res_elems: if m.residual.is_some() { acc_elems } else { 0 },
+                            conv_win_words,
+                            conv_taps: desc.kh * desc.kw,
+                            conv_planes: desc.x_bits as usize,
+                            apmm_col_sums: 0,
+                            codes_elems: 0,
+                            is_conv: true,
+                        }
                     }
                 }
                 MainKernel::Linear { desc, .. } => {
@@ -1361,6 +1569,7 @@ fn stage_layouts(plan: &CompiledNet) -> Vec<StageLayout> {
                         acc_elems,
                         pooled_elems: 0,
                         y_elems: if last { desc.m * desc.n } else { 0 },
+                        res_elems: 0,
                         conv_win_words: 0,
                         conv_taps: 0,
                         conv_planes: 0,
@@ -1389,10 +1598,13 @@ fn compile_main(
     op: &MainOp,
     first: bool,
     tail: &FusedTail,
+    src: StageSrc,
+    save_branch: bool,
+    residual: Option<ResidualSrc>,
     precision: NetPrecision,
     opts: &CompileOptions,
     rng: &mut SynthRng,
-    calib: &mut Option<Act>,
+    calib: &mut Option<CalibState>,
 ) -> MainStage {
     let channels = op.out_channels();
 
@@ -1404,6 +1616,9 @@ fn compile_main(
             epi: Epilogue::none(),
             kernel: MainKernel::Baseline,
             init: None,
+            input: src,
+            save_branch,
+            residual,
         };
     }
 
@@ -1552,19 +1767,61 @@ fn compile_main(
     let epi = match opts.materialize {
         Materialize::SimOnly => tail_epilogue(tail, channels, out_bits),
         Materialize::Functional { .. } => match calib.take() {
-            Some(act) => {
-                let (epi, next) = calibrate_stage(
-                    &kernel,
-                    pool,
-                    tail,
-                    channels,
-                    out_bits,
-                    precision.activation_encoding(false),
-                    act,
-                    rng,
-                );
-                *calib = next;
-                epi
+            Some(mut st) => {
+                if src == StageSrc::Branch {
+                    // Skip projection: run the prepared conv over the saved
+                    // branch activation and park the raw accumulators for
+                    // the consuming conv. The chain activation is untouched
+                    // and the stage carries no epilogue.
+                    let MainKernel::Conv {
+                        prepared: Some(p), ..
+                    } = &kernel
+                    else {
+                        unreachable!("skip stages are materialized convs")
+                    };
+                    let Some(Act::Map(bmap)) = &st.branch else {
+                        unreachable!("skip stage before any saved branch activation")
+                    };
+                    st.res = Some(p.execute(bmap));
+                    *calib = Some(st);
+                    Epilogue::none()
+                } else {
+                    let residual_accs: Option<Vec<i32>> = match residual {
+                        None => None,
+                        Some(ResidualSrc::Projection) => Some(
+                            st.res
+                                .take()
+                                .expect("projection residual needs a preceding skip stage"),
+                        ),
+                        Some(ResidualSrc::Identity) => {
+                            let Some(Act::Map(bmap)) = &st.branch else {
+                                unreachable!("identity residual before any saved branch")
+                            };
+                            let mut v = Vec::new();
+                            decode_codes_into(bmap, &mut v);
+                            Some(v)
+                        }
+                    };
+                    let (epi, next) = calibrate_stage(
+                        &kernel,
+                        pool,
+                        tail,
+                        channels,
+                        out_bits,
+                        precision.activation_encoding(false),
+                        st.chain,
+                        residual_accs.as_deref(),
+                        rng,
+                    );
+                    if let Some(next) = next {
+                        if save_branch {
+                            st.branch = Some(next.clone());
+                        }
+                        st.chain = next;
+                        *calib = Some(st);
+                    }
+                    epi
+                }
             }
             None => synth_epilogue(
                 tail, channels, out_bits, k_valid, w_bits, x_bits, w_enc, rng,
@@ -1579,6 +1836,9 @@ fn compile_main(
         epi,
         kernel,
         init,
+        input: src,
+        save_branch,
+        residual,
     }
 }
 
@@ -1586,6 +1846,8 @@ fn compile_main(
 /// accumulator range after the synthetic BN/ReLU prefix, fix the quantize
 /// scale/zero-point from it, and hand the resulting packed activations to
 /// the next stage's calibration. Returns `(finalized epilogue, next act)`.
+/// `residual` is added into the raw accumulators before the prefix — the
+/// same pre-epilogue ordering the kernels execute.
 #[allow(clippy::too_many_arguments)]
 fn calibrate_stage(
     kernel: &MainKernel,
@@ -1595,6 +1857,7 @@ fn calibrate_stage(
     out_bits: u32,
     next_enc: Encoding,
     act: Act,
+    residual: Option<&[i32]>,
     rng: &mut SynthRng,
 ) -> (Epilogue, Option<Act>) {
     // Raw i32 accumulators (+ pooled geometry) and a per-element channel
@@ -1614,6 +1877,12 @@ fn calibrate_stage(
         ) => {
             let n = map.shape().0;
             let mut y = p.execute(&map);
+            if let Some(res) = residual {
+                assert_eq!(res.len(), y.len(), "residual must match the accumulators");
+                for (a, r) in y.iter_mut().zip(res) {
+                    *a += r;
+                }
+            }
             let (mut oh, mut ow) = (desc.out_h(), desc.out_w());
             if let Some(kind) = pool {
                 y = pool2_i32(&y, n, oh, ow, desc.cout, kind);
@@ -1821,7 +2090,11 @@ mod tests {
             .push(L::conv("c1", 8, 3, 1, 1))
             .push(L::BatchNorm)
             .push(L::Relu)
-            .push(L::MaxPool { k: 2, stride: 2 })
+            .push(L::MaxPool {
+                k: 2,
+                stride: 2,
+                pad: 0,
+            })
             .push(L::QuantizeActs)
             .push(L::Flatten)
             .push(L::linear("fc", 5))

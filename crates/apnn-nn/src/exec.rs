@@ -468,7 +468,11 @@ mod tests {
             .push(L::conv("conv1", 64, 3, 1, 1))
             .push(L::BatchNorm)
             .push(L::Relu)
-            .push(L::MaxPool { k: 2, stride: 2 })
+            .push(L::MaxPool {
+                k: 2,
+                stride: 2,
+                pad: 0,
+            })
             .push(L::QuantizeActs)
             .push(L::conv("conv2", 128, 3, 1, 1))
             .push(L::BatchNorm)

@@ -19,7 +19,7 @@ use apnn_kernels::apmm::Apmm;
 use apnn_kernels::fusion::Epilogue;
 
 use crate::compile::{CompiledNet, MainKernel, MainStage, PlanStage};
-use crate::fuse::MainOp;
+use crate::fuse::{MainOp, StageSrc};
 
 pub use crate::compile::flatten_map;
 
@@ -102,6 +102,9 @@ impl QuantNet {
                         prepared: Some(prepared),
                     },
                     init: None,
+                    input: StageSrc::Chain,
+                    save_branch: false,
+                    residual: None,
                 }
             }
             QuantStage::Linear { apmm, weights, epi } => {
@@ -126,6 +129,9 @@ impl QuantNet {
                         prepared: Some(prepared),
                     },
                     init: None,
+                    input: StageSrc::Chain,
+                    save_branch: false,
+                    residual: None,
                 }
             }
         };

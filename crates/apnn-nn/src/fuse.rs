@@ -72,13 +72,16 @@ impl MainOp {
 /// Element-wise work that did not fuse into a main stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EwKind {
-    /// Pooling `k×k`/`stride`; `quantize` = absorbed a following
-    /// QuantizeActs (writes packed codes instead of i32).
+    /// Pooling `k×k`/`stride` with symmetric padding `pad`; `quantize` =
+    /// absorbed a following QuantizeActs (writes packed codes instead of
+    /// i32).
     Pool {
         /// Window.
         k: usize,
         /// Stride.
         stride: usize,
+        /// Padding.
+        pad: usize,
         /// Max (true) or average (false).
         max: bool,
         /// Fused quantizing store.
@@ -96,6 +99,27 @@ pub enum EwKind {
     ResidualAdd,
     /// Pack the 8-bit input image into bit planes (emulated schemes only).
     InputPack,
+}
+
+/// Where a main stage reads its input from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StageSrc {
+    /// The previous chain stage's output (the default sequential dataflow).
+    #[default]
+    Chain,
+    /// The saved residual branch (skip-path projection convs).
+    Branch,
+}
+
+/// What a residual-consuming stage adds into its raw i32 accumulators
+/// *before* the fused epilogue runs (the exact-i32 requantization contract:
+/// `quantize(bn_relu(acc + residual))`, no intermediate rounding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidualSrc {
+    /// The saved branch itself, decoded from its packed codes.
+    Identity,
+    /// The immediately preceding skip-projection stage's raw accumulators.
+    Projection,
 }
 
 /// Epilogue shape fused into a main stage.
@@ -124,6 +148,12 @@ pub enum Stage {
         main_index: usize,
         /// Fused element-wise tail.
         tail: FusedTail,
+        /// Chain or branch input.
+        input: StageSrc,
+        /// Capture this stage's packed output as the residual branch.
+        save_branch: bool,
+        /// Residual added into the raw accumulators before the tail.
+        residual: Option<ResidualSrc>,
         /// Elements per image *entering* the stage.
         in_elements: usize,
         /// Elements per image *leaving* the stage (after fused pool).
@@ -175,6 +205,9 @@ pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
     let mut stages = Vec::new();
     let mut main_index = 0usize;
     let mut i = 0usize;
+    // Shape cursor captured at the last `BranchSave` — what the skip path
+    // (projection or identity) reads.
+    let mut branch_shape: Option<ShapeCursor> = None;
 
     while i < net.layers.len() {
         let layer = &net.layers[i];
@@ -199,20 +232,95 @@ pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
                     stride: *stride,
                     pad: *pad,
                 };
-                let (tail, consumed) = if fuse {
-                    absorb_tail(&net.layers[i + 1..], true)
+                let (tail, residual, consumed) = if fuse {
+                    absorb_conv_tail(&net.layers[i + 1..], true)
                 } else {
-                    (FusedTail::default(), 0)
+                    (FusedTail::default(), None, 0)
                 };
                 let mut out_elements = op.out_elements();
                 if tail.pool2 {
                     out_elements /= 4;
                 }
+                let residual = residual.map(|skip| {
+                    let oh = (h + 2 * pad - k) / stride + 1;
+                    let ow = (w + 2 * pad - k) / stride + 1;
+                    let src = branch_shape
+                        .expect("ResidualAdd fused into a conv requires a preceding BranchSave");
+                    match skip {
+                        Some(spec) => {
+                            // Lower the projection as its own main stage
+                            // reading the *branch*; it runs right before the
+                            // consuming conv and leaves raw i32 accumulators
+                            // for the residual add.
+                            let ShapeCursor::Map {
+                                c: bc,
+                                h: bh,
+                                w: bw,
+                            } = src
+                            else {
+                                panic!("skip projection on a non-map branch")
+                            };
+                            let skip_op = MainOp::Conv {
+                                cin: bc,
+                                h: bh,
+                                w: bw,
+                                cout: spec.cout,
+                                k: spec.k,
+                                stride: spec.stride,
+                                pad: spec.pad,
+                            };
+                            let skip_out = ShapeCursor::Map {
+                                c: spec.cout,
+                                h: (bh + 2 * spec.pad - spec.k) / spec.stride + 1,
+                                w: (bw + 2 * spec.pad - spec.k) / spec.stride + 1,
+                            };
+                            assert_eq!(
+                                skip_out,
+                                ShapeCursor::Map {
+                                    c: *cout,
+                                    h: oh,
+                                    w: ow
+                                },
+                                "skip projection `{}` does not match the main path at `{name}`",
+                                spec.name,
+                            );
+                            let skip_out_elements = skip_op.out_elements();
+                            stages.push(Stage::Main {
+                                name: spec.name,
+                                op: skip_op,
+                                main_index,
+                                tail: FusedTail::default(),
+                                input: StageSrc::Branch,
+                                save_branch: false,
+                                residual: None,
+                                in_elements: src.elements(),
+                                out_elements: skip_out_elements,
+                            });
+                            main_index += 1;
+                            ResidualSrc::Projection
+                        }
+                        None => {
+                            assert_eq!(
+                                src,
+                                ShapeCursor::Map {
+                                    c: *cout,
+                                    h: oh,
+                                    w: ow
+                                },
+                                "identity skip shape does not match the main path at `{name}`",
+                            );
+                            ResidualSrc::Identity
+                        }
+                    }
+                });
                 stages.push(Stage::Main {
                     name: name.clone(),
                     op,
                     main_index,
                     tail,
+                    input: StageSrc::Chain,
+                    save_branch: false,
+                    residual,
                     in_elements: in_shape.elements(),
                     out_elements,
                 });
@@ -238,6 +346,9 @@ pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
                     op,
                     main_index,
                     tail,
+                    input: StageSrc::Chain,
+                    save_branch: false,
+                    residual: None,
                     in_elements: features,
                     out_elements: *out_features,
                 });
@@ -247,10 +358,60 @@ pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
             LayerSpec::Flatten => {
                 i += 1; // free
             }
+            LayerSpec::BranchSave => {
+                branch_shape = Some(in_shape);
+                // The branch *is* the previous main stage's packed output —
+                // a second reader, not a copy; mark the producer so the
+                // executor pins its slot until the residual consumes it.
+                if let Some(Stage::Main { save_branch, .. }) = stages.last_mut() {
+                    *save_branch = true;
+                }
+                i += 1;
+            }
+            LayerSpec::SkipConv {
+                name,
+                cout,
+                k,
+                stride,
+                pad,
+            } => {
+                // A skip projection that did not fuse into a residual conv
+                // (fusion off, or a non-residual tail shape): lower it as a
+                // standalone branch-reading main stage so the cost model
+                // still prices the projection against the branch shape.
+                let src = branch_shape.expect("SkipConv requires a preceding BranchSave");
+                let ShapeCursor::Map { c, h, w } = src else {
+                    panic!("skip projection on a non-map branch")
+                };
+                let op = MainOp::Conv {
+                    cin: c,
+                    h,
+                    w,
+                    cout: *cout,
+                    k: *k,
+                    stride: *stride,
+                    pad: *pad,
+                };
+                let out_elements = op.out_elements();
+                stages.push(Stage::Main {
+                    name: name.clone(),
+                    op,
+                    main_index,
+                    tail: FusedTail::default(),
+                    input: StageSrc::Branch,
+                    save_branch: false,
+                    residual: None,
+                    in_elements: src.elements(),
+                    out_elements,
+                });
+                main_index += 1;
+                i += 1;
+            }
             other => {
                 let out_shape = shapes[i + 1];
                 let kind = match other {
-                    LayerSpec::MaxPool { k, stride } | LayerSpec::AvgPool { k, stride } => {
+                    LayerSpec::MaxPool { k, stride, pad }
+                    | LayerSpec::AvgPool { k, stride, pad } => {
                         // A pool stage can still absorb a following quantize
                         // (packed store) when fusion is on.
                         let quantize =
@@ -261,6 +422,7 @@ pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
                         EwKind::Pool {
                             k: *k,
                             stride: *stride,
+                            pad: *pad,
                             max: matches!(other, LayerSpec::MaxPool { .. }),
                             quantize,
                         }
@@ -286,6 +448,67 @@ pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
     stages
 }
 
+/// Skip-projection spec captured during residual tail absorption.
+struct SkipSpec {
+    name: String,
+    cout: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+}
+
+/// Absorb a conv tail, extended with the residual pattern
+/// `[SkipConv?] ResidualAdd [Relu?] [QuantizeActs?]`: the residual add
+/// happens on the conv's raw i32 accumulators (before BN/ReLU/quantize run
+/// in registers), so the whole block tail fuses into the producing kernel.
+/// Returns `(tail, residual, consumed)` where `residual` is
+/// `Some(Some(spec))` for a projection skip, `Some(None)` for identity.
+fn absorb_conv_tail(
+    rest: &[LayerSpec],
+    allow_pool: bool,
+) -> (FusedTail, Option<Option<SkipSpec>>, usize) {
+    let (mut tail, mut consumed) = absorb_tail(rest, allow_pool);
+    let mut residual = None;
+    if !tail.quantize && !tail.pool2 {
+        let mut j = consumed;
+        let skip = match rest.get(j) {
+            Some(LayerSpec::SkipConv {
+                name,
+                cout,
+                k,
+                stride,
+                pad,
+            }) => {
+                j += 1;
+                Some(SkipSpec {
+                    name: name.clone(),
+                    cout: *cout,
+                    k: *k,
+                    stride: *stride,
+                    pad: *pad,
+                })
+            }
+            _ => None,
+        };
+        if matches!(rest.get(j), Some(LayerSpec::ResidualAdd)) {
+            j += 1;
+            if matches!(rest.get(j), Some(LayerSpec::Relu)) {
+                tail.relu = true;
+                j += 1;
+            }
+            if matches!(rest.get(j), Some(LayerSpec::QuantizeActs)) {
+                tail.quantize = true;
+                j += 1;
+            }
+            residual = Some(skip);
+            consumed = j;
+        }
+        // A SkipConv *without* a following ResidualAdd is left for the main
+        // walk (standalone branch stage).
+    }
+    (tail, residual, consumed)
+}
+
 /// Absorb a BN/ReLU/(2×2 pool)/Quantize tail; returns the tail and how many
 /// layers it consumed.
 fn absorb_tail(rest: &[LayerSpec], allow_pool: bool) -> (FusedTail, usize) {
@@ -295,9 +518,11 @@ fn absorb_tail(rest: &[LayerSpec], allow_pool: bool) -> (FusedTail, usize) {
         match l {
             LayerSpec::BatchNorm if !tail.pool2 && !tail.quantize => tail.bn = true,
             LayerSpec::Relu if !tail.quantize => tail.relu = true,
-            LayerSpec::MaxPool { k: 2, stride: 2 } if allow_pool && !tail.quantize => {
-                tail.pool2 = true
-            }
+            LayerSpec::MaxPool {
+                k: 2,
+                stride: 2,
+                pad: 0,
+            } if allow_pool && !tail.quantize => tail.pool2 = true,
             LayerSpec::QuantizeActs => {
                 tail.quantize = true;
                 consumed += 1;
@@ -320,7 +545,11 @@ mod tests {
             .push(L::conv("c1", 16, 3, 1, 1))
             .push(L::BatchNorm)
             .push(L::Relu)
-            .push(L::MaxPool { k: 2, stride: 2 })
+            .push(L::MaxPool {
+                k: 2,
+                stride: 2,
+                pad: 0,
+            })
             .push(L::QuantizeActs)
             .push(L::conv("c2", 32, 3, 1, 1))
             .push(L::Relu)
@@ -362,7 +591,11 @@ mod tests {
         let net = Network::new("t", 3, 31, 31)
             .push(L::conv("c1", 8, 3, 1, 1))
             .push(L::Relu)
-            .push(L::MaxPool { k: 3, stride: 2 })
+            .push(L::MaxPool {
+                k: 3,
+                stride: 2,
+                pad: 0,
+            })
             .push(L::QuantizeActs);
         let stages = fuse_network(&net, true);
         assert_eq!(stages.len(), 2);
@@ -374,10 +607,133 @@ mod tests {
             EwKind::Pool {
                 k: 3,
                 stride: 2,
+                pad: 0,
                 max: true,
                 quantize: true
             }
         );
+    }
+
+    fn residual_block(downsample: bool) -> Network {
+        let (cout, stride) = if downsample { (32, 2) } else { (16, 1) };
+        let mut net = Network::new("res", 3, 8, 8)
+            .push(L::conv("stem", 16, 3, 1, 1))
+            .push(L::Relu)
+            .push(L::QuantizeActs)
+            .push(L::BranchSave)
+            .push(L::conv("a", cout, 3, stride, 1))
+            .push(L::BatchNorm)
+            .push(L::Relu)
+            .push(L::QuantizeActs)
+            .push(L::conv("b", cout, 3, 1, 1))
+            .push(L::BatchNorm);
+        if downsample {
+            net = net.push(L::skip_conv("ds", cout, 1, stride, 0));
+        }
+        net.push(L::ResidualAdd)
+            .push(L::Relu)
+            .push(L::QuantizeActs)
+            .push(L::Flatten)
+            .push(L::linear("fc", 10))
+    }
+
+    #[test]
+    fn identity_residual_fuses_into_the_consuming_conv() {
+        let stages = fuse_network(&residual_block(false), true);
+        // stem(+relu+quant), a(+bn+relu+quant), b(+bn+residual+relu+quant), fc.
+        assert_eq!(stages.len(), 4);
+        let Stage::Main {
+            save_branch,
+            residual,
+            tail,
+            ..
+        } = &stages[0]
+        else {
+            panic!()
+        };
+        assert!(*save_branch, "the branch producer is marked");
+        assert_eq!(*residual, None);
+        assert!(tail.quantize);
+        let Stage::Main {
+            residual,
+            tail,
+            input,
+            ..
+        } = &stages[2]
+        else {
+            panic!()
+        };
+        assert_eq!(*residual, Some(ResidualSrc::Identity));
+        assert_eq!(*input, StageSrc::Chain);
+        assert!(tail.bn && tail.relu && tail.quantize && !tail.pool2);
+    }
+
+    #[test]
+    fn projection_residual_emits_a_branch_stage_before_the_consumer() {
+        let stages = fuse_network(&residual_block(true), true);
+        // stem, a, ds (branch), b (residual=Projection), fc.
+        assert_eq!(stages.len(), 5);
+        let Stage::Main {
+            name, op, input, ..
+        } = &stages[2]
+        else {
+            panic!()
+        };
+        assert_eq!(name, "ds");
+        assert_eq!(*input, StageSrc::Branch);
+        // The projection reads the *branch* (16ch 8×8), not the chain.
+        assert_eq!(
+            *op,
+            MainOp::Conv {
+                cin: 16,
+                h: 8,
+                w: 8,
+                cout: 32,
+                k: 1,
+                stride: 2,
+                pad: 0
+            }
+        );
+        let Stage::Main { residual, .. } = &stages[3] else {
+            panic!()
+        };
+        assert_eq!(*residual, Some(ResidualSrc::Projection));
+        // Main indices stay dense over the reordered stages.
+        let idx: Vec<usize> = stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Main { main_index, .. } => Some(*main_index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unfused_residual_stays_elementwise() {
+        let stages = fuse_network(&residual_block(true), false);
+        // Every layer its own stage; ResidualAdd stays a marker and the
+        // skip projection is priced against the branch shape.
+        assert!(stages
+            .iter()
+            .any(|s| matches!(s, Stage::Elementwise { kind, .. } if *kind == EwKind::ResidualAdd)));
+        let ds = stages
+            .iter()
+            .find(|s| s.name() == "ds")
+            .expect("projection stage present");
+        let Stage::Main { op, input, .. } = ds else {
+            panic!()
+        };
+        assert_eq!(*input, StageSrc::Branch);
+        assert!(matches!(
+            op,
+            MainOp::Conv {
+                cin: 16,
+                h: 8,
+                w: 8,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -27,19 +27,23 @@ pub enum LayerSpec {
         /// Output features.
         out_features: usize,
     },
-    /// Max pooling `k×k` / `stride`.
+    /// Max pooling `k×k` / `stride` with symmetric zero padding `pad`.
     MaxPool {
         /// Window.
         k: usize,
         /// Stride.
         stride: usize,
+        /// Padding.
+        pad: usize,
     },
-    /// Average pooling `k×k` / `stride`.
+    /// Average pooling `k×k` / `stride` with symmetric zero padding `pad`.
     AvgPool {
         /// Window.
         k: usize,
         /// Stride.
         stride: usize,
+        /// Padding.
+        pad: usize,
     },
     /// Global average pooling to 1×1.
     GlobalAvgPool,
@@ -54,8 +58,31 @@ pub enum LayerSpec {
     /// Reshape NHWC feature map into a feature vector (free).
     Flatten,
     /// Residual skip-connection add (ResNet) — costed as an element-wise
-    /// kernel reading two maps and writing one.
+    /// kernel reading two maps and writing one. The fusion pass lowers it
+    /// into the consuming main stage's pre-epilogue i32 accumulators when
+    /// a matching [`LayerSpec::BranchSave`] precedes it.
     ResidualAdd,
+    /// Capture the *previous main stage's* packed output as the residual
+    /// branch for the next [`LayerSpec::ResidualAdd`]. Shape-free and
+    /// cost-free: the branch is a second reader of an activation that is
+    /// materialized anyway.
+    BranchSave,
+    /// 1×1 (or general) projection convolution on the *branch* path
+    /// (ResNet downsample): reads the saved branch, not the chain, and
+    /// feeds the next [`LayerSpec::ResidualAdd`]. The chain shape is
+    /// unchanged by this layer.
+    SkipConv {
+        /// Display name.
+        name: String,
+        /// Output channels.
+        cout: usize,
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
 }
 
 impl LayerSpec {
@@ -78,15 +105,31 @@ impl LayerSpec {
         }
     }
 
+    /// Convenience skip-path projection constructor.
+    pub fn skip_conv(name: &str, cout: usize, k: usize, stride: usize, pad: usize) -> Self {
+        LayerSpec::SkipConv {
+            name: name.to_string(),
+            cout,
+            k,
+            stride,
+            pad,
+        }
+    }
+
     /// Is this a main (tensor-core) op?
     pub fn is_main(&self) -> bool {
-        matches!(self, LayerSpec::Conv { .. } | LayerSpec::Linear { .. })
+        matches!(
+            self,
+            LayerSpec::Conv { .. } | LayerSpec::Linear { .. } | LayerSpec::SkipConv { .. }
+        )
     }
 
     /// Display name for reports.
     pub fn name(&self) -> String {
         match self {
-            LayerSpec::Conv { name, .. } | LayerSpec::Linear { name, .. } => name.clone(),
+            LayerSpec::Conv { name, .. }
+            | LayerSpec::Linear { name, .. }
+            | LayerSpec::SkipConv { name, .. } => name.clone(),
             LayerSpec::MaxPool { .. } => "maxpool".into(),
             LayerSpec::AvgPool { .. } => "avgpool".into(),
             LayerSpec::GlobalAvgPool => "gap".into(),
@@ -95,6 +138,7 @@ impl LayerSpec {
             LayerSpec::QuantizeActs => "quant".into(),
             LayerSpec::Flatten => "flatten".into(),
             LayerSpec::ResidualAdd => "residual".into(),
+            LayerSpec::BranchSave => "branch".into(),
         }
     }
 }
@@ -150,12 +194,12 @@ impl ShapeCursor {
                     w: ow,
                 }
             }
-            (ShapeCursor::Map { c, h, w }, LayerSpec::MaxPool { k, stride })
-            | (ShapeCursor::Map { c, h, w }, LayerSpec::AvgPool { k, stride }) => {
+            (ShapeCursor::Map { c, h, w }, LayerSpec::MaxPool { k, stride, pad })
+            | (ShapeCursor::Map { c, h, w }, LayerSpec::AvgPool { k, stride, pad }) => {
                 ShapeCursor::Map {
                     c,
-                    h: (h - k) / stride + 1,
-                    w: (w - k) / stride + 1,
+                    h: (h + 2 * pad - k) / stride + 1,
+                    w: (w + 2 * pad - k) / stride + 1,
                 }
             }
             (ShapeCursor::Map { c, .. }, LayerSpec::GlobalAvgPool) => {
@@ -172,7 +216,12 @@ impl ShapeCursor {
             (s, LayerSpec::BatchNorm)
             | (s, LayerSpec::Relu)
             | (s, LayerSpec::QuantizeActs)
-            | (s, LayerSpec::ResidualAdd) => s,
+            | (s, LayerSpec::ResidualAdd)
+            | (s, LayerSpec::BranchSave)
+            // SkipConv reads the saved branch, not the chain — the chain
+            // cursor passes through unchanged (the branch-side shape is
+            // resolved by the fusion pass).
+            | (s @ ShapeCursor::Map { .. }, LayerSpec::SkipConv { .. }) => s,
             (s, l) => panic!("layer {l:?} cannot follow shape {s:?}"),
         }
     }
@@ -198,7 +247,11 @@ mod tests {
                 w: 55
             }
         );
-        let s = s.advance(&LayerSpec::MaxPool { k: 3, stride: 2 });
+        let s = s.advance(&LayerSpec::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 0,
+        });
         assert_eq!(
             s,
             ShapeCursor::Map {
@@ -207,6 +260,40 @@ mod tests {
                 w: 27
             }
         );
+    }
+
+    #[test]
+    fn padded_pool_shape_math() {
+        // The ResNet stem: 112×112 pooled 3×3/2 with p=1 must give 56×56
+        // (the unpadded pool yields 55×55 — the bug this field fixes).
+        let s = ShapeCursor::Map {
+            c: 64,
+            h: 112,
+            w: 112,
+        };
+        let s = s.advance(&LayerSpec::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 1,
+        });
+        assert_eq!(
+            s,
+            ShapeCursor::Map {
+                c: 64,
+                h: 56,
+                w: 56
+            }
+        );
+    }
+
+    #[test]
+    fn branch_layers_keep_the_chain_shape() {
+        let s = ShapeCursor::Map { c: 8, h: 4, w: 4 };
+        assert_eq!(s.advance(&LayerSpec::BranchSave), s);
+        assert_eq!(s.advance(&LayerSpec::skip_conv("ds", 16, 1, 2, 0)), s);
+        assert_eq!(s.advance(&LayerSpec::ResidualAdd), s);
+        assert!(LayerSpec::skip_conv("ds", 16, 1, 2, 0).is_main());
+        assert!(!LayerSpec::BranchSave.is_main());
     }
 
     #[test]

@@ -30,11 +30,12 @@ pub mod pool;
 pub mod precision;
 
 pub use compile::{
-    ActInput, CompileOptions, CompiledNet, CpuEngine, Engine, Materialize, Shard, SimEngine,
+    ActInput, CompileError, CompileOptions, CompiledNet, CpuEngine, Engine, Materialize, Shard,
+    SimEngine,
 };
 pub use exec::{simulate, simulate_with, NetworkReport, StageReport};
 pub use functional::{QuantNet, QuantStage};
-pub use fuse::{fuse_network, MainOp, Stage};
+pub use fuse::{fuse_network, MainOp, ResidualSrc, Stage, StageSrc};
 pub use layer::LayerSpec;
 pub use net::Network;
 pub use pool::{PooledWorkspace, WorkspacePool, WorkspacePoolStats};

@@ -12,12 +12,20 @@ pub fn alexnet() -> Network {
         .push(L::conv("conv1", 64, 11, 4, 2)) // 55×55
         .push(L::BatchNorm)
         .push(L::Relu)
-        .push(L::MaxPool { k: 3, stride: 2 }) // 27×27
+        .push(L::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 0,
+        }) // 27×27
         .push(L::QuantizeActs)
         .push(L::conv("conv2", 192, 5, 1, 2))
         .push(L::BatchNorm)
         .push(L::Relu)
-        .push(L::MaxPool { k: 3, stride: 2 }) // 13×13
+        .push(L::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 0,
+        }) // 13×13
         .push(L::QuantizeActs)
         .push(L::conv("conv3", 384, 3, 1, 1))
         .push(L::BatchNorm)
@@ -30,7 +38,11 @@ pub fn alexnet() -> Network {
         .push(L::conv("conv5", 256, 3, 1, 1))
         .push(L::BatchNorm)
         .push(L::Relu)
-        .push(L::MaxPool { k: 3, stride: 2 }) // 6×6
+        .push(L::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 0,
+        }) // 6×6
         .push(L::QuantizeActs)
         .push(L::Flatten) // 9216
         .push(L::linear("fc6", 4096))
@@ -52,16 +64,28 @@ pub fn alexnet_tiny() -> Network {
         .push(L::conv("conv1", 24, 5, 1, 2)) // 32
         .push(L::BatchNorm)
         .push(L::Relu)
-        .push(L::MaxPool { k: 2, stride: 2 }) // 16
+        .push(L::MaxPool {
+            k: 2,
+            stride: 2,
+            pad: 0,
+        }) // 16
         .push(L::QuantizeActs)
         .push(L::conv("conv2", 48, 5, 1, 2))
         .push(L::BatchNorm)
         .push(L::Relu)
-        .push(L::MaxPool { k: 2, stride: 2 }) // 8
+        .push(L::MaxPool {
+            k: 2,
+            stride: 2,
+            pad: 0,
+        }) // 8
         .push(L::QuantizeActs)
         .push(L::conv("conv3", 64, 3, 1, 1))
         .push(L::Relu)
-        .push(L::MaxPool { k: 2, stride: 2 }) // 4
+        .push(L::MaxPool {
+            k: 2,
+            stride: 2,
+            pad: 0,
+        }) // 4
         .push(L::QuantizeActs)
         .push(L::Flatten) // 1024
         .push(L::linear("fc4", 96))

@@ -9,7 +9,7 @@ mod resnet18;
 mod vgg;
 
 pub use alexnet::{alexnet, alexnet_tiny};
-pub use resnet18::resnet18;
+pub use resnet18::{resnet18, resnet18_tiny};
 pub use vgg::{vgg_variant, vgg_variant_tiny};
 
 use crate::net::Network;
@@ -23,10 +23,12 @@ pub fn all_models() -> Vec<Network> {
 /// (no element-wise stages survive lowering, so `CompiledNet::infer` runs)
 /// and CIFAR-scale (weights pack in milliseconds, not minutes). The
 /// ImageNet networks stay simulation-only — AlexNet and ResNet-18 keep
-/// unfusable 3×3/2 pools / residual adds, and VGG-Variant's fc6 alone
-/// packs 10⁸ weights.
+/// unfusable 3×3/2 stem pools / global average pools, and VGG-Variant's
+/// fc6 alone packs 10⁸ weights. Residual blocks themselves are servable:
+/// `resnet18_tiny` carries the full 8-block skip topology (identity and
+/// stride-2 projection) through the fused engine.
 pub fn servable_zoo() -> Vec<Network> {
-    vec![alexnet_tiny(), vgg_variant_tiny()]
+    vec![alexnet_tiny(), vgg_variant_tiny(), resnet18_tiny()]
 }
 
 #[cfg(test)]

@@ -1,14 +1,18 @@
 //! ResNet-18 (He et al.) at 224×224×3, sequentialized.
 //!
 //! Residual topology is expressed in the sequential IR with explicit
-//! `ResidualAdd` cost markers; downsample (1×1 stride-2) convolutions appear
-//! as their own main layers. This preserves per-layer shapes and MACs, which
-//! is all the latency model consumes.
+//! branch markers: [`L::BranchSave`] captures the block input, downsample
+//! projections are [`L::SkipConv`] layers reading that branch (1×1 at the
+//! block's stride — stride 2 on layer{2,3,4}.0, matching the main path's
+//! spatial downsample), and [`L::ResidualAdd`] re-joins the paths. The
+//! fusion pass lowers the whole block tail into the consuming conv.
 
 use crate::layer::LayerSpec as L;
 use crate::net::Network;
 
-fn basic_block(
+/// One basic block: two 3×3 convs with a residual connection; downsample
+/// blocks project the skip path with a 1×1 conv at the block stride.
+pub(crate) fn basic_block(
     mut net: Network,
     name: &str,
     cout: usize,
@@ -16,6 +20,7 @@ fn basic_block(
     downsample: bool,
 ) -> Network {
     net = net
+        .push(L::BranchSave)
         .push(L::conv(&format!("{name}a"), cout, 3, stride, 1))
         .push(L::BatchNorm)
         .push(L::Relu)
@@ -23,8 +28,9 @@ fn basic_block(
         .push(L::conv(&format!("{name}b"), cout, 3, 1, 1))
         .push(L::BatchNorm);
     if downsample {
-        // 1×1/stride projection on the skip path.
-        net = net.push(L::conv(&format!("{name}ds"), cout, 1, 1, 0));
+        // 1×1 projection on the skip path, at the *block* stride so the
+        // skip spatially matches the main path at the add.
+        net = net.push(L::skip_conv(&format!("{name}ds"), cout, 1, stride, 0));
     }
     net.push(L::ResidualAdd).push(L::Relu).push(L::QuantizeActs)
 }
@@ -36,7 +42,11 @@ pub fn resnet18() -> Network {
         .push(L::conv("conv1", 64, 7, 2, 3)) // 112
         .push(L::BatchNorm)
         .push(L::Relu)
-        .push(L::MaxPool { k: 3, stride: 2 }) // 56 (floor((112-3)/2)+1 = 55; see note)
+        .push(L::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 1,
+        }) // 56 (the paper's padded stem pool)
         .push(L::QuantizeActs);
 
     net = basic_block(net, "layer1.0", 64, 1, false);
@@ -53,6 +63,28 @@ pub fn resnet18() -> Network {
         .push(L::linear("fc", 1000))
 }
 
+/// Downscaled ResNet-18 with the full residual block structure — 32×32
+/// input, no stem pool or global average pool (both would block fusion), so
+/// the whole network lowers to fused main stages and is servable end-to-end.
+pub fn resnet18_tiny() -> Network {
+    let mut net = Network::new("ResNet18-Tiny", 3, 32, 32)
+        .push(L::conv("conv1", 16, 3, 1, 1)) // 32×32, CIFAR-style stem
+        .push(L::BatchNorm)
+        .push(L::Relu)
+        .push(L::QuantizeActs);
+
+    net = basic_block(net, "layer1.0", 16, 1, false);
+    net = basic_block(net, "layer1.1", 16, 1, false);
+    net = basic_block(net, "layer2.0", 32, 2, true);
+    net = basic_block(net, "layer2.1", 32, 1, false);
+    net = basic_block(net, "layer3.0", 64, 2, true);
+    net = basic_block(net, "layer3.1", 64, 1, false);
+    net = basic_block(net, "layer4.0", 128, 2, true);
+    net = basic_block(net, "layer4.1", 128, 1, false);
+
+    net.push(L::Flatten).push(L::linear("fc", 10))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +94,7 @@ mod tests {
     fn main_layer_count() {
         // 1 stem + 16 block convs + 3 downsample + 1 fc = 21.
         assert_eq!(resnet18().num_main_layers(), 21);
+        assert_eq!(resnet18_tiny().num_main_layers(), 21);
     }
 
     #[test]
@@ -72,5 +105,61 @@ mod tests {
             .iter()
             .any(|s| matches!(s, ShapeCursor::Map { c: 512, .. })));
         assert_eq!(net.output_features(), 1000);
+    }
+
+    #[test]
+    fn stem_pool_yields_56() {
+        // The padded 3×3/2 stem pool gives the paper's 56×56 grid (the
+        // unpadded pool gave 55×55).
+        let net = resnet18();
+        let shapes = net.shapes();
+        assert!(
+            shapes.iter().any(|s| matches!(
+                s,
+                ShapeCursor::Map {
+                    c: 64,
+                    h: 56,
+                    w: 56
+                }
+            )),
+            "stem pool must produce 56×56"
+        );
+    }
+
+    #[test]
+    fn downsample_projections_run_at_stride_2() {
+        // The skip projection of layer2.0 reads the 64×56×56 branch and
+        // must land on 128×28×28 — i.e. 1×1 *stride-2*. At stride 1 it
+        // would contribute 4× the MACs and shape-mismatch at the add.
+        let net = resnet18();
+        for l in &net.layers {
+            if let L::SkipConv { name, stride, .. } = l {
+                assert_eq!(*stride, 2, "projection `{name}` must be stride-2");
+            }
+        }
+        assert_eq!(
+            net.layers
+                .iter()
+                .filter(|l| matches!(l, L::SkipConv { .. }))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn tiny_variant_keeps_the_block_structure() {
+        let net = resnet18_tiny();
+        let shapes = net.shapes();
+        assert!(shapes
+            .iter()
+            .any(|s| matches!(s, ShapeCursor::Map { c: 128, h: 4, w: 4 })));
+        assert_eq!(net.output_features(), 10);
+        assert_eq!(
+            net.layers
+                .iter()
+                .filter(|l| matches!(l, L::ResidualAdd))
+                .count(),
+            8
+        );
     }
 }

@@ -14,7 +14,11 @@ fn conv_block(net: Network, name: &str, cout: usize, pool: bool) -> Network {
         .push(L::BatchNorm)
         .push(L::Relu);
     if pool {
-        net = net.push(L::MaxPool { k: 2, stride: 2 });
+        net = net.push(L::MaxPool {
+            k: 2,
+            stride: 2,
+            pad: 0,
+        });
     }
     net.push(L::QuantizeActs)
 }

@@ -67,6 +67,10 @@ impl Network {
     pub fn macs_per_image(&self) -> u64 {
         let shapes = self.shapes();
         let mut macs = 0u64;
+        // The skip path reads the activation captured at the last
+        // `BranchSave`, so projection MACs are counted against the branch
+        // shape, not the chain shape the projection happens to sit in.
+        let mut branch: Option<ShapeCursor> = None;
         for (i, l) in self.layers.iter().enumerate() {
             match (shapes[i], l) {
                 (ShapeCursor::Map { c, .. }, LayerSpec::Conv { cout, k, .. }) => {
@@ -76,6 +80,24 @@ impl Network {
                 }
                 (ShapeCursor::Vector { features }, LayerSpec::Linear { out_features, .. }) => {
                     macs += (features * out_features) as u64;
+                }
+                (s, LayerSpec::BranchSave) => branch = Some(s),
+                (
+                    _,
+                    LayerSpec::SkipConv {
+                        cout,
+                        k,
+                        stride,
+                        pad,
+                        ..
+                    },
+                ) => {
+                    let src = branch.expect("SkipConv requires a preceding BranchSave");
+                    if let ShapeCursor::Map { c, h, w } = src {
+                        let oh = (h + 2 * pad - k) / stride + 1;
+                        let ow = (w + 2 * pad - k) / stride + 1;
+                        macs += (cout * oh * ow * c * k * k) as u64;
+                    }
                 }
                 _ => {}
             }
@@ -103,7 +125,11 @@ mod tests {
         Network::new("tiny", 3, 8, 8)
             .push(LayerSpec::conv("c1", 16, 3, 1, 1))
             .push(LayerSpec::Relu)
-            .push(LayerSpec::MaxPool { k: 2, stride: 2 })
+            .push(LayerSpec::MaxPool {
+                k: 2,
+                stride: 2,
+                pad: 0,
+            })
             .push(LayerSpec::Flatten)
             .push(LayerSpec::linear("fc", 10))
     }

@@ -143,9 +143,9 @@ impl PlanRegistry {
             key.precision,
             &CompileOptions::functional(self.batch, self.seed),
         );
-        if !plan.is_executable() {
+        if let Err(e) = plan.executable_error() {
             return Err(ServeError::NotServable(format!(
-                "`{key}` did not lower to a fully-fused functional plan"
+                "`{key}` did not lower to a fully-fused functional plan: {e}"
             )));
         }
         // The cache is keyed by precision; the plan must agree with its key.

@@ -14,8 +14,10 @@ use apnn_tc::kernels::reference::{conv2d_i32, gemm_i32};
 use apnn_tc::kernels::stats;
 use apnn_tc::nn::compile::{CompileOptions, CompiledNet, MainKernel};
 use apnn_tc::nn::exec::legacy;
-use apnn_tc::nn::models::{alexnet, resnet18, vgg_variant, vgg_variant_tiny};
-use apnn_tc::nn::{simulate, simulate_with, LayerSpec, MainOp, NetPrecision, Network};
+use apnn_tc::nn::models::{alexnet, resnet18, resnet18_tiny, vgg_variant, vgg_variant_tiny};
+use apnn_tc::nn::{
+    simulate, simulate_with, LayerSpec, MainOp, NetPrecision, Network, ResidualSrc, StageSrc,
+};
 use apnn_tc::sim::GpuSpec;
 
 // Plan-reuse assertions use `stats::scope()` (thread-local deltas), so the
@@ -54,6 +56,13 @@ fn naive_reference(plan: &CompiledNet, input_codes: &Tensor4<u32>) -> Vec<i32> {
         v
     };
     let (mut h, mut w) = (h0, w0);
+    // Residual bookkeeping, mirroring the engine's branch slot and shared
+    // raw-accumulator buffer: `branch` holds quantized codes saved by a
+    // `save_branch` stage (plus their spatial dims); `pending` holds the
+    // raw i32 accumulators a skip-projection stage parked for the next
+    // residual consumer.
+    let mut branch: Option<(Vec<i32>, usize, usize)> = None;
+    let mut pending: Option<Vec<i32>> = None;
     let mains: Vec<_> = plan.main_stages().collect();
     let n_mains = mains.len();
     let mut logits = Vec::new();
@@ -62,12 +71,18 @@ fn naive_reference(plan: &CompiledNet, input_codes: &Tensor4<u32>) -> Vec<i32> {
         let init = m.init.as_ref().expect("functional plan carries init");
         match (&m.kernel, &m.op) {
             (MainKernel::Conv { desc, .. }, _) => {
+                let is_skip = m.input == StageSrc::Branch;
+                let (src, sh, sw) = match (is_skip, &branch) {
+                    (true, Some((codes, bh, bw))) => (codes, *bh, *bw),
+                    (true, None) => panic!("skip conv before any saved branch"),
+                    (false, _) => (&x, h, w),
+                };
                 let mut y = conv2d_i32(
-                    &x,
+                    src,
                     &init.w_vals,
                     batch,
-                    h,
-                    w,
+                    sh,
+                    sw,
                     desc.cin,
                     desc.cout,
                     desc.kh,
@@ -75,6 +90,31 @@ fn naive_reference(plan: &CompiledNet, input_codes: &Tensor4<u32>) -> Vec<i32> {
                     desc.stride,
                     desc.pad,
                 );
+                if is_skip {
+                    // Projection stages park raw accumulators for the next
+                    // residual consumer and leave the chain untouched.
+                    pending = Some(y);
+                    continue;
+                }
+                // Residual add on the raw accumulators, before the fused
+                // pool/epilogue — the engine's exact i32 ordering.
+                match m.residual {
+                    Some(ResidualSrc::Projection) => {
+                        let r = pending.take().expect("projection without a skip stage");
+                        assert_eq!(r.len(), y.len(), "projection shape mismatch");
+                        for (a, rv) in y.iter_mut().zip(&r) {
+                            *a += rv;
+                        }
+                    }
+                    Some(ResidualSrc::Identity) => {
+                        let (codes, ..) = branch.as_ref().expect("identity without a branch");
+                        assert_eq!(codes.len(), y.len(), "identity shape mismatch");
+                        for (a, rv) in y.iter_mut().zip(codes) {
+                            *a += rv;
+                        }
+                    }
+                    None => {}
+                }
                 let (mut oh, mut ow) = (desc.out_h(), desc.out_w());
                 if m.pool.is_some() {
                     // Fused 2×2 max pool on the i32 accumulators (engine
@@ -111,6 +151,10 @@ fn naive_reference(plan: &CompiledNet, input_codes: &Tensor4<u32>) -> Vec<i32> {
                     .collect();
                 h = oh;
                 w = ow;
+                if m.save_branch {
+                    // The branch slot re-reads this stage's quantized codes.
+                    branch = Some((x.clone(), h, w));
+                }
             }
             (MainKernel::Linear { desc, .. }, MainOp::Linear { in_features, .. }) => {
                 assert_eq!(x.len(), batch * in_features);
@@ -167,6 +211,58 @@ fn zoo_model_runs_functionally_and_matches_naive_reference() {
     );
     // The logits are informative (not saturated to a constant).
     assert!(got.iter().any(|&v| v != got[0]));
+}
+
+/// The tentpole differential: the residual zoo model — branch saves, a
+/// stride-2 1×1 skip projection per downsampling block, identity adds
+/// elsewhere — runs bit-identically to the naive oracle, which threads the
+/// residual through an explicit branch buffer with the same exact-i32
+/// requantization ordering (add raw accumulators, then pool, then
+/// epilogue). Covers both served precisions.
+#[test]
+fn residual_zoo_model_matches_naive_reference() {
+    for (precision, seed0) in [
+        (NetPrecision::w1a2(), 101u64),
+        (NetPrecision::Apnn { w: 2, a: 2 }, 202u64),
+    ] {
+        let batch = 2;
+        let net = resnet18_tiny();
+        let plan = net.compile(precision, &CompileOptions::functional(batch, 2021));
+        assert!(plan.is_executable(), "ResNet18-Tiny must fully fuse");
+        // The lowering actually exercises every residual form.
+        let mains: Vec<_> = plan.main_stages().collect();
+        assert!(mains.iter().any(|m| m.input == StageSrc::Branch));
+        assert!(mains
+            .iter()
+            .any(|m| m.residual == Some(ResidualSrc::Projection)));
+        assert!(mains
+            .iter()
+            .any(|m| m.residual == Some(ResidualSrc::Identity)));
+        assert!(mains.iter().any(|m| m.save_branch));
+
+        let mut seed = seed0;
+        let codes = Tensor4::<u32>::from_fn(batch, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+            (lcg(&mut seed) as u32) % 256
+        });
+        let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+
+        let got = plan.infer(&input);
+        let want = naive_reference(&plan, &codes);
+        assert_eq!(got.len(), batch * 10);
+        assert_eq!(
+            got,
+            want,
+            "residual CpuEngine logits differ from the naive reference at {}",
+            precision.label()
+        );
+        assert!(got.iter().any(|&v| v != got[0]));
+
+        // Sharded batched execution carries the branch/residual buffers too.
+        let pool = plan.workspace_pool(2);
+        let mut out = Vec::new();
+        plan.infer_batched_into(&input, &pool, 2, &mut out);
+        assert_eq!(out, want, "sharded residual execution diverged");
+    }
 }
 
 #[test]

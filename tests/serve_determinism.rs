@@ -43,6 +43,7 @@ fn serve_once(workers: usize) -> Vec<Vec<i32>> {
     let keys = [
         ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2()),
         ModelKey::new("AlexNet-Tiny", NetPrecision::w1a2()),
+        ModelKey::new("ResNet18-Tiny", NetPrecision::w1a2()),
     ];
     let tickets: Vec<_> = (0..REQUESTS)
         .flat_map(|i| {
@@ -83,13 +84,14 @@ fn independently_compiled_registries_host_bit_identical_plans() {
 }
 
 /// Golden snapshots: every servable zoo model (`vgg_variant_tiny`,
-/// `alexnet_tiny`) × {w1a2, w2a2} logits, pinned to files. A mismatch
-/// means serving changed numerics — bump the files deliberately (run with
-/// `REGEN_GOLDEN=1`) only when the change is intended and understood.
+/// `alexnet_tiny`, `resnet18_tiny`) × {w1a2, w2a2} logits, pinned to
+/// files. A mismatch means serving changed numerics — bump the files
+/// deliberately (run with `REGEN_GOLDEN=1`) only when the change is
+/// intended and understood.
 #[test]
 fn golden_logits_match_snapshots() {
     let input = fixed_input();
-    for model in ["VGG-Variant-Tiny", "AlexNet-Tiny"] {
+    for model in ["VGG-Variant-Tiny", "AlexNet-Tiny", "ResNet18-Tiny"] {
         for precision in [NetPrecision::w1a2(), NetPrecision::Apnn { w: 2, a: 2 }] {
             let key = ModelKey::new(model, precision);
             golden_check(&key, &input);

@@ -136,12 +136,59 @@ fn steady_state_inference_performs_zero_heap_allocations() {
         }
     }
 
+    // -- Branch slots and the shared residual buffer. ---------------------
+    // The zoo loop above already proves ResNet18-Tiny's steady state is
+    // allocation-free; this section pins *why* that holds: the workspace
+    // spec pre-sizes the residual accumulators, so skip projections and
+    // identity adds never grow a buffer at inference time.
+    branch_and_residual_buffers_are_workspace_sized();
+
     // -- Kernel level: the register-blocked microkernel paths. ------------
     // The popcount tile lives on the stack, so the prepared APMM/APConv
     // sequential paths must stay allocation-free from warm onward for
     // *any* (JB, KB) block shape — including ragged blocks (jb not
     // dividing the column count) and K blocks smaller than one row.
     tiled_kernel_paths_allocate_nothing_from_warm_onward();
+}
+
+fn branch_and_residual_buffers_are_workspace_sized() {
+    let net = apnn_tc::nn::models::resnet18_tiny();
+    let plan = net.compile(NetPrecision::w1a2(), &CompileOptions::functional(BATCH, 77));
+    let spec = plan.workspace_spec();
+
+    // Every skip projection ("…ds") computes raw accumulators straight into
+    // the shared residual buffer — its only scratch demand is that buffer,
+    // so its accounted accumulator bytes must be nonzero.
+    let ds: Vec<_> = spec
+        .stages
+        .iter()
+        .filter(|s| s.name.ends_with("ds"))
+        .collect();
+    assert_eq!(ds.len(), 3, "one skip projection per downsampling block");
+    for s in &ds {
+        assert!(
+            s.acc_bytes > 0,
+            "skip stage {} must account for its residual accumulators",
+            s.name
+        );
+    }
+
+    // A warm workspace built from that spec then runs the full residual
+    // graph — branch re-reads, projection parks, identity decodes — with
+    // zero heap traffic (single-model restatement of the zoo-wide gate).
+    let mut ws = plan.workspace();
+    let mut out = Vec::new();
+    let input = packed_input(net.input_h, net.input_w, BATCH, 9);
+    plan.infer_into(&input, &mut ws, &mut out);
+    let want = out.clone();
+    let scope = alloc_scope();
+    plan.infer_into(&input, &mut ws, &mut out);
+    assert_eq!(
+        scope.allocations(),
+        0,
+        "warm residual execution touched the allocator"
+    );
+    assert_eq!(out, want);
 }
 
 fn tiled_kernel_paths_allocate_nothing_from_warm_onward() {
