@@ -178,10 +178,11 @@ pub fn serve_json(points: &[LoadPoint]) -> String {
     for (i, p) in points.iter().enumerate() {
         let _ = write!(
             body,
-            "  {{\"model\": \"{}\", \"burst\": {}, \"threads\": {}, \"pool\": {}, \
-             \"mean_fill\": {:.3}, \"p50_ticks\": {}, \"p99_ticks\": {}, \
+            "  {{\"model\": \"{}\", \"scheme\": \"{}\", \"burst\": {}, \"threads\": {}, \
+             \"pool\": {}, \"mean_fill\": {:.3}, \"p50_ticks\": {}, \"p99_ticks\": {}, \
              \"throughput_rps\": {:.1}}}{}",
             p.model,
+            p.scheme,
             p.burst,
             p.threads,
             p.pool,
@@ -242,7 +243,9 @@ pub fn write_artifact(name: &str, content: &str) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
-fn bench_input(tag: &str, batch: usize, h: usize, w: usize) -> BitTensor4 {
+/// Deterministic 8-bit bench input (shared by `repro exec` and the
+/// precision autotuner's execution measurement).
+pub(crate) fn bench_input(tag: &str, batch: usize, h: usize, w: usize) -> BitTensor4 {
     let salt = tag.len();
     let codes = Tensor4::<u32>::from_fn(batch, 3, h, w, Layout::Nhwc, |b, c, y, x| {
         ((salt + 7 * b + 3 * c + 5 * y + 11 * x) % 256) as u32
@@ -297,6 +300,7 @@ mod tests {
     fn serve_json_round_trips_points() {
         let points = vec![LoadPoint {
             model: "VGG-Variant-Tiny".into(),
+            scheme: "APNN-w1a2".into(),
             burst: 8,
             threads: 4,
             pool: 16,
@@ -307,6 +311,7 @@ mod tests {
         }];
         let json = serve_json(&points);
         assert!(json.contains("\"model\": \"VGG-Variant-Tiny\""));
+        assert!(json.contains("\"scheme\": \"APNN-w1a2\""));
         assert!(json.contains("\"burst\": 8"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"mean_fill\": 3.250"));

@@ -2,21 +2,22 @@
 //! simulated Ampere substrate.
 //!
 //! ```text
-//! repro <fig5|...|fig12|table1|...|table4|serve|exec|kernels|all>
+//! repro <fig5|...|fig12|table1|...|table4|serve|exec|kernels|precision|all>
 //! repro check-bench <fresh_dir> <committed_dir>
 //! ```
 //!
-//! `serve`, `exec` and `kernels` additionally write machine-readable
-//! `BENCH_serve.json` / `BENCH_exec.json` / `BENCH_kernels.json` artifacts
-//! (working directory, or `BENCH_DIR`) so the bench trajectory is tracked
-//! across PRs; `check-bench` schema-validates freshly generated artifacts
-//! against the committed copies (the `bench-trajectory` CI gate).
+//! `serve`, `exec`, `kernels` and `precision` additionally write
+//! machine-readable `BENCH_serve.json` / `BENCH_exec.json` /
+//! `BENCH_kernels.json` / `BENCH_precision.json` artifacts (working
+//! directory, or `BENCH_DIR`) so the bench trajectory is tracked across
+//! PRs; `check-bench` schema-validates freshly generated artifacts against
+//! the committed copies (the `bench-trajectory` CI gate).
 //!
 //! Figures 5/7 run on the RTX 3090 preset, 6/8 on the A100 preset, matching
 //! the paper's panels; everything else defaults to the RTX 3090 (the paper
 //! reports "similar trends" on both GPUs and focuses on the 3090, §6.1.2).
 
-use apnn_bench::{artifacts, experiments as exp, kernels, serve_load};
+use apnn_bench::{artifacts, experiments as exp, kernels, precision, serve_load};
 use apnn_sim::GpuSpec;
 
 /// Run the serving load sweep (burst × intra-batch threads), write
@@ -56,6 +57,20 @@ fn kernels() -> String {
     out
 }
 
+/// Run the precision autotuner for ResNet18-Tiny (per-segment `(w, a)`
+/// search against the measured microkernel cost oracle and the QAT
+/// accuracy harness), write `BENCH_precision.json`, return the Pareto
+/// table.
+fn precision() -> String {
+    let points = precision::precision_bench(8, 16, 4, 6);
+    let mut out = precision::precision_report(&points);
+    match artifacts::write_artifact("BENCH_precision.json", &precision::precision_json(&points)) {
+        Ok(path) => out.push_str(&format!("wrote {}\n", path.display())),
+        Err(e) => out.push_str(&format!("could not write BENCH_precision.json: {e}\n")),
+    }
+    out
+}
+
 /// Run the kernel sweep once per available popcount arm and print the
 /// side-by-side word-GB/s comparison (the dispatch-quality check: the
 /// selected SIMD arm should beat the scalar fallback on a build without
@@ -79,7 +94,7 @@ fn check_bench(fresh_dir: &str, committed_dir: &str) -> Result<String, String> {
         schema::validate_exec(&schema::parse_rows(&read(dir, "BENCH_exec.json")?)?)
             .map_err(|e| format!("{dir}/BENCH_exec.json: {e}"))
     };
-    let serve_keys = |dir: &str| -> Result<Vec<(String, u64, u64)>, String> {
+    let serve_keys = |dir: &str| -> Result<Vec<(String, String, u64, u64)>, String> {
         schema::validate_serve(&schema::parse_rows(&read(dir, "BENCH_serve.json")?)?)
             .map_err(|e| format!("{dir}/BENCH_serve.json: {e}"))
     };
@@ -93,12 +108,25 @@ fn check_bench(fresh_dir: &str, committed_dir: &str) -> Result<String, String> {
     schema::same_keys(&fs, &cs, "BENCH_serve.json")?;
     let (fk, ck) = (kernel_keys(fresh_dir)?, kernel_keys(committed_dir)?);
     schema::same_keys(&fk, &ck, "BENCH_kernels.json")?;
+    // The precision artifact is validated per copy but NOT key-matched:
+    // Pareto survival depends on measured microkernel rates, so the mixed
+    // schedules on the front legitimately differ between the CI runner and
+    // the machine that committed the artifact. Shape + coverage (uniform
+    // references, >= 3 points, a mixed row) is the trajectory gate.
+    let precision_keys = |dir: &str| -> Result<Vec<(String, String)>, String> {
+        schema::validate_precision(&schema::parse_rows(&read(dir, "BENCH_precision.json")?)?)
+            .map_err(|e| format!("{dir}/BENCH_precision.json: {e}"))
+    };
+    let (fp, cp) = (precision_keys(fresh_dir)?, precision_keys(committed_dir)?);
     Ok(format!(
         "bench artifacts OK: {} exec rows, {} serve rows, {} kernel rows, \
-         sweep points match the committed trajectory\n",
+         {}/{} fresh/committed precision rows, sweep points match the \
+         committed trajectory\n",
         fe.len(),
         fs.len(),
-        fk.len()
+        fk.len(),
+        fp.len(),
+        cp.len()
     ))
 }
 
@@ -175,6 +203,7 @@ fn main() {
             "serve" => Some(serve()),
             "exec" => Some(exec()),
             "kernels" => Some(kernels()),
+            "precision" => Some(precision()),
             "arms" => Some(arms()),
             _ => None,
         }
@@ -202,6 +231,7 @@ fn main() {
             "serve",
             "exec",
             "kernels",
+            "precision",
         ] {
             println!("{}", run(name).unwrap());
         }
@@ -211,7 +241,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{arg}'. Options: fig5..fig12, table1..table4, \
              fusion-ablation, ablation-tiles, ablation-layout, ablation-batching, turing, \
-             serve, exec, kernels, arms, check-bench <fresh_dir> <committed_dir>, all"
+             serve, exec, kernels, precision, arms, check-bench <fresh_dir> <committed_dir>, all"
         );
         std::process::exit(2);
     }

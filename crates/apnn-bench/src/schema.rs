@@ -262,10 +262,11 @@ pub fn validate_kernels(rows: &[Row]) -> Result<Vec<KernelKey>, String> {
     Ok(keys)
 }
 
-/// Validate one `BENCH_serve.json` row set: required fields present,
-/// values in sane ranges, and every [`SERVABLE_MODELS`] entry covered.
-/// Returns the identity keys `(model, burst, threads)`.
-pub fn validate_serve(rows: &[Row]) -> Result<Vec<(String, u64, u64)>, String> {
+/// Validate one `BENCH_serve.json` row set: required fields present
+/// (including the precision `scheme` every served plan runs at), values in
+/// sane ranges, and every [`SERVABLE_MODELS`] entry covered. Returns the
+/// identity keys `(model, scheme, burst, threads)`.
+pub fn validate_serve(rows: &[Row]) -> Result<Vec<(String, String, u64, u64)>, String> {
     if rows.is_empty() {
         return Err("serve artifact has no rows".into());
     }
@@ -273,6 +274,7 @@ pub fn validate_serve(rows: &[Row]) -> Result<Vec<(String, u64, u64)>, String> {
     for (i, row) in rows.iter().enumerate() {
         let ctx = |e: String| format!("serve row {i}: {e}");
         let model = string(row, "model").map_err(ctx)?;
+        let scheme = string(row, "scheme").map_err(ctx)?;
         let burst = num(row, "burst").map_err(ctx)?;
         let threads = num(row, "threads").map_err(ctx)?;
         let pool = num(row, "pool").map_err(ctx)?;
@@ -280,6 +282,9 @@ pub fn validate_serve(rows: &[Row]) -> Result<Vec<(String, u64, u64)>, String> {
         let p50 = num(row, "p50_ticks").map_err(ctx)?;
         let p99 = num(row, "p99_ticks").map_err(ctx)?;
         let rps = num(row, "throughput_rps").map_err(ctx)?;
+        if !scheme.starts_with("APNN-") {
+            return Err(format!("serve row {i}: unexpected scheme `{scheme}`"));
+        }
         if burst < 1.0 || threads < 1.0 || pool < 1.0 {
             return Err(format!("serve row {i}: implausible sweep dimensions"));
         }
@@ -292,12 +297,91 @@ pub fn validate_serve(rows: &[Row]) -> Result<Vec<(String, u64, u64)>, String> {
         if rps <= 0.0 {
             return Err(format!("serve row {i}: non-positive throughput"));
         }
-        keys.push((model, burst as u64, threads as u64));
+        keys.push((model, scheme, burst as u64, threads as u64));
     }
     for want in SERVABLE_MODELS {
         if !keys.iter().any(|(model, ..)| model == want) {
             return Err(format!("serve artifact is missing model `{want}`"));
         }
+    }
+    Ok(keys)
+}
+
+/// Validate one `BENCH_precision.json` row set (the precision autotuner's
+/// Pareto artifact): required fields present, values in sane ranges, the
+/// residual model covered with at least three distinct operating points,
+/// both uniform reference schedules (`APNN-w1a2`, `APNN-w2a2`) present
+/// alongside at least one mixed schedule, and at least one row on the
+/// Pareto front. Returns the identity keys `(model, scheme)`.
+///
+/// Unlike the exec/serve artifacts, `repro check-bench` does **not**
+/// require the fresh and committed precision artifacts to cover identical
+/// keys: Pareto membership depends on *measured* microkernel rates, so the
+/// surviving mixed schedules legitimately differ across machines. The
+/// trajectory gate here is shape + coverage of each copy independently.
+pub fn validate_precision(rows: &[Row]) -> Result<Vec<(String, String)>, String> {
+    if rows.is_empty() {
+        return Err("precision artifact has no rows".into());
+    }
+    let mut keys = Vec::with_capacity(rows.len());
+    let mut pareto_rows = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |e: String| format!("precision row {i}: {e}");
+        let model = string(row, "model").map_err(ctx)?;
+        let scheme = string(row, "scheme").map_err(ctx)?;
+        let segments = string(row, "segments").map_err(ctx)?;
+        let cost = num(row, "est_cost_ms").map_err(ctx)?;
+        let acc = num(row, "accuracy").map_err(ctx)?;
+        let rps = num(row, "exec_rps").map_err(ctx)?;
+        let pareto = num(row, "pareto").map_err(ctx)?;
+        if !scheme.starts_with("APNN-") {
+            return Err(format!("precision row {i}: unexpected scheme `{scheme}`"));
+        }
+        if segments.is_empty() || !segments.split(',').all(|s| s.starts_with('w')) {
+            return Err(format!(
+                "precision row {i}: malformed segments `{segments}`"
+            ));
+        }
+        if cost <= 0.0 {
+            return Err(format!("precision row {i}: non-positive cost estimate"));
+        }
+        if acc <= 0.0 || acc > 1.0 {
+            return Err(format!("precision row {i}: accuracy {acc} out of range"));
+        }
+        if rps <= 0.0 {
+            return Err(format!("precision row {i}: non-positive throughput"));
+        }
+        if pareto != 0.0 && pareto != 1.0 {
+            return Err(format!("precision row {i}: pareto flag must be 0 or 1"));
+        }
+        pareto_rows += (pareto == 1.0) as usize;
+        keys.push((model, scheme));
+    }
+    let resnet = "ResNet18-Tiny";
+    let mut schemes: Vec<&str> = keys
+        .iter()
+        .filter(|(m, _)| m == resnet)
+        .map(|(_, s)| s.as_str())
+        .collect();
+    schemes.sort();
+    schemes.dedup();
+    if schemes.len() < 3 {
+        return Err(format!(
+            "precision artifact needs >= 3 distinct `{resnet}` operating points, got {schemes:?}"
+        ));
+    }
+    for want in ["APNN-w1a2", "APNN-w2a2"] {
+        if !schemes.contains(&want) {
+            return Err(format!(
+                "precision artifact is missing uniform reference `{want}`"
+            ));
+        }
+    }
+    if !schemes.iter().any(|s| s.starts_with("APNN-mixed-")) {
+        return Err("precision artifact has no mixed-precision schedule".into());
+    }
+    if pareto_rows == 0 {
+        return Err("precision artifact has no Pareto-front row".into());
     }
     Ok(keys)
 }
@@ -367,8 +451,9 @@ mod tests {
         assert!(err.contains("missing field"), "{err}");
 
         let rows = parse_rows(
-            r#"{"serve": [{"model": "VGG-Variant-Tiny", "burst": 8, "threads": 1, "pool": 1,
-                "mean_fill": 0.2, "p50_ticks": 0, "p99_ticks": 1, "throughput_rps": 10.0}]}"#,
+            r#"{"serve": [{"model": "VGG-Variant-Tiny", "scheme": "APNN-w1a2", "burst": 8,
+                "threads": 1, "pool": 1, "mean_fill": 0.2, "p50_ticks": 0, "p99_ticks": 1,
+                "throughput_rps": 10.0}]}"#,
         )
         .unwrap();
         let err = validate_serve(&rows).unwrap_err();
@@ -382,6 +467,95 @@ mod tests {
         .unwrap();
         let err = validate_serve(&rows).unwrap_err();
         assert!(err.contains("missing field `model`"), "{err}");
+
+        // Rows that predate the mixed-precision registry carry no `scheme`.
+        let rows = parse_rows(
+            r#"{"serve": [{"model": "VGG-Variant-Tiny", "burst": 8, "threads": 1, "pool": 1,
+                "mean_fill": 2.0, "p50_ticks": 0, "p99_ticks": 1, "throughput_rps": 10.0}]}"#,
+        )
+        .unwrap();
+        let err = validate_serve(&rows).unwrap_err();
+        assert!(err.contains("missing field `scheme`"), "{err}");
+    }
+
+    fn precision_row(model: &str, scheme: &str, segments: &str, pareto: u32) -> String {
+        format!(
+            r#"{{"model": "{model}", "scheme": "{scheme}", "segments": "{segments}",
+                "est_cost_ms": 1.5, "accuracy": 0.66, "exec_rps": 300.0, "pareto": {pareto}}}"#
+        )
+    }
+
+    #[test]
+    fn validates_precision_artifact_coverage() {
+        let good = format!(
+            r#"{{"precision": [{}, {}, {}]}}"#,
+            precision_row("ResNet18-Tiny", "APNN-w1a2", "w1a2,w1a2,w1a2,w1a2,w1a2", 1),
+            precision_row("ResNet18-Tiny", "APNN-w2a2", "w2a2,w2a2,w2a2,w2a2,w2a2", 0),
+            precision_row(
+                "ResNet18-Tiny",
+                "APNN-mixed-w1a2x15-w1a3x5-w1a2x1",
+                "w1a2,w1a2,w1a2,w1a3,w1a2",
+                1
+            ),
+        );
+        let keys = validate_precision(&parse_rows(&good).unwrap()).unwrap();
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys[0].1, "APNN-w1a2");
+
+        // Dropping the mixed schedule (the whole point of the artifact)
+        // fails coverage, as does losing a uniform reference.
+        let no_mixed = format!(
+            r#"{{"precision": [{}, {}, {}]}}"#,
+            precision_row("ResNet18-Tiny", "APNN-w1a2", "w1a2", 1),
+            precision_row("ResNet18-Tiny", "APNN-w2a2", "w2a2", 0),
+            precision_row("ResNet18-Tiny", "APNN-w1a3", "w1a3", 0),
+        );
+        let err = validate_precision(&parse_rows(&no_mixed).unwrap()).unwrap_err();
+        assert!(err.contains("no mixed-precision schedule"), "{err}");
+
+        let no_w2a2 = format!(
+            r#"{{"precision": [{}, {}, {}]}}"#,
+            precision_row("ResNet18-Tiny", "APNN-w1a2", "w1a2", 1),
+            precision_row("ResNet18-Tiny", "APNN-mixed-a", "w1a3", 0),
+            precision_row("ResNet18-Tiny", "APNN-mixed-b", "w1a4", 0),
+        );
+        let err = validate_precision(&parse_rows(&no_w2a2).unwrap()).unwrap_err();
+        assert!(
+            err.contains("missing uniform reference `APNN-w2a2`"),
+            "{err}"
+        );
+
+        // Fewer than three distinct operating points is a broken front.
+        let two = format!(
+            r#"{{"precision": [{}, {}]}}"#,
+            precision_row("ResNet18-Tiny", "APNN-w1a2", "w1a2", 1),
+            precision_row("ResNet18-Tiny", "APNN-w2a2", "w2a2", 0),
+        );
+        let err = validate_precision(&parse_rows(&two).unwrap()).unwrap_err();
+        assert!(err.contains(">= 3 distinct"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_precision_rows() {
+        let bad_acc = precision_row("ResNet18-Tiny", "APNN-w1a2", "w1a2", 1)
+            .replace("\"accuracy\": 0.66", "\"accuracy\": 1.5");
+        let err =
+            validate_precision(&parse_rows(&format!(r#"{{"precision": [{bad_acc}]}}"#)).unwrap())
+                .unwrap_err();
+        assert!(err.contains("accuracy"), "{err}");
+
+        let bad_flag = precision_row("ResNet18-Tiny", "APNN-w1a2", "w1a2", 3);
+        let err =
+            validate_precision(&parse_rows(&format!(r#"{{"precision": [{bad_flag}]}}"#)).unwrap())
+                .unwrap_err();
+        assert!(err.contains("pareto flag"), "{err}");
+
+        let bad_segments = precision_row("ResNet18-Tiny", "APNN-w1a2", "x1,w2", 1);
+        let err = validate_precision(
+            &parse_rows(&format!(r#"{{"precision": [{bad_segments}]}}"#)).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("malformed segments"), "{err}");
     }
 
     #[test]
@@ -466,6 +640,7 @@ mod tests {
             .iter()
             .map(|model| LoadPoint {
                 model: (*model).into(),
+                scheme: "APNN-w1a2".into(),
                 burst: 16,
                 threads: 4,
                 pool: 8,
@@ -478,6 +653,6 @@ mod tests {
         let sjson = serve_json(&spoints);
         let keys = validate_serve(&parse_rows(&sjson).unwrap()).unwrap();
         assert_eq!(keys.len(), 3);
-        assert_eq!(keys[2], ("ResNet18-Tiny".into(), 16, 4));
+        assert_eq!(keys[2], ("ResNet18-Tiny".into(), "APNN-w1a2".into(), 16, 4));
     }
 }

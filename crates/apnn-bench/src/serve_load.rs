@@ -26,6 +26,8 @@ use apnn_serve::{ModelKey, PlanRegistry, ServeConfig, Server};
 pub struct LoadPoint {
     /// Served zoo model.
     pub model: String,
+    /// Precision scheme label of the served plan ([`ModelKey::scheme`]).
+    pub scheme: String,
     /// Requests submitted per closed-loop burst.
     pub burst: usize,
     /// `intra_batch_threads` the server ran with.
@@ -81,6 +83,7 @@ pub fn sweep(bursts: &[usize], threads: &[usize], total: usize) -> Vec<LoadPoint
                 let stats = server.stats();
                 points.push(LoadPoint {
                     model: net.name.clone(),
+                    scheme: key.scheme(),
                     burst,
                     threads: intra,
                     pool: stats.workspace_pool_size,
@@ -145,6 +148,7 @@ mod tests {
             assert!(p.mean_fill >= 1.0, "fill below 1 at burst {}", p.burst);
             assert!(p.throughput_rps > 0.0);
             assert!(p.pool >= 1, "pool never warmed at burst {}", p.burst);
+            assert_eq!(p.scheme, "APNN-w1a2", "served scheme surfaces per point");
         }
         for model in ["AlexNet-Tiny", "VGG-Variant-Tiny", "ResNet18-Tiny"] {
             assert_eq!(

@@ -160,14 +160,22 @@ impl PopcntArm {
 
     /// The arm kernel plans should bind: [`Self::best_available`], unless
     /// the `APNN_POPCNT_ARM` environment variable forces one (an
-    /// unavailable forced arm falls back to the detected best). Detected
-    /// once per process and cached.
+    /// unavailable forced arm falls back to the detected best, and an
+    /// unrecognized value warns once — naming the accepted spellings —
+    /// before falling back). Detected once per process and cached.
     pub fn detect() -> PopcntArm {
         static DETECTED: std::sync::OnceLock<PopcntArm> = std::sync::OnceLock::new();
         *DETECTED.get_or_init(|| match std::env::var("APNN_POPCNT_ARM").ok().as_deref() {
             Some(s) => match PopcntArm::parse(s) {
                 Some(arm) => arm.sanitized(),
-                None => PopcntArm::best_available(),
+                None => {
+                    eprintln!(
+                        "apnn-bitpack: unknown APNN_POPCNT_ARM value `{s}` (accepted: \
+                         `scalar`, `harley-seal`, `avx2`, `avx512`, `neon`); using the \
+                         detected best arm"
+                    );
+                    PopcntArm::best_available()
+                }
             },
             None => PopcntArm::best_available(),
         })

@@ -13,13 +13,15 @@
 //! threshold `T = 64`; if nothing clears the threshold, fall back to the
 //! maximum-TLP configuration.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::Mutex;
 
 use apnn_bitpack::{Encoding, PopcntArm};
 use apnn_sim::BmmaOp;
 
 use crate::apmm::TileConfig;
+use crate::select::EmulationCase;
 
 /// Candidate block-tile edge sizes (§4.3.2).
 pub const TILE_CANDIDATES: [usize; 4] = [16, 32, 64, 128];
@@ -191,8 +193,16 @@ pub fn micro_select_mode() -> MicroSelect {
     static ENV_MODE: std::sync::OnceLock<MicroSelect> = std::sync::OnceLock::new();
     *ENV_MODE.get_or_init(
         || match std::env::var("APNN_MICRO_SELECT").ok().as_deref() {
+            None => MicroSelect::Measure,
             Some(s) if s.trim().eq_ignore_ascii_case("heuristic") => MicroSelect::Heuristic,
-            _ => MicroSelect::Measure,
+            Some(s) if s.trim().eq_ignore_ascii_case("measure") => MicroSelect::Measure,
+            Some(s) => {
+                eprintln!(
+                    "apnn-kernels: unknown APNN_MICRO_SELECT value `{s}` \
+                     (accepted: `measure`, `heuristic`); using measured selection"
+                );
+                MicroSelect::Measure
+            }
         },
     )
 }
@@ -224,10 +234,88 @@ struct MicroKey {
     measured: bool,
 }
 
-fn micro_memo() -> &'static Mutex<HashMap<MicroKey, MicroTile>> {
-    static MEMO: std::sync::OnceLock<Mutex<HashMap<MicroKey, MicroTile>>> =
+/// A memoized selection: the winning tile, and — for measured entries —
+/// its per-word microbenchmark time, retained as the autotuner's measured
+/// cost oracle ([`stage_cost`]).
+#[derive(Debug, Clone, Copy)]
+struct MicroEntry {
+    tile: MicroTile,
+    ns_per_word: Option<f64>,
+}
+
+/// Hard cap on resident entries across the process-global microkernel
+/// memos ([`select_micro`] selections and [`stage_cost`] probes, each
+/// bounded separately at this cap). Far above any real model zoo's
+/// distinct-shape count, so steady-state compilation never evicts; a
+/// pathological shape stream (fuzzers, synthetic sweeps) stays bounded via
+/// insertion-order (FIFO) eviction.
+pub const MICRO_MEMO_CAP: usize = 1024;
+
+/// A shape-keyed memo with FIFO eviction at [`MICRO_MEMO_CAP`] entries.
+struct BoundedMemo<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+impl<K: Eq + Hash + Copy, V: Copy> BoundedMemo<K, V> {
+    fn new() -> Self {
+        BoundedMemo {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        self.map.get(k).copied()
+    }
+
+    fn insert(&mut self, k: K, v: V) {
+        if self.map.insert(k, v).is_none() {
+            self.order.push_back(k);
+            while self.map.len() > MICRO_MEMO_CAP {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        self.map.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+fn micro_memo() -> &'static Mutex<BoundedMemo<MicroKey, MicroEntry>> {
+    static MEMO: std::sync::OnceLock<Mutex<BoundedMemo<MicroKey, MicroEntry>>> =
         std::sync::OnceLock::new();
-    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+    MEMO.get_or_init(|| Mutex::new(BoundedMemo::new()))
+}
+
+/// A stage-cost probe key: the microkernel shape plus the exact `(op, arm,
+/// tile)` the probe timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CostKey {
+    n_cols: usize,
+    k_words: usize,
+    pa: u32,
+    pb: u32,
+    op: BmmaOp,
+    arm: PopcntArm,
+    jb: usize,
+    kb: usize,
+}
+
+fn cost_memo() -> &'static Mutex<BoundedMemo<CostKey, f64>> {
+    static MEMO: std::sync::OnceLock<Mutex<BoundedMemo<CostKey, f64>>> = std::sync::OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(BoundedMemo::new()))
+}
+
+fn update_resident_gauge() {
+    let n = micro_memo().lock().unwrap().len() + cost_memo().lock().unwrap().len();
+    crate::stats::set_micro_memo_resident(n as u64);
 }
 
 /// Pick the microkernel tile for a layer shape on a popcount arm — the one
@@ -252,19 +340,110 @@ pub fn select_micro(n_cols: usize, k_words: usize, pa: u32, pb: u32, arm: Popcnt
         arm,
         measured: mode == MicroSelect::Measure,
     };
-    if let Some(&tile) = micro_memo().lock().unwrap().get(&key) {
-        return tile;
+    if let Some(entry) = micro_memo().lock().unwrap().get(&key) {
+        return entry.tile;
     }
-    let tile = match mode {
-        MicroSelect::Heuristic => autotune_micro(n_cols, k_words, pa, pb),
+    let entry = match mode {
+        MicroSelect::Heuristic => MicroEntry {
+            tile: autotune_micro(n_cols, k_words, pa, pb),
+            ns_per_word: None,
+        },
         MicroSelect::Measure => {
             crate::stats::count_micro_tune();
             crate::stats::count_micro_bench();
-            bench_micro_grid(n_cols, k_words, pa, pb, arm)
+            let (tile, ns_per_word) = bench_micro_grid(n_cols, k_words, pa, pb, arm);
+            MicroEntry {
+                tile,
+                ns_per_word: Some(ns_per_word),
+            }
         }
     };
-    micro_memo().lock().unwrap().insert(key, tile);
-    tile
+    micro_memo().lock().unwrap().insert(key, entry);
+    update_resident_gauge();
+    entry.tile
+}
+
+/// A layer shape as the popcount microkernel sees it — the key of the
+/// measured cost oracle ([`stage_cost`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageShape {
+    /// B-side columns (batch columns for APMM, output channels for APConv).
+    pub n_cols: usize,
+    /// Packed 64-bit words per row of the reduction.
+    pub k_words: usize,
+    /// A-side bit planes.
+    pub pa: u32,
+    /// B-side bit planes.
+    pub pb: u32,
+}
+
+/// Measured per-word microkernel cost (nanoseconds per streamed 64-bit
+/// word) for running `shape` through the emulation `case`'s boolean op on
+/// `arm` with the microkernel tile `tile` — the precision autotuner's cost
+/// oracle.
+///
+/// The probe runs the same synthetic-operand microbenchmark that
+/// [`select_micro`]'s measured mode sweeps, but for the *single* requested
+/// candidate, and memoizes the answer process-wide in a bounded map (same
+/// [`MICRO_MEMO_CAP`] / FIFO-eviction policy as the tile memo; resident
+/// entries of both are reported by [`crate::stats::micro_memo_resident`]).
+/// Repeat probes for a seen `(shape, op, arm, tile)` are a lock-and-lookup.
+pub fn stage_cost(shape: StageShape, case: EmulationCase, arm: PopcntArm, tile: MicroTile) -> f64 {
+    let op = match case {
+        EmulationCase::AndUnsigned
+        | EmulationCase::AndWeightTransformed
+        | EmulationCase::AndActivationTransformed => BmmaOp::And,
+        EmulationCase::XorSignedBinary
+        | EmulationCase::XorDerivedUnsigned
+        | EmulationCase::XorDerivedWeightTransformed
+        | EmulationCase::XorDerivedActivationTransformed => BmmaOp::Xor,
+    };
+    let tile = tile.sanitized();
+    let key = CostKey {
+        n_cols: shape.n_cols,
+        k_words: shape.k_words,
+        pa: shape.pa,
+        pb: shape.pb,
+        op,
+        arm,
+        jb: tile.jb,
+        kb: tile.kb,
+    };
+    if let Some(ns) = cost_memo().lock().unwrap().get(&key) {
+        return ns;
+    }
+    // A measured tile selection for this shape already timed its winning
+    // candidate with `And` — reuse that measurement instead of re-probing.
+    // The memo lookup is bound to a plain Option *before* the branch so the
+    // guard is dropped here: `update_resident_gauge` re-locks this mutex,
+    // and an `if let` scrutinee guard would still be live in the body.
+    if op == BmmaOp::And {
+        let micro_key = MicroKey {
+            n_cols: shape.n_cols,
+            k_words: shape.k_words,
+            pa: shape.pa,
+            pb: shape.pb,
+            arm,
+            measured: true,
+        };
+        let reused = micro_memo()
+            .lock()
+            .unwrap()
+            .get(&micro_key)
+            .filter(|entry| entry.tile == tile)
+            .and_then(|entry| entry.ns_per_word);
+        if let Some(ns) = reused {
+            cost_memo().lock().unwrap().insert(key, ns);
+            update_resident_gauge();
+            return ns;
+        }
+    }
+    crate::stats::count_micro_bench();
+    let operands = BenchOperands::synthesize(shape.k_words, shape.pa, shape.pb);
+    let ns = operands.time_candidate(op, arm, tile.jb, tile.kb);
+    cost_memo().lock().unwrap().insert(key, ns);
+    update_resident_gauge();
+    ns
 }
 
 /// Words a single measured candidate streams through the microkernel —
@@ -283,61 +462,98 @@ const MICRO_BENCH_WORDS: usize = if cfg!(debug_assertions) {
 /// far outside L1), so the cap only bounds measurement cost.
 const MICRO_BENCH_MAX_KW: usize = 512;
 
+/// Synthetic microbenchmark operands for one microkernel shape, shared by
+/// the grid sweep ([`bench_micro_grid`]) and the single-candidate cost
+/// probe ([`stage_cost`]). Deterministic contents.
+struct BenchOperands {
+    a: apnn_bitpack::BitPlanes,
+    b: apnn_bitpack::BitPlanes,
+}
+
+impl BenchOperands {
+    fn synthesize(k_words: usize, pa: u32, pb: u32) -> Self {
+        let (pa_n, pb_n) = (pa.clamp(1, 8), pb.clamp(1, 8));
+        let kw = k_words.clamp(1, MICRO_BENCH_MAX_KW);
+        let k_bits = kw * apnn_bitpack::word::WORD_BITS;
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let a_codes: Vec<u32> = (0..k_bits)
+            .map(|_| next() as u32 & ((1 << pa_n) - 1))
+            .collect();
+        let b_codes: Vec<u32> = (0..MAX_JB * k_bits)
+            .map(|_| next() as u32 & ((1 << pb_n) - 1))
+            .collect();
+        BenchOperands {
+            a: apnn_bitpack::BitPlanes::from_codes(&a_codes, 1, k_bits, pa_n, Encoding::ZeroOne),
+            b: apnn_bitpack::BitPlanes::from_codes(
+                &b_codes,
+                MAX_JB,
+                k_bits,
+                pb_n,
+                Encoding::ZeroOne,
+            ),
+        }
+    }
+
+    /// Time one `(jb, kb)` candidate with `op` on `arm`; returns ns per
+    /// streamed word (warm-up call excluded).
+    fn time_candidate(&self, op: BmmaOp, arm: PopcntArm, jb: usize, kb: usize) -> f64 {
+        use crate::micro::{popc_tile, PlaneView, MAX_TILE};
+        let (av, bv) = (
+            PlaneView::from_bitplanes(&self.a),
+            PlaneView::from_bitplanes(&self.b),
+        );
+        let wpr = av.words_per_row();
+        let (pa_n, pb_n) = (self.a.bits() as usize, self.b.bits() as usize);
+        let mut tile = [0i32; MAX_TILE];
+        let live = &mut tile[..jb * pa_n * pb_n];
+        let words_per_call = live.len() * wpr;
+        let reps = (MICRO_BENCH_WORDS / words_per_call.max(1)).max(1);
+        let mut sink = 0i64;
+        // One warm-up call loads the operands and the instruction path.
+        popc_tile(op, arm, &av, 0, &bv, 0, jb, kb, live);
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            popc_tile(op, arm, &av, 0, &bv, 0, jb, kb, live);
+            sink = sink.wrapping_add(live[0] as i64);
+        }
+        let ns = t0.elapsed().as_nanos() as f64;
+        std::hint::black_box(sink);
+        ns / (reps * words_per_call) as f64
+    }
+}
+
 /// Time the candidate `(JB, KB)` grid on `arm` with synthetic operands of
-/// the given shape and return the fastest tile (per-word time, so wide and
-/// narrow column blocks compare fairly). Deterministic inputs; candidates
+/// the given shape and return the fastest tile plus its per-word time (so
+/// wide and narrow column blocks compare fairly, and the winner's
+/// throughput can seed the cost oracle). Deterministic inputs; candidates
 /// are visited in a fixed order and ties keep the earlier winner, with the
 /// L1 heuristic answer as the seed.
-fn bench_micro_grid(n_cols: usize, k_words: usize, pa: u32, pb: u32, arm: PopcntArm) -> MicroTile {
-    use crate::micro::{popc_tile, PlaneView, MAX_TILE};
-
-    let (pa_n, pb_n) = (pa.clamp(1, 8), pb.clamp(1, 8));
-    let kw = k_words.clamp(1, MICRO_BENCH_MAX_KW);
-    let k_bits = kw * apnn_bitpack::word::WORD_BITS;
-    let mut seed = 0x9E37_79B9_7F4A_7C15u64;
-    let mut next = move || {
-        seed ^= seed << 13;
-        seed ^= seed >> 7;
-        seed ^= seed << 17;
-        seed
-    };
-    let a_codes: Vec<u32> = (0..k_bits)
-        .map(|_| next() as u32 & ((1 << pa_n) - 1))
-        .collect();
-    let b_codes: Vec<u32> = (0..MAX_JB * k_bits)
-        .map(|_| next() as u32 & ((1 << pb_n) - 1))
-        .collect();
-    let a = apnn_bitpack::BitPlanes::from_codes(&a_codes, 1, k_bits, pa_n, Encoding::ZeroOne);
-    let b = apnn_bitpack::BitPlanes::from_codes(&b_codes, MAX_JB, k_bits, pb_n, Encoding::ZeroOne);
-    let (av, bv) = (PlaneView::from_bitplanes(&a), PlaneView::from_bitplanes(&b));
-    let wpr = av.words_per_row();
-
+fn bench_micro_grid(
+    n_cols: usize,
+    k_words: usize,
+    pa: u32,
+    pb: u32,
+    arm: PopcntArm,
+) -> (MicroTile, f64) {
+    let operands = BenchOperands::synthesize(k_words, pa, pb);
     let mut best = micro_heuristic(n_cols, k_words, pa, pb);
     let mut best_ns_per_word = f64::INFINITY;
-    let mut tile = [0i32; MAX_TILE];
-    let mut sink = 0i64;
     for &jb in JB_CANDIDATES.iter().filter(|&&jb| (jb / 2) < n_cols.max(1)) {
         for &kb in &KB_CANDIDATES {
-            let live = &mut tile[..jb * pa_n as usize * pb_n as usize];
-            let words_per_call = live.len() * wpr;
-            let reps = (MICRO_BENCH_WORDS / words_per_call.max(1)).max(1);
-            // One warm-up call loads the operands and the instruction path.
-            popc_tile(BmmaOp::And, arm, &av, 0, &bv, 0, jb, kb, live);
-            let t0 = std::time::Instant::now();
-            for _ in 0..reps {
-                popc_tile(BmmaOp::And, arm, &av, 0, &bv, 0, jb, kb, live);
-                sink = sink.wrapping_add(live[0] as i64);
-            }
-            let ns = t0.elapsed().as_nanos() as f64;
-            let ns_per_word = ns / (reps * words_per_call) as f64;
+            let ns_per_word = operands.time_candidate(BmmaOp::And, arm, jb, kb);
             if ns_per_word < best_ns_per_word {
                 best_ns_per_word = ns_per_word;
                 best = MicroTile { jb, kb };
             }
         }
     }
-    std::hint::black_box(sink);
-    best.sanitized()
+    (best.sanitized(), best_ns_per_word)
 }
 
 #[cfg(test)]
@@ -446,6 +662,29 @@ mod tests {
         assert_eq!(t1, t2, "memo must return the recorded tile");
         assert!(JB_CANDIDATES.contains(&t1.jb));
         assert!(KB_CANDIDATES.contains(&t1.kb));
+        // The autotuner's hot path: an And-case cost probe for the shape a
+        // measured sweep just selected must *reuse* the sweep's winner
+        // timing (no fresh microbenchmark) — and must not deadlock on the
+        // memo mutex doing so (regression: the reuse branch once held the
+        // tile-memo guard across `update_resident_gauge`, which re-locks
+        // it).
+        let ns = stage_cost(
+            StageShape {
+                n_cols: 97,
+                k_words: 31,
+                pa: 2,
+                pb: 3,
+            },
+            EmulationCase::AndUnsigned,
+            arm,
+            t1,
+        );
+        assert!(ns.is_finite() && ns > 0.0, "{ns}");
+        assert_eq!(
+            (s.micro_tunes(), s.micro_benches()),
+            (1, 1),
+            "the And-case probe must reuse the sweep's winner timing"
+        );
         // A different arm (when one exists) is a different key.
         if let Some(&other) = PopcntArm::available().iter().find(|&&a| a != arm) {
             let _ = select_micro(97, 31, 2, 3, other);
@@ -465,6 +704,55 @@ mod tests {
         assert_eq!(t, t2);
 
         force_micro_select(None);
+    }
+
+    #[test]
+    fn stage_cost_probes_once_then_memoizes() {
+        let arm = PopcntArm::detect();
+        // A shape no other test touches, so the process-global memos can't
+        // already hold it (tests share them across threads).
+        let shape = StageShape {
+            n_cols: 641,
+            k_words: 17,
+            pa: 2,
+            pb: 2,
+        };
+        let tile = MicroTile { jb: 2, kb: 16 };
+        let s = crate::stats::scope();
+        let ns = stage_cost(shape, EmulationCase::AndUnsigned, arm, tile);
+        assert!(ns.is_finite() && ns > 0.0, "{ns}");
+        assert_eq!(s.micro_benches(), 1);
+        // Repeat probe: lock-and-lookup, same answer, no new measurement.
+        let ns2 = stage_cost(shape, EmulationCase::AndUnsigned, arm, tile);
+        assert_eq!(ns.to_bits(), ns2.to_bits());
+        assert_eq!(s.micro_benches(), 1);
+        // An XOR-family case maps to a different boolean op => fresh probe.
+        let ns3 = stage_cost(shape, EmulationCase::XorSignedBinary, arm, tile);
+        assert!(ns3.is_finite() && ns3 > 0.0, "{ns3}");
+        assert_eq!(s.micro_benches(), 2);
+        assert!(crate::stats::micro_memo_resident() >= 2);
+    }
+
+    #[test]
+    fn cost_memo_stays_bounded() {
+        let arm = PopcntArm::detect();
+        let tile = MicroTile { jb: 1, kb: 8 };
+        // Stream more distinct shapes than the cap; FIFO eviction must hold
+        // the map at exactly MICRO_MEMO_CAP entries (n_cols >= 100_000 keys
+        // collide with no other test).
+        for i in 0..(MICRO_MEMO_CAP + 8) {
+            let shape = StageShape {
+                n_cols: 100_000 + i,
+                k_words: 1,
+                pa: 1,
+                pb: 1,
+            };
+            let ns = stage_cost(shape, EmulationCase::AndUnsigned, arm, tile);
+            assert!(ns.is_finite() && ns > 0.0, "{ns}");
+        }
+        assert_eq!(cost_memo().lock().unwrap().len(), MICRO_MEMO_CAP);
+        // The resident gauge covers both memos, each bounded at the cap.
+        assert!(crate::stats::micro_memo_resident() <= 2 * MICRO_MEMO_CAP as u64);
     }
 
     #[test]

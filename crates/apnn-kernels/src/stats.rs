@@ -31,6 +31,7 @@ static ROW_SUM_BUILDS: AtomicU64 = AtomicU64::new(0);
 static WORKSPACE_CREATES: AtomicU64 = AtomicU64::new(0);
 static MICRO_TUNES: AtomicU64 = AtomicU64::new(0);
 static MICRO_BENCHES: AtomicU64 = AtomicU64::new(0);
+static MICRO_MEMO_RESIDENT: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TL_AUTOTUNE: Cell<u64> = const { Cell::new(0) };
@@ -76,6 +77,19 @@ pub fn micro_tunes() -> u64 {
 /// prove "measured once per distinct shape, free afterwards".
 pub fn micro_benches() -> u64 {
     MICRO_BENCHES.load(Ordering::Relaxed)
+}
+
+/// Entries currently resident across the process-global microkernel memo
+/// maps (tile selections + single-candidate cost probes). A gauge, not a
+/// counter: both maps are bounded at
+/// [`crate::autotune::MICRO_MEMO_CAP`] entries each with FIFO eviction,
+/// so this never exceeds `2 * MICRO_MEMO_CAP`.
+pub fn micro_memo_resident() -> u64 {
+    MICRO_MEMO_RESIDENT.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_micro_memo_resident(n: u64) {
+    MICRO_MEMO_RESIDENT.store(n, Ordering::Relaxed);
 }
 
 /// Total execution-workspace constructions in this process (see

@@ -45,7 +45,7 @@ use crate::exec::{price_elementwise, price_input_pack, tail_epilogue, NetworkRep
 use crate::fuse::{fuse_network, EwKind, FusedTail, MainOp, ResidualSrc, Stage, StageSrc};
 use crate::net::Network;
 use crate::pool::WorkspacePool;
-use crate::precision::NetPrecision;
+use crate::precision::{NetPrecision, PrecisionSchedule};
 
 /// How much of the plan to materialize at compile time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +262,7 @@ pub struct CompiledNet {
     /// Scheme label (reports).
     pub scheme: String,
     precision: Option<NetPrecision>,
+    schedule: Option<PrecisionSchedule>,
     batch: usize,
     stages: Vec<PlanStage>,
 }
@@ -269,14 +270,46 @@ pub struct CompiledNet {
 impl CompiledNet {
     /// Lower `net` at `precision` into a plan.
     pub fn compile(net: &Network, precision: NetPrecision, opts: &CompileOptions) -> Self {
+        Self::compile_impl(net, Some(precision), None, opts)
+    }
+
+    /// Lower `net` under a per-layer mixed-precision [`PrecisionSchedule`].
+    ///
+    /// Schedules require the §5.2 fusion pass and a fully-fused (no
+    /// surviving element-wise stage) lowering; identity residual joins must
+    /// agree on activation bits between the branch producer and the joining
+    /// layer. A uniform schedule produces a plan bit-identical to the
+    /// whole-network [`NetPrecision::Apnn`] compile.
+    pub fn compile_scheduled(
+        net: &Network,
+        schedule: &PrecisionSchedule,
+        opts: &CompileOptions,
+    ) -> Self {
+        Self::compile_impl(net, None, Some(schedule), opts)
+    }
+
+    /// Shared lowering core. Exactly one of `precision` / `schedule` is
+    /// `Some`; the uniform path computes per-stage bit parameters through
+    /// the same [`NetPrecision`] calls as before schedules existed, so its
+    /// RNG draw order — and therefore every golden — is unchanged.
+    fn compile_impl(
+        net: &Network,
+        precision: Option<NetPrecision>,
+        schedule: Option<&PrecisionSchedule>,
+        opts: &CompileOptions,
+    ) -> Self {
         let fused = fuse_network(net, opts.fuse);
+        if let Some(sched) = schedule {
+            validate_schedule(net, &fused, sched, opts);
+        }
+        let emulated = precision.is_none_or(|p| p.is_emulated());
         let mut stages = Vec::with_capacity(fused.len() + 1);
         let mut rng = SynthRng::new(match opts.materialize {
             Materialize::Functional { seed } => seed,
             Materialize::SimOnly => 0,
         });
 
-        if precision.is_emulated() {
+        if emulated {
             stages.push(PlanStage::InputPack {
                 elements: net.input_c * net.input_h * net.input_w,
             });
@@ -289,16 +322,13 @@ impl CompiledNet {
         // estimation) hoisted into compilation.
         let fully_fused = fused.iter().all(Stage::is_main);
         let mut calib: Option<CalibState> = match opts.materialize {
-            Materialize::Functional { .. } if fully_fused && precision.is_emulated() => {
-                let bits = precision.activation_bits(true);
-                let mut t = BitTensor4::zeros(
-                    opts.batch,
-                    net.input_h,
-                    net.input_w,
-                    net.input_c,
-                    bits,
-                    precision.activation_encoding(true),
-                );
+            Materialize::Functional { .. } if fully_fused && emulated => {
+                // The first main layer always consumes the 8-bit quantized
+                // input (§5.1) regardless of schedule.
+                let bits = precision.map_or(8, |p| p.activation_bits(true));
+                let enc = precision.map_or(Encoding::ZeroOne, |p| p.activation_encoding(true));
+                let mut t =
+                    BitTensor4::zeros(opts.batch, net.input_h, net.input_w, net.input_c, bits, enc);
                 for b in 0..opts.batch {
                     for y in 0..net.input_h {
                         for x in 0..net.input_w {
@@ -317,6 +347,12 @@ impl CompiledNet {
             _ => None,
         };
 
+        // Scheduled plans thread activation bits from producer to consumer:
+        // a chain stage consumes the previous chain stage's output bits, a
+        // skip-projection stage the saved branch producer's.
+        let mut chain_bits = 8u32;
+        let mut branch_bits = 8u32;
+
         for stage in &fused {
             match stage {
                 Stage::Main {
@@ -330,15 +366,53 @@ impl CompiledNet {
                     ..
                 } => {
                     let first = *main_index == 0;
+                    let (stage_precision, prec) = match (precision, schedule) {
+                        (Some(p), _) => (
+                            p,
+                            StagePrec {
+                                w_bits: p.weight_bits(),
+                                x_bits: p.activation_bits(first),
+                                w_enc: p.weight_encoding(),
+                                x_enc: p.activation_encoding(first),
+                                out_bits: p.activation_bits(false),
+                                next_enc: p.activation_encoding(false),
+                            },
+                        ),
+                        (None, Some(sched)) => {
+                            let lp = sched.layer(*main_index);
+                            let x_bits = match input {
+                                StageSrc::Branch => branch_bits,
+                                StageSrc::Chain => chain_bits,
+                            };
+                            (
+                                lp.as_uniform(),
+                                StagePrec {
+                                    w_bits: lp.w,
+                                    x_bits,
+                                    w_enc: lp.weight_encoding(),
+                                    x_enc: Encoding::ZeroOne,
+                                    out_bits: lp.a,
+                                    next_enc: Encoding::ZeroOne,
+                                },
+                            )
+                        }
+                        (None, None) => unreachable!("compile_impl needs a precision or schedule"),
+                    };
+                    if schedule.is_some() && *input == StageSrc::Chain && tail.quantize {
+                        chain_bits = prec.out_bits;
+                        if *save_branch {
+                            branch_bits = prec.out_bits;
+                        }
+                    }
                     stages.push(PlanStage::Main(compile_main(
                         name,
                         op,
-                        first,
                         tail,
                         *input,
                         *save_branch,
                         *residual,
-                        precision,
+                        stage_precision,
+                        prec,
                         opts,
                         &mut rng,
                         &mut calib,
@@ -361,8 +435,15 @@ impl CompiledNet {
 
         CompiledNet {
             model: net.name.clone(),
-            scheme: precision.label(),
-            precision: Some(precision),
+            scheme: match schedule {
+                Some(s) => s.label(),
+                None => precision.unwrap().label(),
+            },
+            precision: match schedule {
+                Some(s) => s.as_uniform(),
+                None => precision,
+            },
+            schedule: schedule.cloned(),
             batch: opts.batch,
             stages,
         }
@@ -375,6 +456,7 @@ impl CompiledNet {
             model: model.to_string(),
             scheme: scheme.to_string(),
             precision: None,
+            schedule: None,
             batch: 0,
             stages: Vec::new(),
         }
@@ -401,9 +483,16 @@ impl CompiledNet {
     }
 
     /// The precision scheme this plan was lowered at (`None` for hand-built
-    /// stage lists).
+    /// stage lists and genuinely mixed schedules — uniform schedules report
+    /// their equivalent whole-network scheme).
     pub fn precision(&self) -> Option<NetPrecision> {
         self.precision
+    }
+
+    /// The per-layer schedule this plan was lowered with (`None` for
+    /// uniform-scheme and hand-built plans).
+    pub fn schedule(&self) -> Option<&PrecisionSchedule> {
+        self.schedule.as_ref()
     }
 
     /// The packed feature map the first main stage consumes, as
@@ -1592,16 +1681,94 @@ fn stage_layouts(plan: &CompiledNet) -> Vec<StageLayout> {
 // Lowering of one main stage.
 // ---------------------------------------------------------------------------
 
+/// The resolved per-stage bit parameters of one main stage — computed by
+/// the caller (from the whole-network scheme or a per-layer schedule entry)
+/// and threaded through lowering, so `compile_main` itself is
+/// schedule-agnostic.
+#[derive(Debug, Clone, Copy)]
+struct StagePrec {
+    /// Weight bits.
+    w_bits: u32,
+    /// Input activation bits (what the producer emitted; 8 for the first
+    /// main layer).
+    x_bits: u32,
+    /// Weight encoding.
+    w_enc: Encoding,
+    /// Input activation encoding.
+    x_enc: Encoding,
+    /// Output activation bits (the fused quantize width).
+    out_bits: u32,
+    /// Encoding the *next* stage consumes (calibrated packing).
+    next_enc: Encoding,
+}
+
+/// Panic unless `sched` legally covers `net`'s fused form: fusion on,
+/// fully fused, one entry per main layer, and identity residual joins
+/// agreeing on activation bits between branch producer and joining layer.
+fn validate_schedule(
+    net: &Network,
+    fused: &[Stage],
+    sched: &PrecisionSchedule,
+    opts: &CompileOptions,
+) {
+    assert!(
+        opts.fuse,
+        "mixed-precision schedules require the fusion pass (opts.fuse)"
+    );
+    if let Some(ew) = fused.iter().find(|s| !s.is_main()) {
+        panic!(
+            "mixed-precision schedules require a fully-fused plan; stage `{}` of `{}` did not fuse",
+            ew.name(),
+            net.name
+        );
+    }
+    let n_mains = fused.len();
+    assert_eq!(
+        sched.len(),
+        n_mains,
+        "schedule covers {} layers but `{}` has {} main layers",
+        sched.len(),
+        net.name,
+        n_mains
+    );
+    let mut branch_producer: Option<usize> = None;
+    for stage in fused {
+        let Stage::Main {
+            main_index,
+            save_branch,
+            residual,
+            ..
+        } = stage
+        else {
+            unreachable!("fully-fused was just checked")
+        };
+        if matches!(residual, Some(ResidualSrc::Identity)) {
+            let bp = branch_producer.expect("identity residual without a saved branch");
+            assert_eq!(
+                sched.layer(bp).a,
+                sched.layer(*main_index).a,
+                "identity residual join at main layer {main_index}: the branch producer \
+                 (layer {bp}, a{}) and the joining layer (a{}) must agree on activation bits",
+                sched.layer(bp).a,
+                sched.layer(*main_index).a,
+            );
+        }
+        if *save_branch {
+            branch_producer = Some(*main_index);
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn compile_main(
     name: &str,
     op: &MainOp,
-    first: bool,
     tail: &FusedTail,
     src: StageSrc,
     save_branch: bool,
     residual: Option<ResidualSrc>,
     precision: NetPrecision,
+    prec: StagePrec,
     opts: &CompileOptions,
     rng: &mut SynthRng,
     calib: &mut Option<CalibState>,
@@ -1623,11 +1790,14 @@ fn compile_main(
     }
 
     // Emulated schemes.
-    let w_bits = precision.weight_bits();
-    let x_bits = precision.activation_bits(first);
-    let w_enc = precision.weight_encoding();
-    let x_enc = precision.activation_encoding(first);
-    let out_bits = precision.activation_bits(false);
+    let StagePrec {
+        w_bits,
+        x_bits,
+        w_enc,
+        x_enc,
+        out_bits,
+        next_enc,
+    } = prec;
     let pool = if tail.pool2 { Some(Pool2::Max) } else { None };
 
     let fixed_tile = match precision {
@@ -1808,7 +1978,7 @@ fn compile_main(
                         tail,
                         channels,
                         out_bits,
-                        precision.activation_encoding(false),
+                        next_enc,
                         st.chain,
                         residual_accs.as_deref(),
                         rng,

@@ -448,6 +448,58 @@ pub fn fuse_network(net: &Network, fuse: bool) -> Vec<Stage> {
     stages
 }
 
+/// Groups of fused main-layer indices whose *output* activation bits must
+/// agree under a mixed-precision schedule: every identity residual join
+/// unions the branch producer with the joining layer (projection joins
+/// impose no constraint, which makes downsample blocks natural schedule
+/// segment boundaries). Groups are disjoint, each sorted ascending, and
+/// only layers participating in at least one identity join appear.
+pub fn identity_join_groups(net: &Network) -> Vec<Vec<usize>> {
+    let stages = fuse_network(net, true);
+    let n = stages.iter().filter(|s| s.is_main()).count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut constrained = vec![false; n];
+    let mut branch: Option<usize> = None;
+    for s in &stages {
+        let Stage::Main {
+            main_index,
+            save_branch,
+            residual,
+            ..
+        } = s
+        else {
+            continue;
+        };
+        if matches!(residual, Some(ResidualSrc::Identity)) {
+            let b = branch.expect("identity residual without a saved branch");
+            constrained[b] = true;
+            constrained[*main_index] = true;
+            let (rb, ri) = (find(&mut parent, b), find(&mut parent, *main_index));
+            parent[rb] = ri;
+        }
+        if *save_branch {
+            branch = Some(*main_index);
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, &is_joined) in constrained.iter().enumerate() {
+        if is_joined {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
 /// Skip-projection spec captured during residual tail absorption.
 struct SkipSpec {
     name: String,

@@ -35,8 +35,8 @@ pub use compile::{
 };
 pub use exec::{simulate, simulate_with, NetworkReport, StageReport};
 pub use functional::{QuantNet, QuantStage};
-pub use fuse::{fuse_network, MainOp, ResidualSrc, Stage, StageSrc};
-pub use layer::LayerSpec;
+pub use fuse::{fuse_network, identity_join_groups, MainOp, ResidualSrc, Stage, StageSrc};
+pub use layer::{LayerSpec, ShapeCursor};
 pub use net::Network;
 pub use pool::{PooledWorkspace, WorkspacePool, WorkspacePoolStats};
-pub use precision::NetPrecision;
+pub use precision::{LayerPrecision, NetPrecision, PrecisionSchedule};

@@ -2,7 +2,7 @@
 
 use crate::compile::{CompileOptions, CompiledNet};
 use crate::layer::{LayerSpec, ShapeCursor};
-use crate::precision::NetPrecision;
+use crate::precision::{NetPrecision, PrecisionSchedule};
 
 /// A sequential network: input shape + ordered layers.
 #[derive(Debug, Clone)]
@@ -114,6 +114,16 @@ impl Network {
     /// [`crate::compile::CompiledNet`]).
     pub fn compile(&self, precision: NetPrecision, opts: &CompileOptions) -> CompiledNet {
         CompiledNet::compile(self, precision, opts)
+    }
+
+    /// Lower this network under a per-layer mixed-precision schedule (see
+    /// [`CompiledNet::compile_scheduled`]).
+    pub fn compile_scheduled(
+        &self,
+        schedule: &PrecisionSchedule,
+        opts: &CompileOptions,
+    ) -> CompiledNet {
+        CompiledNet::compile_scheduled(self, schedule, opts)
     }
 }
 

@@ -114,6 +114,133 @@ impl NetPrecision {
     }
 }
 
+/// One main layer's precision assignment inside a
+/// [`PrecisionSchedule`]: `w`-bit weights, `a`-bit activation quantization
+/// at the layer's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerPrecision {
+    /// Weight bits (1..=8).
+    pub w: u32,
+    /// Output activation bits (1..=8). Unused for the final (logit) layer
+    /// and for skip-projection stages, which carry no quantizing epilogue.
+    pub a: u32,
+}
+
+impl LayerPrecision {
+    /// `w`-bit weights, `a`-bit activations.
+    pub fn new(w: u32, a: u32) -> Self {
+        LayerPrecision { w, a }
+    }
+
+    /// The equivalent whole-network scheme.
+    pub fn as_uniform(self) -> NetPrecision {
+        NetPrecision::Apnn {
+            w: self.w,
+            a: self.a,
+        }
+    }
+
+    /// Weight encoding: 1-bit weights are ±1 (emulation Case II/III),
+    /// multi-bit weights are unsigned codes — the same rule
+    /// [`NetPrecision::weight_encoding`] applies.
+    pub fn weight_encoding(self) -> Encoding {
+        if self.w == 1 {
+            Encoding::PlusMinusOne
+        } else {
+            Encoding::ZeroOne
+        }
+    }
+}
+
+/// A per-layer arbitrary mixed-precision assignment: one
+/// [`LayerPrecision`] per *main* (conv/linear, including skip-projection)
+/// layer, indexed by the fused `main_index`. Only APNN-emulated schemes
+/// participate — baselines and BNN stay whole-network.
+///
+/// The schedule fixes each layer's weight bits and *output* activation
+/// bits; a layer's input bits follow from its producer (the previous chain
+/// stage, or the saved branch for skip projections), and the first main
+/// layer always consumes the 8-bit quantized input (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PrecisionSchedule {
+    layers: Vec<LayerPrecision>,
+}
+
+impl PrecisionSchedule {
+    /// Build a schedule from per-layer assignments. Panics if empty or if
+    /// any bit width falls outside `1..=8`.
+    pub fn new(layers: Vec<LayerPrecision>) -> Self {
+        assert!(!layers.is_empty(), "a precision schedule needs layers");
+        for (i, l) in layers.iter().enumerate() {
+            assert!(
+                (1..=8).contains(&l.w) && (1..=8).contains(&l.a),
+                "layer {i}: bits must be in 1..=8, got w{}a{}",
+                l.w,
+                l.a
+            );
+        }
+        PrecisionSchedule { layers }
+    }
+
+    /// A uniform schedule: every one of `n_layers` main layers at `w`/`a`
+    /// bits. Compiles to a plan byte-identical to the whole-network
+    /// [`NetPrecision::Apnn`] scheme.
+    pub fn uniform(w: u32, a: u32, n_layers: usize) -> Self {
+        Self::new(vec![LayerPrecision::new(w, a); n_layers])
+    }
+
+    /// Number of main layers scheduled.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Is the schedule empty? (Never true for constructed schedules.)
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The assignment for main layer `i` (fused `main_index`).
+    pub fn layer(&self, i: usize) -> LayerPrecision {
+        self.layers[i]
+    }
+
+    /// All assignments, in `main_index` order.
+    pub fn layers(&self) -> &[LayerPrecision] {
+        &self.layers
+    }
+
+    /// `Some(scheme)` when every layer carries the same assignment.
+    pub fn as_uniform(&self) -> Option<NetPrecision> {
+        let first = self.layers[0];
+        self.layers
+            .iter()
+            .all(|l| *l == first)
+            .then(|| first.as_uniform())
+    }
+
+    /// Display label: uniform schedules collapse to the whole-network
+    /// label (`APNN-w1a2`); mixed schedules run-length compress in layer
+    /// order (`APNN-mixed-w2a2x5-w1a2x16`). Labels stay filesystem-safe
+    /// after the golden-file lowering (`-` → `_`).
+    pub fn label(&self) -> String {
+        if let Some(p) = self.as_uniform() {
+            return p.label();
+        }
+        let mut runs: Vec<(LayerPrecision, usize)> = Vec::new();
+        for &l in &self.layers {
+            match runs.last_mut() {
+                Some((p, n)) if *p == l => *n += 1,
+                _ => runs.push((l, 1)),
+            }
+        }
+        let body: Vec<String> = runs
+            .iter()
+            .map(|(p, n)| format!("w{}a{}x{n}", p.w, p.a))
+            .collect();
+        format!("APNN-mixed-{}", body.join("-"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

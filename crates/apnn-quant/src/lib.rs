@@ -32,4 +32,4 @@ pub mod train;
 pub use affine::AffineQuant;
 pub use data::SyntheticDataset;
 pub use mlp::{Mlp, QuantScheme};
-pub use train::{train, TrainConfig, TrainResult};
+pub use train::{schedule_accuracy, train, train_model, TrainConfig, TrainResult};

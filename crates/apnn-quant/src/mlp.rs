@@ -75,6 +75,12 @@ pub struct Mlp {
     pub layers: Vec<Dense>,
     /// Precision scheme.
     pub scheme: QuantScheme,
+    /// Per-layer `(w_bits, a_bits)` overriding [`Self::scheme`] when set
+    /// (one entry per dense layer; the classifier's entry is unused — the
+    /// classifier stays float, the standard DoReFa/LQ-Nets practice the
+    /// uniform harness also follows, and logits are never re-quantized).
+    /// This is the accuracy side of the per-layer precision autotuner.
+    pub layer_bits: Option<Vec<(u32, u32)>>,
 }
 
 /// Per-layer forward cache for backprop.
@@ -110,10 +116,45 @@ impl Mlp {
                 }
             })
             .collect();
-        Mlp { layers, scheme }
+        Mlp {
+            layers,
+            scheme,
+            layer_bits: None,
+        }
+    }
+
+    /// He-initialized MLP with a per-layer `(w_bits, a_bits)` schedule
+    /// (`layer_bits.len()` must equal the number of dense layers,
+    /// `dims.len() - 1`). Hidden layers quantize weights and activations at
+    /// their own bits; the classifier stays float (see [`Self::layer_bits`]).
+    pub fn new_mixed(dims: &[usize], layer_bits: &[(u32, u32)], seed: u64) -> Self {
+        assert_eq!(
+            layer_bits.len(),
+            dims.len() - 1,
+            "one (w, a) entry per dense layer"
+        );
+        let (w0, a0) = layer_bits[0];
+        let mut mlp = Self::new(
+            dims,
+            QuantScheme::Quantized {
+                w_bits: w0,
+                a_bits: a0,
+                quantize_output: false,
+            },
+            seed,
+        );
+        mlp.layer_bits = Some(layer_bits.to_vec());
+        mlp
     }
 
     fn effective_weights(&self, li: usize) -> Vec<f32> {
+        if let Some(lb) = &self.layer_bits {
+            return if li + 1 == self.layers.len() {
+                self.layers[li].w.clone()
+            } else {
+                dorefa::quantize_weights(&self.layers[li].w, lb[li].0)
+            };
+        }
         let last = li + 1 == self.layers.len();
         match self.scheme {
             QuantScheme::Float => self.layers[li].w.clone(),
@@ -135,6 +176,14 @@ impl Mlp {
         match self.scheme {
             QuantScheme::Float => None,
             QuantScheme::Quantized { a_bits, .. } => Some(a_bits),
+        }
+    }
+
+    /// Output-activation bits of layer `li` (`None` = float hard-tanh).
+    fn layer_activation_bits(&self, li: usize) -> Option<u32> {
+        match &self.layer_bits {
+            Some(lb) => Some(lb[li].1),
+            None => self.activation_bits(),
         }
     }
 
@@ -175,7 +224,7 @@ impl Mlp {
                 .iter()
                 .map(|&v| {
                     let c = v.clamp(-1.0, 1.0);
-                    match self.activation_bits() {
+                    match self.layer_activation_bits(li) {
                         None => c,
                         Some(bits) => dorefa::quantize_symmetric(c, bits).0,
                     }
@@ -372,6 +421,24 @@ mod tests {
         d2.sort_by(|a, b| a.partial_cmp(b).unwrap());
         d2.dedup();
         assert!(d2.len() > 2);
+    }
+
+    #[test]
+    fn mixed_schedule_quantizes_every_layer_at_its_own_bits() {
+        let mlp = Mlp::new_mixed(&[4, 8, 6, 2], &[(1, 2), (2, 2), (1, 1)], 7);
+        let distinct = |v: &[f32]| {
+            let mut d = v.to_vec();
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d.dedup();
+            d.len()
+        };
+        // Layer 0 at w=1: exactly two values. Layer 1 at w=2: more than
+        // two but still discrete (4 levels). Classifier: float regardless
+        // of its schedule entry.
+        assert_eq!(distinct(&mlp.effective_weights(0)), 2);
+        let d1 = distinct(&mlp.effective_weights(1));
+        assert!(d1 > 2 && d1 <= 4, "{d1}");
+        assert!(distinct(&mlp.effective_weights(2)) > 4);
     }
 
     #[test]

@@ -54,8 +54,14 @@ pub fn train(data: &SyntheticDataset, cfg: &TrainConfig) -> TrainResult {
     let mut dims = vec![data.dim];
     dims.extend_from_slice(&cfg.hidden);
     dims.push(data.num_classes);
+    let mlp = Mlp::new(&dims, cfg.scheme, cfg.seed);
+    train_model(data, mlp, cfg)
+}
 
-    let mut mlp = Mlp::new(&dims, cfg.scheme, cfg.seed);
+/// Train a pre-built model (any scheme, including a per-layer mixed one)
+/// with the loop/schedule in `cfg` (`cfg.hidden`/`cfg.scheme` are ignored —
+/// the model already fixes both).
+pub fn train_model(data: &SyntheticDataset, mut mlp: Mlp, cfg: &TrainConfig) -> TrainResult {
     let mut grads = Grads::for_mlp(&mlp);
     let mut order: Vec<usize> = (0..data.train_len()).collect();
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5EED);
@@ -75,6 +81,37 @@ pub fn train(data: &SyntheticDataset, cfg: &TrainConfig) -> TrainResult {
         test_acc: mlp.accuracy(&data.test_x, &data.test_y, data.dim),
         mlp,
     }
+}
+
+/// Accuracy harness for the per-layer precision autotuner: train the proxy
+/// architecture `[data.dim, hidden…, classes]` under a per-layer
+/// `(w_bits, a_bits)` schedule (one entry per dense layer — see
+/// [`Mlp::new_mixed`]) and return the best test accuracy over `restarts`
+/// independent inits. Low-bit QAT at this scale occasionally collapses to
+/// chance on an unlucky init, so best-of-N is the stable "achievable
+/// accuracy" statistic for ranking schedules. Deterministic in `seed` —
+/// restart `i` trains with `seed + i` — so a candidate scores the same on
+/// every run.
+pub fn schedule_accuracy(
+    data: &SyntheticDataset,
+    hidden: &[usize],
+    layer_bits: &[(u32, u32)],
+    epochs: usize,
+    restarts: usize,
+    seed: u64,
+) -> f32 {
+    let mut dims = vec![data.dim];
+    dims.extend_from_slice(hidden);
+    dims.push(data.num_classes);
+    let mut best = 0.0f32;
+    for i in 0..restarts.max(1) as u64 {
+        let mlp = Mlp::new_mixed(&dims, layer_bits, seed + i);
+        let mut cfg = TrainConfig::new(hidden.to_vec(), mlp.scheme);
+        cfg.epochs = epochs;
+        cfg.seed = seed + i;
+        best = best.max(train_model(data, mlp, &cfg).test_acc);
+    }
+    best
 }
 
 /// The Table 1 experiment: train the same architecture at float / w1a2 /
@@ -124,6 +161,16 @@ mod tests {
         cfg.epochs = 15;
         let r = train(&data, &cfg);
         assert!(r.test_acc > 1.5 / data.num_classes as f32, "{}", r.test_acc);
+    }
+
+    #[test]
+    fn schedule_accuracy_is_deterministic_and_learns() {
+        let data = dataset();
+        let bits = [(3, 3), (2, 2), (4, 4)];
+        let a1 = schedule_accuracy(&data, &[48, 32], &bits, 15, 3, 11);
+        let a2 = schedule_accuracy(&data, &[48, 32], &bits, 15, 3, 11);
+        assert_eq!(a1.to_bits(), a2.to_bits());
+        assert!(a1 > 1.5 / data.num_classes as f32, "{a1}");
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod registry;
 mod server;
 mod stats;
 
-pub use registry::{ModelKey, PlanRegistry};
+pub use registry::{ModelKey, PlanRegistry, PlanSpec};
 pub use server::{ServeConfig, Server, Ticket};
 pub use stats::ServeStats;
 

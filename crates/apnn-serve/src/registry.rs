@@ -5,39 +5,69 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use apnn_nn::models::servable_zoo;
-use apnn_nn::{CompileOptions, CompiledNet, NetPrecision, Network};
+use apnn_nn::{CompileOptions, CompiledNet, NetPrecision, Network, PrecisionSchedule};
 
 use crate::ServeError;
 
-/// Identity of a served plan: which model, at which precision scheme. The
+/// What precision a plan is compiled at: one uniform scheme for every
+/// layer, or a per-layer mixed-precision schedule (the precision
+/// autotuner's output).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PlanSpec {
+    /// Every layer at the same [`NetPrecision`].
+    Uniform(NetPrecision),
+    /// Per-layer `(w, a)` bits.
+    Scheduled(PrecisionSchedule),
+}
+
+impl PlanSpec {
+    /// Human-readable scheme label (the paper's table names for uniform
+    /// specs, a run-length `APNN-mixed-…` label for schedules).
+    pub fn label(&self) -> String {
+        match self {
+            PlanSpec::Uniform(p) => p.label(),
+            PlanSpec::Scheduled(s) => s.label(),
+        }
+    }
+}
+
+/// Identity of a served plan: which model, at which precision spec. The
 /// compiled batch size and weight seed are registry-wide (a deployment
 /// serves one build), so they live in [`PlanRegistry`], not the key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelKey {
     /// Zoo model name (`Network::name`).
     pub model: String,
-    /// Precision scheme.
-    pub precision: NetPrecision,
+    /// Precision spec (uniform scheme or per-layer schedule).
+    pub spec: PlanSpec,
 }
 
 impl ModelKey {
-    /// Key for `model` at `precision`.
+    /// Key for `model` at the uniform `precision`.
     pub fn new(model: impl Into<String>, precision: NetPrecision) -> Self {
         ModelKey {
             model: model.into(),
-            precision,
+            spec: PlanSpec::Uniform(precision),
         }
     }
 
-    /// Human-readable scheme label (the paper's table names).
+    /// Key for `model` under a per-layer mixed-precision `schedule`.
+    pub fn scheduled(model: impl Into<String>, schedule: PrecisionSchedule) -> Self {
+        ModelKey {
+            model: model.into(),
+            spec: PlanSpec::Scheduled(schedule),
+        }
+    }
+
+    /// Human-readable scheme label (see [`PlanSpec::label`]).
     pub fn scheme(&self) -> String {
-        self.precision.label()
+        self.spec.label()
     }
 }
 
 impl std::fmt::Display for ModelKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}@{}", self.model, self.precision.label())
+        write!(f, "{}@{}", self.model, self.scheme())
     }
 }
 
@@ -137,19 +167,34 @@ impl PlanRegistry {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// `model@scheme` labels of every successfully compiled plan, sorted —
+    /// the active precision-schedule inventory of the serving surface
+    /// (mixed plans show their run-length `APNN-mixed-…` schedule label).
+    pub fn compiled_labels(&self) -> Vec<String> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut labels: Vec<String> = entries
+            .iter()
+            .filter(|(_, e)| matches!(e.plan.get(), Some(Ok(_))))
+            .map(|(k, _)| k.to_string())
+            .collect();
+        labels.sort();
+        labels
+    }
+
     fn compile(&self, key: &ModelKey) -> Result<Arc<CompiledNet>, ServeError> {
         let net = (self.builders[&key.model])();
-        let plan = net.compile(
-            key.precision,
-            &CompileOptions::functional(self.batch, self.seed),
-        );
+        let opts = CompileOptions::functional(self.batch, self.seed);
+        let plan = match &key.spec {
+            PlanSpec::Uniform(p) => net.compile(*p, &opts),
+            PlanSpec::Scheduled(s) => net.compile_scheduled(s, &opts),
+        };
         if let Err(e) = plan.executable_error() {
             return Err(ServeError::NotServable(format!(
                 "`{key}` did not lower to a fully-fused functional plan: {e}"
             )));
         }
-        // The cache is keyed by precision; the plan must agree with its key.
-        assert_eq!(plan.precision(), Some(key.precision));
+        // The cache is keyed by the spec; the plan must agree with its key.
+        assert_eq!(plan.scheme, key.scheme());
         Ok(Arc::new(plan))
     }
 }
@@ -190,6 +235,32 @@ mod tests {
         assert_eq!(reg.compiles(), 1, "exactly one racer compiled");
         assert_eq!(reg.hits(), 3);
         assert!(plans.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn scheduled_keys_compile_mixed_plans_and_surface_labels() {
+        use apnn_nn::{LayerPrecision, PrecisionSchedule};
+        let reg = PlanRegistry::zoo(2, 42);
+        let uniform = ModelKey::new("AlexNet-Tiny", NetPrecision::w1a2());
+        let n_mains = 5; // AlexNet-Tiny: 3 convs + 2 linears.
+        let mut layers = vec![LayerPrecision::new(1, 2); n_mains];
+        layers[1] = LayerPrecision::new(2, 2);
+        let mixed = ModelKey::scheduled("AlexNet-Tiny", PrecisionSchedule::new(layers));
+        let up = reg.get(&uniform).unwrap();
+        let mp = reg.get(&mixed).unwrap();
+        assert_eq!(up.scheme, "APNN-w1a2");
+        assert!(mp.scheme.starts_with("APNN-mixed-"), "{}", mp.scheme);
+        assert_eq!(reg.compiles(), 2, "distinct specs are distinct plans");
+        // A uniform schedule is a distinct key (different spec shape) but
+        // carries the same human-readable scheme label.
+        let uniform_sched =
+            ModelKey::scheduled("AlexNet-Tiny", PrecisionSchedule::uniform(1, 2, n_mains));
+        assert_ne!(uniform_sched, uniform, "specs differ structurally");
+        assert_eq!(uniform_sched.scheme(), uniform.scheme());
+        let labels = reg.compiled_labels();
+        assert_eq!(labels.len(), 2, "{labels:?}");
+        assert!(labels.iter().any(|l| l == "AlexNet-Tiny@APNN-w1a2"));
+        assert!(labels.iter().any(|l| l.contains("@APNN-mixed-")));
     }
 
     #[test]

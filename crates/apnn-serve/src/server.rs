@@ -295,6 +295,7 @@ impl Server {
             state.in_flight,
             self.shared.registry.compiles(),
             self.shared.registry.hits(),
+            self.shared.registry.compiled_labels(),
             pool_stats,
         )
     }

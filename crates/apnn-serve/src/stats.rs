@@ -62,6 +62,10 @@ pub struct ServeStats {
     pub max_latency_ticks: u64,
     /// Plans compiled by the registry (one per distinct model key).
     pub plan_compiles: u64,
+    /// `model@scheme` labels of every successfully compiled plan, sorted
+    /// (mixed-precision plans carry their run-length schedule label) — what
+    /// precision each served model is actually running at.
+    pub plan_schemes: Vec<String>,
     /// Plan lookups served from the warm cache.
     pub plan_hits: u64,
     /// Per-plan [`apnn_nn::WorkspacePool`]s the server has materialized
@@ -112,6 +116,7 @@ impl StatsInner {
         in_flight: usize,
         plan_compiles: u64,
         plan_hits: u64,
+        plan_schemes: Vec<String>,
         // (pools, created, checkouts, contended) aggregated over the
         // server's per-plan workspace pools.
         pool_stats: (usize, usize, u64, u64),
@@ -139,6 +144,7 @@ impl StatsInner {
             max_latency_ticks: sorted.last().copied().unwrap_or(0),
             plan_compiles,
             plan_hits,
+            plan_schemes,
             workspace_pools: pool_stats.0,
             workspace_pool_size: pool_stats.1,
             workspace_checkouts: pool_stats.2,
@@ -160,7 +166,14 @@ mod tests {
         };
         inner.batch_fill.insert(1, 2);
         inner.batch_fill.insert(4, 6);
-        let snap = inner.snapshot(3, 1, 2, 9, (2, 5, 40, 3));
+        let snap = inner.snapshot(
+            3,
+            1,
+            2,
+            9,
+            vec!["M@APNN-w1a2".to_string(), "M@APNN-w2a2".to_string()],
+            (2, 5, 40, 3),
+        );
         assert_eq!(snap.p50_latency_ticks, 50);
         assert_eq!(snap.p99_latency_ticks, 99);
         assert_eq!(snap.max_latency_ticks, 100);
@@ -168,6 +181,7 @@ mod tests {
         assert_eq!(snap.in_flight, 1);
         assert_eq!(snap.plan_compiles, 2);
         assert_eq!(snap.plan_hits, 9);
+        assert_eq!(snap.plan_schemes.len(), 2);
         assert_eq!(snap.workspace_pools, 2);
         assert_eq!(snap.workspace_pool_size, 5);
         assert_eq!(snap.workspace_checkouts, 40);
@@ -189,7 +203,7 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_all_zero() {
-        let snap = StatsInner::default().snapshot(0, 0, 0, 0, (0, 0, 0, 0));
+        let snap = StatsInner::default().snapshot(0, 0, 0, 0, Vec::new(), (0, 0, 0, 0));
         assert_eq!(snap.p50_latency_ticks, 0);
         assert_eq!(snap.p99_latency_ticks, 0);
         assert_eq!(snap.mean_fill(), 0.0);

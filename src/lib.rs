@@ -43,6 +43,8 @@ pub mod prelude {
         CompileOptions, CompiledNet, CpuEngine, Engine, Materialize, NetPrecision, Network, Shard,
         SimEngine,
     };
-    pub use apnn_serve::{ModelKey, PlanRegistry, ServeConfig, ServeStats, Server, Ticket};
+    pub use apnn_serve::{
+        ModelKey, PlanRegistry, PlanSpec, ServeConfig, ServeStats, Server, Ticket,
+    };
     pub use apnn_sim::{GpuSpec, KernelReport, Precision};
 }

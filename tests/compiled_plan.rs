@@ -16,7 +16,8 @@ use apnn_tc::nn::compile::{CompileOptions, CompiledNet, MainKernel};
 use apnn_tc::nn::exec::legacy;
 use apnn_tc::nn::models::{alexnet, resnet18, resnet18_tiny, vgg_variant, vgg_variant_tiny};
 use apnn_tc::nn::{
-    simulate, simulate_with, LayerSpec, MainOp, NetPrecision, Network, ResidualSrc, StageSrc,
+    identity_join_groups, simulate, simulate_with, LayerPrecision, LayerSpec, MainOp, NetPrecision,
+    Network, PrecisionSchedule, ResidualSrc, StageSrc,
 };
 use apnn_tc::sim::GpuSpec;
 
@@ -262,6 +263,99 @@ fn residual_zoo_model_matches_naive_reference() {
         let mut out = Vec::new();
         plan.infer_batched_into(&input, &pool, 2, &mut out);
         assert_eq!(out, want, "sharded residual execution diverged");
+    }
+}
+
+/// A uniform [`PrecisionSchedule`] must lower to *the* uniform plan: same
+/// scheme label, byte-identical stage lowering (packed weights, tiles,
+/// corrections, epilogues), identical logits. This is the contract that
+/// keeps every pre-schedule golden snapshot valid without regeneration.
+#[test]
+fn uniform_schedule_lowers_to_the_identical_plan() {
+    let batch = 2;
+    for net in [vgg_variant_tiny(), resnet18_tiny()] {
+        let n = net.num_main_layers();
+        let opts = CompileOptions::functional(batch, 2021);
+        let uniform = net.compile(NetPrecision::Apnn { w: 2, a: 2 }, &opts);
+        let scheduled = net.compile_scheduled(&PrecisionSchedule::uniform(2, 2, n), &opts);
+        assert_eq!(uniform.scheme, scheduled.scheme);
+        assert_eq!(
+            format!("{:?}", uniform.stages()),
+            format!("{:?}", scheduled.stages()),
+            "{}: uniform schedule lowered differently from the uniform plan",
+            net.name
+        );
+        let mut seed = 321u64;
+        let codes = Tensor4::<u32>::from_fn(batch, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+            (lcg(&mut seed) as u32) % 256
+        });
+        let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+        assert_eq!(uniform.infer(&input), scheduled.infer(&input));
+    }
+}
+
+/// Randomized mixed-precision differential: random per-layer `(w, a)`
+/// schedules — including mixed residual blocks on the skip-topology model —
+/// run bit-identically to the naive layer-by-layer oracle, on both the
+/// sequential and the sharded batched path. Schedules are drawn from
+/// `w ∈ {1, 2}`, `a ∈ {2, 3}` with the identity-join constraint repaired
+/// (every join group shares one activation width), exactly the invariant
+/// `compile_scheduled` enforces.
+#[test]
+fn random_mixed_schedules_match_naive_reference() {
+    let batch = 2;
+    for (net, rounds, seed0) in [(vgg_variant_tiny(), 3u64, 31u64), (resnet18_tiny(), 2, 47)] {
+        let groups = identity_join_groups(&net);
+        let n = net.num_main_layers();
+        let mut seed = seed0;
+        let mut informative = false;
+        for round in 0..rounds {
+            let mut layers: Vec<LayerPrecision> = (0..n)
+                .map(|_| {
+                    let w = 1 + (lcg(&mut seed) % 2) as u32;
+                    let a = 2 + (lcg(&mut seed) % 2) as u32;
+                    LayerPrecision::new(w, a)
+                })
+                .collect();
+            for g in &groups {
+                let a = layers[g[0]].a;
+                for &m in g {
+                    layers[m].a = a;
+                }
+            }
+            // Keep the draw genuinely mixed (a weight flip never violates
+            // the join constraint, which binds activation bits only).
+            if layers.iter().all(|l| *l == layers[0]) {
+                layers[0].w = 3 - layers[0].w;
+            }
+            let schedule = PrecisionSchedule::new(layers);
+            let plan =
+                net.compile_scheduled(&schedule, &CompileOptions::functional(batch, 9000 + round));
+            assert!(plan.is_executable(), "{} must fully fuse", net.name);
+            assert!(plan.scheme.starts_with("APNN-mixed-"), "{}", plan.scheme);
+
+            let codes = Tensor4::<u32>::from_fn(batch, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+                (lcg(&mut seed) as u32) % 256
+            });
+            let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+            let got = plan.infer(&input);
+            let want = naive_reference(&plan, &codes);
+            assert_eq!(
+                got, want,
+                "{} {}: mixed CpuEngine logits differ from the naive reference",
+                net.name, plan.scheme
+            );
+            // A single aggressive low-bit draw can saturate to constant
+            // logits; the differential still holds, but at least one draw
+            // per model must stay informative.
+            informative |= got.iter().any(|&v| v != got[0]);
+
+            let pool = plan.workspace_pool(2);
+            let mut out = Vec::new();
+            plan.infer_batched_into(&input, &pool, 2, &mut out);
+            assert_eq!(out, want, "sharded mixed execution diverged");
+        }
+        assert!(informative, "{}: every mixed draw saturated", net.name);
     }
 }
 

@@ -99,6 +99,23 @@ fn golden_logits_match_snapshots() {
     }
 }
 
+/// Mixed-precision golden: one pinned per-layer schedule for the residual
+/// model (stage 4 widened to a3 activations — a Pareto-style operating
+/// point from the precision autotuner) served through `ModelKey::scheduled`
+/// and snapshotted like every uniform scheme. Pins the *mixed* lowering —
+/// per-stage packing, corrections and the residual-join widths — against
+/// numeric drift.
+#[test]
+fn golden_mixed_schedule_logits_match_snapshot() {
+    use apnn_tc::nn::{LayerPrecision, PrecisionSchedule};
+    let mut layers = vec![LayerPrecision::new(1, 2); 21];
+    for l in &mut layers[15..20] {
+        *l = LayerPrecision::new(1, 3);
+    }
+    let key = ModelKey::scheduled("ResNet18-Tiny", PrecisionSchedule::new(layers));
+    golden_check(&key, &fixed_input());
+}
+
 fn golden_check(key: &ModelKey, input: &BitTensor4) {
     let plan = PlanRegistry::zoo(BATCH, SEED).get(key).unwrap();
     let logits = plan.infer_batched(input);
