@@ -178,18 +178,26 @@ pub fn serve_json(points: &[LoadPoint]) -> String {
     for (i, p) in points.iter().enumerate() {
         let _ = write!(
             body,
-            "  {{\"model\": \"{}\", \"scheme\": \"{}\", \"burst\": {}, \"threads\": {}, \
-             \"pool\": {}, \"mean_fill\": {:.3}, \"p50_ticks\": {}, \"p99_ticks\": {}, \
-             \"throughput_rps\": {:.1}}}{}",
+            "  {{\"model\": \"{}\", \"scheme\": \"{}\", \"mode\": \"{}\", \"tenant\": \"{}\", \
+             \"burst\": {}, \"threads\": {}, \"pool\": {}, \"mean_fill\": {:.3}, \
+             \"p50_ticks\": {}, \"p99_ticks\": {}, \"offered_rps\": {:.1}, \
+             \"throughput_rps\": {:.1}, \"shed_rate\": {:.4}, \"expired\": {}, \
+             \"version\": {}}}{}",
             p.model,
             p.scheme,
+            p.mode,
+            p.tenant,
             p.burst,
             p.threads,
             p.pool,
             p.mean_fill,
             p.p50_ticks,
             p.p99_ticks,
+            p.offered_rps,
             p.throughput_rps,
+            p.shed_rate,
+            p.expired,
+            p.version,
             if i + 1 == points.len() { "\n" } else { ",\n" }
         );
     }
@@ -301,21 +309,33 @@ mod tests {
         let points = vec![LoadPoint {
             model: "VGG-Variant-Tiny".into(),
             scheme: "APNN-w1a2".into(),
-            burst: 8,
+            mode: "overload".into(),
+            tenant: "gold".into(),
+            burst: 200,
             threads: 4,
             pool: 16,
             mean_fill: 3.25,
             p50_ticks: 2,
             p99_ticks: 9,
+            offered_rps: 910.0,
             throughput_rps: 456.78,
+            shed_rate: 0.4375,
+            expired: 12,
+            version: 1,
         }];
         let json = serve_json(&points);
         assert!(json.contains("\"model\": \"VGG-Variant-Tiny\""));
         assert!(json.contains("\"scheme\": \"APNN-w1a2\""));
-        assert!(json.contains("\"burst\": 8"));
+        assert!(json.contains("\"mode\": \"overload\""));
+        assert!(json.contains("\"tenant\": \"gold\""));
+        assert!(json.contains("\"burst\": 200"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"mean_fill\": 3.250"));
+        assert!(json.contains("\"offered_rps\": 910.0"));
         assert!(json.contains("\"throughput_rps\": 456.8"));
+        assert!(json.contains("\"shed_rate\": 0.4375"));
+        assert!(json.contains("\"expired\": 12"));
+        assert!(json.contains("\"version\": 1"));
         assert!(!json.contains(",\n]"));
     }
 

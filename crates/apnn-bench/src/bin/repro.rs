@@ -20,10 +20,13 @@
 use apnn_bench::{artifacts, experiments as exp, kernels, precision, serve_load};
 use apnn_sim::GpuSpec;
 
-/// Run the serving load sweep (burst × intra-batch threads), write
+/// Run the serving load sweeps — the closed-loop burst × intra-batch
+/// threads sweep plus the open-loop overload sweep (0.5×/1×/2× saturation
+/// from two weighted tenants under shedding admission) — write
 /// `BENCH_serve.json`, return the table.
 fn serve() -> String {
-    let points = serve_load::sweep(&[1, 2, 4, 8, 16, 32], &[1, 4], 96);
+    let mut points = serve_load::sweep(&[1, 2, 4, 8, 16, 32], &[1, 4], 96);
+    points.extend(serve_load::overload_sweep(&[50, 100, 200], 192));
     let mut out = serve_load::report(&points);
     match artifacts::write_artifact("BENCH_serve.json", &artifacts::serve_json(&points)) {
         Ok(path) => out.push_str(&format!("wrote {}\n", path.display())),
@@ -94,7 +97,7 @@ fn check_bench(fresh_dir: &str, committed_dir: &str) -> Result<String, String> {
         schema::validate_exec(&schema::parse_rows(&read(dir, "BENCH_exec.json")?)?)
             .map_err(|e| format!("{dir}/BENCH_exec.json: {e}"))
     };
-    let serve_keys = |dir: &str| -> Result<Vec<(String, String, u64, u64)>, String> {
+    let serve_keys = |dir: &str| -> Result<Vec<schema::ServeKey>, String> {
         schema::validate_serve(&schema::parse_rows(&read(dir, "BENCH_serve.json")?)?)
             .map_err(|e| format!("{dir}/BENCH_serve.json: {e}"))
     };

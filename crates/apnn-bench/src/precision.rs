@@ -502,6 +502,10 @@ mod tests {
 
     #[test]
     fn cost_oracle_orders_uniform_schemes() {
+        // The per-word probes below are memoized process-wide, so a
+        // concurrent CPU-saturating test poisons them for good — keep the
+        // load sweeps out of this window.
+        let _serialize = crate::timing_test_lock();
         // Heuristic tile selection keeps this test free of timing grids;
         // the per-word probe itself still runs (memoized process-wide).
         force_micro_select(Some(MicroSelect::Heuristic));

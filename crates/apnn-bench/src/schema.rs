@@ -262,11 +262,20 @@ pub fn validate_kernels(rows: &[Row]) -> Result<Vec<KernelKey>, String> {
     Ok(keys)
 }
 
+/// Identity key of one `BENCH_serve.json` row:
+/// `(model, scheme, mode, tenant, burst, threads)`. Overload rows share a
+/// (model, burst, threads) point across tenants, so the tenant label is
+/// part of the identity.
+pub type ServeKey = (String, String, String, String, u64, u64);
+
 /// Validate one `BENCH_serve.json` row set: required fields present
-/// (including the precision `scheme` every served plan runs at), values in
-/// sane ranges, and every [`SERVABLE_MODELS`] entry covered. Returns the
-/// identity keys `(model, scheme, burst, threads)`.
-pub fn validate_serve(rows: &[Row]) -> Result<Vec<(String, String, u64, u64)>, String> {
+/// (including the precision `scheme` every served plan runs at and the
+/// per-tenant overload accounting), values in sane ranges, every
+/// [`SERVABLE_MODELS`] entry covered, and the overload sweep actually
+/// driven past saturation (a `mode: "overload"` row at `burst >= 200`,
+/// i.e. 2× the measured plateau, from at least two distinct tenants).
+/// Returns the [`ServeKey`] identity keys.
+pub fn validate_serve(rows: &[Row]) -> Result<Vec<ServeKey>, String> {
     if rows.is_empty() {
         return Err("serve artifact has no rows".into());
     }
@@ -275,15 +284,27 @@ pub fn validate_serve(rows: &[Row]) -> Result<Vec<(String, String, u64, u64)>, S
         let ctx = |e: String| format!("serve row {i}: {e}");
         let model = string(row, "model").map_err(ctx)?;
         let scheme = string(row, "scheme").map_err(ctx)?;
+        let mode = string(row, "mode").map_err(ctx)?;
+        let tenant = string(row, "tenant").map_err(ctx)?;
         let burst = num(row, "burst").map_err(ctx)?;
         let threads = num(row, "threads").map_err(ctx)?;
         let pool = num(row, "pool").map_err(ctx)?;
         let fill = num(row, "mean_fill").map_err(ctx)?;
         let p50 = num(row, "p50_ticks").map_err(ctx)?;
         let p99 = num(row, "p99_ticks").map_err(ctx)?;
+        let offered = num(row, "offered_rps").map_err(ctx)?;
         let rps = num(row, "throughput_rps").map_err(ctx)?;
+        let shed_rate = num(row, "shed_rate").map_err(ctx)?;
+        let expired = num(row, "expired").map_err(ctx)?;
+        let version = num(row, "version").map_err(ctx)?;
         if !scheme.starts_with("APNN-") {
             return Err(format!("serve row {i}: unexpected scheme `{scheme}`"));
+        }
+        if mode != "closed" && mode != "overload" {
+            return Err(format!("serve row {i}: unknown mode `{mode}`"));
+        }
+        if tenant.is_empty() {
+            return Err(format!("serve row {i}: empty tenant label"));
         }
         if burst < 1.0 || threads < 1.0 || pool < 1.0 {
             return Err(format!("serve row {i}: implausible sweep dimensions"));
@@ -294,15 +315,45 @@ pub fn validate_serve(rows: &[Row]) -> Result<Vec<(String, String, u64, u64)>, S
         if p50 > p99 {
             return Err(format!("serve row {i}: p50 {p50} exceeds p99 {p99}"));
         }
-        if rps <= 0.0 {
-            return Err(format!("serve row {i}: non-positive throughput"));
+        if offered <= 0.0 {
+            return Err(format!("serve row {i}: non-positive offered load"));
         }
-        keys.push((model, scheme, burst as u64, threads as u64));
+        if rps <= 0.0 {
+            return Err(format!("serve row {i}: non-positive goodput"));
+        }
+        if !(0.0..=1.0).contains(&shed_rate) {
+            return Err(format!("serve row {i}: shed rate {shed_rate} out of range"));
+        }
+        if expired < 0.0 {
+            return Err(format!("serve row {i}: negative expired count"));
+        }
+        if version < 1.0 {
+            return Err(format!("serve row {i}: plan version {version} below 1"));
+        }
+        keys.push((model, scheme, mode, tenant, burst as u64, threads as u64));
     }
     for want in SERVABLE_MODELS {
         if !keys.iter().any(|(model, ..)| model == want) {
             return Err(format!("serve artifact is missing model `{want}`"));
         }
+    }
+    let mut overload_tenants: Vec<&str> = keys
+        .iter()
+        .filter(|(_, _, mode, ..)| mode == "overload")
+        .map(|(_, _, _, tenant, ..)| tenant.as_str())
+        .collect();
+    overload_tenants.sort();
+    overload_tenants.dedup();
+    if overload_tenants.len() < 2 {
+        return Err(format!(
+            "serve artifact needs >= 2 distinct overload tenants, got {overload_tenants:?}"
+        ));
+    }
+    if !keys
+        .iter()
+        .any(|(_, _, mode, _, burst, _)| mode == "overload" && *burst >= 200)
+    {
+        return Err("serve artifact has no overload row at >= 2x saturation".into());
     }
     Ok(keys)
 }
@@ -451,9 +502,10 @@ mod tests {
         assert!(err.contains("missing field"), "{err}");
 
         let rows = parse_rows(
-            r#"{"serve": [{"model": "VGG-Variant-Tiny", "scheme": "APNN-w1a2", "burst": 8,
-                "threads": 1, "pool": 1, "mean_fill": 0.2, "p50_ticks": 0, "p99_ticks": 1,
-                "throughput_rps": 10.0}]}"#,
+            r#"{"serve": [{"model": "VGG-Variant-Tiny", "scheme": "APNN-w1a2", "mode": "closed",
+                "tenant": "all", "burst": 8, "threads": 1, "pool": 1, "mean_fill": 0.2,
+                "p50_ticks": 0, "p99_ticks": 1, "offered_rps": 10.0, "throughput_rps": 10.0,
+                "shed_rate": 0.0, "expired": 0, "version": 1}]}"#,
         )
         .unwrap();
         let err = validate_serve(&rows).unwrap_err();
@@ -476,6 +528,88 @@ mod tests {
         .unwrap();
         let err = validate_serve(&rows).unwrap_err();
         assert!(err.contains("missing field `scheme`"), "{err}");
+
+        // Rows that predate the multi-tenant serve tier carry no `tenant`
+        // (or `mode`, `shed_rate`, ...) — stale artifacts fail loudly.
+        let rows = parse_rows(
+            r#"{"serve": [{"model": "VGG-Variant-Tiny", "scheme": "APNN-w1a2", "burst": 8,
+                "threads": 1, "pool": 1, "mean_fill": 2.0, "p50_ticks": 0, "p99_ticks": 1,
+                "throughput_rps": 10.0}]}"#,
+        )
+        .unwrap();
+        let err = validate_serve(&rows).unwrap_err();
+        assert!(err.contains("missing field `mode`"), "{err}");
+    }
+
+    fn serve_row(model: &str, mode: &str, tenant: &str, burst: u64, shed_rate: f64) -> String {
+        format!(
+            r#"{{"model": "{model}", "scheme": "APNN-w1a2", "mode": "{mode}",
+                "tenant": "{tenant}", "burst": {burst}, "threads": 1, "pool": 1,
+                "mean_fill": 4.0, "p50_ticks": 2, "p99_ticks": 9, "offered_rps": 120.0,
+                "throughput_rps": 60.0, "shed_rate": {shed_rate}, "expired": 3, "version": 1}}"#
+        )
+    }
+
+    #[test]
+    fn serve_artifact_must_prove_overload_coverage() {
+        let closed: Vec<String> = SERVABLE_MODELS
+            .iter()
+            .map(|m| serve_row(m, "closed", "all", 8, 0.0))
+            .collect();
+        // Closed rows alone — no overload evidence at all.
+        let json = format!(r#"{{"serve": [{}]}}"#, closed.join(", "));
+        let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
+        assert!(err.contains(">= 2 distinct overload tenants"), "{err}");
+
+        // One overload tenant is not a fairness experiment.
+        let json = format!(
+            r#"{{"serve": [{}, {}]}}"#,
+            closed.join(", "),
+            serve_row("AlexNet-Tiny", "overload", "gold", 200, 0.5),
+        );
+        let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
+        assert!(err.contains(">= 2 distinct overload tenants"), "{err}");
+
+        // Two tenants but never pushed to 2x saturation.
+        let json = format!(
+            r#"{{"serve": [{}, {}, {}]}}"#,
+            closed.join(", "),
+            serve_row("AlexNet-Tiny", "overload", "gold", 100, 0.1),
+            serve_row("AlexNet-Tiny", "overload", "bronze", 100, 0.3),
+        );
+        let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
+        assert!(err.contains("no overload row at >= 2x"), "{err}");
+
+        // The full shape passes and the tenant is part of the identity.
+        let json = format!(
+            r#"{{"serve": [{}, {}, {}]}}"#,
+            closed.join(", "),
+            serve_row("AlexNet-Tiny", "overload", "gold", 200, 0.5),
+            serve_row("AlexNet-Tiny", "overload", "bronze", 200, 0.7),
+        );
+        let keys = validate_serve(&parse_rows(&json).unwrap()).unwrap();
+        assert_eq!(keys.len(), 5);
+        assert_eq!(keys[4].3, "bronze");
+
+        // A shed rate outside [0, 1] is corrupt accounting.
+        let json = format!(
+            r#"{{"serve": [{}, {}, {}]}}"#,
+            closed.join(", "),
+            serve_row("AlexNet-Tiny", "overload", "gold", 200, 1.5),
+            serve_row("AlexNet-Tiny", "overload", "bronze", 200, 0.7),
+        );
+        let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
+        assert!(err.contains("shed rate"), "{err}");
+
+        // Unknown modes are future traffic shapes, not silent passes.
+        let json = format!(
+            r#"{{"serve": [{}, {}, {}]}}"#,
+            closed.join(", "),
+            serve_row("AlexNet-Tiny", "chaos", "gold", 200, 0.5),
+            serve_row("AlexNet-Tiny", "overload", "bronze", 200, 0.7),
+        );
+        let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
+        assert!(err.contains("unknown mode `chaos`"), "{err}");
     }
 
     fn precision_row(model: &str, scheme: &str, segments: &str, pareto: u32) -> String {
@@ -636,23 +770,54 @@ mod tests {
         assert_eq!(keys.len(), 3);
         assert_eq!(keys[0], ("AlexNet-Tiny".into(), "APNN-w1a2".into(), 2));
 
-        let spoints: Vec<LoadPoint> = SERVABLE_MODELS
+        let closed_point = |model: &str| LoadPoint {
+            model: model.into(),
+            scheme: "APNN-w1a2".into(),
+            mode: "closed".into(),
+            tenant: "all".into(),
+            burst: 16,
+            threads: 4,
+            pool: 8,
+            mean_fill: 7.5,
+            p50_ticks: 3,
+            p99_ticks: 11,
+            offered_rps: 410.0,
+            throughput_rps: 410.0,
+            shed_rate: 0.0,
+            expired: 0,
+            version: 1,
+        };
+        let mut spoints: Vec<LoadPoint> = SERVABLE_MODELS
             .iter()
-            .map(|model| LoadPoint {
-                model: (*model).into(),
-                scheme: "APNN-w1a2".into(),
-                burst: 16,
-                threads: 4,
-                pool: 8,
-                mean_fill: 7.5,
-                p50_ticks: 3,
-                p99_ticks: 11,
-                throughput_rps: 410.0,
-            })
+            .map(|model| closed_point(model))
             .collect();
+        for tenant in ["gold", "bronze"] {
+            spoints.push(LoadPoint {
+                mode: "overload".into(),
+                tenant: tenant.into(),
+                burst: 200,
+                threads: 1,
+                offered_rps: 820.0,
+                throughput_rps: 300.0,
+                shed_rate: 0.55,
+                expired: 7,
+                ..closed_point("AlexNet-Tiny")
+            });
+        }
         let sjson = serve_json(&spoints);
         let keys = validate_serve(&parse_rows(&sjson).unwrap()).unwrap();
-        assert_eq!(keys.len(), 3);
-        assert_eq!(keys[2], ("ResNet18-Tiny".into(), "APNN-w1a2".into(), 16, 4));
+        assert_eq!(keys.len(), 5);
+        assert_eq!(
+            keys[2],
+            (
+                "ResNet18-Tiny".into(),
+                "APNN-w1a2".into(),
+                "closed".into(),
+                "all".into(),
+                16,
+                4
+            )
+        );
+        assert_eq!(keys[4].3, "bronze");
     }
 }

@@ -1,8 +1,20 @@
-//! The plan cache: `(model, precision)` → one shared [`CompiledNet`].
+//! The plan cache: `(model, version, precision)` → one shared
+//! [`CompiledNet`], with blue-green versioning.
+//!
+//! Every registered model name owns a version chain. [`PlanRegistry::register`]
+//! on a fresh name creates **v1 active**; registering the same name again
+//! appends the next version *inactive* (the green build). A green version
+//! serves only requests that pin it explicitly (`ModelKey::at_version`)
+//! until [`PlanRegistry::promote`] flips the active pointer — from then on
+//! unpinned requests resolve to the new version, while requests admitted
+//! earlier drain on the plan their key was resolved against (resolution
+//! happens at admission, so a hot-swap never reroutes in-queue work).
+//! [`PlanRegistry::retire`] drops an inactive version's builder and evicts
+//! its compiled plans.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use apnn_nn::models::servable_zoo;
 use apnn_nn::{CompileOptions, CompiledNet, NetPrecision, Network, PrecisionSchedule};
@@ -31,32 +43,49 @@ impl PlanSpec {
     }
 }
 
-/// Identity of a served plan: which model, at which precision spec. The
-/// compiled batch size and weight seed are registry-wide (a deployment
-/// serves one build), so they live in [`PlanRegistry`], not the key.
+/// Identity of a served plan: which model, at which precision spec, at
+/// which registered version. The compiled batch size and weight seed are
+/// registry-wide (a deployment serves one build), so they live in
+/// [`PlanRegistry`], not the key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelKey {
     /// Zoo model name (`Network::name`).
     pub model: String,
     /// Precision spec (uniform scheme or per-layer schedule).
     pub spec: PlanSpec,
+    /// Registered model version. `None` follows the registry's *active*
+    /// version at admission time (the blue-green pointer); `Some(v)` pins
+    /// a specific registered version (e.g. to canary a green build before
+    /// promoting it).
+    pub version: Option<u32>,
 }
 
 impl ModelKey {
-    /// Key for `model` at the uniform `precision`.
+    /// Key for `model` at the uniform `precision`, following the active
+    /// version.
     pub fn new(model: impl Into<String>, precision: NetPrecision) -> Self {
         ModelKey {
             model: model.into(),
             spec: PlanSpec::Uniform(precision),
+            version: None,
         }
     }
 
-    /// Key for `model` under a per-layer mixed-precision `schedule`.
+    /// Key for `model` under a per-layer mixed-precision `schedule`,
+    /// following the active version.
     pub fn scheduled(model: impl Into<String>, schedule: PrecisionSchedule) -> Self {
         ModelKey {
             model: model.into(),
             spec: PlanSpec::Scheduled(schedule),
+            version: None,
         }
+    }
+
+    /// Pin this key to registered `version` instead of following the
+    /// active pointer.
+    pub fn at_version(mut self, version: u32) -> Self {
+        self.version = Some(version);
+        self
     }
 
     /// Human-readable scheme label (see [`PlanSpec::label`]).
@@ -67,11 +96,26 @@ impl ModelKey {
 
 impl std::fmt::Display for ModelKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}@{}", self.model, self.scheme())
+        write!(f, "{}@{}", self.model, self.scheme())?;
+        // v1 is the implicit default — only re-registered versions carry a
+        // suffix, so single-version deployments read exactly as before.
+        if let Some(v) = self.version {
+            if v > 1 {
+                write!(f, "#v{v}")?;
+            }
+        }
+        Ok(())
     }
 }
 
-type Builder = Box<dyn Fn() -> Network + Send + Sync>;
+type Builder = Arc<dyn Fn() -> Network + Send + Sync>;
+
+/// One model name's version chain.
+struct ModelSlot {
+    versions: BTreeMap<u32, Builder>,
+    /// The version unpinned requests resolve to.
+    active: u32,
+}
 
 /// One cache slot. `OnceLock` gives the compile-exactly-once guarantee
 /// even when many submitters race on a cold key: the first caller runs the
@@ -83,11 +127,14 @@ struct Entry {
 /// A registry of model builders and their lazily compiled plans.
 ///
 /// Compilation — fusion, autotuning, weight packing, calibration — runs at
-/// most once per [`ModelKey`], on the first submitter that needs the plan.
-/// [`PlanRegistry::compiles`] / [`PlanRegistry::hits`] expose the cache
-/// behaviour for tests and [`crate::ServeStats`].
+/// most once per resolved [`ModelKey`], on the first submitter that needs
+/// the plan. The model map lives behind a `RwLock`, so models and versions
+/// register on a *live* server (`&self`, not `&mut self`) while the
+/// submit path takes only a read lock. [`PlanRegistry::compiles`] /
+/// [`PlanRegistry::hits`] expose the cache behaviour for tests and
+/// [`crate::ServeStats`].
 pub struct PlanRegistry {
-    builders: HashMap<String, Builder>,
+    models: RwLock<HashMap<String, ModelSlot>>,
     entries: Mutex<HashMap<ModelKey, Arc<Entry>>>,
     batch: usize,
     seed: u64,
@@ -100,7 +147,7 @@ impl PlanRegistry {
     pub fn new(batch: usize, seed: u64) -> Self {
         assert!(batch > 0, "compiled batch must be at least 1");
         PlanRegistry {
-            builders: HashMap::new(),
+            models: RwLock::new(HashMap::new()),
             entries: Mutex::new(HashMap::new()),
             batch,
             seed,
@@ -112,7 +159,7 @@ impl PlanRegistry {
     /// Registry pre-loaded with the servable zoo
     /// ([`apnn_nn::models::servable_zoo`]).
     pub fn zoo(batch: usize, seed: u64) -> Self {
-        let mut reg = Self::new(batch, seed);
+        let reg = Self::new(batch, seed);
         for net in servable_zoo() {
             let name = net.name.clone();
             reg.register(&name, move || net.clone());
@@ -120,10 +167,93 @@ impl PlanRegistry {
         reg
     }
 
-    /// Register a model builder under `name`. The builder runs once per
-    /// precision scheme, inside the compile path.
-    pub fn register(&mut self, name: &str, build: impl Fn() -> Network + Send + Sync + 'static) {
-        self.builders.insert(name.to_string(), Box::new(build));
+    /// Register a model builder under `name` and return the version it was
+    /// assigned. A fresh name becomes **v1, active**. Re-registering an
+    /// existing name appends the next version *inactive* — the green build
+    /// of a blue-green rollout; call [`PlanRegistry::promote`] to make it
+    /// the default. The builder runs once per precision scheme, inside the
+    /// compile path. Takes `&self`: models register on a live server.
+    pub fn register(&self, name: &str, build: impl Fn() -> Network + Send + Sync + 'static) -> u32 {
+        let mut models = self.models.write().unwrap_or_else(|e| e.into_inner());
+        match models.get_mut(name) {
+            Some(slot) => {
+                let next = slot.versions.keys().next_back().copied().unwrap_or(0) + 1;
+                slot.versions.insert(next, Arc::new(build));
+                next
+            }
+            None => {
+                let mut versions: BTreeMap<u32, Builder> = BTreeMap::new();
+                versions.insert(1, Arc::new(build));
+                models.insert(
+                    name.to_string(),
+                    ModelSlot {
+                        versions,
+                        active: 1,
+                    },
+                );
+                1
+            }
+        }
+    }
+
+    /// Flip `name`'s active pointer to `version` (the blue-green swap).
+    /// Returns the previously active version. Requests already admitted
+    /// keep their resolved version and drain on the old plan; unpinned
+    /// requests admitted afterwards land on `version`.
+    pub fn promote(&self, name: &str, version: u32) -> Result<u32, ServeError> {
+        let mut models = self.models.write().unwrap_or_else(|e| e.into_inner());
+        let slot = models
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        if !slot.versions.contains_key(&version) {
+            return Err(ServeError::UnknownVersion {
+                model: name.to_string(),
+                version,
+            });
+        }
+        Ok(std::mem::replace(&mut slot.active, version))
+    }
+
+    /// Drop inactive `version` of `name`: its builder is removed and its
+    /// compiled plans are evicted from the cache. The active version
+    /// cannot be retired (promote another one first); in-queue requests
+    /// that already resolved a plan `Arc` keep it alive until they drain.
+    pub fn retire(&self, name: &str, version: u32) -> Result<(), ServeError> {
+        let mut models = self.models.write().unwrap_or_else(|e| e.into_inner());
+        let slot = models
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        if !slot.versions.contains_key(&version) {
+            return Err(ServeError::UnknownVersion {
+                model: name.to_string(),
+                version,
+            });
+        }
+        if slot.active == version {
+            return Err(ServeError::NotServable(format!(
+                "cannot retire `{name}` v{version}: it is the active version"
+            )));
+        }
+        slot.versions.remove(&version);
+        drop(models);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.retain(|k, _| !(k.model == name && k.version == Some(version)));
+        Ok(())
+    }
+
+    /// The version unpinned keys for `name` currently resolve to.
+    pub fn active_version(&self, name: &str) -> Option<u32> {
+        let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+        models.get(name).map(|s| s.active)
+    }
+
+    /// Every registered version of `name`, ascending.
+    pub fn versions(&self, name: &str) -> Vec<u32> {
+        let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+        models
+            .get(name)
+            .map(|s| s.versions.keys().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Compiled batch size baked into every plan this registry produces.
@@ -131,14 +261,41 @@ impl PlanRegistry {
         self.batch
     }
 
+    /// Stamp `key` with the concrete version it serves at: unpinned keys
+    /// get the current active version, pinned keys are checked to exist.
+    /// This is the blue-green resolution point — the server calls it at
+    /// admission, so every queued request carries a fully resolved key.
+    pub fn resolve(&self, key: &ModelKey) -> Result<ModelKey, ServeError> {
+        let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+        let slot = models
+            .get(&key.model)
+            .ok_or_else(|| ServeError::UnknownModel(key.model.clone()))?;
+        let version = match key.version {
+            None => slot.active,
+            Some(v) => {
+                if !slot.versions.contains_key(&v) {
+                    return Err(ServeError::UnknownVersion {
+                        model: key.model.clone(),
+                        version: v,
+                    });
+                }
+                v
+            }
+        };
+        let mut resolved = key.clone();
+        resolved.version = Some(version);
+        Ok(resolved)
+    }
+
     /// The plan for `key`: cached if warm, compiled (once) if cold.
+    /// Unpinned keys resolve to the active version first, so two `get`s
+    /// across a [`PlanRegistry::promote`] may return different plans — use
+    /// [`PlanRegistry::resolve`] to pin a consistent view.
     pub fn get(&self, key: &ModelKey) -> Result<Arc<CompiledNet>, ServeError> {
-        if !self.builders.contains_key(&key.model) {
-            return Err(ServeError::UnknownModel(key.model.clone()));
-        }
+        let resolved = self.resolve(key)?;
         let entry = {
             let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-            Arc::clone(entries.entry(key.clone()).or_insert_with(|| {
+            Arc::clone(entries.entry(resolved.clone()).or_insert_with(|| {
                 Arc::new(Entry {
                     plan: OnceLock::new(),
                 })
@@ -148,7 +305,7 @@ impl PlanRegistry {
         let result = entry.plan.get_or_init(|| {
             compiled_now = true;
             self.compiles.fetch_add(1, Ordering::Relaxed);
-            self.compile(key)
+            self.compile(&resolved)
         });
         if !compiled_now {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -157,7 +314,7 @@ impl PlanRegistry {
     }
 
     /// How many plans were compiled (should equal the number of distinct
-    /// keys ever requested).
+    /// resolved keys ever requested).
     pub fn compiles(&self) -> u64 {
         self.compiles.load(Ordering::Relaxed)
     }
@@ -169,7 +326,8 @@ impl PlanRegistry {
 
     /// `model@scheme` labels of every successfully compiled plan, sorted —
     /// the active precision-schedule inventory of the serving surface
-    /// (mixed plans show their run-length `APNN-mixed-…` schedule label).
+    /// (mixed plans show their run-length `APNN-mixed-…` schedule label;
+    /// re-registered versions carry a `#v{n}` suffix).
     pub fn compiled_labels(&self) -> Vec<String> {
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let mut labels: Vec<String> = entries
@@ -182,7 +340,25 @@ impl PlanRegistry {
     }
 
     fn compile(&self, key: &ModelKey) -> Result<Arc<CompiledNet>, ServeError> {
-        let net = (self.builders[&key.model])();
+        let build = {
+            let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+            let slot = models
+                .get(&key.model)
+                .ok_or_else(|| ServeError::UnknownModel(key.model.clone()))?;
+            let version = key.version.expect("compile runs on resolved keys");
+            match slot.versions.get(&version) {
+                Some(b) => Arc::clone(b),
+                None => {
+                    return Err(ServeError::UnknownVersion {
+                        model: key.model.clone(),
+                        version,
+                    })
+                }
+            }
+            // Builder Arc cloned; the lock drops here so a long compile
+            // never blocks registration.
+        };
+        let net = build();
         let opts = CompileOptions::functional(self.batch, self.seed);
         let plan = match &key.spec {
             PlanSpec::Uniform(p) => net.compile(*p, &opts),
@@ -277,5 +453,83 @@ mod tests {
         // The failed compile is cached too — and still counts once.
         assert!(matches!(reg.get(&fp32), Err(ServeError::NotServable(_))));
         assert_eq!(reg.compiles(), 1);
+    }
+
+    #[test]
+    fn register_appends_inactive_versions_and_promote_flips_active() {
+        use apnn_nn::models::servable_zoo;
+        let reg = PlanRegistry::zoo(2, 42);
+        assert_eq!(reg.active_version("AlexNet-Tiny"), Some(1));
+        // Re-register: same architecture, different weights (new seed comes
+        // from the builder; here the same net stands in for a retrained
+        // build).
+        let net = servable_zoo()
+            .into_iter()
+            .find(|n| n.name == "AlexNet-Tiny")
+            .unwrap();
+        let v2 = reg.register("AlexNet-Tiny", move || net.clone());
+        assert_eq!(v2, 2);
+        assert_eq!(reg.versions("AlexNet-Tiny"), vec![1, 2]);
+        // Still inactive: unpinned keys resolve to v1.
+        let key = ModelKey::new("AlexNet-Tiny", NetPrecision::w1a2());
+        assert_eq!(reg.resolve(&key).unwrap().version, Some(1));
+        // Pinned keys reach the green build before promotion.
+        let pinned = key.clone().at_version(2);
+        assert_eq!(reg.resolve(&pinned).unwrap().version, Some(2));
+        assert_eq!(
+            format!("{}", reg.resolve(&pinned).unwrap()),
+            "AlexNet-Tiny@APNN-w1a2#v2"
+        );
+        // Promote: unpinned traffic flips to v2.
+        assert_eq!(reg.promote("AlexNet-Tiny", 2).unwrap(), 1);
+        assert_eq!(reg.resolve(&key).unwrap().version, Some(2));
+        // Retire the blue build; active cannot be retired.
+        assert!(matches!(
+            reg.retire("AlexNet-Tiny", 2),
+            Err(ServeError::NotServable(_))
+        ));
+        reg.retire("AlexNet-Tiny", 1).unwrap();
+        assert_eq!(reg.versions("AlexNet-Tiny"), vec![2]);
+        assert!(matches!(
+            reg.resolve(&key.clone().at_version(1)),
+            Err(ServeError::UnknownVersion { .. })
+        ));
+        // Unknown names/versions stay typed errors.
+        assert!(matches!(
+            reg.promote("nope", 1),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            reg.promote("AlexNet-Tiny", 9),
+            Err(ServeError::UnknownVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn versioned_plans_compile_separately_and_retire_evicts() {
+        use apnn_nn::models::servable_zoo;
+        let reg = PlanRegistry::zoo(2, 42);
+        let net = servable_zoo()
+            .into_iter()
+            .find(|n| n.name == "VGG-Variant-Tiny")
+            .unwrap();
+        let v2 = reg.register("VGG-Variant-Tiny", move || net.clone());
+        let key = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
+        let p1 = reg.get(&key).unwrap();
+        let p2 = reg.get(&key.clone().at_version(v2)).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p2), "versions compile independently");
+        assert_eq!(reg.compiles(), 2);
+        let labels = reg.compiled_labels();
+        assert!(labels.iter().any(|l| l == "VGG-Variant-Tiny@APNN-w1a2"));
+        assert!(labels.iter().any(|l| l == "VGG-Variant-Tiny@APNN-w1a2#v2"));
+        reg.promote("VGG-Variant-Tiny", v2).unwrap();
+        reg.retire("VGG-Variant-Tiny", 1).unwrap();
+        let labels = reg.compiled_labels();
+        assert!(
+            labels.iter().all(|l| l != "VGG-Variant-Tiny@APNN-w1a2"),
+            "retired version evicted from the cache: {labels:?}"
+        );
+        // The old plan Arc held by in-queue work stays alive.
+        assert_eq!(p1.scheme, "APNN-w1a2");
     }
 }

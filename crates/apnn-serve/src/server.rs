@@ -1,6 +1,8 @@
-//! The dynamic batcher: bounded queue → coalesce → shard → complete.
+//! The dynamic batcher: admit → fair-queue → sweep → coalesce → shard →
+//! complete.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -10,6 +12,8 @@ use apnn_kernels::stats as kstats;
 use apnn_nn::compile::MainKernel;
 use apnn_nn::{CompiledNet, WorkspacePool};
 
+use crate::api::{Admission, QueuePolicy, Request, Ticket};
+use crate::queue::{FairQueue, Pushed, QueuedRequest};
 use crate::registry::{ModelKey, PlanRegistry};
 use crate::stats::{ServeStats, StatsInner};
 use crate::ServeError;
@@ -32,7 +36,9 @@ fn backstop(config: &ServeConfig) -> Duration {
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Bounded queue size; `submit` blocks (backpressure) once this many
-    /// requests are waiting.
+    /// requests are waiting. Only consulted under
+    /// [`Admission::Backpressure`] — the shedding admission bounds each
+    /// tenant's lane instead (see [`Admission::Shed`]).
     pub queue_capacity: usize,
     /// How many further *submissions* a queued request may wait through
     /// before a partial batch is dispatched anyway. `0` dispatches
@@ -65,77 +71,9 @@ impl Default for ServeConfig {
     }
 }
 
-/// Completion handle for one submitted request.
-#[derive(Clone)]
-pub struct Ticket {
-    inner: Arc<TicketInner>,
-}
-
-struct TicketInner {
-    slot: Mutex<Option<Result<Vec<i32>, ServeError>>>,
-    ready: Condvar,
-}
-
-impl Ticket {
-    fn new() -> (Ticket, Arc<TicketInner>) {
-        let inner = Arc::new(TicketInner {
-            slot: Mutex::new(None),
-            ready: Condvar::new(),
-        });
-        (
-            Ticket {
-                inner: Arc::clone(&inner),
-            },
-            inner,
-        )
-    }
-
-    /// Block until the request's logits (one `i32` per class) arrive.
-    pub fn wait(&self) -> Result<Vec<i32>, ServeError> {
-        let mut slot = self.inner.slot.lock().unwrap_or_else(|e| e.into_inner());
-        while slot.is_none() {
-            slot = self
-                .inner
-                .ready
-                .wait(slot)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-        slot.as_ref().unwrap().clone()
-    }
-
-    /// Non-blocking peek: `Some` once the result is in.
-    pub fn try_get(&self) -> Option<Result<Vec<i32>, ServeError>> {
-        self.inner
-            .slot
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
-    }
-}
-
-impl TicketInner {
-    /// First delivery wins: the panic-recovery path may offer an error to
-    /// tickets whose logits already landed.
-    fn deliver(&self, result: Result<Vec<i32>, ServeError>) {
-        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
-        if slot.is_none() {
-            *slot = Some(result);
-            self.ready.notify_all();
-        }
-    }
-}
-
-struct Request {
-    plan: Arc<CompiledNet>,
-    key: ModelKey,
-    image: BitTensor4,
-    ticket: Arc<TicketInner>,
-    enqueue_tick: u64,
-}
-
 #[derive(Default)]
 struct State {
-    queue: VecDeque<Request>,
+    queue: FairQueue,
     /// The serving clock: +1 per accepted submission.
     ticks: u64,
     /// Requests currently executing in workers.
@@ -154,6 +92,10 @@ struct Shared {
     idle: Condvar,
     registry: PlanRegistry,
     config: ServeConfig,
+    policy: QueuePolicy,
+    /// Lock-free mirror of `State::ticks`, shared into every [`Ticket`] so
+    /// `wait_deadline` observes the clock without touching the queue lock.
+    clock: Arc<AtomicU64>,
     /// One shared [`WorkspacePool`] per served plan (created on the first
     /// batch for that plan, shared by every worker and every intra-batch
     /// shard). Sized so the population can cover every worker dispatching
@@ -179,25 +121,35 @@ impl Shared {
 /// A multi-model dynamic-batching inference server over a
 /// [`PlanRegistry`].
 ///
-/// `submit` resolves (lazily compiling at most once per key) the
-/// [`CompiledNet`] for the request's [`ModelKey`], validates the packed
-/// input against the plan's first stage, and enqueues the request —
-/// blocking when the bounded queue is full. Worker threads coalesce
-/// same-key requests into shards of at most the compiled batch
-/// (`plan.batch()`), execute them with partial-shard support, and deliver
-/// per-request logits through [`Ticket`]s.
+/// [`Server::submit_request`] resolves the request's [`ModelKey`] against
+/// the registry's active version (lazily compiling at most once per
+/// resolved key), validates the packed input against the plan's first
+/// stage, and admits the request into its tenant's fair-queueing lane —
+/// blocking under [`Admission::Backpressure`], shedding under
+/// [`Admission::Shed`]. Worker threads sweep expired/cancelled work out of
+/// the queue (dead requests never occupy a batch slot), coalesce same-key
+/// requests into shards of at most the compiled batch (`plan.batch()`),
+/// execute them with partial-shard support, and deliver per-request logits
+/// through [`Ticket`]s.
 ///
 /// Dropping the server (or calling [`Server::shutdown`]) drains the queue:
-/// every accepted request still completes; late submissions get
-/// [`ServeError::ShuttingDown`].
+/// every accepted request still completes (or expires/cancels); late
+/// submissions get [`ServeError::ShuttingDown`].
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Start `config.workers` worker threads over `registry`.
+    /// Start `config.workers` worker threads over `registry`, with the
+    /// default [`QueuePolicy`] (blocking backpressure, every tenant at
+    /// weight 1 — the PR 2 behaviour).
     pub fn new(registry: PlanRegistry, config: ServeConfig) -> Self {
+        Self::with_policy(registry, config, QueuePolicy::backpressure())
+    }
+
+    /// Start the server with an explicit admission/fairness [`QueuePolicy`].
+    pub fn with_policy(registry: PlanRegistry, config: ServeConfig, policy: QueuePolicy) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         let shared = Arc::new(Shared {
             state: Mutex::new(State::default()),
@@ -206,6 +158,8 @@ impl Server {
             idle: Condvar::new(),
             registry,
             config,
+            policy,
+            clock: Arc::new(AtomicU64::new(0)),
             pools: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
@@ -220,41 +174,108 @@ impl Server {
         Server { shared, workers }
     }
 
-    /// The plan cache behind this server.
+    /// The plan cache behind this server. Registration takes `&self`, so
+    /// models and versions can be added while the server runs:
+    /// `server.registry().register("M", build)` then
+    /// `server.registry().promote("M", v)`.
     pub fn registry(&self) -> &PlanRegistry {
         &self.shared.registry
     }
 
-    /// Submit one packed image for `key` (by value — no copy on the hot
-    /// path; clone at the call site to retain it). Blocks while the queue
-    /// is at capacity. The returned [`Ticket`] resolves to the request's
-    /// logits.
+    /// Submit one packed image for `key` under the default tenant with no
+    /// deadline — compat shim over [`Server::submit_request`], kept so the
+    /// PR 2 call sites compile unchanged.
     pub fn submit(&self, key: &ModelKey, image: BitTensor4) -> Result<Ticket, ServeError> {
-        let plan = self.shared.registry.get(key)?;
+        self.submit_request(Request::new(key.clone(), image))
+    }
+
+    /// Submit one [`Request`] (image by value — no copy on the hot path;
+    /// clone at the call site to retain it).
+    ///
+    /// Under [`Admission::Backpressure`] this blocks while the queue is at
+    /// `queue_capacity`. Under [`Admission::Shed`] it never blocks: a full
+    /// tenant lane sheds the oldest request whose priority does not exceed
+    /// the arrival's (its ticket resolves to [`ServeError::Shed`]), or
+    /// refuses the arrival itself with a synchronous `Err(Shed)`.
+    ///
+    /// The request's key is **resolved** against the registry's active
+    /// version here, at admission — a later
+    /// [`PlanRegistry::promote`] does not reroute queued work.
+    pub fn submit_request(&self, req: Request) -> Result<Ticket, ServeError> {
+        let Request {
+            key,
+            image,
+            tenant,
+            deadline,
+            priority,
+        } = req;
+        let resolved = self.shared.registry.resolve(&key)?;
+        let plan = self.shared.registry.get(&resolved)?;
         validate_input(&plan, &image)?;
-        let (ticket, inner) = Ticket::new();
+        let (ticket, inner) = Ticket::new(Arc::clone(&self.shared.clock));
         let mut state = self.lock_state();
-        while state.queue.len() >= self.shared.config.queue_capacity && !state.shutdown {
-            state = self
-                .shared
-                .space
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
+        if matches!(self.shared.policy.admission, Admission::Backpressure) {
+            while state.queue.len() >= self.shared.config.queue_capacity && !state.shutdown {
+                state = self
+                    .shared
+                    .space
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
         }
         if state.shutdown {
             state.stats.rejected += 1;
             return Err(ServeError::ShuttingDown);
         }
         state.ticks += 1;
-        state.stats.submitted += 1;
+        self.shared.clock.store(state.ticks, Ordering::Release);
         let enqueue_tick = state.ticks;
-        state.queue.push_back(Request {
+        // Per-tenant `submitted` counts *offered* load (accepted or shed on
+        // arrival) — the shed-rate denominator; the global counter keeps
+        // the PR 2 meaning (accepted into the queue).
+        state.stats.tenant(&tenant).submitted += 1;
+        let queued = QueuedRequest {
             plan,
-            key: key.clone(),
+            key: resolved,
             image,
             ticket: inner,
+            tenant: tenant.clone(),
             enqueue_tick,
-        });
+            expire_tick: deadline.map(|d| enqueue_tick + d),
+            priority,
+            vft: 0,
+        };
+        let weight = self.shared.policy.weight_of(&tenant);
+        let cap = match self.shared.policy.admission {
+            Admission::Backpressure => None,
+            Admission::Shed { per_tenant } => Some(per_tenant),
+        };
+        match state.queue.push(queued, weight, cap) {
+            Pushed::Queued => {
+                state.stats.submitted += 1;
+            }
+            Pushed::ShedVictim(victim) => {
+                state.stats.submitted += 1;
+                state.stats.shed += 1;
+                state.stats.tenant(&victim.tenant).shed += 1;
+                victim.ticket.deliver(Err(ServeError::Shed {
+                    key: victim.key.to_string(),
+                    tenant: victim.tenant.clone(),
+                }));
+            }
+            Pushed::ShedIncoming(refused) => {
+                state.stats.shed += 1;
+                state.stats.tenant(&refused.tenant).shed += 1;
+                let err = ServeError::Shed {
+                    key: refused.key.to_string(),
+                    tenant: refused.tenant.clone(),
+                };
+                refused.ticket.deliver(Err(err.clone()));
+                drop(state);
+                self.shared.work.notify_all();
+                return Err(err);
+            }
+        }
         drop(state);
         self.shared.work.notify_all();
         Ok(ticket)
@@ -366,69 +387,33 @@ fn validate_input(plan: &CompiledNet, image: &BitTensor4) -> Result<(), ServeErr
     Ok(())
 }
 
-/// Pull the next dispatchable batch out of the queue, or `None` if every
-/// pending group should keep waiting for fill.
-///
-/// Groups are formed per [`ModelKey`] in arrival order. The group at the
-/// head of the queue dispatches when it fills the compiled batch, when its
-/// oldest request has waited through `max_batch_delay` submissions, on
-/// shutdown, or when `force` is set (backstop timeout). A younger group
-/// that already *fills* its compiled batch may overtake a waiting head.
-fn pick_batch(state: &mut State, config: &ServeConfig, force: bool) -> Option<Vec<Request>> {
-    let head_key = state.queue.front()?.key.clone();
-    let head_group = group_indices(&state.queue, &head_key);
-    let head_plan_batch = state.queue[head_group[0]].plan.batch().max(1);
-    let head_ripe = force
-        || state.shutdown
-        || head_group.len() >= head_plan_batch
-        || state.ticks - state.queue[head_group[0]].enqueue_tick >= config.max_batch_delay;
-    if head_ripe {
-        return Some(remove_indices(&mut state.queue, &head_group));
+/// Drop expired and cancelled requests out of the queue, with stats and
+/// ticket delivery. Runs under the state lock, before every dispatch
+/// decision — dead work never occupies a batch slot. Returns whether
+/// anything was removed (the caller re-notifies space/idle waiters).
+fn sweep_dead(state: &mut State) -> bool {
+    if state.queue.is_empty() {
+        return false;
     }
-    // The head is still filling; look for a younger key with a full batch.
-    let mut seen = vec![head_key];
-    for i in 0..state.queue.len() {
-        let key = &state.queue[i].key;
-        if seen.contains(key) {
-            continue;
-        }
-        seen.push(key.clone());
-        let group = group_indices(&state.queue, key);
-        if group.len() >= state.queue[group[0]].plan.batch().max(1) {
-            return Some(remove_indices(&mut state.queue, &group));
-        }
+    let now = state.ticks;
+    let (expired, cancelled) = state.queue.sweep(now);
+    let removed = !expired.is_empty() || !cancelled.is_empty();
+    for r in &expired {
+        state.stats.expired += 1;
+        state.stats.tenant(&r.tenant).expired += 1;
+        r.ticket.deliver(Err(ServeError::Expired {
+            key: r.key.to_string(),
+            tenant: r.tenant.clone(),
+            deadline_ticks: r.expire_tick.expect("expired implies a deadline") - r.enqueue_tick,
+            waited_ticks: now - r.enqueue_tick,
+        }));
     }
-    None
-}
-
-/// Queue positions of the first `plan.batch()` requests for `key`, in
-/// arrival order.
-fn group_indices(queue: &VecDeque<Request>, key: &ModelKey) -> Vec<usize> {
-    let mut cap = usize::MAX;
-    let mut out = Vec::new();
-    for (i, r) in queue.iter().enumerate() {
-        if r.key == *key {
-            if out.is_empty() {
-                cap = r.plan.batch().max(1);
-            }
-            out.push(i);
-            if out.len() >= cap {
-                break;
-            }
-        }
+    for r in &cancelled {
+        // The ticket already resolved (cancel() delivered); only account.
+        state.stats.cancelled += 1;
+        state.stats.tenant(&r.tenant).cancelled += 1;
     }
-    out
-}
-
-fn remove_indices(queue: &mut VecDeque<Request>, indices: &[usize]) -> Vec<Request> {
-    let mut out = Vec::with_capacity(indices.len());
-    // Descending removal keeps earlier indices valid; reverse afterwards to
-    // restore arrival order.
-    for &i in indices.iter().rev() {
-        out.push(queue.remove(i).expect("index in range"));
-    }
-    out.reverse();
-    out
+    removed
 }
 
 /// One worker thread's reusable dispatch state for one plan: a handle to
@@ -456,14 +441,21 @@ impl WorkerScratch {
 }
 
 fn worker_loop(shared: &Shared) {
-    // Per-worker, per-plan dispatch state. Keyed by `ModelKey`: the
-    // registry guarantees one immutable plan per key for the server's
-    // lifetime.
+    // Per-worker, per-plan dispatch state. Keyed by resolved `ModelKey`:
+    // the registry guarantees one immutable plan per resolved key for the
+    // server's lifetime (retiring a version only evicts the registry cache;
+    // queued requests hold their plan `Arc`).
     let mut caches: HashMap<ModelKey, WorkerScratch> = HashMap::new();
     let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
     let mut force = false;
     loop {
+        if sweep_dead(&mut state) {
+            shared.space.notify_all();
+        }
         if state.queue.is_empty() {
+            if state.in_flight == 0 {
+                shared.idle.notify_all();
+            }
             if state.shutdown {
                 return;
             }
@@ -471,7 +463,12 @@ fn worker_loop(shared: &Shared) {
             state = shared.work.wait(state).unwrap_or_else(|e| e.into_inner());
             continue;
         }
-        match pick_batch(&mut state, &shared.config, force) {
+        let shutdown = state.shutdown;
+        let now = state.ticks;
+        match state
+            .queue
+            .next_batch(now, shared.config.max_batch_delay, force, shutdown)
+        {
             Some(batch) => {
                 force = false;
                 let dispatch_tick = state.ticks;
@@ -508,7 +505,13 @@ fn worker_loop(shared: &Shared) {
                 state.stats.batches += 1;
                 *state.stats.batch_fill.entry(batch.len()).or_insert(0) += 1;
                 for r in &batch {
-                    state.stats.record_latency(dispatch_tick - r.enqueue_tick);
+                    let waited = dispatch_tick - r.enqueue_tick;
+                    state.stats.record_latency(waited);
+                    if panicked.is_none() {
+                        let t = state.stats.tenant(&r.tenant);
+                        t.completed += 1;
+                        t.record_latency(waited);
+                    }
                 }
                 if state.queue.is_empty() && state.in_flight == 0 {
                     shared.idle.notify_all();
@@ -521,14 +524,13 @@ fn worker_loop(shared: &Shared) {
                 // only applies to the head the timeout was armed for: if
                 // another worker dispatched it meanwhile, the new head gets
                 // its own full delay.
-                let armed_head = state.queue.front().map(|r| r.enqueue_tick);
+                let armed_head = state.queue.head_tick();
                 let (g, timeout) = shared
                     .work
                     .wait_timeout(state, backstop(&shared.config))
                     .unwrap_or_else(|e| e.into_inner());
                 state = g;
-                force = timeout.timed_out()
-                    && state.queue.front().map(|r| r.enqueue_tick) == armed_head;
+                force = timeout.timed_out() && state.queue.head_tick() == armed_head;
             }
         }
     }
@@ -538,7 +540,7 @@ fn worker_loop(shared: &Shared) {
 /// server's shared per-plan [`WorkspacePool`] and resolve its tickets.
 fn execute_batch(
     shared: &Shared,
-    batch: &[Request],
+    batch: &[QueuedRequest],
     caches: &mut HashMap<ModelKey, WorkerScratch>,
 ) {
     let plan = &batch[0].plan;
@@ -558,7 +560,7 @@ fn execute_batch(
     } else {
         // Word-level coalescing into the reused input tensor, its backing
         // store reserved at the plan's full coalescing width once so later
-        // batches never reallocate; `pick_batch` never hands out more than
+        // batches never reallocate; `next_batch` never hands out more than
         // the compiled batch, and every slot is overwritten by a
         // full-stride image copy (so the reshape skips the zeroing pass).
         let (_, h, w, c) = batch[0].image.shape();
@@ -636,6 +638,11 @@ mod tests {
         // The fill histogram accounts for every request exactly once.
         let total: u64 = stats.batch_fill.iter().map(|&(f, c)| f as u64 * c).sum();
         assert_eq!(total, 6);
+        // The compat shim lands everything on the default tenant.
+        let t = stats.tenant(crate::DEFAULT_TENANT).unwrap();
+        assert_eq!(t.submitted, 6);
+        assert_eq!(t.completed, 6);
+        assert_eq!(t.shed_rate(), 0.0);
     }
 
     #[test]
@@ -688,6 +695,11 @@ mod tests {
             server.submit(&missing, image(0)),
             Err(ServeError::UnknownModel(_))
         ));
+        // Pinning an unregistered version is a typed error too.
+        assert!(matches!(
+            server.submit(&key.clone().at_version(3), image(0)),
+            Err(ServeError::UnknownVersion { version: 3, .. })
+        ));
     }
 
     #[test]
@@ -707,5 +719,224 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.plan_compiles, 2, "one compile per distinct key");
         assert_eq!(stats.completed, 8);
+    }
+
+    #[test]
+    fn deadlines_expire_queued_work_before_dispatch() {
+        // One worker, huge batch delay: the first (undeadlined) request
+        // pins the head group while later deadline-carrying requests age
+        // out on the tick clock.
+        let server = Server::new(
+            PlanRegistry::zoo(4, 99),
+            ServeConfig {
+                queue_capacity: 64,
+                max_batch_delay: 1_000,
+                workers: 1,
+                intra_batch_threads: 1,
+            },
+        );
+        let key = ModelKey::new("AlexNet-Tiny", NetPrecision::w1a2());
+        let vgg = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
+        // Pre-warm both plans: an inline compile inside a submit would
+        // stall the clock long enough for the wall-clock liveness backstop
+        // to force-dispatch the doomed group before it expires.
+        server.registry().get(&key).unwrap();
+        server.registry().get(&vgg).unwrap();
+        let doomed: Vec<Ticket> = (0..3)
+            .map(|i| {
+                server
+                    .submit_request(Request::new(key.clone(), image(i)).tenant("t").deadline(2))
+                    .unwrap()
+            })
+            .collect();
+        // Push the clock past every deadline with traffic that fills its
+        // own batches (a different model so it does not rescue the group).
+        let fillers: Vec<Ticket> = (0..8)
+            .map(|i| server.submit(&vgg, image(i)).unwrap())
+            .collect();
+        for t in &fillers {
+            t.wait().unwrap();
+        }
+        for t in &doomed {
+            assert!(matches!(
+                t.wait(),
+                Err(ServeError::Expired {
+                    deadline_ticks: 2,
+                    ..
+                })
+            ));
+        }
+        server.wait_idle();
+        let stats = server.stats();
+        assert_eq!(stats.expired, 3);
+        assert_eq!(stats.tenant("t").unwrap().expired, 3);
+        // Expired requests are dropped pre-dispatch: the batch-fill
+        // histogram accounts only the fillers.
+        let total: u64 = stats.batch_fill.iter().map(|&(f, c)| f as u64 * c).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn cancel_resolves_ticket_and_sweeps_queued_work() {
+        let server = Server::new(
+            PlanRegistry::zoo(4, 99),
+            ServeConfig {
+                queue_capacity: 64,
+                max_batch_delay: 1_000,
+                workers: 1,
+                intra_batch_threads: 1,
+            },
+        );
+        let key = ModelKey::new("AlexNet-Tiny", NetPrecision::w1a2());
+        let t = server
+            .submit_request(Request::new(key.clone(), image(0)).tenant("c"))
+            .unwrap();
+        assert!(t.cancel(), "cancel wins while queued");
+        assert!(matches!(t.wait(), Err(ServeError::Cancelled)));
+        server.wait_idle();
+        let stats = server.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.tenant("c").unwrap().cancelled, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn shedding_bounds_tenant_lanes_and_prefers_older_lower_priority() {
+        // No workers consuming: queue_capacity is irrelevant in shed mode;
+        // the lane bound is 2. (workers=1 still spawns a worker — block it
+        // with max_batch_delay and a never-full head group.)
+        let server = Server::with_policy(
+            PlanRegistry::zoo(4, 99),
+            ServeConfig {
+                queue_capacity: 4,
+                max_batch_delay: 1_000,
+                workers: 1,
+                intra_batch_threads: 1,
+            },
+            QueuePolicy::shedding(2),
+        );
+        let key = ModelKey::new("AlexNet-Tiny", NetPrecision::w1a2());
+        let req = |i: u64, prio: i32| {
+            Request::new(key.clone(), image(i))
+                .tenant("s")
+                .priority(prio)
+        };
+        let t0 = server.submit_request(req(0, 0)).unwrap();
+        let t1 = server.submit_request(req(1, 0)).unwrap();
+        // Lane full: the next arrival sheds the *oldest* equal-priority
+        // request (t0).
+        let t2 = server.submit_request(req(2, 0)).unwrap();
+        assert!(matches!(t0.try_get(), Some(Err(ServeError::Shed { .. }))));
+        assert!(t1.try_get().is_none(), "t1 still queued");
+        // A high-priority arrival sheds the oldest ≤-priority one (t1).
+        let t3 = server.submit_request(req(3, 5)).unwrap();
+        assert!(matches!(t1.try_get(), Some(Err(ServeError::Shed { .. }))));
+        // A low-priority arrival outranked by everything queued sheds
+        // itself, synchronously.
+        assert!(matches!(
+            server.submit_request(req(4, -1)),
+            Err(ServeError::Shed { .. })
+        ));
+        drop((t2, t3));
+        let stats = server.stats();
+        assert_eq!(stats.shed, 3);
+        let t = stats.tenant("s").unwrap();
+        assert_eq!(t.submitted, 5, "offered load counts the refused arrival");
+        assert_eq!(t.shed, 3);
+        assert!((t.shed_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fairness_interleaves_backlogged_tenants() {
+        // Two backlogged tenants at weights 3:1 on one model with batch 1
+        // (registry batch 1 → every dispatch is one request): the dispatch
+        // order must favour the heavy tenant ~3:1.
+        let server = Server::with_policy(
+            PlanRegistry::zoo(1, 99),
+            ServeConfig {
+                queue_capacity: 64,
+                max_batch_delay: 1_000,
+                workers: 1,
+                intra_batch_threads: 1,
+            },
+            QueuePolicy::shedding(32)
+                .weight("heavy", 3)
+                .weight("light", 1),
+        );
+        let key = ModelKey::new("AlexNet-Tiny", NetPrecision::w1a2());
+        // Warm the plan first so admission is cheap and the backlog builds
+        // before the worker starts draining.
+        server.registry().get(&key).unwrap();
+        let mut tickets = Vec::new();
+        for i in 0..12 {
+            for tenant in ["heavy", "light"] {
+                tickets.push((
+                    tenant,
+                    server
+                        .submit_request(Request::new(key.clone(), image(i)).tenant(tenant))
+                        .unwrap(),
+                ));
+            }
+        }
+        for (_, t) in &tickets {
+            t.wait().unwrap();
+        }
+        server.wait_idle();
+        let stats = server.stats();
+        let heavy = stats.tenant("heavy").unwrap();
+        let light = stats.tenant("light").unwrap();
+        assert_eq!(heavy.completed, 12);
+        assert_eq!(light.completed, 12);
+        // WFQ evidence: the heavy lane never waits meaningfully longer.
+        // The exact 3:1 dispatch order is pinned by the queue-level unit
+        // test; end-to-end, the submission-tick clock freezes once the
+        // last request is admitted, so if the worker only gets scheduled
+        // after the whole backlog is queued (common on a loaded
+        // single-core runner), every latency collapses to
+        // `final_tick - enqueue_tick` no matter who dispatched first —
+        // and heavy, submitted before light in each pair, reads exactly
+        // one tick higher. Allow that one-tick submission-order artifact;
+        // anything beyond it means the heavy lane genuinely queued behind
+        // the light one.
+        assert!(
+            heavy.p50_latency_ticks <= light.p50_latency_ticks + 1,
+            "heavy p50 {} > light p50 {} + 1",
+            heavy.p50_latency_ticks,
+            light.p50_latency_ticks
+        );
+        assert!(
+            heavy.p99_latency_ticks <= light.p99_latency_ticks + 1,
+            "heavy p99 {} > light p99 {} + 1",
+            heavy.p99_latency_ticks,
+            light.p99_latency_ticks
+        );
+    }
+
+    #[test]
+    fn hot_swap_promotes_new_version_and_drains_old() {
+        use apnn_nn::models::servable_zoo;
+        let server = zoo_server(2, 2);
+        let key = ModelKey::new("AlexNet-Tiny", NetPrecision::w1a2());
+        // Register v2 on the live server (interior mutability).
+        let net = servable_zoo()
+            .into_iter()
+            .find(|n| n.name == "AlexNet-Tiny")
+            .unwrap();
+        let v2 = server
+            .registry()
+            .register("AlexNet-Tiny", move || net.clone());
+        assert_eq!(v2, 2);
+        // Unpinned traffic still lands on v1 until promotion.
+        let before = server.submit(&key, image(0)).unwrap();
+        server.registry().promote("AlexNet-Tiny", v2).unwrap();
+        let after = server.submit(&key, image(0)).unwrap();
+        // Both complete; the v1 plan and v2 plan are separate compiles.
+        before.wait().unwrap();
+        after.wait().unwrap();
+        server.wait_idle();
+        let labels = server.registry().compiled_labels();
+        assert!(labels.iter().any(|l| l == "AlexNet-Tiny@APNN-w1a2"));
+        assert!(labels.iter().any(|l| l == "AlexNet-Tiny@APNN-w1a2#v2"));
+        assert_eq!(server.stats().completed, 2);
     }
 }

@@ -1,5 +1,5 @@
-//! Serving telemetry: a consistent snapshot of queue, batching and
-//! plan-cache behaviour.
+//! Serving telemetry: a consistent snapshot of queue, batching,
+//! plan-cache and per-tenant behaviour.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -9,6 +9,32 @@ use std::collections::{BTreeMap, VecDeque};
 /// history, while holding the queue lock.
 pub(crate) const LATENCY_WINDOW: usize = 4096;
 
+/// Per-tenant latency window: smaller than the global one because a server
+/// may carry many tenants, and the per-tenant percentiles gate fairness,
+/// not fine-grained tail analysis.
+pub(crate) const TENANT_LATENCY_WINDOW: usize = 1024;
+
+/// Mutable per-tenant counters (under the queue lock, keyed by tenant
+/// label in a `BTreeMap` for deterministic snapshot order).
+#[derive(Debug, Default)]
+pub(crate) struct TenantInner {
+    pub(crate) submitted: u64,
+    pub(crate) completed: u64,
+    pub(crate) shed: u64,
+    pub(crate) expired: u64,
+    pub(crate) cancelled: u64,
+    pub(crate) latencies_ticks: VecDeque<u64>,
+}
+
+impl TenantInner {
+    pub(crate) fn record_latency(&mut self, ticks: u64) {
+        if self.latencies_ticks.len() == TENANT_LATENCY_WINDOW {
+            self.latencies_ticks.pop_front();
+        }
+        self.latencies_ticks.push_back(ticks);
+    }
+}
+
 /// Mutable counters maintained under the server's queue lock.
 #[derive(Debug, Default)]
 pub(crate) struct StatsInner {
@@ -16,6 +42,13 @@ pub(crate) struct StatsInner {
     pub(crate) completed: u64,
     pub(crate) rejected: u64,
     pub(crate) failed: u64,
+    /// Requests displaced (or refused) by the shed admission policy.
+    pub(crate) shed: u64,
+    /// Requests whose deadline passed while queued (dropped before
+    /// occupying a batch slot).
+    pub(crate) expired: u64,
+    /// Requests cancelled via [`crate::Ticket::cancel`] while queued.
+    pub(crate) cancelled: u64,
     pub(crate) batches: u64,
     /// batch fill (requests coalesced per dispatch) → dispatch count.
     pub(crate) batch_fill: BTreeMap<usize, u64>,
@@ -23,6 +56,71 @@ pub(crate) struct StatsInner {
     /// requests, in ticks (one tick per submission): dispatch tick −
     /// enqueue tick.
     pub(crate) latencies_ticks: VecDeque<u64>,
+    /// Per-tenant counters, keyed by tenant label.
+    pub(crate) tenants: BTreeMap<String, TenantInner>,
+}
+
+impl StatsInner {
+    pub(crate) fn tenant(&mut self, label: &str) -> &mut TenantInner {
+        if !self.tenants.contains_key(label) {
+            self.tenants
+                .insert(label.to_string(), TenantInner::default());
+        }
+        self.tenants.get_mut(label).expect("tenant just ensured")
+    }
+}
+
+/// Sort-and-rank percentile over a latency window (nearest-rank method).
+fn percentiles(window: &VecDeque<u64>) -> (u64, u64, u64) {
+    let mut sorted: Vec<u64> = window.iter().copied().collect();
+    sorted.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    };
+    (pct(0.50), pct(0.99), sorted.last().copied().unwrap_or(0))
+}
+
+/// One tenant's slice of a [`ServeStats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant label ([`crate::Request::tenant`]; unlabelled requests land
+    /// on [`crate::DEFAULT_TENANT`]).
+    pub tenant: String,
+    /// Requests this tenant **offered** (accepted into the queue or shed
+    /// on arrival) — the shed-rate denominator. Once the queue drains,
+    /// `submitted == completed + shed + expired + cancelled` per tenant
+    /// (absent execution panics).
+    pub submitted: u64,
+    /// Requests whose logits were delivered.
+    pub completed: u64,
+    /// Requests shed under saturation (displaced from a full lane, or
+    /// refused on arrival because everything queued outranked them).
+    pub shed: u64,
+    /// Requests whose deadline expired while queued.
+    pub expired: u64,
+    /// Requests cancelled while queued.
+    pub cancelled: u64,
+    /// Median queueing latency in ticks, over the tenant's most recent
+    /// `TENANT_LATENCY_WINDOW` (1024) completions.
+    pub p50_latency_ticks: u64,
+    /// 99th-percentile queueing latency in ticks (same window).
+    pub p99_latency_ticks: u64,
+}
+
+impl TenantStats {
+    /// Shed requests as a fraction of this tenant's offered load;
+    /// `0.0` before any traffic.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
 }
 
 /// A point-in-time snapshot of a [`crate::Server`]'s behaviour.
@@ -44,6 +142,14 @@ pub struct ServeStats {
     /// ([`crate::ServeError::ExecutionFailed`] delivered instead of
     /// logits).
     pub failed: u64,
+    /// Requests shed by the admission policy
+    /// ([`crate::ServeError::Shed`]); counted across every tenant.
+    pub shed: u64,
+    /// Requests whose deadline expired while queued
+    /// ([`crate::ServeError::Expired`]); dropped before dispatch.
+    pub expired: u64,
+    /// Requests cancelled while queued ([`crate::Ticket::cancel`]).
+    pub cancelled: u64,
     /// Requests currently queued (not yet dispatched).
     pub queue_depth: usize,
     /// Requests currently executing in a worker.
@@ -60,11 +166,14 @@ pub struct ServeStats {
     pub p99_latency_ticks: u64,
     /// Worst queueing latency in ticks (same window).
     pub max_latency_ticks: u64,
-    /// Plans compiled by the registry (one per distinct model key).
+    /// Per-tenant counters and percentiles, sorted by tenant label.
+    pub tenants: Vec<TenantStats>,
+    /// Plans compiled by the registry (one per distinct resolved key).
     pub plan_compiles: u64,
     /// `model@scheme` labels of every successfully compiled plan, sorted
-    /// (mixed-precision plans carry their run-length schedule label) — what
-    /// precision each served model is actually running at.
+    /// (mixed-precision plans carry their run-length schedule label;
+    /// re-registered versions a `#v{n}` suffix) — what precision each
+    /// served model is actually running at.
     pub plan_schemes: Vec<String>,
     /// Plan lookups served from the warm cache.
     pub plan_hits: u64,
@@ -100,6 +209,11 @@ impl ServeStats {
             reqs as f64 / batches as f64
         }
     }
+
+    /// The snapshot's slice for `tenant`, if it has sent any traffic.
+    pub fn tenant(&self, tenant: &str) -> Option<&TenantStats> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
+    }
 }
 
 impl StatsInner {
@@ -121,27 +235,40 @@ impl StatsInner {
         // server's per-plan workspace pools.
         pool_stats: (usize, usize, u64, u64),
     ) -> ServeStats {
-        let mut sorted: Vec<u64> = self.latencies_ticks.iter().copied().collect();
-        sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-            sorted[rank - 1]
-        };
+        let (p50, p99, max) = percentiles(&self.latencies_ticks);
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|(label, t)| {
+                let (tp50, tp99, _) = percentiles(&t.latencies_ticks);
+                TenantStats {
+                    tenant: label.clone(),
+                    submitted: t.submitted,
+                    completed: t.completed,
+                    shed: t.shed,
+                    expired: t.expired,
+                    cancelled: t.cancelled,
+                    p50_latency_ticks: tp50,
+                    p99_latency_ticks: tp99,
+                }
+            })
+            .collect();
         ServeStats {
             submitted: self.submitted,
             completed: self.completed,
             rejected: self.rejected,
             failed: self.failed,
+            shed: self.shed,
+            expired: self.expired,
+            cancelled: self.cancelled,
             queue_depth,
             in_flight,
             batches: self.batches,
             batch_fill: self.batch_fill.iter().map(|(&f, &c)| (f, c)).collect(),
-            p50_latency_ticks: pct(0.50),
-            p99_latency_ticks: pct(0.99),
-            max_latency_ticks: sorted.last().copied().unwrap_or(0),
+            p50_latency_ticks: p50,
+            p99_latency_ticks: p99,
+            max_latency_ticks: max,
+            tenants,
             plan_compiles,
             plan_hits,
             plan_schemes,
@@ -207,5 +334,51 @@ mod tests {
         assert_eq!(snap.p50_latency_ticks, 0);
         assert_eq!(snap.p99_latency_ticks, 0);
         assert_eq!(snap.mean_fill(), 0.0);
+        assert!(snap.tenants.is_empty());
+    }
+
+    #[test]
+    fn tenant_slices_carry_counters_percentiles_and_shed_rate() {
+        let mut inner = StatsInner::default();
+        {
+            let a = inner.tenant("alpha");
+            a.submitted = 40;
+            a.completed = 24;
+            a.shed = 10;
+            a.expired = 4;
+            a.cancelled = 2;
+            for t in 1..=10 {
+                a.record_latency(t);
+            }
+        }
+        inner.tenant("beta").submitted = 1;
+        let snap = inner.snapshot(0, 0, 0, 0, Vec::new(), (0, 0, 0, 0));
+        assert_eq!(snap.tenants.len(), 2);
+        // BTreeMap ordering: deterministic tenant order by label.
+        assert_eq!(snap.tenants[0].tenant, "alpha");
+        assert_eq!(snap.tenants[1].tenant, "beta");
+        let a = snap.tenant("alpha").unwrap();
+        assert_eq!(a.submitted, 40);
+        assert_eq!(a.completed, 24);
+        assert_eq!(a.expired, 4);
+        assert_eq!(a.cancelled, 2);
+        // Every offer resolved to exactly one outcome.
+        assert_eq!(a.completed + a.shed + a.expired + a.cancelled, a.submitted);
+        assert_eq!(a.p50_latency_ticks, 5);
+        assert_eq!(a.p99_latency_ticks, 10);
+        assert!((a.shed_rate() - 10.0 / 40.0).abs() < 1e-12);
+        assert_eq!(snap.tenant("beta").unwrap().shed_rate(), 0.0);
+        assert!(snap.tenant("gamma").is_none());
+    }
+
+    #[test]
+    fn tenant_latency_window_is_bounded() {
+        let mut inner = StatsInner::default();
+        let t = inner.tenant("a");
+        for i in 0..(TENANT_LATENCY_WINDOW as u64 + 5) {
+            t.record_latency(i);
+        }
+        assert_eq!(t.latencies_ticks.len(), TENANT_LATENCY_WINDOW);
+        assert_eq!(t.latencies_ticks.front().copied(), Some(5));
     }
 }

@@ -283,6 +283,35 @@ pub mod collection {
     }
 }
 
+/// `Option` strategies (upstream `proptest::option`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Upstream defaults to 75% `Some`.
+            if rng.next().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    /// `Option<T>` strategy: `None` a quarter of the time, otherwise
+    /// `Some` of the inner strategy's value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 /// Test-runner plumbing: config + deterministic RNG.
 pub mod test_runner {
     /// Runner configuration (only `cases` is meaningful here).

@@ -20,7 +20,9 @@
 //! * [`quant`] — quantization algorithms (affine, LQ-Nets QEM, DoReFa) and
 //!   quantization-aware training on synthetic data.
 //! * [`serve`] — the dynamic-batching multi-model inference server over
-//!   compiled plans (bounded queue, request coalescing, plan cache).
+//!   compiled plans (request coalescing, plan cache, per-tenant weighted
+//!   fair queueing with deadlines and load shedding, blue-green plan
+//!   versioning, and a length-prefixed TCP wire protocol).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map and
 //! the paper-substitution rationale.
@@ -44,7 +46,8 @@ pub mod prelude {
         SimEngine,
     };
     pub use apnn_serve::{
-        ModelKey, PlanRegistry, PlanSpec, ServeConfig, ServeStats, Server, Ticket,
+        serve_tcp, Admission, ModelKey, PlanRegistry, PlanSpec, QueuePolicy, Request, ServeConfig,
+        ServeStats, Server, TcpServeHandle, TenantStats, Ticket, WireClient,
     };
     pub use apnn_sim::{GpuSpec, KernelReport, Precision};
 }

@@ -1,0 +1,322 @@
+//! The serve tier's *boundary* behaviours, tested differentially: any mix
+//! of deadlines, cancellations, tenants, priorities and load shedding
+//! must leave every **surviving** request's logits bit-identical to
+//! sequential [`CompiledNet::infer`] — refusal is allowed, corruption is
+//! not — while the per-tenant accounting stays exact:
+//! `submitted == completed + shed + expired + cancelled` for every tenant
+//! after every drain.
+//!
+//! Also covers the blue-green path end-to-end (admission-time resolution
+//! drains in-queue work on a retired version's plan) and the
+//! [`Ticket::wait_deadline`] bounded wait.
+
+use std::sync::OnceLock;
+
+use apnn_tc::bitpack::{BitTensor4, Encoding, Layout, Tensor4};
+use apnn_tc::nn::NetPrecision;
+use apnn_tc::serve::ServeError;
+use apnn_tc::serve::{ModelKey, PlanRegistry, QueuePolicy, Request, ServeConfig, Server};
+use proptest::prelude::*;
+
+/// Requests per boundary round.
+const N: usize = 10;
+/// Compiled batch baked into every plan.
+const BATCH: usize = 3;
+/// Weight seed shared by every registry in this binary.
+const SEED: u64 = 2021;
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+struct Combo {
+    key: ModelKey,
+    /// N packed request images (request i = image i).
+    input: BitTensor4,
+    /// Sequential single-image reference logits.
+    reference: Vec<Vec<i32>>,
+}
+
+fn combos() -> &'static [Combo] {
+    static COMBOS: OnceLock<Vec<Combo>> = OnceLock::new();
+    COMBOS.get_or_init(|| {
+        let registry = PlanRegistry::zoo(BATCH, SEED);
+        ["AlexNet-Tiny", "VGG-Variant-Tiny"]
+            .into_iter()
+            .map(|model| {
+                let key = ModelKey::new(model, NetPrecision::w1a2());
+                let plan = registry.get(&key).unwrap();
+                let mut seed = 0xB0A7 ^ model.len() as u64;
+                let codes = Tensor4::<u32>::from_fn(N, 3, 32, 32, Layout::Nhwc, |_, _, _, _| {
+                    (lcg(&mut seed) as u32) % 256
+                });
+                let input = BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne);
+                let reference = (0..N)
+                    .map(|i| plan.infer(&input.batch_slice(i, 1)))
+                    .collect();
+                Combo {
+                    key,
+                    input,
+                    reference,
+                }
+            })
+            .collect()
+    })
+}
+
+/// One long-lived server under a shedding, weighted, multi-tenant policy.
+/// Reuse across proptest cases is part of the property: the per-tenant
+/// invariant must hold on *cumulative* counters after every drain.
+fn server() -> &'static Server {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let server = Server::with_policy(
+            PlanRegistry::zoo(BATCH, SEED),
+            ServeConfig {
+                queue_capacity: 4 * N,
+                max_batch_delay: 2,
+                workers: 2,
+                intra_batch_threads: 1,
+            },
+            QueuePolicy::shedding(4)
+                .weight("tenant-0", 3)
+                .weight("tenant-1", 1)
+                .weight("tenant-2", 2),
+        );
+        // Warm every plan so in-test compiles never stall the tick clock.
+        for combo in combos() {
+            server.registry().get(&combo.key).unwrap();
+        }
+        server
+    })
+}
+
+/// What one generated request does.
+#[derive(Debug, Clone)]
+struct Action {
+    model: usize,
+    image: usize,
+    tenant: u8,
+    deadline: Option<u64>,
+    cancel: bool,
+    priority: i32,
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    (
+        0usize..2,
+        0usize..N,
+        0u8..3,
+        proptest::option::of(1u64..8),
+        any::<bool>(),
+        -2i32..3,
+    )
+        .prop_map(
+            |(model, image, tenant, deadline, cancel, priority)| Action {
+                model,
+                image,
+                tenant,
+                deadline,
+                cancel,
+                priority,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Submit an arbitrary mix of tenants/deadlines/cancellations/
+    /// priorities through the shedding server; every request must either
+    /// be refused with the *matching* typed error or complete with logits
+    /// bit-identical to the sequential reference — and the per-tenant
+    /// ledger must balance exactly afterwards.
+    #[test]
+    fn any_mix_of_deadlines_cancellations_and_tenants_preserves_bit_identity(
+        actions in proptest::collection::vec(action(), N),
+    ) {
+        let server = server();
+        let mut live = Vec::new();
+        for a in &actions {
+            let combo = &combos()[a.model];
+            let mut req = Request::new(combo.key.clone(), combo.input.batch_slice(a.image, 1))
+                .tenant(format!("tenant-{}", a.tenant))
+                .priority(a.priority);
+            if let Some(d) = a.deadline {
+                req = req.deadline(d);
+            }
+            match server.submit_request(req) {
+                Ok(ticket) => {
+                    if a.cancel {
+                        // May win (queued) or lose (already dispatched) —
+                        // both must stay coherent.
+                        ticket.cancel();
+                    }
+                    live.push((a, ticket));
+                }
+                // Refused at admission: the arrival itself was outranked.
+                Err(ServeError::Shed { tenant, .. }) => {
+                    prop_assert_eq!(tenant, format!("tenant-{}", a.tenant));
+                }
+                Err(e) => prop_assert!(false, "unexpected admission error: {e}"),
+            }
+        }
+        for (a, ticket) in &live {
+            let combo = &combos()[a.model];
+            match ticket.wait() {
+                Ok(got) => prop_assert_eq!(
+                    &got,
+                    &combo.reference[a.image],
+                    "surviving request (image {}) must be bit-identical",
+                    a.image
+                ),
+                Err(ServeError::Cancelled) => prop_assert!(a.cancel),
+                Err(ServeError::Expired { deadline_ticks, waited_ticks, tenant, .. }) => {
+                    prop_assert_eq!(Some(deadline_ticks), a.deadline);
+                    prop_assert!(waited_ticks >= deadline_ticks);
+                    prop_assert_eq!(tenant, format!("tenant-{}", a.tenant));
+                }
+                // Any queued request can be displaced by a later arrival.
+                Err(ServeError::Shed { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected terminal error: {e}"),
+            }
+        }
+        server.wait_idle();
+        let stats = server.stats();
+        prop_assert!(!stats.tenants.is_empty());
+        for t in &stats.tenants {
+            prop_assert_eq!(
+                t.submitted,
+                t.completed + t.shed + t.expired + t.cancelled,
+                "tenant `{}` ledger must balance: {:?}",
+                &t.tenant,
+                t
+            );
+            let rate = t.shed_rate();
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+        // The global ledger counts accepted work only; refused arrivals
+        // appear in `shed` but not `submitted`.
+        prop_assert!(
+            stats.completed + stats.expired + stats.cancelled <= stats.submitted
+        );
+    }
+}
+
+/// `wait_deadline` returns `None` while the clock is stalled, without
+/// consuming the eventual result; the same ticket then resolves normally.
+#[test]
+fn wait_deadline_bounds_the_wait_without_consuming_the_result() {
+    let server = Server::new(
+        PlanRegistry::zoo(BATCH, SEED),
+        ServeConfig {
+            queue_capacity: 16,
+            max_batch_delay: 1_000,
+            workers: 1,
+            intra_batch_threads: 1,
+        },
+    );
+    let combo = &combos()[0];
+    server.registry().get(&combo.key).unwrap();
+    let ticket = server
+        .submit_request(Request::new(
+            combo.key.clone(),
+            combo.input.batch_slice(0, 1),
+        ))
+        .unwrap();
+    // One parked request, huge batch delay: the submission clock is not
+    // advancing, so a 1-tick bounded wait gives up quickly…
+    assert!(ticket.wait_deadline(1).is_none());
+    assert!(!ticket.is_done());
+    // …while filler traffic (same key) completes the batch and the ticket.
+    let fillers: Vec<_> = (1..=2)
+        .map(|i| {
+            server
+                .submit_request(Request::new(
+                    combo.key.clone(),
+                    combo.input.batch_slice(i, 1),
+                ))
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(ticket.wait().unwrap(), combo.reference[0]);
+    assert_eq!(ticket.try_get(), Some(Ok(combo.reference[0].clone())));
+    for (i, f) in fillers.iter().enumerate() {
+        assert_eq!(f.wait().unwrap(), combo.reference[i + 1]);
+    }
+}
+
+/// Blue-green end-to-end: work admitted before a promote drains on the
+/// version it resolved at admission — even after that version is retired
+/// — and post-promote traffic lands on the new version. Both versions
+/// build from the same weights here, so *every* response must stay
+/// bit-identical to the single reference.
+#[test]
+fn hot_swap_drains_admitted_work_on_the_retired_version() {
+    use apnn_tc::nn::models::servable_zoo;
+    let server = Server::new(
+        PlanRegistry::zoo(BATCH, SEED),
+        ServeConfig {
+            queue_capacity: 16,
+            max_batch_delay: 1_000,
+            workers: 1,
+            intra_batch_threads: 1,
+        },
+    );
+    let combo = &combos()[0];
+    server.registry().get(&combo.key).unwrap();
+    // Admit one unpinned request: it resolves v1 and parks (batch 3).
+    let blue = server
+        .submit_request(Request::new(
+            combo.key.clone(),
+            combo.input.batch_slice(0, 1),
+        ))
+        .unwrap();
+    // Roll out green while blue work is in queue.
+    let net = servable_zoo()
+        .into_iter()
+        .find(|n| n.name == combo.key.model)
+        .unwrap();
+    let v2 = server
+        .registry()
+        .register(&combo.key.model, move || net.clone());
+    server.registry().promote(&combo.key.model, v2).unwrap();
+    server.registry().retire(&combo.key.model, 1).unwrap();
+    // Post-promote unpinned traffic resolves v2 — a *different* resolved
+    // key, so it cannot rescue the parked v1 group; both groups dispatch
+    // via the liveness backstop and must agree bit-exactly.
+    let green = server
+        .submit_request(Request::new(
+            combo.key.clone(),
+            combo.input.batch_slice(1, 1),
+        ))
+        .unwrap();
+    assert_eq!(
+        blue.wait().unwrap(),
+        combo.reference[0],
+        "drained on retired v1"
+    );
+    assert_eq!(
+        green.wait().unwrap(),
+        combo.reference[1],
+        "served on promoted v2"
+    );
+    server.wait_idle();
+    let labels = server.registry().compiled_labels();
+    assert!(
+        labels.iter().any(|l| l.ends_with("#v2")),
+        "green plan compiled: {labels:?}"
+    );
+    assert!(
+        labels
+            .iter()
+            .all(|l| !l.contains("#v1") && *l != format!("{}", combo.key)),
+        "retired blue plan evicted: {labels:?}"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.expired + stats.shed + stats.cancelled, 0);
+}
