@@ -182,7 +182,8 @@ pub fn serve_json(points: &[LoadPoint]) -> String {
              \"burst\": {}, \"threads\": {}, \"pool\": {}, \"mean_fill\": {:.3}, \
              \"p50_ticks\": {}, \"p99_ticks\": {}, \"offered_rps\": {:.1}, \
              \"throughput_rps\": {:.1}, \"shed_rate\": {:.4}, \"expired\": {}, \
-             \"version\": {}}}{}",
+             \"poisoned\": {}, \"worker_restarts\": {}, \"rollbacks\": {}, \
+             \"client_retries\": {}, \"version\": {}}}{}",
             p.model,
             p.scheme,
             p.mode,
@@ -197,6 +198,10 @@ pub fn serve_json(points: &[LoadPoint]) -> String {
             p.throughput_rps,
             p.shed_rate,
             p.expired,
+            p.poisoned,
+            p.worker_restarts,
+            p.rollbacks,
+            p.client_retries,
             p.version,
             if i + 1 == points.len() { "\n" } else { ",\n" }
         );
@@ -321,6 +326,10 @@ mod tests {
             throughput_rps: 456.78,
             shed_rate: 0.4375,
             expired: 12,
+            poisoned: 2,
+            worker_restarts: 1,
+            rollbacks: 1,
+            client_retries: 3,
             version: 1,
         }];
         let json = serve_json(&points);
@@ -335,6 +344,10 @@ mod tests {
         assert!(json.contains("\"throughput_rps\": 456.8"));
         assert!(json.contains("\"shed_rate\": 0.4375"));
         assert!(json.contains("\"expired\": 12"));
+        assert!(json.contains("\"poisoned\": 2"));
+        assert!(json.contains("\"worker_restarts\": 1"));
+        assert!(json.contains("\"rollbacks\": 1"));
+        assert!(json.contains("\"client_retries\": 3"));
         assert!(json.contains("\"version\": 1"));
         assert!(!json.contains(",\n]"));
     }

@@ -21,13 +21,21 @@ use apnn_bench::{artifacts, experiments as exp, kernels, precision, serve_load};
 use apnn_sim::GpuSpec;
 
 /// Run the serving load sweeps — the closed-loop burst × intra-batch
-/// threads sweep plus the open-loop overload sweep (0.5×/1×/2× saturation
-/// from two weighted tenants under shedding admission) — write
+/// threads sweep, the open-loop overload sweep (0.5×/1×/2× saturation
+/// from two weighted tenants under shedding admission) and, on
+/// `fault-inject` builds, the chaos A/B goodput-retention pair — write
 /// `BENCH_serve.json`, return the table.
 fn serve() -> String {
     let mut points = serve_load::sweep(&[1, 2, 4, 8, 16, 32], &[1, 4], 96);
     points.extend(serve_load::overload_sweep(&[50, 100, 200], 192));
+    #[cfg(feature = "fault-inject")]
+    points.extend(serve_load::chaos_sweep(192));
     let mut out = serve_load::report(&points);
+    #[cfg(not(feature = "fault-inject"))]
+    out.push_str(
+        "note: built without `fault-inject` — no chaos rows; this artifact \
+         will not pass `repro check-bench`\n",
+    );
     match artifacts::write_artifact("BENCH_serve.json", &artifacts::serve_json(&points)) {
         Ok(path) => out.push_str(&format!("wrote {}\n", path.display())),
         Err(e) => out.push_str(&format!("could not write BENCH_serve.json: {e}\n")),

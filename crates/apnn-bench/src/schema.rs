@@ -269,17 +269,21 @@ pub fn validate_kernels(rows: &[Row]) -> Result<Vec<KernelKey>, String> {
 pub type ServeKey = (String, String, String, String, u64, u64);
 
 /// Validate one `BENCH_serve.json` row set: required fields present
-/// (including the precision `scheme` every served plan runs at and the
-/// per-tenant overload accounting), values in sane ranges, every
-/// [`SERVABLE_MODELS`] entry covered, and the overload sweep actually
-/// driven past saturation (a `mode: "overload"` row at `burst >= 200`,
-/// i.e. 2× the measured plateau, from at least two distinct tenants).
-/// Returns the [`ServeKey`] identity keys.
+/// (including the precision `scheme` every served plan runs at, the
+/// per-tenant overload accounting and the recovery counters), values in
+/// sane ranges, every [`SERVABLE_MODELS`] entry covered, the overload
+/// sweep actually driven past saturation (a `mode: "overload"` row at
+/// `burst >= 200`, i.e. 2× the measured plateau, from at least two
+/// distinct tenants), and the chaos A/B pair present (`mode: "chaos"`
+/// rows for tenants `baseline` and `faulted`) with the faulted run
+/// retaining at least half the fault-free goodput. Returns the
+/// [`ServeKey`] identity keys.
 pub fn validate_serve(rows: &[Row]) -> Result<Vec<ServeKey>, String> {
     if rows.is_empty() {
         return Err("serve artifact has no rows".into());
     }
     let mut keys = Vec::with_capacity(rows.len());
+    let mut chaos_rps: Vec<(String, f64)> = Vec::new();
     for (i, row) in rows.iter().enumerate() {
         let ctx = |e: String| format!("serve row {i}: {e}");
         let model = string(row, "model").map_err(ctx)?;
@@ -296,11 +300,15 @@ pub fn validate_serve(rows: &[Row]) -> Result<Vec<ServeKey>, String> {
         let rps = num(row, "throughput_rps").map_err(ctx)?;
         let shed_rate = num(row, "shed_rate").map_err(ctx)?;
         let expired = num(row, "expired").map_err(ctx)?;
+        let poisoned = num(row, "poisoned").map_err(ctx)?;
+        let worker_restarts = num(row, "worker_restarts").map_err(ctx)?;
+        let rollbacks = num(row, "rollbacks").map_err(ctx)?;
+        let client_retries = num(row, "client_retries").map_err(ctx)?;
         let version = num(row, "version").map_err(ctx)?;
         if !scheme.starts_with("APNN-") {
             return Err(format!("serve row {i}: unexpected scheme `{scheme}`"));
         }
-        if mode != "closed" && mode != "overload" {
+        if mode != "closed" && mode != "overload" && mode != "chaos" {
             return Err(format!("serve row {i}: unknown mode `{mode}`"));
         }
         if tenant.is_empty() {
@@ -327,8 +335,26 @@ pub fn validate_serve(rows: &[Row]) -> Result<Vec<ServeKey>, String> {
         if expired < 0.0 {
             return Err(format!("serve row {i}: negative expired count"));
         }
+        for (name, v) in [
+            ("poisoned", poisoned),
+            ("worker_restarts", worker_restarts),
+            ("rollbacks", rollbacks),
+            ("client_retries", client_retries),
+        ] {
+            if v < 0.0 {
+                return Err(format!("serve row {i}: negative {name} count"));
+            }
+            if mode != "chaos" && v != 0.0 {
+                return Err(format!(
+                    "serve row {i}: nonzero {name} outside chaos mode ({v})"
+                ));
+            }
+        }
         if version < 1.0 {
             return Err(format!("serve row {i}: plan version {version} below 1"));
+        }
+        if mode == "chaos" {
+            chaos_rps.push((tenant.clone(), rps));
         }
         keys.push((model, scheme, mode, tenant, burst as u64, threads as u64));
     }
@@ -354,6 +380,33 @@ pub fn validate_serve(rows: &[Row]) -> Result<Vec<ServeKey>, String> {
         .any(|(_, _, mode, _, burst, _)| mode == "overload" && *burst >= 200)
     {
         return Err("serve artifact has no overload row at >= 2x saturation".into());
+    }
+    // The chaos A/B pair: the same workload on a fault-free twin and under
+    // injected faults, with a hard goodput-retention floor. Losing the pair
+    // (or the floor) silently drops the recovery evidence.
+    let chaos_sum = |tenant: &str| -> f64 {
+        chaos_rps
+            .iter()
+            .filter(|(t, _)| t == tenant)
+            .map(|(_, rps)| rps)
+            .sum()
+    };
+    let (baseline, faulted) = (chaos_sum("baseline"), chaos_sum("faulted"));
+    if baseline <= 0.0 || faulted <= 0.0 {
+        return Err(format!(
+            "serve artifact needs chaos rows for tenants `baseline` and `faulted`, \
+             got {:?}",
+            chaos_rps
+                .iter()
+                .map(|(t, _)| t.as_str())
+                .collect::<Vec<_>>()
+        ));
+    }
+    if faulted < 0.5 * baseline {
+        return Err(format!(
+            "chaos goodput retention below floor: faulted {faulted:.1} req/s < 50% of \
+             baseline {baseline:.1} req/s"
+        ));
     }
     Ok(keys)
 }
@@ -505,11 +558,24 @@ mod tests {
             r#"{"serve": [{"model": "VGG-Variant-Tiny", "scheme": "APNN-w1a2", "mode": "closed",
                 "tenant": "all", "burst": 8, "threads": 1, "pool": 1, "mean_fill": 0.2,
                 "p50_ticks": 0, "p99_ticks": 1, "offered_rps": 10.0, "throughput_rps": 10.0,
-                "shed_rate": 0.0, "expired": 0, "version": 1}]}"#,
+                "shed_rate": 0.0, "expired": 0, "poisoned": 0, "worker_restarts": 0,
+                "rollbacks": 0, "client_retries": 0, "version": 1}]}"#,
         )
         .unwrap();
         let err = validate_serve(&rows).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
+
+        // Rows that predate the fault-injection harness carry no recovery
+        // counters — stale artifacts fail loudly.
+        let rows = parse_rows(
+            r#"{"serve": [{"model": "VGG-Variant-Tiny", "scheme": "APNN-w1a2", "mode": "closed",
+                "tenant": "all", "burst": 8, "threads": 1, "pool": 1, "mean_fill": 2.0,
+                "p50_ticks": 0, "p99_ticks": 1, "offered_rps": 10.0, "throughput_rps": 10.0,
+                "shed_rate": 0.0, "expired": 0, "version": 1}]}"#,
+        )
+        .unwrap();
+        let err = validate_serve(&rows).unwrap_err();
+        assert!(err.contains("missing field `poisoned`"), "{err}");
 
         // Rows that predate the zoo-wide serve sweep carry no `model`.
         let rows = parse_rows(
@@ -546,7 +612,20 @@ mod tests {
             r#"{{"model": "{model}", "scheme": "APNN-w1a2", "mode": "{mode}",
                 "tenant": "{tenant}", "burst": {burst}, "threads": 1, "pool": 1,
                 "mean_fill": 4.0, "p50_ticks": 2, "p99_ticks": 9, "offered_rps": 120.0,
-                "throughput_rps": 60.0, "shed_rate": {shed_rate}, "expired": 3, "version": 1}}"#
+                "throughput_rps": 60.0, "shed_rate": {shed_rate}, "expired": 3,
+                "poisoned": 0, "worker_restarts": 0, "rollbacks": 0, "client_retries": 0,
+                "version": 1}}"#
+        )
+    }
+
+    fn chaos_row(tenant: &str, rps: f64) -> String {
+        format!(
+            r#"{{"model": "AlexNet-Tiny", "scheme": "APNN-w1a2", "mode": "chaos",
+                "tenant": "{tenant}", "burst": 25, "threads": 1, "pool": 4,
+                "mean_fill": 4.0, "p50_ticks": 2, "p99_ticks": 14, "offered_rps": 120.0,
+                "throughput_rps": {rps}, "shed_rate": 0.02, "expired": 1,
+                "poisoned": 2, "worker_restarts": 3, "rollbacks": 0, "client_retries": 1,
+                "version": 1}}"#
         )
     }
 
@@ -582,14 +661,17 @@ mod tests {
 
         // The full shape passes and the tenant is part of the identity.
         let json = format!(
-            r#"{{"serve": [{}, {}, {}]}}"#,
+            r#"{{"serve": [{}, {}, {}, {}, {}]}}"#,
             closed.join(", "),
             serve_row("AlexNet-Tiny", "overload", "gold", 200, 0.5),
             serve_row("AlexNet-Tiny", "overload", "bronze", 200, 0.7),
+            chaos_row("baseline", 100.0),
+            chaos_row("faulted", 80.0),
         );
         let keys = validate_serve(&parse_rows(&json).unwrap()).unwrap();
-        assert_eq!(keys.len(), 5);
+        assert_eq!(keys.len(), 7);
         assert_eq!(keys[4].3, "bronze");
+        assert_eq!(keys[5].2, "chaos");
 
         // A shed rate outside [0, 1] is corrupt accounting.
         let json = format!(
@@ -605,11 +687,51 @@ mod tests {
         let json = format!(
             r#"{{"serve": [{}, {}, {}]}}"#,
             closed.join(", "),
-            serve_row("AlexNet-Tiny", "chaos", "gold", 200, 0.5),
+            serve_row("AlexNet-Tiny", "storm", "gold", 200, 0.5),
             serve_row("AlexNet-Tiny", "overload", "bronze", 200, 0.7),
         );
         let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
-        assert!(err.contains("unknown mode `chaos`"), "{err}");
+        assert!(err.contains("unknown mode `storm`"), "{err}");
+    }
+
+    #[test]
+    fn serve_artifact_must_prove_chaos_recovery() {
+        let mut rows: Vec<String> = SERVABLE_MODELS
+            .iter()
+            .map(|m| serve_row(m, "closed", "all", 8, 0.0))
+            .collect();
+        rows.push(serve_row("AlexNet-Tiny", "overload", "gold", 200, 0.5));
+        rows.push(serve_row("AlexNet-Tiny", "overload", "bronze", 200, 0.7));
+
+        // Overload evidence alone: the chaos A/B pair is still missing.
+        let json = format!(r#"{{"serve": [{}]}}"#, rows.join(", "));
+        let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
+        assert!(err.contains("needs chaos rows"), "{err}");
+
+        // A faulted run without its fault-free twin proves nothing.
+        let json = format!(
+            r#"{{"serve": [{}, {}]}}"#,
+            rows.join(", "),
+            chaos_row("faulted", 80.0),
+        );
+        let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
+        assert!(err.contains("needs chaos rows"), "{err}");
+
+        // Goodput collapsing under faults fails the retention floor.
+        let json = format!(
+            r#"{{"serve": [{}, {}, {}]}}"#,
+            rows.join(", "),
+            chaos_row("baseline", 100.0),
+            chaos_row("faulted", 30.0),
+        );
+        let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
+        assert!(err.contains("retention below floor"), "{err}");
+
+        // Recovery counters outside chaos mode are corrupt accounting.
+        let stray = chaos_row("all", 100.0).replace("\"chaos\"", "\"closed\"");
+        let json = format!(r#"{{"serve": [{}, {}]}}"#, rows.join(", "), stray);
+        let err = validate_serve(&parse_rows(&json).unwrap()).unwrap_err();
+        assert!(err.contains("outside chaos mode"), "{err}");
     }
 
     fn precision_row(model: &str, scheme: &str, segments: &str, pareto: u32) -> String {
@@ -785,6 +907,10 @@ mod tests {
             throughput_rps: 410.0,
             shed_rate: 0.0,
             expired: 0,
+            poisoned: 0,
+            worker_restarts: 0,
+            rollbacks: 0,
+            client_retries: 0,
             version: 1,
         };
         let mut spoints: Vec<LoadPoint> = SERVABLE_MODELS
@@ -804,9 +930,21 @@ mod tests {
                 ..closed_point("AlexNet-Tiny")
             });
         }
+        for (tenant, rps, restarts) in [("baseline", 400.0, 0), ("faulted", 320.0, 5)] {
+            spoints.push(LoadPoint {
+                mode: "chaos".into(),
+                tenant: tenant.into(),
+                burst: 25,
+                threads: 1,
+                throughput_rps: rps,
+                poisoned: restarts / 2,
+                worker_restarts: restarts,
+                ..closed_point("AlexNet-Tiny")
+            });
+        }
         let sjson = serve_json(&spoints);
         let keys = validate_serve(&parse_rows(&sjson).unwrap()).unwrap();
-        assert_eq!(keys.len(), 5);
+        assert_eq!(keys.len(), 7);
         assert_eq!(
             keys[2],
             (

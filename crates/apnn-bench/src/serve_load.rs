@@ -65,6 +65,18 @@ pub struct LoadPoint {
     pub shed_rate: f64,
     /// Requests whose deadline expired while queued (this row's tenant).
     pub expired: u64,
+    /// Requests condemned by the panic-quarantine bisection (this row's
+    /// tenant; always 0 outside chaos mode).
+    pub poisoned: u64,
+    /// Worker threads restarted by the supervisor over the run (whole
+    /// server; always 0 outside chaos mode).
+    pub worker_restarts: u64,
+    /// Blue-green promotes rolled back after a failed compile (whole
+    /// server; always 0 outside chaos mode).
+    pub rollbacks: u64,
+    /// Wire-client retries absorbed by the idempotency ledger (whole
+    /// server; always 0 outside chaos mode).
+    pub client_retries: u64,
     /// Plan version the traffic resolved to (the registry's active
     /// version — 1 until a blue-green promote).
     pub version: u32,
@@ -123,6 +135,10 @@ pub fn sweep(bursts: &[usize], threads: &[usize], total: usize) -> Vec<LoadPoint
                     throughput_rps: rps,
                     shed_rate: 0.0,
                     expired: 0,
+                    poisoned: 0,
+                    worker_restarts: 0,
+                    rollbacks: 0,
+                    client_retries: 0,
                     version: server.registry().active_version(&net.name).unwrap_or(1),
                 });
             }
@@ -259,9 +275,105 @@ pub fn overload_sweep(multipliers_x100: &[usize], total: usize) -> Vec<LoadPoint
                 throughput_rps: t.completed as f64 / elapsed,
                 shed_rate: t.shed_rate(),
                 expired: t.expired,
+                poisoned: 0,
+                worker_restarts: 0,
+                rollbacks: 0,
+                client_retries: 0,
                 version: server.registry().active_version(&net.name).unwrap_or(1),
             });
         }
+    }
+    points
+}
+
+/// Uniform per-site injected fault rate (per-mille of fault-point visits)
+/// for the chaos sweep; doubles as the `burst` identity key of both chaos
+/// rows so the artifact records the rate the retention was measured at.
+#[cfg(feature = "fault-inject")]
+pub const CHAOS_RATE_PM: u32 = 25;
+
+/// A/B chaos sweep (`fault-inject` builds only): run the same closed-loop
+/// workload against a fault-free server (tenant `baseline`) and against a
+/// server injecting admission drops, clock skew, mid-batch panics,
+/// poisoned requests and worker kills at [`CHAOS_RATE_PM`] per-mille each
+/// (tenant `faulted`). Two `mode: "chaos"` rows result; `throughput_rps`
+/// carries goodput, so the pair quantifies *goodput retention* under
+/// recovery (`repro check-bench` gates faulted ≥ 50% of baseline), and the
+/// faulted row's latency quantiles include every requeue, restart and
+/// bisection — the recovery-latency tax at that fault rate.
+#[cfg(feature = "fault-inject")]
+pub fn chaos_sweep(total: usize) -> Vec<LoadPoint> {
+    use apnn_serve::{FaultPlan, FaultSite};
+    let batch = 8;
+    let net = servable_zoo().remove(0);
+    let key = ModelKey::new(net.name.clone(), NetPrecision::w1a2());
+    let faulted_plan = FaultPlan::seeded(2021)
+        .rate(FaultSite::AdmitDrop, CHAOS_RATE_PM)
+        .rate(FaultSite::ClockSkew, CHAOS_RATE_PM)
+        .skew(4)
+        .rate(FaultSite::BatchPanic, CHAOS_RATE_PM)
+        .rate(FaultSite::PoisonRequest, CHAOS_RATE_PM)
+        .rate(FaultSite::WorkerKill, CHAOS_RATE_PM);
+    let mut points = Vec::new();
+    for (tenant, plan) in [
+        ("baseline", FaultPlan::seeded(2021)),
+        ("faulted", faulted_plan),
+    ] {
+        let server = Server::with_faults(
+            PlanRegistry::zoo(batch, 7),
+            ServeConfig {
+                queue_capacity: 4 * batch,
+                max_batch_delay: batch as u64,
+                workers: 4,
+                intra_batch_threads: 1,
+            },
+            QueuePolicy::backpressure(),
+            plan,
+        );
+        server.registry().get(&key).unwrap();
+        let start = Instant::now();
+        let mut submitted = 0usize;
+        while submitted < total {
+            let n = (2 * batch).min(total - submitted);
+            let tickets: Vec<_> = (0..n)
+                .filter_map(|i| {
+                    server
+                        .submit_request(
+                            Request::new(key.clone(), image(submitted + i)).tenant(tenant),
+                        )
+                        .ok() // injected admit-drops are the ledger's job
+                })
+                .collect();
+            for t in &tickets {
+                let _ = t.wait(); // Ok, Shed or Poisoned — goodput decides
+            }
+            submitted += n;
+        }
+        server.wait_idle();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let stats = server.stats();
+        let t = stats.tenant(tenant).expect("chaos tenant sent traffic");
+        points.push(LoadPoint {
+            model: net.name.clone(),
+            scheme: key.scheme(),
+            mode: "chaos".into(),
+            tenant: tenant.into(),
+            burst: CHAOS_RATE_PM as usize,
+            threads: 1,
+            pool: stats.workspace_pool_size,
+            mean_fill: stats.mean_fill(),
+            p50_ticks: t.p50_latency_ticks,
+            p99_ticks: t.p99_latency_ticks,
+            offered_rps: total as f64 / elapsed,
+            throughput_rps: t.completed as f64 / elapsed,
+            shed_rate: t.shed_rate(),
+            expired: t.expired,
+            poisoned: t.poisoned,
+            worker_restarts: stats.worker_restarts,
+            rollbacks: stats.rollbacks,
+            client_retries: stats.client_retries,
+            version: server.registry().active_version(&net.name).unwrap_or(1),
+        });
     }
     points
 }
@@ -335,6 +447,24 @@ pub fn report(points: &[LoadPoint]) -> String {
                  ({:.0}% of the {plateau:.1} req/s closed-loop plateau)",
                 peak_mult as f64 / 100.0,
                 100.0 * goodput / plateau
+            );
+        }
+    }
+    // The recovery argument in one line: goodput retained under injected
+    // faults vs. the same workload on the fault-free twin.
+    let chaos_rps = |tenant: &str| {
+        points
+            .iter()
+            .find(|p| p.mode == "chaos" && p.tenant == tenant)
+            .map(|p| p.throughput_rps)
+    };
+    if let (Some(base), Some(faulted)) = (chaos_rps("baseline"), chaos_rps("faulted")) {
+        if base > 0.0 {
+            let _ = writeln!(
+                out,
+                "chaos: goodput under injected faults = {faulted:.1} req/s \
+                 ({:.0}% retention of the {base:.1} req/s fault-free twin)",
+                100.0 * faulted / base
             );
         }
     }
@@ -416,5 +546,32 @@ mod tests {
         assert!(table.contains("overload"));
         assert!(table.contains("gold"));
         assert!(table.contains("bronze"));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn chaos_sweep_pairs_a_faulted_run_with_its_fault_free_twin() {
+        let _serialize = crate::timing_test_lock();
+        let points = chaos_sweep(48);
+        assert_eq!(points.len(), 2, "one baseline row, one faulted row");
+        for p in &points {
+            assert_eq!(p.mode, "chaos");
+            assert_eq!(p.burst, CHAOS_RATE_PM as usize, "rate is the identity key");
+            assert!(p.offered_rps > 0.0);
+            assert!(p.throughput_rps > 0.0, "tenant `{}` starved", p.tenant);
+            assert!((0.0..=1.0).contains(&p.shed_rate));
+        }
+        let base = &points[0];
+        assert_eq!(base.tenant, "baseline");
+        assert_eq!(
+            base.poisoned + base.worker_restarts + base.rollbacks,
+            0,
+            "the fault-free twin must see no recovery events: {base:?}"
+        );
+        assert_eq!(base.shed_rate, 0.0, "the fault-free twin never sheds");
+        assert_eq!(points[1].tenant, "faulted");
+        let table = report(&points);
+        assert!(table.contains("chaos"));
+        assert!(table.contains("retention"));
     }
 }

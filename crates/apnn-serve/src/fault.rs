@@ -1,0 +1,447 @@
+//! Deterministic fault injection for the serve tier.
+//!
+//! A [`FaultPlan`] is a *seeded schedule* of faults: per [`FaultSite`], a
+//! per-mille probability (hashed from the plan seed and a per-site call
+//! counter — no wall clock, no global RNG, so a failing run replays
+//! exactly from its seed) plus an optional list of exact call indices
+//! that always fire (for pinpoint unit tests). The plan is plain data and
+//! always compiles; the *injection points* only exist when the
+//! `fault-inject` cargo feature is on. Without the feature every check is
+//! an `#[inline(always)] { false }` the optimizer deletes, so the serving
+//! hot path keeps its zero-allocation contract and the golden snapshots
+//! stay byte-identical.
+//!
+//! Environment overrides (read by [`FaultPlan::from_env`], which
+//! [`crate::Server::with_policy`] uses):
+//!
+//! * `APNN_FAULT_SEED` — u64 seed for the schedule hash.
+//! * `APNN_FAULT_PLAN` — comma-separated `site=per_mille` pairs, e.g.
+//!   `batch-panic=80,wire-truncate=40` (site names are the kebab-case
+//!   [`FaultSite::name`]s; rates clamp to 1000).
+//!
+//! The recovery machinery these faults exercise — worker supervision,
+//! poison-request quarantine, blue-green rollback, idempotent wire
+//! retries — is always compiled in; the feature only controls whether
+//! anything injects. See DESIGN.md §10 for the fault-site table and the
+//! recovery state machines.
+
+use std::time::Duration;
+
+#[cfg(feature = "fault-inject")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where an injected fault strikes. Each site has its own call counter
+/// and its own deterministic hash stream, so enabling one site never
+/// shifts another site's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// Admission: shed an arriving request as if its lane had overflowed
+    /// (accounted exactly like a policy shed).
+    AdmitDrop = 0,
+    /// Admission: jump the submission-tick clock forward by
+    /// [`FaultPlan::skew`] ticks — a deadline storm for queued work.
+    ClockSkew = 1,
+    /// Worker: panic once, mid-batch, before inference. Transient: the
+    /// quarantine bisection re-executes and the whole batch completes.
+    BatchPanic = 2,
+    /// Worker: a *specific request* (chosen deterministically by its
+    /// admission tick) panics every batch that contains it. Quarantine
+    /// isolates it as [`crate::ServeError::Poisoned`]; innocent
+    /// batch-mates still complete.
+    PoisonRequest = 3,
+    /// Worker: stall a batch for [`FaultPlan::stall`] before executing.
+    BatchStall = 4,
+    /// Worker: kill the worker thread outside the batch-execution scope.
+    /// Supervision restarts it (`worker_restarts`) and the dispatched
+    /// batch is restored to the queue — no request is lost.
+    WorkerKill = 5,
+    /// Registry: fail a cold plan compile. Transient (not cached), so a
+    /// retry or the blue-green rollback path recovers.
+    CompileFail = 6,
+    /// Wire: flip a structural byte of an outbound response so the peer's
+    /// decoder rejects the frame (stands in for any malformed response).
+    WireCorrupt = 7,
+    /// Wire: truncate an outbound response mid-frame and sever the
+    /// connection.
+    WireTruncate = 8,
+    /// Wire: write an outbound response frame twice (clients must skip
+    /// stale/duplicate request IDs).
+    WireDuplicate = 9,
+    /// Wire: drop the connection cleanly between frames.
+    WireDisconnect = 10,
+    /// Wire: stall for [`FaultPlan::stall`] before writing a response
+    /// (drives client read timeouts).
+    WireWriteStall = 11,
+}
+
+/// Number of distinct [`FaultSite`]s (array sizing).
+const SITE_COUNT: usize = 12;
+
+impl FaultSite {
+    /// Every site, in declaration order.
+    pub const ALL: [FaultSite; SITE_COUNT] = [
+        FaultSite::AdmitDrop,
+        FaultSite::ClockSkew,
+        FaultSite::BatchPanic,
+        FaultSite::PoisonRequest,
+        FaultSite::BatchStall,
+        FaultSite::WorkerKill,
+        FaultSite::CompileFail,
+        FaultSite::WireCorrupt,
+        FaultSite::WireTruncate,
+        FaultSite::WireDuplicate,
+        FaultSite::WireDisconnect,
+        FaultSite::WireWriteStall,
+    ];
+
+    /// Stable kebab-case name, as accepted by `APNN_FAULT_PLAN`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::AdmitDrop => "admit-drop",
+            FaultSite::ClockSkew => "clock-skew",
+            FaultSite::BatchPanic => "batch-panic",
+            FaultSite::PoisonRequest => "poison-request",
+            FaultSite::BatchStall => "batch-stall",
+            FaultSite::WorkerKill => "worker-kill",
+            FaultSite::CompileFail => "compile-fail",
+            FaultSite::WireCorrupt => "wire-corrupt",
+            FaultSite::WireTruncate => "wire-truncate",
+            FaultSite::WireDuplicate => "wire-duplicate",
+            FaultSite::WireDisconnect => "wire-disconnect",
+            FaultSite::WireWriteStall => "wire-write-stall",
+        }
+    }
+
+    /// Parse a kebab-case site name (the inverse of [`FaultSite::name`]).
+    pub fn parse(name: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One site's schedule inside a [`FaultPlan`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct SitePlan {
+    /// Per-mille probability that a check at this site fires.
+    rate_pm: u32,
+    /// Exact triggers that always fire: 1-based call indices for every
+    /// site except [`FaultSite::PoisonRequest`], where they are admission
+    /// ticks (the poison decision is a pure function of the request, not
+    /// of how often it is re-examined — bisection retries must converge
+    /// on the same culprit).
+    at: Vec<u64>,
+}
+
+/// A seeded, deterministic schedule of injected faults.
+///
+/// Plain data, always available (construction and parsing are cold
+/// paths); whether anything *fires* is controlled by the `fault-inject`
+/// feature. [`FaultPlan::default`] injects nothing even with the feature
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: [SitePlan; SITE_COUNT],
+    skew_ticks: u64,
+    stall_ms: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            sites: std::array::from_fn(|_| SitePlan::default()),
+            skew_ticks: 8,
+            stall_ms: 20,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (alias for [`FaultPlan::default`]).
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A quiet plan carrying `seed`; add sites with [`FaultPlan::rate`] /
+    /// [`FaultPlan::at`].
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Set `site` to fire with probability `per_mille`/1000 per check
+    /// (clamped to 1000).
+    pub fn rate(mut self, site: FaultSite, per_mille: u32) -> FaultPlan {
+        self.sites[site as usize].rate_pm = per_mille.min(1000);
+        self
+    }
+
+    /// Make `site` fire deterministically at one exact trigger: the
+    /// 1-based call index for most sites, the admission tick for
+    /// [`FaultSite::PoisonRequest`]. Chainable; triggers accumulate.
+    pub fn at(mut self, site: FaultSite, trigger: u64) -> FaultPlan {
+        self.sites[site as usize].at.push(trigger);
+        self
+    }
+
+    /// Ticks [`FaultSite::ClockSkew`] jumps the submission clock by
+    /// (default 8).
+    pub fn skew(mut self, ticks: u64) -> FaultPlan {
+        self.skew_ticks = ticks;
+        self
+    }
+
+    /// How long [`FaultSite::BatchStall`] / [`FaultSite::WireWriteStall`]
+    /// sleep (default 20ms; rounds down to whole milliseconds).
+    pub fn stall(mut self, d: Duration) -> FaultPlan {
+        self.stall_ms = d.as_millis() as u64;
+        self
+    }
+
+    /// The schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured per-mille rate at `site`.
+    pub fn rate_of(&self, site: FaultSite) -> u32 {
+        self.sites[site as usize].rate_pm
+    }
+
+    /// True if no site can ever fire under this plan.
+    pub fn is_quiet(&self) -> bool {
+        self.sites.iter().all(|s| s.rate_pm == 0 && s.at.is_empty())
+    }
+
+    /// Build a plan from `APNN_FAULT_SEED` / `APNN_FAULT_PLAN` (see the
+    /// module docs). Missing variables leave the corresponding part of
+    /// the plan quiet; malformed entries are skipped with a note on
+    /// stderr. Without the `fault-inject` feature this returns
+    /// [`FaultPlan::default`] without touching the environment.
+    pub fn from_env() -> FaultPlan {
+        if !enabled() {
+            return FaultPlan::default();
+        }
+        let mut plan = match std::env::var("APNN_FAULT_SEED") {
+            Ok(s) => FaultPlan::seeded(s.trim().parse().unwrap_or(0)),
+            Err(_) => FaultPlan::default(),
+        };
+        if let Ok(spec) = std::env::var("APNN_FAULT_PLAN") {
+            plan = plan.parse_spec(&spec);
+        }
+        plan
+    }
+
+    /// Apply a `site=per_mille,site=per_mille` spec string on top of
+    /// `self` (the `APNN_FAULT_PLAN` format).
+    pub fn parse_spec(mut self, spec: &str) -> FaultPlan {
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let parsed = part.split_once('=').and_then(|(name, rate)| {
+                let site = FaultSite::parse(name.trim())?;
+                let rate: u32 = rate.trim().parse().ok()?;
+                Some((site, rate))
+            });
+            match parsed {
+                Some((site, rate)) => self = self.rate(site, rate),
+                None => eprintln!("apnn-serve: ignoring malformed fault spec entry `{part}`"),
+            }
+        }
+        self
+    }
+}
+
+/// Whether this build has the injection points compiled in
+/// (`fault-inject` feature). With this false, every [`FaultPlan`] is
+/// inert no matter what it schedules.
+pub const fn enabled() -> bool {
+    cfg!(feature = "fault-inject")
+}
+
+/// SplitMix64 finalizer: the deterministic hash behind every schedule
+/// decision (and the retry-jitter stream in [`crate::wire`]).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(feature = "fault-inject")]
+fn site_salt(site: FaultSite) -> u64 {
+    (site as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// The armed form of a [`FaultPlan`]: per-site atomic call counters plus
+/// the schedule. Shared (`Arc`) between the server, its registry and its
+/// wire listeners so one seed drives one coherent schedule. Without the
+/// `fault-inject` feature it is a fieldless struct whose checks are
+/// constant `false`.
+#[derive(Debug)]
+pub(crate) struct Injector {
+    #[cfg(feature = "fault-inject")]
+    plan: FaultPlan,
+    #[cfg(feature = "fault-inject")]
+    counters: [AtomicU64; SITE_COUNT],
+}
+
+#[cfg(feature = "fault-inject")]
+impl Injector {
+    pub(crate) fn new(plan: FaultPlan) -> Injector {
+        Injector {
+            plan,
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Should the current check at `site` fail? Counts the check and
+    /// consults the schedule: exact `at` triggers first, then the seeded
+    /// per-mille hash. Unconfigured sites never count, so adding a site
+    /// to a plan does not shift the others.
+    pub(crate) fn fire(&self, site: FaultSite) -> bool {
+        let i = site as usize;
+        let sp = &self.plan.sites[i];
+        if sp.rate_pm == 0 && sp.at.is_empty() {
+            return false;
+        }
+        let call = self.counters[i].fetch_add(1, Ordering::Relaxed) + 1;
+        if sp.at.contains(&call) {
+            return true;
+        }
+        sp.rate_pm > 0
+            && splitmix64(self.plan.seed ^ site_salt(site) ^ call) % 1000 < u64::from(sp.rate_pm)
+    }
+
+    /// Is the request admitted at `tick` poisoned? A pure function of
+    /// the plan and the tick (no counter), so quarantine bisection
+    /// re-examines a batch any number of times and always convicts the
+    /// same request.
+    pub(crate) fn poisons(&self, tick: u64) -> bool {
+        let sp = &self.plan.sites[FaultSite::PoisonRequest as usize];
+        if sp.at.contains(&tick) {
+            return true;
+        }
+        sp.rate_pm > 0
+            && splitmix64(self.plan.seed ^ site_salt(FaultSite::PoisonRequest) ^ tick) % 1000
+                < u64::from(sp.rate_pm)
+    }
+
+    pub(crate) fn skew_ticks(&self) -> u64 {
+        self.plan.skew_ticks
+    }
+
+    pub(crate) fn stall_for(&self) -> Duration {
+        Duration::from_millis(self.plan.stall_ms)
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+impl Injector {
+    pub(crate) fn new(_plan: FaultPlan) -> Injector {
+        Injector {}
+    }
+
+    #[inline(always)]
+    pub(crate) fn fire(&self, _site: FaultSite) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub(crate) fn poisons(&self, _tick: u64) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub(crate) fn skew_ticks(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn stall_for(&self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_names_round_trip() {
+        for site in FaultSite::ALL {
+            assert_eq!(FaultSite::parse(site.name()), Some(site), "{site}");
+        }
+        assert_eq!(FaultSite::parse("no-such-site"), None);
+    }
+
+    #[test]
+    fn plan_builder_and_spec_parsing_agree() {
+        let built = FaultPlan::seeded(7)
+            .rate(FaultSite::BatchPanic, 80)
+            .rate(FaultSite::WireTruncate, 40);
+        let parsed = FaultPlan::seeded(7).parse_spec("batch-panic=80, wire-truncate=40");
+        assert_eq!(built, parsed);
+        assert_eq!(built.rate_of(FaultSite::BatchPanic), 80);
+        assert!(!built.is_quiet());
+        assert!(FaultPlan::disabled().is_quiet());
+        // Malformed entries are skipped, valid ones still apply.
+        let partial = FaultPlan::seeded(1).parse_spec("garbage,admit-drop=5,x=,=3");
+        assert_eq!(partial.rate_of(FaultSite::AdmitDrop), 5);
+        assert!(partial.sites.iter().map(|s| s.rate_pm).sum::<u32>() == 5);
+    }
+
+    #[test]
+    fn rates_clamp_and_knobs_stick() {
+        let plan = FaultPlan::seeded(1)
+            .rate(FaultSite::AdmitDrop, 5000)
+            .skew(3)
+            .stall(Duration::from_millis(7));
+        assert_eq!(plan.rate_of(FaultSite::AdmitDrop), 1000);
+        assert_eq!(plan.skew_ticks, 3);
+        assert_eq!(plan.stall_ms, 7);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injector_is_deterministic_per_seed_and_site() {
+        let plan = FaultPlan::seeded(42)
+            .rate(FaultSite::BatchPanic, 250)
+            .at(FaultSite::CompileFail, 2);
+        let a = Injector::new(plan.clone());
+        let b = Injector::new(plan);
+        let fired_a: Vec<bool> = (0..64).map(|_| a.fire(FaultSite::BatchPanic)).collect();
+        let fired_b: Vec<bool> = (0..64).map(|_| b.fire(FaultSite::BatchPanic)).collect();
+        assert_eq!(fired_a, fired_b, "same seed, same schedule");
+        assert!(fired_a.iter().any(|&f| f), "250pm over 64 calls fires");
+        assert!(!fired_a.iter().all(|&f| f), "250pm over 64 calls skips");
+        // Exact triggers: call #2 fires, neighbours follow the (quiet)
+        // hash stream.
+        assert!(!a.fire(FaultSite::CompileFail));
+        assert!(a.fire(FaultSite::CompileFail));
+        assert!(!a.fire(FaultSite::CompileFail));
+        // Unconfigured sites never fire and never count.
+        assert!(!a.fire(FaultSite::WireTruncate));
+        // Poison is a function of the tick, not the check count.
+        let poison = Injector::new(FaultPlan::seeded(9).at(FaultSite::PoisonRequest, 17));
+        assert!(poison.poisons(17) && poison.poisons(17), "re-examinable");
+        assert!(!poison.poisons(16));
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[test]
+    fn without_the_feature_everything_is_inert() {
+        let inj = Injector::new(FaultPlan::seeded(1).rate(FaultSite::AdmitDrop, 1000));
+        assert!(!inj.fire(FaultSite::AdmitDrop));
+        assert!(!inj.poisons(0));
+        assert!(!enabled());
+        assert_eq!(FaultPlan::from_env(), FaultPlan::default());
+    }
+}

@@ -50,6 +50,7 @@
 //! hard equality, not a tolerance.
 
 pub mod api;
+pub mod fault;
 mod queue;
 mod registry;
 mod server;
@@ -57,10 +58,13 @@ mod stats;
 pub mod wire;
 
 pub use api::{Admission, QueuePolicy, Request, Ticket, DEFAULT_TENANT};
+pub use fault::{FaultPlan, FaultSite};
 pub use registry::{ModelKey, PlanRegistry, PlanSpec};
 pub use server::{ServeConfig, Server};
 pub use stats::{ServeStats, TenantStats};
-pub use wire::{serve_tcp, TcpServeHandle, WireClient, WireError};
+pub use wire::{
+    serve_tcp, RetryClient, RetryPolicy, TcpServeHandle, WireClient, WireError, WireTimeouts,
+};
 
 /// Why a submission, plan lookup, or queued request failed.
 ///
@@ -117,6 +121,17 @@ pub enum ServeError {
     /// The request failed at the network boundary (malformed frame,
     /// protocol violation, transport error).
     Wire(WireError),
+    /// Quarantined: every batch containing this request panicked, down to
+    /// the singleton. The request fails alone; the bisection re-executed
+    /// its innocent batch-mates to completion.
+    Poisoned {
+        /// Resolved `model@scheme[#v]` label of the poisoned request.
+        key: String,
+        /// Tenant the request was accounted under.
+        tenant: String,
+        /// The panic message of the singleton execution.
+        why: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -148,6 +163,11 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::Cancelled => write!(f, "request cancelled by caller"),
             ServeError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ServeError::Poisoned { key, tenant, why } => write!(
+                f,
+                "request for `{key}` (tenant `{tenant}`) poisoned its batch \
+                 and was quarantined: {why}"
+            ),
         }
     }
 }

@@ -169,6 +169,32 @@ impl FairQueue {
         (expired, cancelled)
     }
 
+    /// Put already-admitted requests back at the *front* of their lanes,
+    /// in vft order — the supervision path for a batch whose worker died
+    /// after dispatch. The requests keep their original vft/tick stamps
+    /// (they were admitted once; re-queueing is not a new arrival), so
+    /// the restarted worker re-dispatches them with their old standing
+    /// and the next sweep still sees their deadlines and cancellations.
+    pub(crate) fn restore(&mut self, reqs: Vec<QueuedRequest>) {
+        for req in reqs {
+            let lane = self
+                .lanes
+                .entry(req.tenant.clone())
+                .or_insert_with(|| Lane {
+                    queue: VecDeque::new(),
+                    last_vft: 0,
+                    weight: 1,
+                });
+            let pos = lane
+                .queue
+                .iter()
+                .position(|q| (q.vft, q.enqueue_tick) > (req.vft, req.enqueue_tick))
+                .unwrap_or(lane.queue.len());
+            lane.queue.insert(pos, req);
+            self.len += 1;
+        }
+    }
+
     /// The dispatch decision. Picks the lane-head with the smallest vft,
     /// coalesces same-key requests across lanes in vft order up to the
     /// compiled batch, and hands the group out when it is **ripe**: full,

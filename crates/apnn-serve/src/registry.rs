@@ -19,6 +19,7 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use apnn_nn::models::servable_zoo;
 use apnn_nn::{CompileOptions, CompiledNet, NetPrecision, Network, PrecisionSchedule};
 
+use crate::fault::{FaultSite, Injector};
 use crate::ServeError;
 
 /// What precision a plan is compiled at: one uniform scheme for every
@@ -115,6 +116,9 @@ struct ModelSlot {
     versions: BTreeMap<u32, Builder>,
     /// The version unpinned requests resolve to.
     active: u32,
+    /// What `active` was before the last [`PlanRegistry::promote`] — the
+    /// blue build a failed green compile degrades back to.
+    prev_active: Option<u32>,
 }
 
 /// One cache slot. `OnceLock` gives the compile-exactly-once guarantee
@@ -140,6 +144,11 @@ pub struct PlanRegistry {
     seed: u64,
     compiles: AtomicU64,
     hits: AtomicU64,
+    rollbacks: AtomicU64,
+    /// Installed by the owning [`crate::Server`]; drives the injected
+    /// compile failures ([`FaultSite::CompileFail`]). Unset (standalone
+    /// registries) or with `fault-inject` off, nothing ever fires.
+    faults: OnceLock<Arc<Injector>>,
 }
 
 impl PlanRegistry {
@@ -153,7 +162,15 @@ impl PlanRegistry {
             seed,
             compiles: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            faults: OnceLock::new(),
         }
+    }
+
+    /// Arm this registry's compile path with the server's fault injector
+    /// (first installer wins; later calls are ignored).
+    pub(crate) fn install_injector(&self, inj: Arc<Injector>) {
+        let _ = self.faults.set(inj);
     }
 
     /// Registry pre-loaded with the servable zoo
@@ -189,6 +206,7 @@ impl PlanRegistry {
                     ModelSlot {
                         versions,
                         active: 1,
+                        prev_active: None,
                     },
                 );
                 1
@@ -211,7 +229,13 @@ impl PlanRegistry {
                 version,
             });
         }
-        Ok(std::mem::replace(&mut slot.active, version))
+        let old = std::mem::replace(&mut slot.active, version);
+        if old != version {
+            // Remember the blue build: a failed compile of the green
+            // version degrades back to it (see [`PlanRegistry::acquire`]).
+            slot.prev_active = Some(old);
+        }
+        Ok(old)
     }
 
     /// Drop inactive `version` of `name`: its builder is removed and its
@@ -290,9 +314,109 @@ impl PlanRegistry {
     /// The plan for `key`: cached if warm, compiled (once) if cold.
     /// Unpinned keys resolve to the active version first, so two `get`s
     /// across a [`PlanRegistry::promote`] may return different plans — use
-    /// [`PlanRegistry::resolve`] to pin a consistent view.
+    /// [`PlanRegistry::resolve`] to pin a consistent view. Equivalent to
+    /// [`PlanRegistry::acquire`] with the resolved key discarded.
     pub fn get(&self, key: &ModelKey) -> Result<Arc<CompiledNet>, ServeError> {
-        let resolved = self.resolve(key)?;
+        self.acquire(key).map(|(_, plan)| plan)
+    }
+
+    /// Resolve `key` and return `(resolved key, plan)` **atomically with
+    /// respect to the version chain**: the builder is captured under the
+    /// same read lock that resolves the version, so a concurrent
+    /// [`PlanRegistry::retire`]/[`PlanRegistry::promote`] can never turn a
+    /// version that was live at admission into `UnknownVersion` mid-get.
+    ///
+    /// This is also the blue-green rollback point: if an *unpinned* key's
+    /// active version fails to compile, the previously active version is
+    /// compiled first (verify-then-flip) and, on success, the active
+    /// pointer degrades back to it — a failed promote costs zero requests,
+    /// never an outage. Pinned keys surface their compile error untouched.
+    pub fn acquire(&self, key: &ModelKey) -> Result<(ModelKey, Arc<CompiledNet>), ServeError> {
+        let (resolved, builder) = self.resolve_with_builder(key)?;
+        match self.get_resolved(&resolved, &builder) {
+            Ok(plan) => Ok((resolved, plan)),
+            Err(e) if key.version.is_none() => {
+                let failed = resolved.version.expect("resolve stamps a version");
+                let Some((prev_key, prev_builder)) = self.rollback_candidate(key, failed) else {
+                    return Err(e);
+                };
+                // Verify-then-flip: only a *servable* fallback may take
+                // the active pointer, so a request spec that fails on
+                // every version (not a bad build) cannot demote anything.
+                let plan = self.get_resolved(&prev_key, &prev_builder).map_err(|_| e)?;
+                let prev = prev_key.version.expect("candidate is resolved");
+                self.finish_rollback(&key.model, failed, prev);
+                Ok((prev_key, plan))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`PlanRegistry::resolve`], additionally capturing the resolved
+    /// version's builder under the same lock.
+    fn resolve_with_builder(&self, key: &ModelKey) -> Result<(ModelKey, Builder), ServeError> {
+        let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+        let slot = models
+            .get(&key.model)
+            .ok_or_else(|| ServeError::UnknownModel(key.model.clone()))?;
+        let version = key.version.unwrap_or(slot.active);
+        let builder = match slot.versions.get(&version) {
+            Some(b) => Arc::clone(b),
+            None => {
+                return Err(ServeError::UnknownVersion {
+                    model: key.model.clone(),
+                    version,
+                })
+            }
+        };
+        let mut resolved = key.clone();
+        resolved.version = Some(version);
+        Ok((resolved, builder))
+    }
+
+    /// The version (and builder) an unpinned key should degrade to after
+    /// `failed` refused to compile: the recorded pre-promote version — or,
+    /// if a concurrent rollback/promote already moved the active pointer
+    /// off `failed`, whatever is active now.
+    fn rollback_candidate(&self, key: &ModelKey, failed: u32) -> Option<(ModelKey, Builder)> {
+        let models = self.models.read().unwrap_or_else(|e| e.into_inner());
+        let slot = models.get(&key.model)?;
+        let target = if slot.active != failed {
+            slot.active
+        } else {
+            slot.prev_active?
+        };
+        if target == failed {
+            return None;
+        }
+        let builder = Arc::clone(slot.versions.get(&target)?);
+        let mut prev_key = key.clone();
+        prev_key.version = Some(target);
+        Some((prev_key, builder))
+    }
+
+    /// Flip the active pointer back to `prev` if it still points at
+    /// `failed` (first roller-back wins; losers served the same fallback
+    /// plan without re-flipping).
+    fn finish_rollback(&self, model: &str, failed: u32, prev: u32) {
+        let mut models = self.models.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = models.get_mut(model) {
+            if slot.active == failed && slot.versions.contains_key(&prev) {
+                slot.active = prev;
+                slot.prev_active = None;
+                self.rollbacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The compile-once cache behind [`PlanRegistry::acquire`]: `resolved`
+    /// must carry a concrete version and `builder` must be its captured
+    /// builder.
+    fn get_resolved(
+        &self,
+        resolved: &ModelKey,
+        builder: &Builder,
+    ) -> Result<Arc<CompiledNet>, ServeError> {
         let entry = {
             let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
             Arc::clone(entries.entry(resolved.clone()).or_insert_with(|| {
@@ -301,11 +425,23 @@ impl PlanRegistry {
                 })
             }))
         };
+        // Injected compile failure (fault-inject): transient by design —
+        // it models an environmental failure (resources mid-compile), not
+        // a bad build, so it must NOT poison the compile-once cache.
+        if crate::fault::enabled() && entry.plan.get().is_none() {
+            if let Some(inj) = self.faults.get() {
+                if inj.fire(FaultSite::CompileFail) {
+                    return Err(ServeError::NotServable(format!(
+                        "`{resolved}`: injected compile failure (fault-inject)"
+                    )));
+                }
+            }
+        }
         let mut compiled_now = false;
         let result = entry.plan.get_or_init(|| {
             compiled_now = true;
             self.compiles.fetch_add(1, Ordering::Relaxed);
-            self.compile(&resolved)
+            self.compile(resolved, builder)
         });
         if !compiled_now {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -324,6 +460,14 @@ impl PlanRegistry {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// How many blue-green rollbacks ran: a promoted version failed to
+    /// compile for unpinned traffic and the active pointer degraded back
+    /// to the prior live version (surfaced as
+    /// [`crate::ServeStats::rollbacks`]).
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks.load(Ordering::Relaxed)
+    }
+
     /// `model@scheme` labels of every successfully compiled plan, sorted —
     /// the active precision-schedule inventory of the serving surface
     /// (mixed plans show their run-length `APNN-mixed-…` schedule label;
@@ -339,25 +483,11 @@ impl PlanRegistry {
         labels
     }
 
-    fn compile(&self, key: &ModelKey) -> Result<Arc<CompiledNet>, ServeError> {
-        let build = {
-            let models = self.models.read().unwrap_or_else(|e| e.into_inner());
-            let slot = models
-                .get(&key.model)
-                .ok_or_else(|| ServeError::UnknownModel(key.model.clone()))?;
-            let version = key.version.expect("compile runs on resolved keys");
-            match slot.versions.get(&version) {
-                Some(b) => Arc::clone(b),
-                None => {
-                    return Err(ServeError::UnknownVersion {
-                        model: key.model.clone(),
-                        version,
-                    })
-                }
-            }
-            // Builder Arc cloned; the lock drops here so a long compile
-            // never blocks registration.
-        };
+    /// Compile `key` from its captured `build`er. No model-map access:
+    /// the builder was cloned under the resolve lock, so a concurrent
+    /// retire cannot fail a compile that already resolved, and a long
+    /// compile never blocks registration.
+    fn compile(&self, key: &ModelKey, build: &Builder) -> Result<Arc<CompiledNet>, ServeError> {
         let net = build();
         let opts = CompileOptions::functional(self.batch, self.seed);
         let plan = match &key.spec {

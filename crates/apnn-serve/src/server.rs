@@ -13,6 +13,7 @@ use apnn_nn::compile::MainKernel;
 use apnn_nn::{CompiledNet, WorkspacePool};
 
 use crate::api::{Admission, QueuePolicy, Request, Ticket};
+use crate::fault::{FaultPlan, FaultSite, Injector};
 use crate::queue::{FairQueue, Pushed, QueuedRequest};
 use crate::registry::{ModelKey, PlanRegistry};
 use crate::stats::{ServeStats, StatsInner};
@@ -102,6 +103,13 @@ struct Shared {
     /// at full intra-batch width simultaneously; `workspace_creates` proves
     /// it warms to a fixed size and never grows afterwards.
     pools: Mutex<HashMap<ModelKey, Arc<WorkspacePool>>>,
+    /// The armed fault schedule (inert unless built with `fault-inject`).
+    /// Shared into the registry and the wire listeners so one seed drives
+    /// one coherent schedule across every injection site.
+    faults: Arc<Injector>,
+    /// Idempotent wire resubmissions deduplicated by the TCP listeners
+    /// (surfaced as [`ServeStats::client_retries`]).
+    wire_retries: AtomicU64,
 }
 
 impl Shared {
@@ -148,9 +156,28 @@ impl Server {
         Self::with_policy(registry, config, QueuePolicy::backpressure())
     }
 
-    /// Start the server with an explicit admission/fairness [`QueuePolicy`].
+    /// Start the server with an explicit admission/fairness [`QueuePolicy`]
+    /// and the fault schedule from the environment
+    /// ([`FaultPlan::from_env`] — quiet unless built with `fault-inject`
+    /// and `APNN_FAULT_SEED`/`APNN_FAULT_PLAN` are set).
     pub fn with_policy(registry: PlanRegistry, config: ServeConfig, policy: QueuePolicy) -> Self {
+        Self::with_faults(registry, config, policy, FaultPlan::from_env())
+    }
+
+    /// Start the server with an explicit [`FaultPlan`]. Without the
+    /// `fault-inject` cargo feature the plan is inert — every injection
+    /// site compiles to a constant-false check — so this is exactly
+    /// [`Server::with_policy`] plus a deterministic chaos schedule in
+    /// builds that opt in (see [`mod@crate::fault`]).
+    pub fn with_faults(
+        registry: PlanRegistry,
+        config: ServeConfig,
+        policy: QueuePolicy,
+        plan: FaultPlan,
+    ) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let faults = Arc::new(Injector::new(plan));
+        registry.install_injector(Arc::clone(&faults));
         let shared = Arc::new(Shared {
             state: Mutex::new(State::default()),
             work: Condvar::new(),
@@ -161,13 +188,15 @@ impl Server {
             policy,
             clock: Arc::new(AtomicU64::new(0)),
             pools: Mutex::new(HashMap::new()),
+            faults,
+            wire_retries: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("apnn-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || supervise(&shared))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -209,8 +238,7 @@ impl Server {
             deadline,
             priority,
         } = req;
-        let resolved = self.shared.registry.resolve(&key)?;
-        let plan = self.shared.registry.get(&resolved)?;
+        let (resolved, plan) = self.shared.registry.acquire(&key)?;
         validate_input(&plan, &image)?;
         let (ticket, inner) = Ticket::new(Arc::clone(&self.shared.clock));
         let mut state = self.lock_state();
@@ -227,9 +255,31 @@ impl Server {
             state.stats.rejected += 1;
             return Err(ServeError::ShuttingDown);
         }
+        if self.shared.faults.fire(FaultSite::ClockSkew) {
+            // A deadline storm: jump the submission clock as if a burst of
+            // submissions had raced past this one.
+            state.ticks += self.shared.faults.skew_ticks();
+            self.shared.clock.store(state.ticks, Ordering::Release);
+        }
         state.ticks += 1;
         self.shared.clock.store(state.ticks, Ordering::Release);
         let enqueue_tick = state.ticks;
+        if self.shared.faults.fire(FaultSite::AdmitDrop) {
+            // Shed the arrival as if its lane had overflowed — accounted
+            // exactly like `Pushed::ShedIncoming` so the ledger still
+            // balances: submitted == completed+shed+expired+cancelled+poisoned.
+            state.stats.tenant(&tenant).submitted += 1;
+            state.stats.tenant(&tenant).shed += 1;
+            state.stats.shed += 1;
+            let err = ServeError::Shed {
+                key: resolved.to_string(),
+                tenant: tenant.clone(),
+            };
+            inner.deliver(Err(err.clone()));
+            drop(state);
+            self.shared.work.notify_all();
+            return Err(err);
+        }
         // Per-tenant `submitted` counts *offered* load (accepted or shed on
         // arrival) — the shed-rate denominator; the global counter keeps
         // the PR 2 meaning (accepted into the queue).
@@ -314,11 +364,29 @@ impl Server {
         state.stats.snapshot(
             state.queue.len(),
             state.in_flight,
-            self.shared.registry.compiles(),
-            self.shared.registry.hits(),
-            self.shared.registry.compiled_labels(),
+            (
+                self.shared.registry.compiles(),
+                self.shared.registry.hits(),
+                self.shared.registry.compiled_labels(),
+            ),
             pool_stats,
+            (
+                self.shared.registry.rollbacks(),
+                self.shared.wire_retries.load(Ordering::Relaxed),
+            ),
         )
+    }
+
+    /// The armed fault schedule, shared with the wire listeners so their
+    /// injection sites draw from the same seed.
+    pub(crate) fn injector(&self) -> Arc<Injector> {
+        Arc::clone(&self.shared.faults)
+    }
+
+    /// Record one deduplicated idempotent resubmission observed at the
+    /// wire boundary (surfaced as [`ServeStats::client_retries`]).
+    pub(crate) fn note_wire_retry(&self) {
+        self.shared.wire_retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Stop accepting requests, drain the queue (every accepted request
@@ -440,6 +508,121 @@ impl WorkerScratch {
     }
 }
 
+/// Run [`worker_loop`] under supervision: a clean return (shutdown drain)
+/// ends the thread; an unwind — an injected [`FaultSite::WorkerKill`], or
+/// a defect that escaped the batch-level quarantine — counts one
+/// [`ServeStats::worker_restarts`] and re-enters the loop with fresh
+/// scratch state. The [`RequeueGuard`] has already restored any dispatched
+/// batch to the queue, so a restart never loses accepted work.
+fn supervise(shared: &Shared) {
+    loop {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(shared))) {
+            Ok(()) => return,
+            Err(_) => {
+                let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                state.stats.worker_restarts += 1;
+                drop(state);
+                shared.work.notify_all();
+            }
+        }
+    }
+}
+
+/// Armed while a dispatched batch lives outside the queue. On unwind,
+/// `Drop` rolls back `in_flight` and restores the batch to its tenants'
+/// lanes (original VFT and admission stamps — a restore is not a new
+/// arrival); the happy path [`RequeueGuard::disarm`]s it and does its own
+/// bookkeeping under the re-acquired lock.
+struct RequeueGuard<'a> {
+    shared: &'a Shared,
+    batch: Option<Vec<QueuedRequest>>,
+}
+
+impl RequeueGuard<'_> {
+    fn disarm(&mut self) -> Vec<QueuedRequest> {
+        self.batch.take().expect("guard disarmed once")
+    }
+}
+
+impl Drop for RequeueGuard<'_> {
+    fn drop(&mut self) {
+        let Some(batch) = self.batch.take() else {
+            return;
+        };
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.in_flight -= batch.len();
+        state.queue.restore(batch);
+        drop(state);
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+}
+
+/// Execute `batch`, quarantining panics: a panicking execution is bisected
+/// until the culprit fails *alone* — that singleton's ticket resolves to
+/// [`ServeError::Poisoned`] while every innocent batch-mate re-executes to
+/// completion. Returns the condemned batch indices (tickets already
+/// resolved); convergence is guaranteed because the injected poison
+/// decision is a pure function of a request's admission tick (see
+/// [`Injector::poisons`]) and real per-request defects reproduce the same
+/// way.
+fn execute_with_quarantine(
+    shared: &Shared,
+    batch: &[QueuedRequest],
+    caches: &mut HashMap<ModelKey, WorkerScratch>,
+) -> Vec<usize> {
+    match try_execute(shared, batch, caches) {
+        Ok(()) => Vec::new(),
+        Err(why) if batch.len() == 1 => {
+            let r = &batch[0];
+            r.ticket.deliver(Err(ServeError::Poisoned {
+                key: r.key.to_string(),
+                tenant: r.tenant.clone(),
+                why,
+            }));
+            vec![0]
+        }
+        Err(_) => {
+            let mid = batch.len() / 2;
+            let mut poisoned = execute_with_quarantine(shared, &batch[..mid], caches);
+            for i in execute_with_quarantine(shared, &batch[mid..], caches) {
+                poisoned.push(mid + i);
+            }
+            poisoned
+        }
+    }
+}
+
+/// One guarded execution attempt: the worker-side injection sites
+/// (transient batch panic, deterministic per-request poison) plus
+/// [`execute_batch`], under `catch_unwind`, with a panic mapped to its
+/// message. Tickets are first-delivery-wins, so a bisection re-execution
+/// can never double-deliver.
+fn try_execute(
+    shared: &Shared,
+    batch: &[QueuedRequest],
+    caches: &mut HashMap<ModelKey, WorkerScratch>,
+) -> Result<(), String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if shared.faults.fire(FaultSite::BatchPanic) {
+            panic!("injected batch panic (fault-inject)");
+        }
+        for r in batch {
+            if shared.faults.poisons(r.enqueue_tick) {
+                panic!("injected poisoned request (fault-inject)");
+            }
+        }
+        execute_batch(shared, batch, caches)
+    }))
+    .map_err(|panic| {
+        panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "worker panicked".to_string())
+    })
+}
+
 fn worker_loop(shared: &Shared) {
     // Per-worker, per-plan dispatch state. Keyed by resolved `ModelKey`:
     // the registry guarantees one immutable plan per resolved key for the
@@ -476,42 +659,45 @@ fn worker_loop(shared: &Shared) {
                 drop(state);
                 shared.space.notify_all();
 
-                // A panicking plan must not strand its clients or leak
-                // `in_flight`: catch it, fail the batch's tickets, keep the
-                // worker alive.
-                let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute_batch(shared, &batch, &mut caches)
-                }))
-                .err();
-                if let Some(panic) = &panicked {
-                    let why = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "worker panicked".to_string());
-                    for r in &batch {
-                        r.ticket
-                            .deliver(Err(ServeError::ExecutionFailed(why.clone())));
-                    }
+                // From here until `disarm`, the batch lives outside the
+                // queue. If this thread unwinds (an injected worker kill,
+                // or a defect escaping the quarantine below) the guard's
+                // `Drop` restores every request to its lane with its
+                // original admission stamps and rolls back `in_flight` —
+                // no request is lost; `supervise` restarts the worker.
+                let mut guard = RequeueGuard {
+                    shared,
+                    batch: Some(batch),
+                };
+                if shared.faults.fire(FaultSite::WorkerKill) {
+                    panic!("injected worker kill (fault-inject)");
                 }
+                if shared.faults.fire(FaultSite::BatchStall) {
+                    std::thread::sleep(shared.faults.stall_for());
+                }
+                let poisoned = execute_with_quarantine(
+                    shared,
+                    guard.batch.as_deref().expect("guard armed"),
+                    &mut caches,
+                );
+                let batch = guard.disarm();
 
                 state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
                 state.in_flight -= batch.len();
-                if panicked.is_some() {
-                    state.stats.failed += batch.len() as u64;
-                } else {
-                    state.stats.completed += batch.len() as u64;
-                }
                 state.stats.batches += 1;
                 *state.stats.batch_fill.entry(batch.len()).or_insert(0) += 1;
-                for r in &batch {
-                    let waited = dispatch_tick - r.enqueue_tick;
-                    state.stats.record_latency(waited);
-                    if panicked.is_none() {
-                        let t = state.stats.tenant(&r.tenant);
-                        t.completed += 1;
-                        t.record_latency(waited);
+                for (i, r) in batch.iter().enumerate() {
+                    if poisoned.contains(&i) {
+                        state.stats.poisoned += 1;
+                        state.stats.tenant(&r.tenant).poisoned += 1;
+                        continue;
                     }
+                    let waited = dispatch_tick - r.enqueue_tick;
+                    state.stats.completed += 1;
+                    state.stats.record_latency(waited);
+                    let t = state.stats.tenant(&r.tenant);
+                    t.completed += 1;
+                    t.record_latency(waited);
                 }
                 if state.queue.is_empty() && state.in_flight == 0 {
                     shared.idle.notify_all();

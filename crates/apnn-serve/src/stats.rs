@@ -23,6 +23,7 @@ pub(crate) struct TenantInner {
     pub(crate) shed: u64,
     pub(crate) expired: u64,
     pub(crate) cancelled: u64,
+    pub(crate) poisoned: u64,
     pub(crate) latencies_ticks: VecDeque<u64>,
 }
 
@@ -49,6 +50,11 @@ pub(crate) struct StatsInner {
     pub(crate) expired: u64,
     /// Requests cancelled via [`crate::Ticket::cancel`] while queued.
     pub(crate) cancelled: u64,
+    /// Requests quarantined by the batch bisection
+    /// ([`crate::ServeError::Poisoned`]).
+    pub(crate) poisoned: u64,
+    /// Panicked workers restarted by supervision.
+    pub(crate) worker_restarts: u64,
     pub(crate) batches: u64,
     /// batch fill (requests coalesced per dispatch) → dispatch count.
     pub(crate) batch_fill: BTreeMap<usize, u64>,
@@ -92,8 +98,8 @@ pub struct TenantStats {
     pub tenant: String,
     /// Requests this tenant **offered** (accepted into the queue or shed
     /// on arrival) — the shed-rate denominator. Once the queue drains,
-    /// `submitted == completed + shed + expired + cancelled` per tenant
-    /// (absent execution panics).
+    /// `submitted == completed + shed + expired + cancelled + poisoned`
+    /// per tenant.
     pub submitted: u64,
     /// Requests whose logits were delivered.
     pub completed: u64,
@@ -104,6 +110,9 @@ pub struct TenantStats {
     pub expired: u64,
     /// Requests cancelled while queued.
     pub cancelled: u64,
+    /// Requests quarantined as [`crate::ServeError::Poisoned`]: every
+    /// batch containing them panicked, down to the singleton.
+    pub poisoned: u64,
     /// Median queueing latency in ticks, over the tenant's most recent
     /// `TENANT_LATENCY_WINDOW` (1024) completions.
     pub p50_latency_ticks: u64,
@@ -150,6 +159,23 @@ pub struct ServeStats {
     pub expired: u64,
     /// Requests cancelled while queued ([`crate::Ticket::cancel`]).
     pub cancelled: u64,
+    /// Requests quarantined as [`crate::ServeError::Poisoned`]: their
+    /// batch panicked, bisection convicted exactly them, and their
+    /// batch-mates completed normally.
+    pub poisoned: u64,
+    /// Panicked worker threads restarted by supervision. The restarted
+    /// worker's dispatched batch is restored to the queue, so a restart
+    /// loses no requests.
+    pub worker_restarts: u64,
+    /// Blue-green rollbacks: a promoted version failed to compile for
+    /// unpinned traffic and the active pointer degraded to the prior
+    /// live version ([`crate::PlanRegistry::rollbacks`]).
+    pub rollbacks: u64,
+    /// Duplicate wire submissions absorbed by the server's idempotency
+    /// ledger: a client retried a request ID it had already submitted
+    /// (after a timeout or connection drop) and was handed the original
+    /// ticket instead of a second execution.
+    pub client_retries: u64,
     /// Requests currently queued (not yet dispatched).
     pub queue_depth: usize,
     /// Requests currently executing in a worker.
@@ -228,12 +254,14 @@ impl StatsInner {
         &self,
         queue_depth: usize,
         in_flight: usize,
-        plan_compiles: u64,
-        plan_hits: u64,
-        plan_schemes: Vec<String>,
+        // (compiles, hits, schemes) from the plan cache.
+        plan_cache: (u64, u64, Vec<String>),
         // (pools, created, checkouts, contended) aggregated over the
         // server's per-plan workspace pools.
         pool_stats: (usize, usize, u64, u64),
+        // (registry rollbacks, wire idempotency hits) — recovery counters
+        // owned outside the queue lock.
+        recovery: (u64, u64),
     ) -> ServeStats {
         let (p50, p99, max) = percentiles(&self.latencies_ticks);
         let tenants = self
@@ -248,6 +276,7 @@ impl StatsInner {
                     shed: t.shed,
                     expired: t.expired,
                     cancelled: t.cancelled,
+                    poisoned: t.poisoned,
                     p50_latency_ticks: tp50,
                     p99_latency_ticks: tp99,
                 }
@@ -261,6 +290,10 @@ impl StatsInner {
             shed: self.shed,
             expired: self.expired,
             cancelled: self.cancelled,
+            poisoned: self.poisoned,
+            worker_restarts: self.worker_restarts,
+            rollbacks: recovery.0,
+            client_retries: recovery.1,
             queue_depth,
             in_flight,
             batches: self.batches,
@@ -269,9 +302,9 @@ impl StatsInner {
             p99_latency_ticks: p99,
             max_latency_ticks: max,
             tenants,
-            plan_compiles,
-            plan_hits,
-            plan_schemes,
+            plan_compiles: plan_cache.0,
+            plan_hits: plan_cache.1,
+            plan_schemes: plan_cache.2,
             workspace_pools: pool_stats.0,
             workspace_pool_size: pool_stats.1,
             workspace_checkouts: pool_stats.2,
@@ -293,14 +326,23 @@ mod tests {
         };
         inner.batch_fill.insert(1, 2);
         inner.batch_fill.insert(4, 6);
+        inner.poisoned = 2;
+        inner.worker_restarts = 1;
         let snap = inner.snapshot(
             3,
             1,
-            2,
-            9,
-            vec!["M@APNN-w1a2".to_string(), "M@APNN-w2a2".to_string()],
+            (
+                2,
+                9,
+                vec!["M@APNN-w1a2".to_string(), "M@APNN-w2a2".to_string()],
+            ),
             (2, 5, 40, 3),
+            (4, 6),
         );
+        assert_eq!(snap.poisoned, 2);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.rollbacks, 4);
+        assert_eq!(snap.client_retries, 6);
         assert_eq!(snap.p50_latency_ticks, 50);
         assert_eq!(snap.p99_latency_ticks, 99);
         assert_eq!(snap.max_latency_ticks, 100);
@@ -330,11 +372,15 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_all_zero() {
-        let snap = StatsInner::default().snapshot(0, 0, 0, 0, Vec::new(), (0, 0, 0, 0));
+        let snap = StatsInner::default().snapshot(0, 0, (0, 0, Vec::new()), (0, 0, 0, 0), (0, 0));
         assert_eq!(snap.p50_latency_ticks, 0);
         assert_eq!(snap.p99_latency_ticks, 0);
         assert_eq!(snap.mean_fill(), 0.0);
         assert!(snap.tenants.is_empty());
+        assert_eq!(
+            snap.poisoned + snap.worker_restarts + snap.rollbacks + snap.client_retries,
+            0
+        );
     }
 
     #[test]
@@ -343,27 +389,32 @@ mod tests {
         {
             let a = inner.tenant("alpha");
             a.submitted = 40;
-            a.completed = 24;
+            a.completed = 23;
             a.shed = 10;
             a.expired = 4;
             a.cancelled = 2;
+            a.poisoned = 1;
             for t in 1..=10 {
                 a.record_latency(t);
             }
         }
         inner.tenant("beta").submitted = 1;
-        let snap = inner.snapshot(0, 0, 0, 0, Vec::new(), (0, 0, 0, 0));
+        let snap = inner.snapshot(0, 0, (0, 0, Vec::new()), (0, 0, 0, 0), (0, 0));
         assert_eq!(snap.tenants.len(), 2);
         // BTreeMap ordering: deterministic tenant order by label.
         assert_eq!(snap.tenants[0].tenant, "alpha");
         assert_eq!(snap.tenants[1].tenant, "beta");
         let a = snap.tenant("alpha").unwrap();
         assert_eq!(a.submitted, 40);
-        assert_eq!(a.completed, 24);
+        assert_eq!(a.completed, 23);
         assert_eq!(a.expired, 4);
         assert_eq!(a.cancelled, 2);
+        assert_eq!(a.poisoned, 1);
         // Every offer resolved to exactly one outcome.
-        assert_eq!(a.completed + a.shed + a.expired + a.cancelled, a.submitted);
+        assert_eq!(
+            a.completed + a.shed + a.expired + a.cancelled + a.poisoned,
+            a.submitted
+        );
         assert_eq!(a.p50_latency_ticks, 5);
         assert_eq!(a.p99_latency_ticks, 10);
         assert!((a.shed_rate() - 10.0 / 40.0).abs() < 1e-12);

@@ -18,7 +18,18 @@
 //!                    · h·w·c × u32 codes
 //! response (type 2): u64 id · u8 status — 0 ok (u16 classes · n×i32)
 //!                    · else a [`crate::ServeError`] code + fields
+//! hello    (type 3): u64 client_id
 //! ```
+//!
+//! ## Idempotent resubmission
+//!
+//! A client that announces a stable `client_id` with a hello frame gets
+//! **exactly-once execution across reconnects**: the server remembers the
+//! [`Ticket`] behind every `(client_id, request id)` it accepted, so a
+//! resubmission after a dropped connection (what [`RetryClient`] does)
+//! re-delivers the original request's result instead of executing it
+//! twice. Deduplicated resubmissions are surfaced as
+//! [`crate::ServeStats::client_retries`].
 //!
 //! Malformed input is a **typed** [`WireError`], never a panic — and
 //! because framing is resolved before parsing, one bad payload never
@@ -27,9 +38,10 @@
 //! boundary. Only frame-level violations (oversized length, mid-frame
 //! EOF) close the connection, since the boundary itself is lost.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -38,6 +50,7 @@ use apnn_bitpack::{BitTensor4, Encoding};
 use apnn_nn::{LayerPrecision, NetPrecision, PrecisionSchedule};
 
 use crate::api::Request;
+use crate::fault::{splitmix64, FaultSite, Injector};
 use crate::registry::{ModelKey, PlanSpec};
 use crate::server::Server;
 use crate::{ServeError, Ticket};
@@ -52,6 +65,13 @@ const MAX_DIM: usize = 4096;
 
 const MSG_REQUEST: u8 = 1;
 const MSG_RESPONSE: u8 = 2;
+const MSG_HELLO: u8 = 3;
+
+/// How many request ids the server remembers per announced client (the
+/// idempotency window), and how many distinct clients it tracks — both
+/// FIFO-evicted, bounding the dedup ledger regardless of traffic.
+const MAX_IDEM_IDS: usize = 1024;
+const MAX_IDEM_CLIENTS: usize = 1024;
 
 /// Why a frame failed to parse or a connection failed to transport it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +107,10 @@ pub enum WireError {
     },
     /// The peer closed the stream cleanly between frames.
     Closed,
+    /// A read or write exceeded the connection's configured
+    /// [`WireTimeouts`] — the peer accepted the connection but stopped
+    /// responding.
+    TimedOut,
     /// A transport-level I/O failure.
     Io(String),
     /// An error reported by the remote peer (seen only inside
@@ -110,6 +134,7 @@ impl std::fmt::Display for WireError {
                 write!(f, "{extra} trailing bytes after the message")
             }
             WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::TimedOut => write!(f, "peer unresponsive: read/write timed out"),
             WireError::Io(e) => write!(f, "transport error: {e}"),
             WireError::Remote(e) => write!(f, "remote error: {e}"),
         }
@@ -119,7 +144,12 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 fn io_err(e: std::io::Error) -> WireError {
-    WireError::Io(e.to_string())
+    match e.kind() {
+        // Platform-dependent: a socket read deadline surfaces as
+        // `WouldBlock` on Unix and `TimedOut` on Windows.
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::TimedOut,
+        _ => WireError::Io(e.to_string()),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -549,6 +579,12 @@ pub fn encode_response(id: u64, result: &Result<Vec<i32>, ServeError>) -> Vec<u8
                 w.u8(10);
                 w.str(&we.to_string());
             }
+            ServeError::Poisoned { key, tenant, why } => {
+                w.u8(11);
+                w.str(key);
+                w.str(tenant);
+                w.str(why);
+            }
         },
     }
     w.buf
@@ -595,6 +631,11 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Result<Vec<i32>, ServeErr
         }),
         9 => Err(ServeError::Cancelled),
         10 => Err(ServeError::Wire(WireError::Remote(r.str("reason")?))),
+        11 => Err(ServeError::Poisoned {
+            key: r.str("key")?,
+            tenant: r.str("tenant")?,
+            why: r.str("reason")?,
+        }),
         _ => {
             return Err(WireError::BadValue {
                 context: "response status",
@@ -603,6 +644,30 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Result<Vec<i32>, ServeErr
     };
     r.finish()?;
     Ok((id, result))
+}
+
+// ---------------------------------------------------------------------------
+// Hello codec
+// ---------------------------------------------------------------------------
+
+/// Encode a hello payload announcing a stable client identity for
+/// idempotent resubmission (see the module docs).
+pub fn encode_hello(client_id: u64) -> Vec<u8> {
+    let mut w = Writer::new(MSG_HELLO);
+    w.u64(client_id);
+    w.buf
+}
+
+/// Decode a hello payload back into its client id.
+pub fn decode_hello(payload: &[u8]) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    let msg = r.u8("message type")?;
+    if msg != MSG_HELLO {
+        return Err(WireError::UnknownMessageType(msg));
+    }
+    let id = r.u64("client id")?;
+    r.finish()?;
+    Ok(id)
 }
 
 // ---------------------------------------------------------------------------
@@ -673,6 +738,11 @@ pub fn serve_tcp(
     let stop = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
     let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    // Listener-wide: the idempotency ledger spans connections (a
+    // reconnecting client must land on its prior identity), and the fault
+    // injector is the server's, so one seed drives one schedule.
+    let idem = Arc::new(IdemStore::default());
+    let faults = server.injector();
     let accept = {
         let (stop, conns, conn_threads) = (
             Arc::clone(&stop),
@@ -691,9 +761,11 @@ pub fn serve_tcp(
                                 conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
                             }
                             let server = Arc::clone(&server);
+                            let idem = Arc::clone(&idem);
+                            let faults = Arc::clone(&faults);
                             if let Ok(h) = std::thread::Builder::new()
                                 .name("apnn-wire-conn".into())
-                                .spawn(move || handle_connection(server, stream))
+                                .spawn(move || handle_connection(server, stream, idem, faults))
                             {
                                 conn_threads
                                     .lock()
@@ -728,7 +800,64 @@ enum Outcome {
     Immediate(ServeError),
 }
 
-fn handle_connection(server: Arc<Server>, stream: TcpStream) {
+/// One announced client's idempotency window: the [`Ticket`] behind every
+/// remembered request id, FIFO-evicted at [`MAX_IDEM_IDS`].
+#[derive(Default)]
+struct ClientLedger {
+    tickets: HashMap<u64, Ticket>,
+    order: VecDeque<u64>,
+}
+
+/// The listener-wide idempotency ledger, shared across connections so a
+/// client reconnecting lands on its prior identity no matter which
+/// connection (and thread) handles it.
+#[derive(Default)]
+struct IdemStore {
+    clients: Mutex<IdemClients>,
+}
+
+#[derive(Default)]
+struct IdemClients {
+    by_id: HashMap<u64, ClientLedger>,
+    order: VecDeque<u64>,
+}
+
+impl IdemStore {
+    /// The remembered ticket for `(client, id)`, if this is a resubmission.
+    fn lookup(&self, client: u64, id: u64) -> Option<Ticket> {
+        let clients = self.clients.lock().unwrap_or_else(|e| e.into_inner());
+        clients.by_id.get(&client)?.tickets.get(&id).cloned()
+    }
+
+    /// Remember the ticket behind an accepted `(client, id)`.
+    fn record(&self, client: u64, id: u64, ticket: Ticket) {
+        let mut clients = self.clients.lock().unwrap_or_else(|e| e.into_inner());
+        if !clients.by_id.contains_key(&client) {
+            while clients.order.len() >= MAX_IDEM_CLIENTS {
+                if let Some(evict) = clients.order.pop_front() {
+                    clients.by_id.remove(&evict);
+                }
+            }
+            clients.order.push_back(client);
+        }
+        let ledger = clients.by_id.entry(client).or_default();
+        if ledger.tickets.insert(id, ticket).is_none() {
+            ledger.order.push_back(id);
+            while ledger.order.len() > MAX_IDEM_IDS {
+                if let Some(evict) = ledger.order.pop_front() {
+                    ledger.tickets.remove(&evict);
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    server: Arc<Server>,
+    stream: TcpStream,
+    idem: Arc<IdemStore>,
+    faults: Arc<Injector>,
+) {
     let mut read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -743,19 +872,81 @@ fn handle_connection(server: Arc<Server>, stream: TcpStream) {
                     Outcome::Ticket(t) => t.wait(),
                     Outcome::Immediate(e) => Err(e),
                 };
-                if write_frame(&mut stream, &encode_response(id, &result)).is_err() {
+                let mut payload = encode_response(id, &result);
+                if faults.fire(FaultSite::WireWriteStall) {
+                    std::thread::sleep(faults.stall_for());
+                }
+                if faults.fire(FaultSite::WireCorrupt) {
+                    // Flip the *type* byte: the peer's decoder rejects the
+                    // frame outright (the protocol carries no checksum, so
+                    // corrupting a logit byte would be silent — structural
+                    // corruption stands in for every malformed response).
+                    payload[0] ^= 0x55;
+                }
+                if faults.fire(FaultSite::WireTruncate) {
+                    // Announce the full frame, deliver half, sever: the
+                    // peer sees EOF mid-frame and must drop the connection.
+                    let len = payload.len() as u32;
+                    let _ = stream.write_all(&len.to_le_bytes());
+                    let _ = stream.write_all(&payload[..payload.len() / 2]);
+                    let _ = stream.flush();
+                    let _ = stream.shutdown(Shutdown::Both);
+                    break;
+                }
+                if write_frame(&mut stream, &payload).is_err() {
                     // Peer is gone; keep draining tickets so accepted work
                     // still resolves, but stop writing.
                     break;
                 }
+                if faults.fire(FaultSite::WireDuplicate) {
+                    let _ = write_frame(&mut stream, &payload);
+                }
+                if faults.fire(FaultSite::WireDisconnect) {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    break;
+                }
             }
         });
+    // The stable identity this connection announced via a hello frame
+    // (None until then: anonymous requests are never deduplicated).
+    let mut client_id: Option<u64> = None;
     // Read until clean close, mid-frame EOF, or transport error.
     while let Ok(Some(payload)) = read_frame(&mut read_half) {
+        if payload.first() == Some(&MSG_HELLO) {
+            match decode_hello(&payload) {
+                Ok(cid) => client_id = Some(cid),
+                Err(e) => {
+                    if tx
+                        .send((0, Outcome::Immediate(ServeError::Wire(e))))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
         match decode_request(&payload) {
             Ok((id, req)) => {
+                // Exactly-once across reconnects: a resubmission of an id
+                // this client already got accepted re-delivers the original
+                // ticket instead of executing again.
+                if let Some(cid) = client_id {
+                    if let Some(ticket) = idem.lookup(cid, id) {
+                        server.note_wire_retry();
+                        if tx.send((id, Outcome::Ticket(ticket))).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                }
                 let outcome = match server.submit_request(req) {
-                    Ok(ticket) => Outcome::Ticket(ticket),
+                    Ok(ticket) => {
+                        if let Some(cid) = client_id {
+                            idem.record(cid, id, ticket.clone());
+                        }
+                        Outcome::Ticket(ticket)
+                    }
                     Err(e) => Outcome::Immediate(e),
                 };
                 if tx.send((id, outcome)).is_err() {
@@ -800,30 +991,98 @@ fn recover_request_id(payload: &[u8]) -> u64 {
 // Client
 // ---------------------------------------------------------------------------
 
+/// Socket deadlines for a [`WireClient`] connection. The defaults (30 s
+/// each way) are deliberately **on**: a silent peer — accepted connection,
+/// no responses — surfaces as [`WireError::TimedOut`] instead of hanging
+/// the caller forever. `None` disables a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTimeouts {
+    /// Deadline for each blocking read (awaiting a response frame).
+    pub read: Option<Duration>,
+    /// Deadline for each blocking write (sending a request frame).
+    pub write: Option<Duration>,
+}
+
+impl Default for WireTimeouts {
+    fn default() -> Self {
+        WireTimeouts {
+            read: Some(Duration::from_secs(30)),
+            write: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl WireTimeouts {
+    /// No deadlines: block indefinitely (the pre-timeout behaviour).
+    pub fn unbounded() -> WireTimeouts {
+        WireTimeouts {
+            read: None,
+            write: None,
+        }
+    }
+
+    /// The same deadline for reads and writes.
+    pub fn both(d: Duration) -> WireTimeouts {
+        WireTimeouts {
+            read: Some(d),
+            write: Some(d),
+        }
+    }
+}
+
 /// A blocking client over the wire protocol.
 ///
 /// [`WireClient::infer`] is the one-shot path; [`WireClient::send`] /
 /// [`WireClient::recv`] pipeline: the server answers in submission order,
-/// with each response carrying the id `send` returned.
+/// with each response carrying the id `send` returned. Reads and writes
+/// carry the [`WireTimeouts`] deadlines (default 30 s), so a silent peer
+/// is a typed [`WireError::TimedOut`], never an indefinite hang. For
+/// retries and reconnects, wrap the same protocol in [`RetryClient`].
 pub struct WireClient {
     stream: TcpStream,
     next_id: u64,
 }
 
 impl WireClient {
-    /// Connect to a [`serve_tcp`] front-end.
+    /// Connect to a [`serve_tcp`] front-end with the default
+    /// [`WireTimeouts`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<WireClient, WireError> {
+        Self::connect_with(addr, WireTimeouts::default())
+    }
+
+    /// Connect with explicit socket deadlines.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeouts: WireTimeouts,
+    ) -> Result<WireClient, WireError> {
         let stream = TcpStream::connect(addr).map_err(io_err)?;
         let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(timeouts.read).map_err(io_err)?;
+        stream.set_write_timeout(timeouts.write).map_err(io_err)?;
         Ok(WireClient { stream, next_id: 1 })
     }
 
-    /// Send one request; returns its correlation id.
+    /// Announce a stable client identity for idempotent resubmission:
+    /// after this, the server remembers every accepted request id and a
+    /// resubmission (same identity, same id — what [`RetryClient`] sends
+    /// after a reconnect) re-delivers the original result instead of
+    /// executing twice.
+    pub fn hello(&mut self, client_id: u64) -> Result<(), WireError> {
+        write_frame(&mut self.stream, &encode_hello(client_id))
+    }
+
+    /// Send one request under a caller-chosen correlation id (the
+    /// resubmission primitive — pair with [`WireClient::hello`]).
+    pub fn send_as(&mut self, id: u64, req: &Request) -> Result<u64, WireError> {
+        write_frame(&mut self.stream, &encode_request(id, req))?;
+        Ok(id)
+    }
+
+    /// Send one request; returns its (auto-assigned) correlation id.
     pub fn send(&mut self, req: &Request) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(&mut self.stream, &encode_request(id, req))?;
-        Ok(id)
+        self.send_as(id, req)
     }
 
     /// Receive the next response `(id, result)` in FIFO order.
@@ -845,6 +1104,166 @@ impl WireClient {
             // A stale response from an earlier pipelined send the caller
             // abandoned; skip it.
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retrying client
+// ---------------------------------------------------------------------------
+
+/// Retry/backoff knobs for a [`RetryClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Socket deadlines for every connection the client opens.
+    pub timeouts: WireTimeouts,
+    /// Total attempts per request (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base × 2ⁿ` (capped), scaled by a
+    /// deterministic jitter in `[50%, 100%]`.
+    pub backoff_base: Duration,
+    /// Upper bound on the un-jittered backoff.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter stream (deterministic per client: mixed with
+    /// the client id, so a replayed run backs off identically).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeouts: WireTimeouts::default(),
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Process-local counter so every [`RetryClient`] in this process gets a
+/// distinct identity even within one clock tick.
+static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A [`WireClient`] wrapped in timeouts, capped-exponential-backoff
+/// retries, and reconnect-with-resubmission — **without** double
+/// execution: the client announces a stable identity ([`WireClient::hello`])
+/// and pins each request's correlation id across attempts, so the server's
+/// idempotency ledger re-delivers the original result for any attempt that
+/// actually executed before the connection died.
+///
+/// Wire-level failures (timeout, disconnect, malformed frame) are retried;
+/// **server-side results are not** — an `Err([`ServeError::Shed`])` is an
+/// answer, not a transport failure. When every attempt fails at the wire,
+/// the last wire error surfaces as [`ServeError::Wire`].
+pub struct RetryClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    client_id: u64,
+    conn: Option<WireClient>,
+    next_id: u64,
+    retries: u64,
+    jitter: u64,
+}
+
+impl RetryClient {
+    /// Connect lazily to `addr` with the default [`RetryPolicy`] and a
+    /// process-derived client identity.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RetryClient, WireError> {
+        Self::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// Connect lazily with explicit retry knobs.
+    pub fn with_policy(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<RetryClient, WireError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(io_err)?
+            .next()
+            .ok_or(WireError::BadValue {
+                context: "socket address",
+            })?;
+        let client_id = (u64::from(std::process::id()) << 32)
+            | (CLIENT_SEQ.fetch_add(1, Ordering::Relaxed) + 1);
+        let jitter = splitmix64(policy.jitter_seed ^ client_id);
+        Ok(RetryClient {
+            addr,
+            policy,
+            client_id,
+            conn: None,
+            next_id: 1,
+            retries: 0,
+            jitter,
+        })
+    }
+
+    /// The stable identity this client announces (diagnostics).
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// How many retry attempts (excluding first tries) this client has
+    /// made across all requests.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Send one request and block for its response, retrying wire-level
+    /// failures per the policy. The request id is assigned once, before
+    /// the first attempt, so every retry is an idempotent resubmission.
+    pub fn infer(&mut self, req: &Request) -> Result<Vec<i32>, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut last = WireError::Closed;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.retries += 1;
+                std::thread::sleep(self.backoff(attempt - 1));
+            }
+            match self.attempt(id, req) {
+                // A server-side error is an *answer*; only wire-level
+                // failures retry.
+                Ok(result) => return result,
+                Err(e) => {
+                    last = e;
+                    self.conn = None;
+                }
+            }
+        }
+        Err(ServeError::Wire(last))
+    }
+
+    fn attempt(
+        &mut self,
+        id: u64,
+        req: &Request,
+    ) -> Result<Result<Vec<i32>, ServeError>, WireError> {
+        if self.conn.is_none() {
+            let mut conn = WireClient::connect_with(self.addr, self.policy.timeouts)?;
+            conn.hello(self.client_id)?;
+            self.conn = Some(conn);
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        conn.send_as(id, req)?;
+        loop {
+            let (rid, result) = conn.recv()?;
+            if rid == id {
+                return Ok(result);
+            }
+            // A duplicate or stale frame from an earlier attempt's id (the
+            // server may redeliver under WireDuplicate faults); skip it.
+        }
+    }
+
+    /// Deterministic capped exponential backoff: `base × 2ⁿ` up to the
+    /// cap, scaled into `[50%, 100%]` by the jitter stream.
+    fn backoff(&mut self, n: u32) -> Duration {
+        let exp = self.policy.backoff_base.saturating_mul(1u32 << n.min(16));
+        let capped = exp.min(self.policy.backoff_cap);
+        self.jitter = splitmix64(self.jitter);
+        let per_mille = 500 + self.jitter % 501;
+        Duration::from_micros((capped.as_micros() as u64).saturating_mul(per_mille) / 1000)
     }
 }
 
@@ -933,6 +1352,11 @@ mod tests {
                 waited_ticks: 12,
             }),
             Err(ServeError::Cancelled),
+            Err(ServeError::Poisoned {
+                key: "M@APNN-w1a2".into(),
+                tenant: "t".into(),
+                why: "injected poisoned request (fault-inject)".into(),
+            }),
         ];
         for (i, case) in cases.iter().enumerate() {
             let (id, back) = decode_response(&encode_response(i as u64, case)).unwrap();
@@ -1049,5 +1473,63 @@ mod tests {
         assert_eq!(recover_request_id(&payload), 42);
         assert_eq!(recover_request_id(&payload[..5]), 0);
         assert_eq!(recover_request_id(&[]), 0);
+    }
+
+    #[test]
+    fn hello_roundtrip_and_rejections() {
+        let payload = encode_hello(0xDEAD_BEEF_0000_0042);
+        assert_eq!(decode_hello(&payload).unwrap(), 0xDEAD_BEEF_0000_0042);
+        assert!(matches!(
+            decode_hello(&payload[..4]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        let mut long = payload.clone();
+        long.push(0);
+        assert_eq!(
+            decode_hello(&long).unwrap_err(),
+            WireError::TrailingBytes { extra: 1 }
+        );
+        assert!(matches!(
+            decode_hello(&[MSG_REQUEST]),
+            Err(WireError::UnknownMessageType(MSG_REQUEST))
+        ));
+    }
+
+    #[test]
+    fn read_timeout_surfaces_a_silent_server_as_timed_out() {
+        // An accept-only peer: takes the connection, never responds. The
+        // default-on read deadline must turn the would-be-forever hang
+        // into a typed TimedOut.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut client =
+            WireClient::connect_with(addr, WireTimeouts::both(Duration::from_millis(50))).unwrap();
+        let err = client.infer(&sample_request()).unwrap_err();
+        assert_eq!(err, ServeError::Wire(WireError::TimedOut));
+        drop(hold.join());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+            jitter_seed: 7,
+            ..RetryPolicy::default()
+        };
+        let mut a = RetryClient::with_policy("127.0.0.1:1", policy).unwrap();
+        let mut b = RetryClient::with_policy("127.0.0.1:1", policy).unwrap();
+        // Different client ids → different jitter streams; same id+seed
+        // replays identically (rebuild with a pinned stream instead).
+        let seq_a: Vec<Duration> = (0..6).map(|n| a.backoff(n)).collect();
+        for (n, d) in seq_a.iter().enumerate() {
+            let cap = Duration::from_millis(80).min(Duration::from_millis(10) * (1 << n));
+            assert!(*d <= cap, "backoff {n} = {d:?} above cap {cap:?}");
+            assert!(*d >= cap / 2, "backoff {n} = {d:?} below half the cap");
+        }
+        let _ = b.backoff(0);
+        assert_ne!(a.client_id(), b.client_id(), "identities are distinct");
+        assert_eq!(a.retries(), 0, "backoff alone is not a retry");
     }
 }

@@ -1,0 +1,116 @@
+//! The serve tier under a deterministic fault schedule: inject admission
+//! drops, mid-batch panics, poisoned requests and worker kills, then read
+//! the recovery counters — ledger balanced, surviving logits bit-identical.
+//!
+//! ```sh
+//! cargo run --release --features fault-inject --example serve_chaos
+//! # replay any schedule bit-for-bit:
+//! APNN_FAULT_SEED=7 cargo run --release --features fault-inject --example serve_chaos
+//! ```
+//!
+//! Without `--features fault-inject` every fault site compiles to a no-op
+//! and this example runs the same traffic fault-free.
+
+use apnn_tc::bitpack::{BitTensor4, Encoding, Layout, Tensor4};
+use apnn_tc::nn::NetPrecision;
+use apnn_tc::serve::{
+    fault, FaultPlan, FaultSite, ModelKey, PlanRegistry, QueuePolicy, Request, ServeConfig,
+    ServeError, Server,
+};
+
+fn image(seed: usize) -> BitTensor4 {
+    let codes = Tensor4::<u32>::from_fn(1, 3, 32, 32, Layout::Nhwc, |_, c, h, w| {
+        ((seed * 131 + 3 * c + 5 * h + 7 * w) % 256) as u32
+    });
+    BitTensor4::from_tensor(&codes, 8, Encoding::ZeroOne)
+}
+
+fn main() {
+    let seed = std::env::var("APNN_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(2021u64);
+    println!(
+        "fault injection compiled {} (seed {seed})",
+        if fault::enabled() { "IN" } else { "OUT" }
+    );
+
+    // A seeded schedule: each site fires pseudorandomly at the given
+    // per-mille rate, deterministically per (seed, site, call index).
+    // With the feature off the plan is accepted and ignored.
+    let plan = FaultPlan::seeded(seed)
+        .rate(FaultSite::AdmitDrop, 80)
+        .rate(FaultSite::BatchPanic, 300)
+        .rate(FaultSite::PoisonRequest, 120)
+        .rate(FaultSite::WorkerKill, 150);
+    let server = Server::with_faults(
+        PlanRegistry::zoo(4, 2021),
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch_delay: 2,
+            workers: 2,
+            intra_batch_threads: 1,
+        },
+        // Backpressure admission: every drop below is an *injected* one.
+        QueuePolicy::backpressure(),
+        plan,
+    );
+    let key = ModelKey::new("VGG-Variant-Tiny", NetPrecision::w1a2());
+    let plan = server.registry().get(&key).expect("warm the plan");
+    if fault::enabled() {
+        println!("(panic traces below are injected faults being survived)");
+    }
+
+    let mut tickets = Vec::new();
+    let (mut dropped, mut poisoned, mut diverged) = (0usize, 0usize, 0usize);
+    for i in 0..40usize {
+        let req = Request::new(key.clone(), image(i)).tenant("chaos");
+        match server.submit_request(req) {
+            Ok(t) => tickets.push((i, t)),
+            Err(ServeError::Shed { .. }) => dropped += 1,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    for (i, t) in &tickets {
+        match t.wait() {
+            // Survivors stay bit-identical no matter how many panics,
+            // requeues and bisections their batch went through.
+            Ok(logits) => {
+                if logits != plan.infer(&image(*i)) {
+                    diverged += 1;
+                }
+            }
+            Err(ServeError::Poisoned { .. }) => poisoned += 1,
+            Err(ServeError::Shed { .. }) => dropped += 1,
+            Err(e) => panic!("unexpected terminal error: {e}"),
+        }
+    }
+    server.wait_idle();
+
+    let stats = server.stats();
+    println!(
+        "\n40 offered: {} completed, {dropped} dropped, {poisoned} poisoned, \
+         {diverged} diverged (must be 0)",
+        stats.completed
+    );
+    println!(
+        "recovery: {} worker restarts, {} rollbacks, {} client retries",
+        stats.worker_restarts, stats.rollbacks, stats.client_retries
+    );
+    for t in &stats.tenants {
+        let balanced = t.submitted == t.completed + t.shed + t.expired + t.cancelled + t.poisoned;
+        println!(
+            "tenant {:>6}: {} accepted = {} completed + {} shed + {} expired \
+             + {} cancelled + {} poisoned — ledger {}",
+            t.tenant,
+            t.submitted,
+            t.completed,
+            t.shed,
+            t.expired,
+            t.cancelled,
+            t.poisoned,
+            if balanced { "balanced" } else { "BROKEN" }
+        );
+    }
+    assert_eq!(diverged, 0, "chaos must never corrupt surviving logits");
+}

@@ -3,7 +3,7 @@
 //! must leave every **surviving** request's logits bit-identical to
 //! sequential [`CompiledNet::infer`] — refusal is allowed, corruption is
 //! not — while the per-tenant accounting stays exact:
-//! `submitted == completed + shed + expired + cancelled` for every tenant
+//! `submitted == completed + shed + expired + cancelled + poisoned` for every tenant
 //! after every drain.
 //!
 //! Also covers the blue-green path end-to-end (admission-time resolution
@@ -190,7 +190,7 @@ proptest! {
         for t in &stats.tenants {
             prop_assert_eq!(
                 t.submitted,
-                t.completed + t.shed + t.expired + t.cancelled,
+                t.completed + t.shed + t.expired + t.cancelled + t.poisoned,
                 "tenant `{}` ledger must balance: {:?}",
                 &t.tenant,
                 t

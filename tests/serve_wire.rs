@@ -14,8 +14,8 @@ use apnn_tc::serve::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
 };
 use apnn_tc::serve::{
-    serve_tcp, ModelKey, PlanRegistry, Request, ServeConfig, ServeError, Server, WireClient,
-    WireError,
+    serve_tcp, ModelKey, PlanRegistry, Request, RetryClient, ServeConfig, ServeError, Server,
+    WireClient, WireError,
 };
 use proptest::prelude::*;
 
@@ -263,6 +263,67 @@ fn malformed_frame_gets_typed_error_without_desync() {
     let (id, result) = decode_response(&payload).unwrap();
     assert_eq!(id, 42);
     assert_eq!(result.unwrap(), fix.reference[2]);
+    handle.shutdown();
+}
+
+#[test]
+fn reconnect_resubmission_is_deduplicated_not_reexecuted() {
+    let fix = fixture();
+    let handle = serve_tcp(Arc::clone(&fix.server), "127.0.0.1:0").unwrap();
+    let retries_before = fix.server.stats().client_retries;
+    let req = Request::new(fix.key.clone(), fix.input.batch_slice(4, 1)).tenant("idem");
+    // Connection 1: announce an identity, run request id 1 to completion.
+    let mut c1 = WireClient::connect(handle.addr()).unwrap();
+    c1.hello(0xA11CE).unwrap();
+    c1.send_as(1, &req).unwrap();
+    let (id, result) = c1.recv().unwrap();
+    assert_eq!(id, 1);
+    assert_eq!(result.unwrap(), fix.reference[4]);
+    drop(c1); // the connection dies — exactly what a retrying client sees
+              // Connection 2: same identity, same id. The server must re-deliver
+              // the original request's result, never execute a second time.
+    let mut c2 = WireClient::connect(handle.addr()).unwrap();
+    c2.hello(0xA11CE).unwrap();
+    c2.send_as(1, &req).unwrap();
+    let (id, result) = c2.recv().unwrap();
+    assert_eq!(id, 1);
+    assert_eq!(result.unwrap(), fix.reference[4]);
+    fix.server.wait_idle();
+    let stats = fix.server.stats();
+    let t = stats.tenant("idem").unwrap();
+    assert_eq!(
+        t.submitted, 1,
+        "the resubmission never re-entered the queue"
+    );
+    assert_eq!(t.completed, 1, "executed exactly once");
+    assert!(
+        stats.client_retries > retries_before,
+        "the dedup hit is surfaced in ServeStats::client_retries"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn retry_client_serves_bit_identical_logits_without_spurious_retries() {
+    let fix = fixture();
+    let handle = serve_tcp(Arc::clone(&fix.server), "127.0.0.1:0").unwrap();
+    let mut client = RetryClient::connect(handle.addr()).unwrap();
+    for i in 0..3 {
+        let req = Request::new(fix.key.clone(), fix.input.batch_slice(i, 1)).tenant("retry");
+        assert_eq!(client.infer(&req).unwrap(), fix.reference[i]);
+    }
+    assert_eq!(client.retries(), 0, "healthy path never retries");
+    // A server-side refusal is an *answer*, not a transport failure: it
+    // must surface immediately, not burn the retry budget.
+    let missing = Request::new(
+        ModelKey::new("NoSuchNet", NetPrecision::w1a2()),
+        fix.input.batch_slice(0, 1),
+    );
+    assert_eq!(
+        client.infer(&missing),
+        Err(ServeError::UnknownModel("NoSuchNet".into()))
+    );
+    assert_eq!(client.retries(), 0);
     handle.shutdown();
 }
 
